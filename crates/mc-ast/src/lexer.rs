@@ -1,0 +1,452 @@
+//! Hand-written lexer for the C subset.
+//!
+//! Preprocessor directives are not expanded: `#include` and friends are
+//! skipped (recorded as raw lines by the parser when needed), and FLASH
+//! macros such as `WAIT_FOR_DB_FULL(...)` are lexed as ordinary identifiers
+//! so that they reach the AST as call expressions — exactly the view the
+//! paper's checkers pattern-match against.
+
+use crate::token::{Span, Token, TokenKind};
+use std::fmt;
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where the offending character is.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming lexer over source text.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Preprocessor lines encountered (e.g. `#include "flash.h"`), in order.
+    pub preprocessor_lines: Vec<String>,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            preprocessor_lines: Vec::new(),
+        }
+    }
+
+    /// Lexes the entire input into a token vector terminated by
+    /// [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on malformed literals or unknown characters.
+    pub fn tokenize(mut self) -> Result<(Vec<Token>, Vec<String>), LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                break;
+            }
+        }
+        Ok((out, self.preprocessor_lines))
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(LexError {
+                                message: "unterminated block comment".into(),
+                                span: start,
+                            });
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'#' if self.col == 1 || self.at_line_start() => {
+                    // Preprocessor directive: record the raw line and skip it
+                    // (including backslash continuations).
+                    let mut text = String::new();
+                    loop {
+                        let c = self.peek();
+                        if c == 0 {
+                            break;
+                        }
+                        if c == b'\\' && self.peek2() == b'\n' {
+                            self.bump();
+                            self.bump();
+                            continue;
+                        }
+                        if c == b'\n' {
+                            self.bump();
+                            break;
+                        }
+                        text.push(self.bump() as char);
+                    }
+                    self.preprocessor_lines.push(text);
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn at_line_start(&self) -> bool {
+        let mut i = self.pos;
+        while i > 0 {
+            match self.src[i - 1] {
+                b' ' | b'\t' => i -= 1,
+                b'\n' => return true,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let span = self.span();
+        let c = self.peek();
+        if c == 0 {
+            return Ok(Token::new(TokenKind::Eof, span));
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut s = String::new();
+            while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                s.push(self.bump() as char);
+            }
+            return Ok(Token::new(TokenKind::Ident(s), span));
+        }
+        if c.is_ascii_digit() {
+            return self.lex_number(span);
+        }
+        match c {
+            b'"' => self.lex_string(span),
+            b'\'' => self.lex_char(span),
+            _ => self.lex_punct(span),
+        }
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<Token, LexError> {
+        let mut text = String::new();
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            text.push(self.bump() as char);
+            text.push(self.bump() as char);
+            while self.peek().is_ascii_hexdigit() {
+                text.push(self.bump() as char);
+            }
+            let value = i64::from_str_radix(&text[2..], 16).map_err(|_| LexError {
+                message: format!("invalid hex literal `{text}`"),
+                span,
+            })?;
+            self.skip_int_suffix(&mut text);
+            return Ok(Token::new(TokenKind::Int(value, text), span));
+        }
+        while self.peek().is_ascii_digit() {
+            text.push(self.bump() as char);
+        }
+        let is_float = self.peek() == b'.' && self.peek2().is_ascii_digit()
+            || self.peek() == b'e'
+            || self.peek() == b'E'
+            || (self.peek() == b'.' && !self.peek2().is_ascii_alphanumeric() && self.peek2() != b'.');
+        if is_float || self.peek() == b'f' || self.peek() == b'F' {
+            if self.peek() == b'.' {
+                text.push(self.bump() as char);
+                while self.peek().is_ascii_digit() {
+                    text.push(self.bump() as char);
+                }
+            }
+            if self.peek() == b'e' || self.peek() == b'E' {
+                text.push(self.bump() as char);
+                if self.peek() == b'+' || self.peek() == b'-' {
+                    text.push(self.bump() as char);
+                }
+                while self.peek().is_ascii_digit() {
+                    text.push(self.bump() as char);
+                }
+            }
+            let mut display = text.clone();
+            if self.peek() == b'f' || self.peek() == b'F' {
+                display.push(self.bump() as char);
+            }
+            let value: f64 = text.parse().map_err(|_| LexError {
+                message: format!("invalid float literal `{text}`"),
+                span,
+            })?;
+            return Ok(Token::new(TokenKind::Float(value, display), span));
+        }
+        let value: i64 = text.parse().map_err(|_| LexError {
+            message: format!("invalid integer literal `{text}`"),
+            span,
+        })?;
+        self.skip_int_suffix(&mut text);
+        Ok(Token::new(TokenKind::Int(value, text), span))
+    }
+
+    fn skip_int_suffix(&mut self, text: &mut String) {
+        while matches!(self.peek(), b'u' | b'U' | b'l' | b'L') {
+            text.push(self.bump() as char);
+        }
+    }
+
+    fn lex_string(&mut self, span: Span) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                0 | b'\n' => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        span,
+                    })
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                b'\\' => {
+                    self.bump();
+                    s.push(unescape(self.bump()));
+                }
+                _ => s.push(self.bump() as char),
+            }
+        }
+        Ok(Token::new(TokenKind::Str(s), span))
+    }
+
+    fn lex_char(&mut self, span: Span) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let c = match self.peek() {
+            b'\\' => {
+                self.bump();
+                unescape(self.bump())
+            }
+            0 => {
+                return Err(LexError {
+                    message: "unterminated char literal".into(),
+                    span,
+                })
+            }
+            _ => self.bump() as char,
+        };
+        if self.peek() != b'\'' {
+            return Err(LexError {
+                message: "unterminated char literal".into(),
+                span,
+            });
+        }
+        self.bump();
+        Ok(Token::new(TokenKind::Char(c), span))
+    }
+
+    fn lex_punct(&mut self, span: Span) -> Result<Token, LexError> {
+        // Longest-match punctuation table.
+        // `==>` is not C: it is the metal transition arrow. The metal DSL
+        // parser reuses this lexer, so it is lexed here as one token.
+        const THREE: &[&str] = &["<<=", ">>=", "...", "==>"];
+        const TWO: &[&str] = &[
+            "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=",
+            "|=", "^=", "->", "++", "--",
+        ];
+        const ONE: &[&str] = &[
+            "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^", "?", ":", ";", ",",
+            ".", "(", ")", "[", "]", "{", "}",
+        ];
+        let c1 = self.peek() as char;
+        let c2 = self.peek2() as char;
+        let c3 = self.peek3() as char;
+        let three: String = [c1, c2, c3].iter().collect();
+        if let Some(p) = THREE.iter().find(|p| ***p == three) {
+            self.bump();
+            self.bump();
+            self.bump();
+            return Ok(Token::new(TokenKind::Punct(p), span));
+        }
+        let two: String = [c1, c2].iter().collect();
+        if let Some(p) = TWO.iter().find(|p| ***p == two && p.len() == 2) {
+            self.bump();
+            self.bump();
+            return Ok(Token::new(TokenKind::Punct(p), span));
+        }
+        let one: String = c1.to_string();
+        if let Some(p) = ONE.iter().find(|p| ***p == one) {
+            self.bump();
+            return Ok(Token::new(TokenKind::Punct(p), span));
+        }
+        Err(LexError {
+            message: format!("unexpected character `{c1}`"),
+            span,
+        })
+    }
+}
+
+fn unescape(c: u8) -> char {
+    match c {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (toks, _) = Lexer::new(src).tokenize().unwrap();
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_identifiers_and_ints() {
+        let k = kinds("foo bar_1 42 0x2a");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::Ident("bar_1".into()),
+                TokenKind::Int(42, "42".into()),
+                TokenKind::Int(42, "0x2a".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_floats() {
+        let k = kinds("1.5 2e3 7.0f");
+        assert!(matches!(k[0], TokenKind::Float(v, _) if v == 1.5));
+        assert!(matches!(k[1], TokenKind::Float(v, _) if v == 2000.0));
+        assert!(matches!(k[2], TokenKind::Float(v, _) if v == 7.0));
+    }
+
+    #[test]
+    fn lex_operators_longest_match() {
+        let k = kinds("a <<= b == c << d");
+        assert!(k.contains(&TokenKind::Punct("<<=")));
+        assert!(k.contains(&TokenKind::Punct("==")));
+        assert!(k.contains(&TokenKind::Punct("<<")));
+    }
+
+    #[test]
+    fn lex_strings_and_chars() {
+        let k = kinds(r#""hello\n" 'x' '\t'"#);
+        assert_eq!(k[0], TokenKind::Str("hello\n".into()));
+        assert_eq!(k[1], TokenKind::Char('x'));
+        assert_eq!(k[2], TokenKind::Char('\t'));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("a // line\n b /* block\n comment */ c");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn preprocessor_lines_recorded() {
+        let (toks, pp) = Lexer::new("#include \"flash.h\"\nint x;").tokenize().unwrap();
+        assert_eq!(pp, vec!["#include \"flash.h\"".to_string()]);
+        assert_eq!(toks[0].kind, TokenKind::Ident("int".into()));
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let (toks, _) = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(Lexer::new("\"oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(Lexer::new("/* never closed").tokenize().is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        assert!(Lexer::new("int x = @;").tokenize().is_err());
+    }
+
+    #[test]
+    fn int_suffixes_are_consumed() {
+        let k = kinds("10UL 0xffU");
+        assert!(matches!(&k[0], TokenKind::Int(10, t) if t == "10UL"));
+        assert!(matches!(&k[1], TokenKind::Int(255, _)));
+    }
+}

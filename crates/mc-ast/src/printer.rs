@@ -1,0 +1,624 @@
+//! Pretty-printer: turns ASTs back into compilable C text.
+//!
+//! Used by the corpus generator (which builds protocol files as ASTs and
+//! prints them), by checker reports (to show the offending expression), and
+//! by the round-trip property tests (`parse(print(ast))` is structurally
+//! equal to `ast`).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Prints a full translation unit as C source.
+pub fn print_translation_unit(tu: &TranslationUnit) -> String {
+    let mut out = String::new();
+    for line in &tu.preprocessor_lines {
+        let _ = writeln!(out, "{line}");
+    }
+    if !tu.preprocessor_lines.is_empty() {
+        out.push('\n');
+    }
+    for item in &tu.items {
+        match item {
+            Item::Function(f) => print_function(&mut out, f),
+            Item::Decl(d) => print_external_decl(&mut out, d),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints one statement with the given indentation level.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, stmt, 0);
+    out
+}
+
+/// Prints one expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr);
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    write_storage(out, &f.storage);
+    let _ = write!(out, "{} {}(", type_prefix(&f.return_type), f.name);
+    if f.params.is_empty() {
+        out.push_str("void");
+    } else {
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_decl_type(out, &p.ty, &p.name);
+        }
+    }
+    out.push_str(")\n{\n");
+    for s in &f.body {
+        write_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn print_external_decl(out: &mut String, d: &ExternalDecl) {
+    match d {
+        ExternalDecl::Var(decl) => {
+            write_storage(out, &decl.storage);
+            write_decl_type(out, &decl.ty, &decl.name);
+            if let Some(init) = &decl.init {
+                out.push_str(" = ");
+                write_initializer(out, init);
+            }
+            out.push_str(";\n");
+        }
+        ExternalDecl::Proto(f) => {
+            write_storage(out, &f.storage);
+            let _ = write!(out, "{} {}(", type_prefix(&f.return_type), f.name);
+            if f.params.is_empty() {
+                out.push_str("void");
+            } else {
+                for (i, p) in f.params.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_decl_type(out, &p.ty, &p.name);
+                }
+            }
+            out.push_str(");\n");
+        }
+        ExternalDecl::Struct(s) => {
+            let kw = if s.is_union { "union" } else { "struct" };
+            let _ = writeln!(out, "{kw} {} {{", s.name);
+            for (ty, name) in &s.fields {
+                out.push_str("    ");
+                write_decl_type(out, ty, name);
+                out.push_str(";\n");
+            }
+            out.push_str("};\n");
+        }
+        ExternalDecl::Typedef { ty, name, .. } => {
+            out.push_str("typedef ");
+            write_decl_type(out, ty, name);
+            out.push_str(";\n");
+        }
+        ExternalDecl::EnumDef { name, variants, .. } => {
+            let _ = writeln!(out, "enum {name} {{");
+            for (i, (vname, value)) in variants.iter().enumerate() {
+                out.push_str("    ");
+                out.push_str(vname);
+                if let Some(v) = value {
+                    let _ = write!(out, " = {v}");
+                }
+                if i + 1 < variants.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str("};\n");
+        }
+    }
+}
+
+fn write_storage(out: &mut String, sc: &StorageClass) {
+    if sc.is_static {
+        out.push_str("static ");
+    }
+    if sc.is_extern {
+        out.push_str("extern ");
+    }
+    if sc.is_inline {
+        out.push_str("inline ");
+    }
+    if sc.is_const {
+        out.push_str("const ");
+    }
+    if sc.is_volatile {
+        out.push_str("volatile ");
+    }
+    if sc.is_register {
+        out.push_str("register ");
+    }
+}
+
+/// The textual prefix of a type (everything before a declarator name).
+fn type_prefix(ty: &Type) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Int { unsigned, width } => {
+            let mut s = String::new();
+            if *unsigned {
+                s.push_str("unsigned ");
+            }
+            s.push_str(width);
+            s
+        }
+        Type::Float => "float".into(),
+        Type::Double => "double".into(),
+        Type::Struct { name, is_union } => {
+            format!("{} {name}", if *is_union { "union" } else { "struct" })
+        }
+        Type::Enum(name) => format!("enum {name}"),
+        Type::Named(name) => name.clone(),
+        Type::Ptr(inner) => format!("{}*", type_prefix(inner)),
+        Type::Array(inner, _) => type_prefix(inner),
+    }
+}
+
+/// Writes `ty name` handling array suffixes (e.g. `int buf[8]`).
+fn write_decl_type(out: &mut String, ty: &Type, name: &str) {
+    // Collect array dimensions outside-in.
+    let mut dims = Vec::new();
+    let mut base = ty;
+    while let Type::Array(inner, dim) = base {
+        dims.push(*dim);
+        base = inner;
+    }
+    let _ = write!(out, "{}", type_prefix(base));
+    if !name.is_empty() {
+        let _ = write!(out, " {name}");
+    }
+    for d in dims {
+        match d {
+            Some(n) => {
+                let _ = write!(out, "[{n}]");
+            }
+            None => out.push_str("[]"),
+        }
+    }
+}
+
+fn write_initializer(out: &mut String, init: &Initializer) {
+    match init {
+        Initializer::Expr(e) => write_expr(out, e),
+        Initializer::List(list) => {
+            out.push_str("{ ");
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_initializer(out, item);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    match &stmt.kind {
+        StmtKind::Expr(e) => {
+            indent(out, level);
+            write_expr(out, e);
+            out.push_str(";\n");
+        }
+        StmtKind::Decl(d) => {
+            indent(out, level);
+            write_storage(out, &d.storage);
+            write_decl_type(out, &d.ty, &d.name);
+            if let Some(init) = &d.init {
+                out.push_str(" = ");
+                write_initializer(out, init);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+        StmtKind::Block(body) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for s in body {
+                write_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::If { cond, then, els } => {
+            indent(out, level);
+            out.push_str("if (");
+            write_expr(out, cond);
+            out.push_str(")\n");
+            write_nested(out, then, level);
+            if let Some(e) = els {
+                indent(out, level);
+                out.push_str("else\n");
+                write_nested(out, e, level);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            indent(out, level);
+            out.push_str("while (");
+            write_expr(out, cond);
+            out.push_str(")\n");
+            write_nested(out, body, level);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            indent(out, level);
+            out.push_str("do\n");
+            write_nested(out, body, level);
+            indent(out, level);
+            out.push_str("while (");
+            write_expr(out, cond);
+            out.push_str(");\n");
+        }
+        StmtKind::For { init, cond, step, body } => {
+            indent(out, level);
+            out.push_str("for (");
+            match init {
+                Some(s) => match &s.kind {
+                    StmtKind::Decl(d) => {
+                        write_decl_type(out, &d.ty, &d.name);
+                        if let Some(i) = &d.init {
+                            out.push_str(" = ");
+                            write_initializer(out, i);
+                        }
+                        out.push_str("; ");
+                    }
+                    StmtKind::Expr(e) => {
+                        write_expr(out, e);
+                        out.push_str("; ");
+                    }
+                    _ => out.push_str("; "),
+                },
+                None => out.push_str("; "),
+            }
+            if let Some(c) = cond {
+                write_expr(out, c);
+            }
+            out.push_str("; ");
+            if let Some(s) = step {
+                write_expr(out, s);
+            }
+            out.push_str(")\n");
+            write_nested(out, body, level);
+        }
+        StmtKind::Switch { scrutinee, cases } => {
+            indent(out, level);
+            out.push_str("switch (");
+            write_expr(out, scrutinee);
+            out.push_str(") {\n");
+            for case in cases {
+                indent(out, level);
+                match &case.value {
+                    Some(v) => {
+                        out.push_str("case ");
+                        write_expr(out, v);
+                        out.push_str(":\n");
+                    }
+                    None => out.push_str("default:\n"),
+                }
+                for s in &case.body {
+                    write_stmt(out, s, level + 1);
+                }
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::Break => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        StmtKind::Continue => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        StmtKind::Return(None) => {
+            indent(out, level);
+            out.push_str("return;\n");
+        }
+        StmtKind::Return(Some(e)) => {
+            indent(out, level);
+            out.push_str("return ");
+            write_expr(out, e);
+            out.push_str(";\n");
+        }
+        StmtKind::Label(name, inner) => {
+            indent(out, level);
+            let _ = writeln!(out, "{name}:");
+            write_stmt(out, inner, level);
+        }
+        StmtKind::Goto(label) => {
+            indent(out, level);
+            let _ = writeln!(out, "goto {label};");
+        }
+    }
+}
+
+/// Writes the body of a control statement. Non-block statements are wrapped
+/// in braces: this resolves the dangling-`else` ambiguity so that printing
+/// followed by re-parsing preserves structure (the brace-wrapped form
+/// re-parses as a one-statement block, which prints identically).
+fn write_nested(out: &mut String, stmt: &Stmt, level: usize) {
+    if matches!(stmt.kind, StmtKind::Block(_)) {
+        write_stmt(out, stmt, level);
+    } else {
+        indent(out, level);
+        out.push_str("{\n");
+        write_stmt(out, stmt, level + 1);
+        indent(out, level);
+        out.push_str("}\n");
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::IntLit(_, text) => out.push_str(text),
+        ExprKind::FloatLit(_, text) => out.push_str(text),
+        ExprKind::CharLit(c) => {
+            let _ = match c {
+                '\n' => write!(out, "'\\n'"),
+                '\t' => write!(out, "'\\t'"),
+                '\0' => write!(out, "'\\0'"),
+                '\'' => write!(out, "'\\''"),
+                '\\' => write!(out, "'\\\\'"),
+                c => write!(out, "'{c}'"),
+            };
+        }
+        ExprKind::StrLit(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        ExprKind::Ident(name) | ExprKind::Wildcard(name) => out.push_str(name),
+        ExprKind::Call { callee, args } => {
+            write_expr(out, callee);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            write_operand(out, lhs);
+            let _ = write!(out, " {op} ");
+            write_operand(out, rhs);
+        }
+        ExprKind::Unary { op, operand } => {
+            out.push_str(op.symbol());
+            write_operand(out, operand);
+        }
+        ExprKind::Postfix { operand, inc } => {
+            write_operand(out, operand);
+            out.push_str(if *inc { "++" } else { "--" });
+        }
+        ExprKind::Assign { op, lhs, rhs } => {
+            write_operand(out, lhs);
+            match op {
+                Some(op) => {
+                    let _ = write!(out, " {}= ", op.symbol());
+                }
+                None => out.push_str(" = "),
+            }
+            write_operand(out, rhs);
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            write_operand(out, cond);
+            out.push_str(" ? ");
+            write_operand(out, then);
+            out.push_str(" : ");
+            write_operand(out, els);
+        }
+        ExprKind::Index { base, index } => {
+            write_operand(out, base);
+            out.push('[');
+            write_expr(out, index);
+            out.push(']');
+        }
+        ExprKind::Member { base, field, arrow } => {
+            write_operand(out, base);
+            out.push_str(if *arrow { "->" } else { "." });
+            out.push_str(field);
+        }
+        ExprKind::Cast { ty, expr } => {
+            let _ = write!(out, "({})", type_prefix(ty));
+            write_operand(out, expr);
+        }
+        ExprKind::SizeofType(ty) => {
+            let _ = write!(out, "sizeof({})", type_prefix(ty));
+        }
+        ExprKind::Comma(a, b) => {
+            out.push('(');
+            write_expr(out, a);
+            out.push_str(", ");
+            write_expr(out, b);
+            out.push(')');
+        }
+    }
+}
+
+/// Writes a sub-expression, parenthesizing compound forms. This is
+/// deliberately conservative: extra parentheses keep the printer simple and
+/// unambiguous, and the round-trip property test compares modulo this
+/// (parse–print–parse is a fixed point).
+fn write_operand(out: &mut String, e: &Expr) {
+    let needs_parens = matches!(
+        e.kind,
+        ExprKind::Binary { .. }
+            | ExprKind::Assign { .. }
+            | ExprKind::Ternary { .. }
+            | ExprKind::Comma(..)
+            | ExprKind::Cast { .. }
+            | ExprKind::Unary { .. }
+    );
+    if needs_parens {
+        out.push('(');
+        write_expr(out, e);
+        out.push(')');
+    } else {
+        write_expr(out, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_stmt, parse_translation_unit};
+
+    fn roundtrip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("re-parse of `{printed}` failed: {err}")
+        });
+        assert_eq!(strip_expr(&e1), strip_expr(&e2), "src: {src} printed: {printed}");
+    }
+
+    /// Clears spans so structural comparison ignores positions.
+    fn strip_expr(e: &Expr) -> Expr {
+        use crate::token::Span;
+        let mut e = e.clone();
+        fn go(e: &mut Expr) {
+            e.span = Span::default();
+            match &mut e.kind {
+                ExprKind::Call { callee, args } => {
+                    go(callee);
+                    args.iter_mut().for_each(go);
+                }
+                ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                    go(lhs);
+                    go(rhs);
+                }
+                ExprKind::Unary { operand, .. } | ExprKind::Postfix { operand, .. } => go(operand),
+                ExprKind::Ternary { cond, then, els } => {
+                    go(cond);
+                    go(then);
+                    go(els);
+                }
+                ExprKind::Index { base, index } => {
+                    go(base);
+                    go(index);
+                }
+                ExprKind::Member { base, .. } => go(base),
+                ExprKind::Cast { expr, .. } => go(expr),
+                ExprKind::Comma(a, b) => {
+                    go(a);
+                    go(b);
+                }
+                _ => {}
+            }
+        }
+        go(&mut e);
+        e
+    }
+
+    #[test]
+    fn roundtrip_expressions() {
+        for src in [
+            "1 + 2 * 3",
+            "a = b = c | d & e",
+            "PI_SEND(F_DATA, keep, swap, wait, dec, 0)",
+            "HANDLER_GLOBALS(header.nh.len) = LEN_NODATA",
+            "p->field[3].x",
+            "a ? b + 1 : c(d)",
+            "!(x && y) || ~z",
+            "(unsigned)x + sizeof(struct Dir)",
+            "buf[i++] = *p--",
+            "a <<= 2",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn roundtrip_function() {
+        let src = r#"
+            static void NIRemotePut(void)
+            {
+                int i;
+                unsigned len = 16;
+                if (len > 0) {
+                    for (i = 0; i < len; i++) {
+                        MISCBUS_READ_DB(addr, buf);
+                    }
+                } else {
+                    return;
+                }
+                switch (op) {
+                case 1:
+                    f();
+                    break;
+                default:
+                    break;
+                }
+            }
+        "#;
+        let tu1 = parse_translation_unit(src, "t.c").unwrap();
+        let printed = print_translation_unit(&tu1);
+        let tu2 = parse_translation_unit(&printed, "t.c").unwrap();
+        assert_eq!(tu1.functions().count(), tu2.functions().count());
+        let f1 = tu1.function("NIRemotePut").unwrap();
+        let f2 = tu2.function("NIRemotePut").unwrap();
+        assert_eq!(f1.body.len(), f2.body.len());
+    }
+
+    #[test]
+    fn print_is_fixed_point() {
+        // print(parse(print(x))) == print(x): printing normalizes once.
+        let src = "void f(void) { if (a) b(); else { c(); } while (d) e--; }";
+        let tu1 = parse_translation_unit(src, "t.c").unwrap();
+        let p1 = print_translation_unit(&tu1);
+        let tu2 = parse_translation_unit(&p1, "t.c").unwrap();
+        let p2 = print_translation_unit(&tu2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn stmt_printing_shapes() {
+        let s = parse_stmt("do { x--; } while (x > 0);").unwrap();
+        let text = print_stmt(&s);
+        assert!(text.contains("do"));
+        assert!(text.contains("while (x > 0);"));
+    }
+
+    #[test]
+    fn preprocessor_lines_preserved() {
+        let tu = parse_translation_unit("#include \"flash.h\"\nint g;", "t.c").unwrap();
+        let printed = print_translation_unit(&tu);
+        assert!(printed.starts_with("#include \"flash.h\""));
+    }
+
+    #[test]
+    fn array_decl_printing() {
+        let tu = parse_translation_unit("void f(void) { int buf[8]; buf[0] = 1; }", "t.c").unwrap();
+        let printed = print_translation_unit(&tu);
+        assert!(printed.contains("int buf[8];"));
+    }
+}

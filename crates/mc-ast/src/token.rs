@@ -1,0 +1,175 @@
+//! Tokens and source spans.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A location range in a source file.
+///
+/// Spans are attached to every AST node so that checker reports can point at
+/// the exact line of protocol code that violates a rule — the paper stresses
+/// that MC checkers "exactly locate errors" that would otherwise take days of
+/// debugging to find.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Span {
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// 1-based column of the first token.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column (both 1-based).
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword-candidate (keywords are distinguished by the
+    /// parser via `is_keyword` helpers).
+    Ident(String),
+    /// Integer literal. The original text is kept for exact re-printing of
+    /// hex constants such as `0x8000`.
+    Int(i64, String),
+    /// Floating-point literal (disallowed by FLASH rules, but the lexer must
+    /// accept it so the execution-restriction checker can flag it).
+    Float(f64, String),
+    /// Character literal, e.g. `'a'`.
+    Char(char),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Punctuation or operator, e.g. `"=="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this token is the given punctuation string.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// Returns `true` if this token is the given keyword/identifier.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(_, text) => write!(f, "{text}"),
+            TokenKind::Float(_, text) => write!(f, "{text}"),
+            TokenKind::Char(c) => write!(f, "'{c}'"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// The C keywords recognized by the parser.
+///
+/// `metal` wildcard declarations extend this set on the pattern-parsing side
+/// only; the core language set is fixed.
+pub const KEYWORDS: &[&str] = &[
+    "void", "int", "char", "long", "short", "unsigned", "signed", "float", "double", "struct",
+    "union", "enum", "typedef", "static", "extern", "const", "volatile", "inline", "register",
+    "if", "else", "while", "do", "for", "switch", "case", "default", "break", "continue",
+    "return", "goto", "sizeof",
+];
+
+/// Returns `true` if `s` is a reserved C keyword in this subset.
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Returns `true` if `s` starts a type in this subset (type-specifier
+/// keywords; typedef names are tracked separately by the parser).
+pub fn is_type_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "void"
+            | "int"
+            | "char"
+            | "long"
+            | "short"
+            | "unsigned"
+            | "signed"
+            | "float"
+            | "double"
+            | "struct"
+            | "union"
+            | "enum"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn keyword_classification() {
+        assert!(is_keyword("while"));
+        assert!(!is_keyword("WAIT_FOR_DB_FULL"));
+        assert!(is_type_keyword("unsigned"));
+        assert!(!is_type_keyword("return"));
+    }
+
+    #[test]
+    fn token_kind_helpers() {
+        let t = TokenKind::Punct("==");
+        assert!(t.is_punct("=="));
+        assert!(!t.is_punct("="));
+        let id = TokenKind::Ident("foo".into());
+        assert_eq!(id.as_ident(), Some("foo"));
+        assert!(id.is_kw("foo"));
+    }
+
+    #[test]
+    fn token_display_roundtrip() {
+        assert_eq!(TokenKind::Int(255, "0xff".into()).to_string(), "0xff");
+        assert_eq!(TokenKind::Str("hi".into()).to_string(), "\"hi\"");
+    }
+}

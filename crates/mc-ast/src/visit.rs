@@ -1,0 +1,237 @@
+//! A read-only visitor over the AST.
+//!
+//! Several checkers (execution restrictions, no-float) are pure tree walks
+//! — the paper notes this is the easiest kind of MC check since "no analysis
+//! or transformation is required". This module gives them a standard
+//! traversal so each checker only overrides the hooks it cares about.
+
+use crate::ast::*;
+
+/// A visitor with default do-nothing hooks and full traversal.
+///
+/// Override `visit_*` hooks to observe nodes; call the corresponding
+/// `walk_*` free function inside an override if you still want children
+/// traversed (the default implementations do this automatically).
+pub trait Visitor {
+    /// Called for every expression before its children.
+    fn visit_expr(&mut self, expr: &Expr) {
+        let _ = expr;
+    }
+
+    /// Called for every statement before its children.
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        let _ = stmt;
+    }
+
+    /// Called for every local declaration.
+    fn visit_decl(&mut self, decl: &Declaration) {
+        let _ = decl;
+    }
+
+}
+
+/// Drives traversal of a whole function body, invoking the visitor's hooks
+/// on every statement and expression.
+pub fn walk_function<V: Visitor>(v: &mut V, func: &Function) {
+    for s in &func.body {
+        v.visit_stmt(s);
+        walk_stmt(v, s);
+    }
+}
+
+/// Recurses into the children of `stmt`, invoking visitor hooks.
+pub fn walk_stmt<V: Visitor>(v: &mut V, stmt: &Stmt) {
+    match &stmt.kind {
+        StmtKind::Expr(e) => walk_expr_root(v, e),
+        StmtKind::Decl(d) => {
+            v.visit_decl(d);
+            if let Some(init) = &d.init {
+                walk_initializer(v, init);
+            }
+        }
+        StmtKind::Empty | StmtKind::Break | StmtKind::Continue | StmtKind::Goto(_) => {}
+        StmtKind::Block(body) => {
+            for s in body {
+                v.visit_stmt(s);
+                walk_stmt(v, s);
+            }
+        }
+        StmtKind::If { cond, then, els } => {
+            walk_expr_root(v, cond);
+            v.visit_stmt(then);
+            walk_stmt(v, then);
+            if let Some(e) = els {
+                v.visit_stmt(e);
+                walk_stmt(v, e);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            walk_expr_root(v, cond);
+            v.visit_stmt(body);
+            walk_stmt(v, body);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            v.visit_stmt(body);
+            walk_stmt(v, body);
+            walk_expr_root(v, cond);
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(s) = init {
+                v.visit_stmt(s);
+                walk_stmt(v, s);
+            }
+            if let Some(c) = cond {
+                walk_expr_root(v, c);
+            }
+            if let Some(s) = step {
+                walk_expr_root(v, s);
+            }
+            v.visit_stmt(body);
+            walk_stmt(v, body);
+        }
+        StmtKind::Switch { scrutinee, cases } => {
+            walk_expr_root(v, scrutinee);
+            for case in cases {
+                if let Some(value) = &case.value {
+                    walk_expr_root(v, value);
+                }
+                for s in &case.body {
+                    v.visit_stmt(s);
+                    walk_stmt(v, s);
+                }
+            }
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                walk_expr_root(v, e);
+            }
+        }
+        StmtKind::Label(_, inner) => {
+            v.visit_stmt(inner);
+            walk_stmt(v, inner);
+        }
+    }
+}
+
+fn walk_initializer<V: Visitor>(v: &mut V, init: &Initializer) {
+    match init {
+        Initializer::Expr(e) => walk_expr_root(v, e),
+        Initializer::List(list) => {
+            for i in list {
+                walk_initializer(v, i);
+            }
+        }
+    }
+}
+
+fn walk_expr_root<V: Visitor>(v: &mut V, e: &Expr) {
+    v.visit_expr(e);
+    walk_expr(v, e);
+}
+
+/// Recurses into the children of `e`, invoking [`Visitor::visit_expr`] on
+/// each (pre-order).
+pub fn walk_expr<V: Visitor>(v: &mut V, e: &Expr) {
+    let mut go = |child: &Expr| {
+        v.visit_expr(child);
+        walk_expr(v, child);
+    };
+    match &e.kind {
+        ExprKind::Call { callee, args } => {
+            go(callee);
+            for a in args {
+                go(a);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            go(lhs);
+            go(rhs);
+        }
+        ExprKind::Unary { operand, .. } | ExprKind::Postfix { operand, .. } => go(operand),
+        ExprKind::Ternary { cond, then, els } => {
+            go(cond);
+            go(then);
+            go(els);
+        }
+        ExprKind::Index { base, index } => {
+            go(base);
+            go(index);
+        }
+        ExprKind::Member { base, .. } => go(base),
+        ExprKind::Cast { expr, .. } => go(expr),
+        ExprKind::Comma(a, b) => {
+            go(a);
+            go(b);
+        }
+        ExprKind::IntLit(..)
+        | ExprKind::FloatLit(..)
+        | ExprKind::CharLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::Ident(_)
+        | ExprKind::SizeofType(_)
+        | ExprKind::Wildcard(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_translation_unit;
+
+    struct Counter {
+        exprs: usize,
+        stmts: usize,
+        decls: usize,
+        float_lits: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_expr(&mut self, e: &Expr) {
+            self.exprs += 1;
+            if matches!(e.kind, ExprKind::FloatLit(..)) {
+                self.float_lits += 1;
+            }
+        }
+        fn visit_stmt(&mut self, _: &Stmt) {
+            self.stmts += 1;
+        }
+        fn visit_decl(&mut self, _: &Declaration) {
+            self.decls += 1;
+        }
+    }
+
+    #[test]
+    fn visits_all_nodes() {
+        let tu = parse_translation_unit(
+            r#"
+            void f(void) {
+                int x = 3;
+                float r;
+                if (x > 1) { r = 2.5; }
+                while (x) x--;
+            }
+            "#,
+            "t.c",
+        )
+        .unwrap();
+        let mut c = Counter { exprs: 0, stmts: 0, decls: 0, float_lits: 0 };
+        walk_function(&mut c, tu.function("f").unwrap());
+        assert_eq!(c.decls, 2);
+        assert_eq!(c.float_lits, 1);
+        assert!(c.stmts >= 5);
+        assert!(c.exprs >= 8);
+    }
+
+    #[test]
+    fn visits_switch_and_for() {
+        let tu = parse_translation_unit(
+            "void f(void) { for (i = 0; i < 4; i++) { switch (i) { case 0: g(i); break; } } }",
+            "t.c",
+        )
+        .unwrap();
+        let mut c = Counter { exprs: 0, stmts: 0, decls: 0, float_lits: 0 };
+        walk_function(&mut c, tu.function("f").unwrap());
+        // i=0, i<4 (and children), i++, switch i, g(i) call + callee + arg...
+        assert!(c.exprs >= 10, "exprs = {}", c.exprs);
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 1 — protocol size: LOC, number of paths, average/max path length.
+
+use mc_bench::{pm, row, run_all_protocols};
+
+/// Paper values: (LOC, paths, avg path length, max path length).
+const PAPER: [(usize, u64, u64, u64); 6] = [
+    (10386, 486, 87, 563),
+    (18438, 2322, 135, 399),
+    (11473, 1051, 73, 330),
+    (17031, 1131, 135, 244),
+    (14396, 1364, 133, 516),
+    (8783, 1165, 183, 461),
+];
+
+fn main() {
+    println!("Table 1: protocol size (paper/measured)");
+    let widths = [12, 16, 14, 16, 14];
+    println!(
+        "{}",
+        row(
+            &["Protocol", "LOC", "# of paths", "avg path len", "max path len"]
+                .map(String::from),
+            &widths
+        )
+    );
+    let mut total_loc = 0usize;
+    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+        let stats = run.path_stats();
+        total_loc += run.loc();
+        println!(
+            "{}",
+            row(
+                &[
+                    run.plan.name.to_string(),
+                    pm(paper.0, run.loc()),
+                    pm(paper.1, stats.paths),
+                    pm(paper.2, format!("{:.0}", stats.avg_len())),
+                    pm(paper.3, stats.max_len),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\ntotal measured LOC: {total_loc}");
+}

@@ -1,0 +1,54 @@
+//! Table 3 — the message length consistency checker (Figure 3).
+
+use mc_bench::{applied, pm, row, run_all_protocols};
+
+/// Paper values: (errors, false positives, applied).
+const PAPER: [(usize, usize, usize); 6] = [
+    (3, 0, 205),
+    (7, 0, 316),
+    (0, 0, 308),
+    (0, 2, 302),
+    (8, 0, 346),
+    (0, 0, 73),
+];
+
+fn main() {
+    println!("Table 3: message length checker (paper/measured)");
+    let widths = [12, 10, 12, 10];
+    println!(
+        "{}",
+        row(&["Protocol", "Errors", "False Pos", "Applied"].map(String::from), &widths)
+    );
+    let mut totals = (0, 0, 0);
+    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+        let t = run.tally("msglen_check");
+        let applied = applied::sends(run);
+        totals.0 += t.errors;
+        totals.1 += t.false_positives;
+        totals.2 += applied;
+        println!(
+            "{}",
+            row(
+                &[
+                    run.plan.name.to_string(),
+                    pm(paper.0, t.errors),
+                    pm(paper.1, t.false_positives),
+                    pm(paper.2, applied),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "{}",
+        row(
+            &[
+                "total".to_string(),
+                pm(18, totals.0),
+                pm(2, totals.1),
+                pm(1550, totals.2)
+            ],
+            &widths
+        )
+    );
+}

@@ -1,0 +1,60 @@
+//! Table 4 — the buffer management checker.
+
+use mc_bench::{pm, row, run_all_protocols};
+
+/// Paper values: (errors, minor, useful annotations, useless annotations).
+const PAPER: [(usize, usize, usize, usize); 6] = [
+    (2, 1, 0, 1),  // bitvector
+    (2, 2, 3, 3),  // dyn_ptr
+    (3, 2, 10, 10),
+    (0, 0, 0, 0),
+    (2, 0, 2, 4),
+    (0, 1, 3, 7),
+];
+
+fn main() {
+    println!("Table 4: buffer management checker (paper/measured)");
+    let widths = [12, 10, 9, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["Protocol", "Errors", "Minor", "Useful", "Useless"].map(String::from),
+            &widths
+        )
+    );
+    let mut totals = (0, 0, 0, 0);
+    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+        let t = run.tally("buffer_mgmt");
+        let useful = run.annotations();
+        totals.0 += t.errors;
+        totals.1 += t.minor;
+        totals.2 += useful;
+        totals.3 += t.false_positives;
+        println!(
+            "{}",
+            row(
+                &[
+                    run.plan.name.to_string(),
+                    pm(paper.0, t.errors),
+                    pm(paper.1, t.minor),
+                    pm(paper.2, useful),
+                    pm(paper.3, t.false_positives),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "{}",
+        row(
+            &[
+                "total".to_string(),
+                pm(9, totals.0),
+                pm(6, totals.1),
+                pm(18, totals.2),
+                pm(25, totals.3)
+            ],
+            &widths
+        )
+    );
+}

@@ -1,0 +1,54 @@
+//! Table 5 — the execution restriction checker.
+
+use mc_bench::{applied, pm, row, run_all_protocols};
+
+/// Paper values: (violations, handlers/routines, vars).
+const PAPER: [(usize, usize, usize); 6] = [
+    (2, 168, 489),
+    (4, 227, 768),
+    (0, 214, 794),
+    (3, 193, 648),
+    (2, 200, 668),
+    (0, 62, 398),
+];
+
+fn main() {
+    println!("Table 5: execution restriction checker (paper/measured)");
+    let widths = [12, 12, 12, 10];
+    println!(
+        "{}",
+        row(&["Protocol", "Violations", "Handlers", "Vars"].map(String::from), &widths)
+    );
+    let mut totals = (0, 0, 0);
+    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+        let t = run.tally("exec_restrict");
+        let (routines, vars) = applied::routines_and_vars(run);
+        totals.0 += t.errors;
+        totals.1 += routines;
+        totals.2 += vars;
+        println!(
+            "{}",
+            row(
+                &[
+                    run.plan.name.to_string(),
+                    pm(paper.0, t.errors),
+                    pm(paper.1, routines),
+                    pm(paper.2, vars),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "{}",
+        row(
+            &[
+                "total".to_string(),
+                pm(11, totals.0),
+                pm(1064, totals.1),
+                pm(3765, totals.2)
+            ],
+            &widths
+        )
+    );
+}

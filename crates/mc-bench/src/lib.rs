@@ -1,0 +1,263 @@
+//! # mc-bench
+//!
+//! Reproduction harness for the paper's evaluation: one binary per table
+//! (`table1` … `table7`, plus `experiments` which prints all of them as
+//! the `EXPERIMENTS.md` report), and Criterion benchmarks of the framework
+//! (`framework`, `scaling`).
+//!
+//! All table binaries run the full checker suite over the generated corpus
+//! at the canonical seed and classify reports against the corpus manifest,
+//! so the printed "Errors" and "False Pos" columns are *measured*, not
+//! copied.
+
+use mc_ast::{parse_translation_unit, Function, TranslationUnit};
+use mc_cfg::{Cfg, PathStats};
+use mc_checkers::{all_checkers, exec_restrict, flash};
+use mc_corpus::eval::{evaluate, tally, Outcome, Tally};
+use mc_corpus::plan::{ProtoPlan, PLANS};
+use mc_corpus::{generate, PlantedKind, Protocol, DEFAULT_SEED};
+use mc_driver::{Driver, Report};
+
+/// Everything measured about one protocol, shared by the table binaries.
+pub struct ProtocolRun {
+    /// The generated protocol (sources + spec + manifest).
+    pub protocol: Protocol,
+    /// Its plan (paper targets).
+    pub plan: &'static ProtoPlan,
+    /// Parsed units.
+    pub units: Vec<TranslationUnit>,
+    /// All reports of the full suite.
+    pub reports: Vec<Report>,
+    /// Reports joined against the manifest.
+    pub outcome: Outcome,
+}
+
+impl ProtocolRun {
+    /// Iterates over all function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.units.iter().flat_map(|u| u.functions())
+    }
+
+    /// Aggregate path statistics (Table 1).
+    pub fn path_stats(&self) -> PathStats {
+        let mut agg = PathStats::default();
+        for f in self.functions() {
+            agg.merge(&Cfg::build(f).path_stats());
+        }
+        agg
+    }
+
+    /// Generated lines of code.
+    pub fn loc(&self) -> usize {
+        self.protocol.loc()
+    }
+
+    /// The [`Tally`] for one checker.
+    pub fn tally(&self, checker: &str) -> Tally {
+        tally(&self.outcome, checker)
+    }
+
+    /// Number of planted annotations (Table 4 "Useful").
+    pub fn annotations(&self) -> usize {
+        self.protocol
+            .manifest
+            .iter()
+            .filter(|p| p.kind == PlantedKind::Annotation)
+            .count()
+    }
+
+    /// Sums an applied-count metric over all functions.
+    pub fn count(&self, f: impl Fn(&Function) -> usize) -> usize {
+        self.functions().map(f).sum()
+    }
+}
+
+/// Generates, checks, and evaluates all six protocols at the canonical
+/// seed. This is the shared entry point of every table binary.
+pub fn run_all_protocols() -> Vec<ProtocolRun> {
+    PLANS
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            let protocol = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
+            let units: Vec<TranslationUnit> = protocol
+                .files
+                .iter()
+                .map(|f| parse_translation_unit(&f.source, &f.name).expect("corpus parses"))
+                .collect();
+            let mut driver = Driver::new();
+            all_checkers(&mut driver, &protocol.spec).expect("suite registers");
+            let reports = driver.check_units(&units);
+            let outcome = evaluate(&protocol, &reports);
+            ProtocolRun { protocol, plan, units, reports, outcome }
+        })
+        .collect()
+}
+
+/// Applied-count helpers matching the paper's per-table definitions.
+pub mod applied {
+    use super::*;
+
+    /// Table 2: number of data-buffer reads.
+    pub fn reads(run: &ProtocolRun) -> usize {
+        run.count(mc_checkers::buffer_race::count_reads)
+    }
+
+    /// Table 3: number of sends.
+    pub fn sends(run: &ProtocolRun) -> usize {
+        run.count(mc_checkers::msglen::count_sends)
+    }
+
+    /// Table 6: number of allocations.
+    pub fn allocs(run: &ProtocolRun) -> usize {
+        run.count(|f| {
+            struct V(usize);
+            impl mc_ast::Visitor for V {
+                fn visit_expr(&mut self, e: &mc_ast::Expr) {
+                    if let Some((flash::DB_ALLOC, _)) = e.as_call() {
+                        self.0 += 1;
+                    }
+                }
+            }
+            let mut v = V(0);
+            mc_ast::walk_function(&mut v, f);
+            v.0
+        })
+    }
+
+    /// Table 6: number of directory operations.
+    pub fn dir_ops(run: &ProtocolRun) -> usize {
+        run.count(mc_checkers::directory::count_dir_ops)
+    }
+
+    /// Table 6: waited sends plus wait calls.
+    pub fn send_waits(run: &ProtocolRun) -> usize {
+        run.count(mc_checkers::send_wait::count_send_waits)
+    }
+
+    /// Table 5: routines and variables checked.
+    pub fn routines_and_vars(run: &ProtocolRun) -> (usize, usize) {
+        let funcs: Vec<&Function> = run.functions().collect();
+        exec_restrict::count_routines_and_vars(&funcs)
+    }
+}
+
+/// Renders one row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        s.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    s.trim_end().to_string()
+}
+
+/// Renders `paper/measured` as a compact cell.
+pub fn pm(paper: impl std::fmt::Display, measured: impl std::fmt::Display) -> String {
+    format!("{paper}/{measured}")
+}
+
+/// The number of non-empty source lines of each checker, for Table 7.
+/// metal checkers count their metal source; native checkers count their
+/// Rust implementation up to the test module.
+pub fn checker_loc() -> Vec<(&'static str, usize)> {
+    fn rust_loc(src: &str) -> usize {
+        src.split("#[cfg(test)]")
+            .next()
+            .unwrap_or(src)
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("//") && !t.starts_with("/*") && !t.starts_with('*')
+            })
+            .count()
+    }
+    fn metal_loc(src: &str) -> usize {
+        src.lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("/*") && !t.starts_with('*')
+            })
+            .count()
+    }
+    vec![
+        (
+            "buffer_mgmt",
+            rust_loc(include_str!("../../mc-checkers/src/buffer_mgmt.rs")),
+        ),
+        (
+            "msglen_check",
+            metal_loc(mc_checkers::MSGLEN_METAL),
+        ),
+        (
+            "lanes",
+            rust_loc(include_str!("../../mc-checkers/src/lanes.rs")),
+        ),
+        (
+            "wait_for_db",
+            metal_loc(mc_checkers::WAIT_FOR_DB_METAL),
+        ),
+        (
+            "alloc_check",
+            rust_loc(include_str!("../../mc-checkers/src/alloc_check.rs")),
+        ),
+        (
+            "directory",
+            rust_loc(include_str!("../../mc-checkers/src/directory.rs")),
+        ),
+        (
+            "send_wait",
+            rust_loc(include_str!("../../mc-checkers/src/send_wait.rs")),
+        ),
+        (
+            "exec_restrict",
+            rust_loc(include_str!("../../mc-checkers/src/exec_restrict.rs")),
+        ),
+        (
+            "refcount_bump",
+            metal_loc(mc_checkers::REFCOUNT_BUMP_METAL),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_all_protocols_is_exact() {
+        for run in run_all_protocols() {
+            assert!(run.outcome.is_exact(), "{}", run.plan.name);
+        }
+    }
+
+    #[test]
+    fn applied_counts_match_plans() {
+        for run in run_all_protocols() {
+            assert_eq!(applied::reads(&run), run.plan.reads, "{} reads", run.plan.name);
+            assert_eq!(applied::sends(&run), run.plan.sends, "{} sends", run.plan.name);
+            assert_eq!(applied::allocs(&run), run.plan.allocs, "{} allocs", run.plan.name);
+            assert_eq!(
+                applied::dir_ops(&run),
+                run.plan.dir_ops,
+                "{} dir ops",
+                run.plan.name
+            );
+            let (routines, _) = applied::routines_and_vars(&run);
+            assert_eq!(routines, run.plan.routines, "{} routines", run.plan.name);
+        }
+    }
+
+    #[test]
+    fn checker_loc_nonzero_and_small() {
+        for (name, loc) in checker_loc() {
+            assert!(loc > 5, "{name} has {loc} lines");
+            assert!(loc < 500, "{name} has {loc} lines — checkers must stay small");
+        }
+    }
+
+    #[test]
+    fn row_rendering() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,421 @@
+//! Path-sensitive execution of checker state machines over a CFG.
+//!
+//! This is the engine behind "metal programs ... are applied down every path
+//! in each function". A checker implements [`PathMachine`]: given a state
+//! and a [`PathEvent`] it returns the successor states (possibly several —
+//! metal patterns may fork — or none, which prunes the path, as the `stop`
+//! state does).
+//!
+//! Two traversal [`Mode`]s are provided:
+//!
+//! * [`Mode::Exhaustive`] — literally walk every path (bounded by a path
+//!   budget and by taking each back edge at most once per path). This is
+//!   what the paper describes.
+//! * [`Mode::StateSet`] — a worklist over `(block, state)` pairs that merges
+//!   identical checker states at join points. For a finite-state checker
+//!   this reports exactly the same violations in polynomial time; the
+//!   `scaling` benchmark quantifies the difference.
+
+use crate::build::{BlockId, Cfg, Terminator};
+use mc_ast::{Expr, Span, Stmt};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// An observable event along an execution path.
+#[derive(Debug, Clone, Copy)]
+pub enum PathEvent<'a> {
+    /// An atomic statement (expression statement or declaration).
+    Stmt(&'a Stmt),
+    /// A conditional branch on `cond`; `taken` tells which arm this path
+    /// follows.
+    Branch {
+        /// The branch condition.
+        cond: &'a Expr,
+        /// `true` on the then-edge, `false` on the else-edge.
+        taken: bool,
+    },
+    /// Entry into a switch arm.
+    Case {
+        /// The switched expression.
+        scrutinee: &'a Expr,
+        /// The case label value (`None` for `default` or for the implicit
+        /// no-match fallthrough edge).
+        value: Option<&'a Expr>,
+    },
+    /// Function exit via `return` (or the implicit end-of-body return).
+    Return {
+        /// Returned value, if any.
+        value: Option<&'a Expr>,
+        /// Location of the return.
+        span: Span,
+    },
+}
+
+/// A path-sensitive state machine to run over a CFG.
+pub trait PathMachine {
+    /// Checker state. Must be finite-ish and hashable so the state-set mode
+    /// can merge; metal SM states are.
+    type State: Clone + Eq + Hash;
+
+    /// Consumes one event in `state`; returns successor states. Returning
+    /// an empty vector prunes this path (metal's `stop` state). Returning
+    /// more than one state forks the path analysis.
+    ///
+    /// Side effects (error reports) are recorded on `&mut self`.
+    fn step(&mut self, state: &Self::State, event: &PathEvent<'_>) -> Vec<Self::State>;
+}
+
+/// Traversal strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Merge identical states at join points (polynomial, default).
+    StateSet,
+    /// Walk each path separately, visiting each back edge at most once per
+    /// path and exploring at most the given number of paths.
+    Exhaustive {
+        /// Upper bound on explored paths; exploration stops silently when
+        /// the budget is exhausted (matching xg++'s bounded analysis).
+        max_paths: usize,
+    },
+}
+
+/// Runs `machine` over `cfg` starting from `init` in the given mode.
+pub fn run_machine<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State, mode: Mode) {
+    match mode {
+        Mode::StateSet => run_state_set(cfg, machine, init),
+        Mode::Exhaustive { max_paths } => {
+            let mut budget = max_paths;
+            let mut back_counts = vec![0u8; cfg.blocks.len()];
+            run_exhaustive(
+                cfg,
+                machine,
+                cfg.entry,
+                vec![init],
+                &mut back_counts,
+                &mut budget,
+            );
+        }
+    }
+}
+
+/// Feeds the events of one block to the machine, expanding the state set.
+/// Returns the states alive at the terminator.
+fn flow_block<M: PathMachine>(
+    cfg: &Cfg,
+    machine: &mut M,
+    block: BlockId,
+    states: Vec<M::State>,
+) -> Vec<M::State> {
+    let mut states = states;
+    for node in &cfg.block(block).nodes {
+        let mut next = Vec::new();
+        for s in &states {
+            next.extend(machine.step(s, &PathEvent::Stmt(&node.stmt)));
+        }
+        states = dedup(next);
+        if states.is_empty() {
+            break;
+        }
+    }
+    states
+}
+
+fn dedup<S: Eq + Hash + Clone>(v: Vec<S>) -> Vec<S> {
+    let mut seen = HashSet::new();
+    v.into_iter().filter(|s| seen.insert(s.clone())).collect()
+}
+
+fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
+    let mut visited: HashSet<(BlockId, M::State)> = HashSet::new();
+    let mut worklist: Vec<(BlockId, M::State)> = vec![(cfg.entry, init)];
+    while let Some((block, state)) = worklist.pop() {
+        if !visited.insert((block, state.clone())) {
+            continue;
+        }
+        let states = flow_block(cfg, machine, block, vec![state]);
+        if states.is_empty() {
+            continue;
+        }
+        match &cfg.block(block).term {
+            Terminator::Jump(t) => {
+                for s in states {
+                    worklist.push((*t, s));
+                }
+            }
+            Terminator::Branch { cond, then_to, else_to } => {
+                for s in states {
+                    for ns in machine.step(&s, &PathEvent::Branch { cond, taken: true }) {
+                        worklist.push((*then_to, ns));
+                    }
+                    for ns in machine.step(&s, &PathEvent::Branch { cond, taken: false }) {
+                        worklist.push((*else_to, ns));
+                    }
+                }
+            }
+            Terminator::Switch { scrutinee, targets, fallthrough } => {
+                let has_default = targets.iter().any(|(v, _)| v.is_none());
+                for s in states {
+                    for (value, target) in targets {
+                        let ev = PathEvent::Case {
+                            scrutinee,
+                            value: value.as_ref(),
+                        };
+                        for ns in machine.step(&s, &ev) {
+                            worklist.push((*target, ns));
+                        }
+                    }
+                    if !has_default {
+                        let ev = PathEvent::Case { scrutinee, value: None };
+                        for ns in machine.step(&s, &ev) {
+                            worklist.push((*fallthrough, ns));
+                        }
+                    }
+                }
+            }
+            Terminator::Return { value, span } => {
+                for s in states {
+                    let _ = machine.step(
+                        &s,
+                        &PathEvent::Return {
+                            value: value.as_ref(),
+                            span: *span,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn run_exhaustive<M: PathMachine>(
+    cfg: &Cfg,
+    machine: &mut M,
+    block: BlockId,
+    states: Vec<M::State>,
+    back_counts: &mut Vec<u8>,
+    budget: &mut usize,
+) {
+    if *budget == 0 {
+        return;
+    }
+    // Per-path revisit limit: each block may appear at most twice on one
+    // path (enough for a loop body to execute once and be re-examined at
+    // the head).
+    if back_counts[block.0] >= 2 {
+        *budget = budget.saturating_sub(1);
+        return;
+    }
+    back_counts[block.0] += 1;
+
+    let states = flow_block(cfg, machine, block, states);
+    if states.is_empty() {
+        back_counts[block.0] -= 1;
+        return;
+    }
+    match &cfg.block(block).term {
+        Terminator::Jump(t) => {
+            run_exhaustive(cfg, machine, *t, states, back_counts, budget);
+        }
+        Terminator::Branch { cond, then_to, else_to } => {
+            let mut then_states = Vec::new();
+            let mut else_states = Vec::new();
+            for s in &states {
+                then_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: true }));
+                else_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: false }));
+            }
+            if !then_states.is_empty() {
+                run_exhaustive(cfg, machine, *then_to, dedup(then_states), back_counts, budget);
+            }
+            if !else_states.is_empty() {
+                run_exhaustive(cfg, machine, *else_to, dedup(else_states), back_counts, budget);
+            }
+        }
+        Terminator::Switch { scrutinee, targets, fallthrough } => {
+            let has_default = targets.iter().any(|(v, _)| v.is_none());
+            for (value, target) in targets {
+                let mut next = Vec::new();
+                for s in &states {
+                    next.extend(machine.step(
+                        s,
+                        &PathEvent::Case {
+                            scrutinee,
+                            value: value.as_ref(),
+                        },
+                    ));
+                }
+                if !next.is_empty() {
+                    run_exhaustive(cfg, machine, *target, dedup(next), back_counts, budget);
+                }
+            }
+            if !has_default {
+                let mut next = Vec::new();
+                for s in &states {
+                    next.extend(machine.step(s, &PathEvent::Case { scrutinee, value: None }));
+                }
+                if !next.is_empty() {
+                    run_exhaustive(cfg, machine, *fallthrough, dedup(next), back_counts, budget);
+                }
+            }
+        }
+        Terminator::Return { value, span } => {
+            for s in &states {
+                let _ = machine.step(
+                    s,
+                    &PathEvent::Return {
+                        value: value.as_ref(),
+                        span: *span,
+                    },
+                );
+            }
+            *budget = budget.saturating_sub(1);
+        }
+    }
+    back_counts[block.0] -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Cfg;
+    use mc_ast::parse_translation_unit;
+
+    /// A machine that records the callee names it sees, in order per path.
+    struct Tracer {
+        visits: Vec<String>,
+        returns: usize,
+    }
+
+    impl PathMachine for Tracer {
+        type State = u32; // depth counter, to exercise state forking
+
+        fn step(&mut self, state: &u32, event: &PathEvent<'_>) -> Vec<u32> {
+            match event {
+                PathEvent::Stmt(s) => {
+                    if let mc_ast::StmtKind::Expr(e) = &s.kind {
+                        if let Some((name, _)) = e.as_call() {
+                            self.visits.push(name.to_string());
+                        }
+                    }
+                    vec![*state]
+                }
+                PathEvent::Return { .. } => {
+                    self.returns += 1;
+                    vec![]
+                }
+                _ => vec![*state],
+            }
+        }
+    }
+
+    fn cfg_of(body: &str) -> Cfg {
+        let src = format!("void f(void) {{ {body} }}");
+        let tu = parse_translation_unit(&src, "t.c").unwrap();
+        Cfg::build(tu.function("f").unwrap())
+    }
+
+    #[test]
+    fn exhaustive_visits_both_arms() {
+        let cfg = cfg_of("if (x) { a(); } else { b(); } c();");
+        let mut m = Tracer { visits: vec![], returns: 0 };
+        run_machine(&cfg, &mut m, 0, Mode::Exhaustive { max_paths: 100 });
+        assert_eq!(m.returns, 2);
+        assert!(m.visits.contains(&"a".to_string()));
+        assert!(m.visits.contains(&"b".to_string()));
+        // c() is seen on both paths
+        assert_eq!(m.visits.iter().filter(|v| *v == "c").count(), 2);
+    }
+
+    #[test]
+    fn state_set_merges_join_states() {
+        let cfg = cfg_of("if (x) { a(); } else { b(); } c();");
+        let mut m = Tracer { visits: vec![], returns: 0 };
+        run_machine(&cfg, &mut m, 0, Mode::StateSet);
+        // After the join, both paths carry state 0, so c() is seen once.
+        assert_eq!(m.visits.iter().filter(|v| *v == "c").count(), 1);
+        assert_eq!(m.returns, 1);
+    }
+
+    #[test]
+    fn loops_terminate_in_both_modes() {
+        let cfg = cfg_of("while (x) { a(); } b();");
+        let mut m = Tracer { visits: vec![], returns: 0 };
+        run_machine(&cfg, &mut m, 0, Mode::StateSet);
+        assert!(m.visits.contains(&"a".to_string()));
+        let mut m2 = Tracer { visits: vec![], returns: 0 };
+        run_machine(&cfg, &mut m2, 0, Mode::Exhaustive { max_paths: 1000 });
+        assert!(m2.returns >= 1);
+    }
+
+    #[test]
+    fn pruning_stops_path() {
+        /// Stops at the first call to `stop_here`.
+        struct Pruner {
+            after: usize,
+        }
+        impl PathMachine for Pruner {
+            type State = ();
+            fn step(&mut self, _: &(), event: &PathEvent<'_>) -> Vec<()> {
+                match event {
+                    PathEvent::Stmt(s) => {
+                        if let mc_ast::StmtKind::Expr(e) = &s.kind {
+                            if let Some(("stop_here", _)) = e.as_call() {
+                                return vec![];
+                            }
+                            if let Some(("after", _)) = e.as_call() {
+                                self.after += 1;
+                            }
+                        }
+                        vec![()]
+                    }
+                    _ => vec![()],
+                }
+            }
+        }
+        let cfg = cfg_of("stop_here(); after();");
+        let mut m = Pruner { after: 0 };
+        run_machine(&cfg, &mut m, (), Mode::StateSet);
+        assert_eq!(m.after, 0);
+    }
+
+    #[test]
+    fn exhaustive_budget_caps_explosion() {
+        // 2^20 paths would hang; the budget keeps it bounded.
+        let body = "if (a) x(); ".repeat(20) + "z();";
+        let cfg = cfg_of(&body);
+        let mut m = Tracer { visits: vec![], returns: 0 };
+        run_machine(&cfg, &mut m, 0, Mode::Exhaustive { max_paths: 500 });
+        assert!(m.returns <= 500);
+        assert!(m.returns > 0);
+    }
+
+    #[test]
+    fn switch_cases_all_visited() {
+        let cfg = cfg_of("switch (op) { case 1: a(); break; case 2: b(); break; default: c(); } d();");
+        let mut m = Tracer { visits: vec![], returns: 0 };
+        run_machine(&cfg, &mut m, 0, Mode::StateSet);
+        for callee in ["a", "b", "c", "d"] {
+            assert!(m.visits.contains(&callee.to_string()), "missing {callee}");
+        }
+    }
+
+    #[test]
+    fn branch_events_expose_conditions() {
+        struct CondSpy {
+            conds: Vec<(String, bool)>,
+        }
+        impl PathMachine for CondSpy {
+            type State = ();
+            fn step(&mut self, _: &(), event: &PathEvent<'_>) -> Vec<()> {
+                if let PathEvent::Branch { cond, taken } = event {
+                    self.conds.push((mc_ast::print_expr(cond), *taken));
+                }
+                vec![()]
+            }
+        }
+        let cfg = cfg_of("if (x > 1) a();");
+        let mut m = CondSpy { conds: vec![] };
+        run_machine(&cfg, &mut m, (), Mode::StateSet);
+        assert!(m.conds.contains(&("x > 1".to_string(), true)));
+        assert!(m.conds.contains(&("x > 1".to_string(), false)));
+    }
+}

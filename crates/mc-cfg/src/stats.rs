@@ -1,0 +1,262 @@
+//! Path statistics, reproducing the methodology of Table 1.
+//!
+//! The paper measures, per protocol, "the number of unique exit paths from
+//! the beginning of the function to all returns" plus the average and
+//! maximum path length (as lines of code). Loops make the literal path count
+//! infinite, so — as any static counting must — we count paths in the DAG
+//! obtained by ignoring back edges (each loop contributes its body once).
+
+use crate::build::{BlockId, Cfg, Terminator};
+use std::collections::HashSet;
+
+/// Path statistics for one function or an aggregate of functions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PathStats {
+    /// Number of unique entry-to-return paths (back edges ignored),
+    /// saturating at `u64::MAX`.
+    pub paths: u64,
+    /// Total statement count summed over all paths (for computing the
+    /// average; saturating).
+    pub total_len: u64,
+    /// Longest path, in statements.
+    pub max_len: u64,
+}
+
+impl PathStats {
+    /// Average path length in statements (0 when there are no paths).
+    pub fn avg_len(&self) -> f64 {
+        if self.paths == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.paths as f64
+        }
+    }
+
+    /// Merges statistics of another function into an aggregate.
+    pub fn merge(&mut self, other: &PathStats) {
+        self.paths = self.paths.saturating_add(other.paths);
+        self.total_len = self.total_len.saturating_add(other.total_len);
+        self.max_len = self.max_len.max(other.max_len);
+    }
+}
+
+impl Cfg {
+    /// Computes [`PathStats`] for this function.
+    pub fn path_stats(&self) -> PathStats {
+        let back_edges = self.back_edges();
+        let order = self.reverse_topo(&back_edges);
+
+        let n = self.blocks.len();
+        let mut count = vec![0u64; n];
+        let mut total = vec![0u64; n];
+        let mut max = vec![0u64; n];
+
+        for &id in &order {
+            let block = self.block(id);
+            // Count the block's own statements plus one for the branching
+            // construct itself (mirrors counting source lines).
+            let own_len = block.nodes.len() as u64
+                + match block.term {
+                    Terminator::Branch { .. } | Terminator::Switch { .. } => 1,
+                    _ => 0,
+                };
+            match &block.term {
+                Terminator::Return { .. } => {
+                    count[id.0] = 1;
+                    total[id.0] = own_len;
+                    max[id.0] = own_len;
+                }
+                term => {
+                    let mut c = 0u64;
+                    let mut t = 0u64;
+                    let mut m = 0u64;
+                    let mut any = false;
+                    for s in term.successors() {
+                        if back_edges.contains(&(id, s)) {
+                            // A back edge ends the (acyclic) path: the loop
+                            // body contributes one pass.
+                            c = c.saturating_add(1);
+                            t = t.saturating_add(own_len);
+                            any = true;
+                        } else {
+                            c = c.saturating_add(count[s.0]);
+                            t = t
+                                .saturating_add(total[s.0])
+                                .saturating_add(own_len.saturating_mul(count[s.0]));
+                            m = m.max(max[s.0]);
+                            any = any || count[s.0] > 0;
+                        }
+                    }
+                    count[id.0] = c;
+                    total[id.0] = t;
+                    max[id.0] = if any { own_len + m } else { 0 };
+                }
+            }
+        }
+
+        PathStats {
+            paths: count[self.entry.0],
+            total_len: total[self.entry.0],
+            max_len: max[self.entry.0],
+        }
+    }
+
+    /// Edges that close a cycle in a DFS from the entry.
+    pub fn back_edges(&self) -> HashSet<(BlockId, BlockId)> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.blocks.len()];
+        let mut back = HashSet::new();
+        // Iterative DFS with explicit edge stack.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        color[self.entry.0] = Color::Gray;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            let succs = self.block(u).term.successors();
+            if *i < succs.len() {
+                let v = succs[*i];
+                *i += 1;
+                match color[v.0] {
+                    Color::White => {
+                        color[v.0] = Color::Gray;
+                        stack.push((v, 0));
+                    }
+                    Color::Gray => {
+                        back.insert((u, v));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u.0] = Color::Black;
+                stack.pop();
+            }
+        }
+        back
+    }
+
+    /// Blocks in reverse topological order of the back-edge-free DAG
+    /// (successors before predecessors). Unreachable blocks are omitted.
+    fn reverse_topo(&self, back_edges: &HashSet<(BlockId, BlockId)>) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::new();
+        // Iterative post-order DFS.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.0] = true;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            let succs: Vec<BlockId> = self
+                .block(u)
+                .term
+                .successors()
+                .into_iter()
+                .filter(|s| !back_edges.contains(&(u, *s)))
+                .collect();
+            if *i < succs.len() {
+                let v = succs[*i];
+                *i += 1;
+                if !visited[v.0] {
+                    visited[v.0] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::parse_translation_unit;
+
+    fn stats_of(body: &str) -> PathStats {
+        let src = format!("void f(void) {{ {body} }}");
+        let tu = parse_translation_unit(&src, "t.c").unwrap();
+        Cfg::build(tu.function("f").unwrap()).path_stats()
+    }
+
+    #[test]
+    fn straight_line_is_one_path() {
+        let s = stats_of("a(); b(); c();");
+        assert_eq!(s.paths, 1);
+        assert_eq!(s.max_len, 3);
+        assert_eq!(s.total_len, 3);
+    }
+
+    #[test]
+    fn if_else_is_two_paths() {
+        let s = stats_of("if (x) { a(); } else { b(); } c();");
+        assert_eq!(s.paths, 2);
+    }
+
+    #[test]
+    fn sequential_ifs_multiply() {
+        // The paper explicitly notes this: two if-else branches on the same
+        // condition count as four paths, because paths are not pruned for
+        // feasibility.
+        let s = stats_of("if (x) { a(); } else { b(); } if (x) { c(); } else { d(); }");
+        assert_eq!(s.paths, 4);
+    }
+
+    #[test]
+    fn early_returns_are_separate_paths() {
+        let s = stats_of("if (x) { return; } if (y) { return; } a();");
+        assert_eq!(s.paths, 3);
+    }
+
+    #[test]
+    fn loop_counts_body_once() {
+        let s = stats_of("while (x) { a(); } b();");
+        // Two paths: skip the loop; run body once then exit.
+        assert_eq!(s.paths, 2);
+    }
+
+    #[test]
+    fn switch_paths() {
+        let s = stats_of("switch (op) { case 1: a(); break; case 2: b(); break; default: c(); } d();");
+        assert_eq!(s.paths, 3);
+    }
+
+    #[test]
+    fn switch_without_default_adds_skip_path() {
+        let s = stats_of("switch (op) { case 1: a(); break; } d();");
+        assert_eq!(s.paths, 2);
+    }
+
+    #[test]
+    fn max_len_takes_longest() {
+        let s = stats_of("if (x) { a(); b(); c(); } else { d(); } e();");
+        // longest path: branch(1) + 3 + e(1) = 5
+        assert_eq!(s.max_len, 5);
+        assert_eq!(s.paths, 2);
+        assert_eq!(s.avg_len(), (5.0 + 3.0) / 2.0);
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = stats_of("a();");
+        let b = stats_of("if (x) { b(); } else { c(); }");
+        a.merge(&b);
+        assert_eq!(a.paths, 3);
+    }
+
+    #[test]
+    fn infinite_loop_still_counts_body_pass() {
+        let s = stats_of("while (1) { a(); }");
+        // One path falls out of the condition immediately (the static count
+        // cannot prune `while (1)`), one runs the body once and ends at the
+        // back edge.
+        assert_eq!(s.paths, 2);
+    }
+
+    #[test]
+    fn goto_cycle_does_not_hang() {
+        let s = stats_of("retry: a(); if (x) goto retry; b();");
+        assert!(s.paths >= 1);
+    }
+}

@@ -1,0 +1,42 @@
+{ #include "flash-includes.h" }
+
+sm msglen_check {
+    /* Named patterns specifying message length assignments of
+     * zero and non-zero values. */
+    pat zero_assign =
+        { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA } ;
+    pat nonzero_assign =
+        { HANDLER_GLOBALS(header.nh.len) = LEN_WORD }
+      | { HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE } ;
+
+    /* Named patterns specifying sends that transmit data
+     * (these need a non-zero length field). */
+    decl { unsigned } keep, swap, wait, dec, null, type;
+    pat send_data =
+        { PI_SEND(F_DATA, keep, swap, wait, dec, null) }
+      | { IO_SEND(F_DATA, keep, swap, wait, dec, null) }
+      | { NI_SEND(type, F_DATA, keep, wait, dec, null) } ;
+
+    /* Named patterns for sends without data
+     * (these need a zero length field). */
+    pat send_nodata =
+        { PI_SEND(F_NODATA, keep, swap, wait, dec, null) }
+      | { IO_SEND(F_NODATA, keep, swap, wait, dec, null) }
+      | { NI_SEND(type, F_NODATA, keep, wait, dec, null) } ;
+
+    /* Start state. Note, rules in the special 'all' state are always
+     * run no matter what state the SM is in. We assume sends in this
+     * state are ok and ignore them. */
+    all:
+        zero_assign ==> zero_len
+      | nonzero_assign ==> nonzero_len
+    ;
+
+    /* If we have a zero-length, cannot send data */
+    zero_len:
+        send_data ==> { err("data send, zero len"); } ;
+
+    /* If we have a non-zero length, must send data */
+    nonzero_len:
+        send_nodata ==> { err("nodata send, nonzero len"); } ;
+}

@@ -1,0 +1,23 @@
+{ #include "flash-includes.h" }
+
+sm wait_for_db {
+    /* Declare two variables 'addr' and 'buf' that can
+     * match any integer expression. */
+    decl { scalar } addr, buf;
+
+    /* Checker begins in the first state (here 'start'). */
+    start:
+        /* The handler is allowed to read the data buffer
+         * after calling 'WAIT_FOR_DB_FULL' --- once the
+         * pattern below matches, we transition to the
+         * 'stop' state, which stops checking on this
+         * path. */
+        { WAIT_FOR_DB_FULL(addr); } ==> stop
+
+        /* If we hit a read of the data buffer in this
+         * state, the handler did not do a WAIT_FOR_DB_FULL
+         * first so emit an error and continue checking. */
+      | { MISCBUS_READ_DB(addr, buf); } ==>
+            { err("Buffer not synchronized"); }
+    ;
+}

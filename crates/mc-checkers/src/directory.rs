@@ -1,0 +1,412 @@
+//! §9 — Manual directory-entry updates (Table 6).
+//!
+//! Directory entries are not normal variables: handlers explicitly load
+//! them (`DIR_LOAD`), modify the in-memory copy (`DIR_SET_*`), and must
+//! explicitly write the copy back (`DIR_WRITEBACK`). The checker verifies
+//! that (1) an entry is loaded before it is read or modified and (2) a
+//! modified entry is written back before the handler exits.
+//!
+//! Speculative handlers intentionally drop modifications when they bail
+//! out with a negative acknowledgement; the checker suppresses the
+//! write-back obligation when it sees a NAK reply
+//! (`NI_SEND(MSG_NAK, ...)`), which eliminates most of that false-positive
+//! class. Subroutines that write the entry back on the caller's behalf
+//! must be listed in [`FlashSpec::writeback_routines`]; un-annotated ones
+//! are the paper's main source of directory false positives. Computing the
+//! entry address by hand instead of with `DIR_ADDR()` is reported as an
+//! abstraction violation.
+
+use crate::flash::{self, FlashSpec, RoutineKind};
+use mc_ast::{Expr, ExprKind, Span, StmtKind};
+use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
+use mc_driver::{Checker, FunctionContext, Report};
+
+/// The directory-update checker.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    spec: FlashSpec,
+}
+
+impl Directory {
+    /// Creates the checker with the given protocol tables.
+    pub fn new(spec: FlashSpec) -> Directory {
+        Directory { spec }
+    }
+}
+
+impl Checker for Directory {
+    fn name(&self) -> &str {
+        "directory"
+    }
+
+    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+        if flash::is_unimplemented(ctx.function) {
+            return;
+        }
+        // Handlers are checked; listed write-back subroutines are checked
+        // with the entry considered already loaded (they operate on the
+        // caller's entry).
+        let is_wb_routine = self.spec.writeback_routines.contains(&ctx.function.name);
+        let kind = self.spec.classify(&ctx.function.name);
+        if kind == RoutineKind::Procedure && !is_wb_routine {
+            return;
+        }
+        let init = DirState {
+            loaded: is_wb_routine,
+            modified: false,
+            naked: false,
+        };
+        let mut machine = DirMachine {
+            spec: &self.spec,
+            found: Vec::new(),
+        };
+        run_machine(ctx.cfg, &mut machine, init, Mode::StateSet);
+        for (span, msg) in machine.found {
+            sink.push(Report::error(
+                "directory",
+                ctx.file,
+                &ctx.function.name,
+                span,
+                msg,
+            ));
+        }
+    }
+}
+
+/// Path state for the directory discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DirState {
+    /// `DIR_LOAD` has happened.
+    loaded: bool,
+    /// The in-memory copy differs from memory.
+    modified: bool,
+    /// A NAK reply was sent (speculative bail-out: write-back waived).
+    naked: bool,
+}
+
+struct DirMachine<'s> {
+    spec: &'s FlashSpec,
+    found: Vec<(Span, String)>,
+}
+
+impl DirMachine<'_> {
+    fn process(&mut self, e: &Expr, mut st: DirState) -> DirState {
+        // Recurse first (arguments evaluate before the call acts).
+        match &e.kind {
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    st = self.process(a, st);
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                st = self.process(rhs, st);
+                st = self.process(lhs, st);
+            }
+            ExprKind::Unary { operand, .. } | ExprKind::Postfix { operand, .. } => {
+                st = self.process(operand, st);
+            }
+            ExprKind::Ternary { cond, then, els } => {
+                st = self.process(cond, st);
+                st = self.process(then, st);
+                st = self.process(els, st);
+            }
+            ExprKind::Index { base, index } => {
+                st = self.process(base, st);
+                st = self.process(index, st);
+            }
+            ExprKind::Member { base, .. } => st = self.process(base, st),
+            ExprKind::Cast { expr, .. } => st = self.process(expr, st),
+            ExprKind::Comma(a, b) => {
+                st = self.process(a, st);
+                st = self.process(b, st);
+            }
+            ExprKind::Ident(name) if name == "DIR_ADDR_BASE" => {
+                // Explicit address arithmetic instead of DIR_ADDR(): the
+                // §9.1 "abstraction error" class.
+                self.found.push((
+                    e.span,
+                    "directory address computed explicitly; use DIR_ADDR()".to_string(),
+                ));
+            }
+            _ => {}
+        }
+        let Some((name, args)) = e.as_call() else {
+            return st;
+        };
+        match name {
+            flash::DIR_LOAD => {
+                st.loaded = true;
+                st.modified = false;
+            }
+            flash::DIR_STATE | flash::DIR_PTR => {
+                if !st.loaded {
+                    self.found.push((
+                        e.span,
+                        "directory entry read before DIR_LOAD".to_string(),
+                    ));
+                }
+            }
+            flash::DIR_SET_STATE | flash::DIR_SET_PTR => {
+                if !st.loaded {
+                    self.found.push((
+                        e.span,
+                        "directory entry modified before DIR_LOAD".to_string(),
+                    ));
+                } else {
+                    st.modified = true;
+                }
+            }
+            flash::DIR_WRITEBACK => {
+                st.modified = false;
+            }
+            flash::NI_SEND => {
+                if let Some(first) = args.first() {
+                    if first.as_ident() == Some(flash::MSG_NAK) {
+                        st.naked = true;
+                    }
+                }
+            }
+            _ => {
+                if self.spec.writeback_routines.contains(name) {
+                    st.modified = false;
+                }
+            }
+        }
+        st
+    }
+}
+
+impl PathMachine for DirMachine<'_> {
+    type State = DirState;
+
+    fn step(&mut self, state: &DirState, event: &PathEvent<'_>) -> Vec<DirState> {
+        match event {
+            PathEvent::Stmt(s) => {
+                let next = match &s.kind {
+                    StmtKind::Expr(e) => self.process(e, *state),
+                    StmtKind::Decl(d) => {
+                        if let Some(mc_ast::Initializer::Expr(e)) = &d.init {
+                            self.process(e, *state)
+                        } else {
+                            *state
+                        }
+                    }
+                    _ => *state,
+                };
+                vec![next]
+            }
+            PathEvent::Branch { cond, .. } => vec![self.process(cond, *state)],
+            PathEvent::Case { .. } => vec![*state],
+            PathEvent::Return { span, .. } => {
+                if state.modified && !state.naked {
+                    self.found.push((
+                        *span,
+                        "modified directory entry not written back on exit path".to_string(),
+                    ));
+                }
+                vec![]
+            }
+        }
+    }
+}
+
+/// Counts directory operations — the "Applied" column of Table 6.
+pub fn count_dir_ops(func: &mc_ast::Function) -> usize {
+    struct V(usize);
+    impl mc_ast::Visitor for V {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Some((name, _)) = e.as_call() {
+                if matches!(
+                    name,
+                    flash::DIR_LOAD
+                        | flash::DIR_STATE
+                        | flash::DIR_PTR
+                        | flash::DIR_SET_STATE
+                        | flash::DIR_SET_PTR
+                        | flash::DIR_WRITEBACK
+                ) {
+                    self.0 += 1;
+                }
+            }
+        }
+    }
+    let mut v = V(0);
+    mc_ast::walk_function(&mut v, func);
+    v.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_cfg::Cfg;
+
+    fn check_spec(spec: FlashSpec, src: &str) -> Vec<Report> {
+        let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
+        let mut checker = Directory::new(spec);
+        let mut sink = Vec::new();
+        for f in tu.functions() {
+            let cfg = Cfg::build(f);
+            let ctx = FunctionContext { file: "t.c", unit: &tu, function: f, cfg: &cfg };
+            checker.check_function(&ctx, &mut sink);
+        }
+        sink
+    }
+
+    fn check(src: &str) -> Vec<Report> {
+        check_spec(FlashSpec::new(), src)
+    }
+
+    #[test]
+    fn load_modify_writeback_clean() {
+        let r = check(
+            r#"void PILocalGet(void) {
+                DIR_LOAD();
+                if (DIR_STATE() == DIRTY) {
+                    DIR_SET_STATE(SHARED);
+                }
+                DIR_WRITEBACK();
+            }"#,
+        );
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn modify_without_writeback() {
+        // The one real bug found in bitvector.
+        let r = check(
+            r#"void PILocalGet(void) {
+                DIR_LOAD();
+                DIR_SET_STATE(SHARED);
+            }"#,
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r[0].message.contains("not written back"));
+    }
+
+    #[test]
+    fn use_before_load() {
+        let r = check("void PILocalGet(void) { x = DIR_STATE(); }");
+        assert_eq!(r.len(), 1);
+        assert!(r[0].message.contains("before DIR_LOAD"));
+    }
+
+    #[test]
+    fn modify_before_load() {
+        let r = check("void PILocalGet(void) { DIR_SET_STATE(SHARED); }");
+        assert_eq!(r.len(), 1);
+        assert!(r[0].message.contains("modified before"));
+    }
+
+    #[test]
+    fn nak_waives_writeback() {
+        // Speculative handler: modifies in anticipation, NAKs instead.
+        let r = check(
+            r#"void NISpecGet(void) {
+                DIR_LOAD();
+                DIR_SET_STATE(PENDING);
+                if (queue_full) {
+                    NI_SEND(MSG_NAK, F_NODATA, k, w, d, n);
+                    return;
+                }
+                DIR_WRITEBACK();
+            }"#,
+        );
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn speculative_backout_without_nak_is_reported() {
+        // The 3 false positives: back out without a NAK pattern.
+        let r = check(
+            r#"void NISpecGet(void) {
+                DIR_LOAD();
+                DIR_SET_STATE(PENDING);
+                if (special_case) {
+                    return;
+                }
+                DIR_WRITEBACK();
+            }"#,
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn annotated_writeback_routine_trusted() {
+        let mut spec = FlashSpec::new();
+        spec.writeback_routines.insert("update_and_writeback".into());
+        let r = check_spec(
+            spec,
+            r#"void PILocalGet(void) {
+                DIR_LOAD();
+                DIR_SET_STATE(SHARED);
+                update_and_writeback();
+            }"#,
+        );
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn unannotated_writeback_routine_is_false_positive() {
+        // Same code, no table entry: the paper's 14 subroutine FPs.
+        let r = check(
+            r#"void PILocalGet(void) {
+                DIR_LOAD();
+                DIR_SET_STATE(SHARED);
+                update_and_writeback();
+            }"#,
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn writeback_routine_itself_checked() {
+        let mut spec = FlashSpec::new();
+        spec.writeback_routines.insert("update_and_writeback".into());
+        // It starts "loaded" and must write back what it modifies.
+        let r = check_spec(
+            spec.clone(),
+            "void update_and_writeback(void) { DIR_SET_STATE(SHARED); DIR_WRITEBACK(); }",
+        );
+        assert!(r.is_empty(), "{r:?}");
+        let r = check_spec(
+            spec,
+            "void update_and_writeback(void) { DIR_SET_STATE(SHARED); }",
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn explicit_address_computation_flagged() {
+        let r = check(
+            r#"void PILocalGet(void) {
+                DIR_LOAD();
+                entry = DIR_ADDR_BASE + line * 8;
+                DIR_WRITEBACK();
+            }"#,
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r[0].message.contains("DIR_ADDR"));
+    }
+
+    #[test]
+    fn reload_clears_modified() {
+        let r = check(
+            r#"void PILocalGet(void) {
+                DIR_LOAD();
+                DIR_SET_STATE(PENDING);
+                DIR_LOAD();
+            }"#,
+        );
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn op_counting() {
+        let tu = mc_ast::parse_translation_unit(
+            "void h(void) { DIR_LOAD(); x = DIR_STATE(); DIR_SET_STATE(y); DIR_WRITEBACK(); }",
+            "t.c",
+        )
+        .unwrap();
+        assert_eq!(count_dir_ops(tu.functions().next().unwrap()), 4);
+    }
+}

@@ -1,0 +1,330 @@
+//! FLASH protocol vocabulary: the macro names, handler conventions, and
+//! per-protocol tables the checkers consult.
+//!
+//! The real FLASH headers defined these macros; protocol handlers are
+//! written entirely in terms of them, which is what makes the code so
+//! amenable to pattern-based checking. The corpus generator emits code in
+//! exactly this vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Number of virtual network lanes (§7 of the paper).
+pub const NUM_LANES: usize = 4;
+
+/// The buffer-synchronization wait macro (Figure 2).
+pub const WAIT_FOR_DB_FULL: &str = "WAIT_FOR_DB_FULL";
+/// The explicit data-buffer read macro (Figure 2).
+pub const MISCBUS_READ_DB: &str = "MISCBUS_READ_DB";
+
+/// Send macros: `PI_SEND(flag, keep, swap, wait, dec, null)`.
+pub const PI_SEND: &str = "PI_SEND";
+/// `IO_SEND(flag, keep, swap, wait, dec, null)`.
+pub const IO_SEND: &str = "IO_SEND";
+/// `NI_SEND(type, flag, keep, wait, dec, null)`.
+pub const NI_SEND: &str = "NI_SEND";
+
+/// Wait-for-reply macros, one per hardware interface.
+pub const PI_WAIT: &str = "PI_WAIT";
+/// See [`PI_WAIT`].
+pub const IO_WAIT: &str = "IO_WAIT";
+/// See [`PI_WAIT`].
+pub const NI_WAIT: &str = "NI_WAIT";
+
+/// `F_DATA` / `F_NODATA`: the has-data send parameter (Figure 3).
+pub const F_DATA: &str = "F_DATA";
+/// See [`F_DATA`].
+pub const F_NODATA: &str = "F_NODATA";
+/// `W_WAIT` / `W_NOWAIT`: the wait send parameter (§9 send-wait check).
+pub const W_WAIT: &str = "W_WAIT";
+/// See [`W_WAIT`].
+pub const W_NOWAIT: &str = "W_NOWAIT";
+
+/// Message-length constants (Figure 3).
+pub const LEN_NODATA: &str = "LEN_NODATA";
+/// See [`LEN_NODATA`].
+pub const LEN_WORD: &str = "LEN_WORD";
+/// See [`LEN_NODATA`].
+pub const LEN_CACHELINE: &str = "LEN_CACHELINE";
+
+/// Message-type constant for negative acknowledgements; a speculative
+/// handler that sends a NAK legitimately discards directory modifications.
+pub const MSG_NAK: &str = "MSG_NAK";
+
+/// Data-buffer management macros (§6).
+pub const DB_FREE: &str = "DB_FREE";
+/// `b = DB_ALLOC();` allocates a new data buffer.
+pub const DB_ALLOC: &str = "DB_ALLOC";
+/// Sentinel returned by a failed [`DB_ALLOC`].
+pub const DB_FAIL: &str = "DB_FAIL";
+/// `DB_WRITE(buf, off, val)` writes message data into a buffer.
+pub const DB_WRITE: &str = "DB_WRITE";
+
+/// Directory-entry macros (§9).
+pub const DIR_LOAD: &str = "DIR_LOAD";
+/// Reads the loaded entry's state.
+pub const DIR_STATE: &str = "DIR_STATE";
+/// Reads the loaded entry's sharer vector / pointer field.
+pub const DIR_PTR: &str = "DIR_PTR";
+/// Modifies the loaded entry.
+pub const DIR_SET_STATE: &str = "DIR_SET_STATE";
+/// Modifies the loaded entry.
+pub const DIR_SET_PTR: &str = "DIR_SET_PTR";
+/// Writes the (modified) entry back to memory.
+pub const DIR_WRITEBACK: &str = "DIR_WRITEBACK";
+/// Explicit directory-address computation macro; computing the address by
+/// hand instead is the "abstraction error" false-positive class of §9.1.
+pub const DIR_ADDR: &str = "DIR_ADDR";
+
+/// Simulator hooks (§8): hardware handlers.
+pub const HANDLER_DEFS: &str = "HANDLER_DEFS";
+/// See [`HANDLER_DEFS`].
+pub const HANDLER_PROLOGUE: &str = "HANDLER_PROLOGUE";
+/// Simulator hooks: software handlers.
+pub const SWHANDLER_DEFS: &str = "SWHANDLER_DEFS";
+/// See [`SWHANDLER_DEFS`].
+pub const SWHANDLER_PROLOGUE: &str = "SWHANDLER_PROLOGUE";
+/// Simulator hooks: ordinary subroutines.
+pub const PROC_DEFS: &str = "PROC_DEFS";
+/// See [`PROC_DEFS`].
+pub const PROC_PROLOGUE: &str = "PROC_PROLOGUE";
+
+/// No-stack assertion, placed directly after the prologue hooks.
+pub const NO_STACK: &str = "NO_STACK";
+/// Must immediately precede every call in a no-stack handler.
+pub const SET_STACKPTR: &str = "SET_STACKPTR";
+/// Marks intentionally unimplemented routines; the execution-restriction
+/// checker skips them (the paper did not count sci's three violations in
+/// unimplemented routines for exactly this reason).
+pub const FATAL_ERROR: &str = "FATAL_ERROR";
+
+/// Checker-suppression annotations (§6.1).
+pub const HAS_BUFFER: &str = "has_buffer";
+/// See [`HAS_BUFFER`].
+pub const NO_FREE_NEEDED: &str = "no_free_needed";
+
+/// The manual reference-count bump that caused the §11 "betrayal" incident;
+/// after that incident the extension "aggressively objects" to it.
+pub const DB_REFCOUNT_INCR: &str = "DB_REFCOUNT_INCR";
+
+/// Macros deprecated in favor of newer interfaces (§8 warns on use).
+pub const DEPRECATED_MACROS: &[&str] = &["OLD_WAIT_DB", "MISCBUS_READ_DB_OLD", "BUF_CAST"];
+
+/// Message-type constants and the lane each send class uses.
+///
+/// `PI_SEND` → lane 0, `IO_SEND` → lane 1, `NI_SEND(MSG_REQ, …)` → lane 2,
+/// `NI_SEND` of reply types (including NAKs) → lane 3.
+pub fn lane_of_send(callee: &str, first_arg_const: Option<&str>) -> Option<usize> {
+    match callee {
+        PI_SEND => Some(0),
+        IO_SEND => Some(1),
+        NI_SEND => match first_arg_const {
+            Some("MSG_REQ") => Some(2),
+            _ => Some(3),
+        },
+        _ => None,
+    }
+}
+
+/// How a routine is classified for buffer/hook rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutineKind {
+    /// Invoked by hardware dispatch with a live data buffer.
+    HardwareHandler,
+    /// Scheduled in software; starts without a buffer.
+    SoftwareHandler,
+    /// Ordinary subroutine.
+    Procedure,
+}
+
+/// Per-protocol tables the checkers consult: handler classification, lane
+/// quotas, and the routine tables of the buffer-management and directory
+/// checkers.
+///
+/// In the paper these came from the protocol specification plus small
+/// checker-maintained tables; here they are built by the corpus generator
+/// (or by hand for ad-hoc use) and handed to the checkers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FlashSpec {
+    /// Names of hardware handlers.
+    pub hardware_handlers: BTreeSet<String>,
+    /// Names of software handlers.
+    pub software_handlers: BTreeSet<String>,
+    /// Per-handler lane allowances; handlers absent from the map get
+    /// [`FlashSpec::default_quota`].
+    pub lane_quota: BTreeMap<String, [u32; NUM_LANES]>,
+    /// Default lane allowance.
+    pub default_quota: [u32; NUM_LANES],
+    /// Routines that expect a live buffer and free it.
+    pub free_routines: BTreeSet<String>,
+    /// Routines that expect a live buffer and keep it live.
+    pub use_routines: BTreeSet<String>,
+    /// Routines returning 1 if they freed the buffer and 0 otherwise; the
+    /// value-sensitive branch handling for these removed over twenty
+    /// useless annotations in the paper.
+    pub cond_free_routines: BTreeSet<String>,
+    /// Subroutines that write the directory entry back on the caller's
+    /// behalf (annotating these removes the §9.1 subroutine false
+    /// positives).
+    pub writeback_routines: BTreeSet<String>,
+}
+
+impl FlashSpec {
+    /// A spec with sensible defaults: quota of one send per lane.
+    pub fn new() -> FlashSpec {
+        FlashSpec {
+            default_quota: [1; NUM_LANES],
+            ..FlashSpec::default()
+        }
+    }
+
+    /// Classifies a routine by the spec tables, falling back to the FLASH
+    /// naming convention (`PI*`/`NI*`/`IO*` are hardware handlers, `SW*`
+    /// software handlers).
+    pub fn classify(&self, name: &str) -> RoutineKind {
+        if self.hardware_handlers.contains(name) {
+            return RoutineKind::HardwareHandler;
+        }
+        if self.software_handlers.contains(name) {
+            return RoutineKind::SoftwareHandler;
+        }
+        if name.starts_with("PI") || name.starts_with("NI") || name.starts_with("IO") {
+            RoutineKind::HardwareHandler
+        } else if name.starts_with("SW") {
+            RoutineKind::SoftwareHandler
+        } else {
+            RoutineKind::Procedure
+        }
+    }
+
+    /// The lane allowance for `handler`.
+    pub fn quota(&self, handler: &str) -> [u32; NUM_LANES] {
+        self.lane_quota
+            .get(handler)
+            .copied()
+            .unwrap_or(self.default_quota)
+    }
+}
+
+/// Returns `true` if the function is an intentionally-unimplemented stub
+/// (its body begins with `FATAL_ERROR()`). All checkers skip these, as the
+/// paper did when it declined to count sci's violations "in unimplemented
+/// routines which caused a fatal error if called".
+pub fn is_unimplemented(f: &mc_ast::Function) -> bool {
+    match f.body.first().map(|s| &s.kind) {
+        Some(mc_ast::StmtKind::Expr(e)) => {
+            matches!(e.as_call(), Some((FATAL_ERROR, _)))
+        }
+        _ => false,
+    }
+}
+
+/// Returns `true` if `name` is one of the send macros.
+pub fn is_send(name: &str) -> bool {
+    matches!(name, PI_SEND | IO_SEND | NI_SEND)
+}
+
+/// Returns `true` if `name` is one of the wait macros.
+pub fn is_wait(name: &str) -> bool {
+    matches!(name, PI_WAIT | IO_WAIT | NI_WAIT)
+}
+
+/// The wait macro matching a send macro's interface.
+pub fn wait_for_send(send: &str) -> Option<&'static str> {
+    match send {
+        PI_SEND => Some(PI_WAIT),
+        IO_SEND => Some(IO_WAIT),
+        NI_SEND => Some(NI_WAIT),
+        _ => None,
+    }
+}
+
+/// All FLASH macro names — calls to these are intrinsics, not subroutine
+/// calls (the no-stack checker does not require `SET_STACKPTR` before
+/// them).
+pub fn is_flash_macro(name: &str) -> bool {
+    matches!(
+        name,
+        WAIT_FOR_DB_FULL
+            | MISCBUS_READ_DB
+            | PI_SEND
+            | IO_SEND
+            | NI_SEND
+            | PI_WAIT
+            | IO_WAIT
+            | NI_WAIT
+            | DB_FREE
+            | DB_ALLOC
+            | DB_WRITE
+            | DIR_LOAD
+            | DIR_STATE
+            | DIR_PTR
+            | DIR_SET_STATE
+            | DIR_SET_PTR
+            | DIR_WRITEBACK
+            | DIR_ADDR
+            | HANDLER_DEFS
+            | HANDLER_PROLOGUE
+            | SWHANDLER_DEFS
+            | SWHANDLER_PROLOGUE
+            | PROC_DEFS
+            | PROC_PROLOGUE
+            | NO_STACK
+            | SET_STACKPTR
+            | FATAL_ERROR
+            | HAS_BUFFER
+            | NO_FREE_NEEDED
+            | DB_REFCOUNT_INCR
+            | "HANDLER_GLOBALS"
+            | "debug_print"
+    ) || DEPRECATED_MACROS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_by_table_overrides_convention() {
+        let mut spec = FlashSpec::new();
+        spec.software_handlers.insert("PIOddball".into());
+        assert_eq!(spec.classify("PIOddball"), RoutineKind::SoftwareHandler);
+        assert_eq!(spec.classify("PILocalGet"), RoutineKind::HardwareHandler);
+        assert_eq!(spec.classify("SWPageMigrate"), RoutineKind::SoftwareHandler);
+        assert_eq!(spec.classify("compute_owner"), RoutineKind::Procedure);
+    }
+
+    #[test]
+    fn lane_mapping() {
+        assert_eq!(lane_of_send(PI_SEND, None), Some(0));
+        assert_eq!(lane_of_send(IO_SEND, None), Some(1));
+        assert_eq!(lane_of_send(NI_SEND, Some("MSG_REQ")), Some(2));
+        assert_eq!(lane_of_send(NI_SEND, Some("MSG_REPLY")), Some(3));
+        assert_eq!(lane_of_send("memcpy", None), None);
+    }
+
+    #[test]
+    fn quota_fallback() {
+        let mut spec = FlashSpec::new();
+        spec.lane_quota.insert("NILocalGet".into(), [2, 0, 1, 1]);
+        assert_eq!(spec.quota("NILocalGet"), [2, 0, 1, 1]);
+        assert_eq!(spec.quota("other"), [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn send_wait_pairing() {
+        assert_eq!(wait_for_send(PI_SEND), Some(PI_WAIT));
+        assert_eq!(wait_for_send(NI_SEND), Some(NI_WAIT));
+        assert!(is_send(IO_SEND));
+        assert!(is_wait(IO_WAIT));
+        assert!(!is_send(IO_WAIT));
+    }
+
+    #[test]
+    fn macro_table() {
+        assert!(is_flash_macro("DB_FREE"));
+        assert!(is_flash_macro("OLD_WAIT_DB"));
+        assert!(!is_flash_macro("compute_owner"));
+    }
+}

@@ -1,0 +1,344 @@
+//! # mc-cli
+//!
+//! Library backing the `mcheck` command-line tool: argument parsing and
+//! the run logic, factored out of `main` so it can be tested.
+//!
+//! ```text
+//! mcheck [OPTIONS] <file.c>...
+//!
+//!   --checker <file.metal>   add a metal checker (repeatable)
+//!   --builtin                add the full built-in FLASH suite
+//!   --spec <spec.json>       FlashSpec tables for the native checkers
+//!   --mode <state-set|exhaustive>
+//!   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
+//!   --seed <n>               corpus seed (default 0xF1A5)
+//! ```
+
+#![warn(missing_docs)]
+
+use mc_checkers::flash::FlashSpec;
+use mc_driver::{Driver, Report};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Options {
+    /// Metal checker files to load.
+    pub checkers: Vec<PathBuf>,
+    /// Whether to register the built-in FLASH suite.
+    pub builtin: bool,
+    /// Optional FlashSpec JSON path.
+    pub spec: Option<PathBuf>,
+    /// Use exhaustive traversal instead of the state-set worklist.
+    pub exhaustive: bool,
+    /// Write the corpus to this directory instead of checking.
+    pub emit_corpus: Option<PathBuf>,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Emit reports as a JSON array instead of text.
+    pub json: bool,
+    /// C sources to check.
+    pub files: Vec<PathBuf>,
+}
+
+/// A CLI usage or I/O error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mcheck: {}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text printed on `--help` or bad arguments.
+pub const USAGE: &str = "\
+usage: mcheck [OPTIONS] <file.c>...
+  --checker <file.metal>   add a metal checker (repeatable)
+  --builtin                add the built-in FLASH checker suite
+  --spec <spec.json>       FlashSpec tables (handler classes, lane quotas,
+                           routine tables) for the native checkers
+  --mode <state-set|exhaustive>   path traversal mode (default state-set)
+  --format <text|json>     report output format (default text)
+  --emit-corpus <dir>      write the synthetic FLASH corpus and exit
+  --seed <n>               corpus seed (default 0xF1A5)
+  --help                   show this message";
+
+/// Parses arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown flags, missing values, or a run that
+/// would do nothing.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
+    let mut opts = Options { seed: mc_corpus::DEFAULT_SEED, ..Options::default() };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--checker" => {
+                let v = it.next().ok_or(CliError("--checker needs a file".into()))?;
+                opts.checkers.push(PathBuf::from(v));
+            }
+            "--builtin" => opts.builtin = true,
+            "--spec" => {
+                let v = it.next().ok_or(CliError("--spec needs a file".into()))?;
+                opts.spec = Some(PathBuf::from(v));
+            }
+            "--mode" => {
+                let v = it.next().ok_or(CliError("--mode needs a value".into()))?;
+                match v.as_str() {
+                    "state-set" => opts.exhaustive = false,
+                    "exhaustive" => opts.exhaustive = true,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown mode `{other}` (state-set | exhaustive)"
+                        )))
+                    }
+                }
+            }
+            "--format" => {
+                let v = it.next().ok_or(CliError("--format needs a value".into()))?;
+                match v.as_str() {
+                    "text" => opts.json = false,
+                    "json" => opts.json = true,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown format `{other}` (text | json)"
+                        )))
+                    }
+                }
+            }
+            "--emit-corpus" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--emit-corpus needs a directory".into()))?;
+                opts.emit_corpus = Some(PathBuf::from(v));
+            }
+            "--seed" => {
+                let v = it.next().ok_or(CliError("--seed needs a number".into()))?;
+                opts.seed = parse_seed(&v)
+                    .ok_or_else(|| CliError(format!("invalid seed `{v}`")))?;
+            }
+            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            other if other.starts_with('-') => {
+                return Err(CliError(format!("unknown option `{other}`\n{USAGE}")))
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if opts.emit_corpus.is_none() {
+        if opts.files.is_empty() {
+            return Err(CliError(format!("no input files\n{USAGE}")));
+        }
+        if opts.checkers.is_empty() && !opts.builtin {
+            return Err(CliError(
+                "nothing to do: pass --checker and/or --builtin".into(),
+            ));
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Executes the parsed options. Returns the reports (empty for
+/// `--emit-corpus` runs) so `main` can set the exit code.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for I/O, parse, or metal errors.
+pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
+    if let Some(dir) = &opts.emit_corpus {
+        emit_corpus(dir, opts.seed)?;
+        return Ok(Vec::new());
+    }
+
+    let spec = match &opts.spec {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            serde_json::from_str::<FlashSpec>(&text)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?
+        }
+        None => FlashSpec::new(),
+    };
+
+    let mut driver = Driver::new();
+    if opts.exhaustive {
+        driver.mode = mc_cfg_mode_exhaustive();
+    }
+    if opts.builtin {
+        mc_checkers::all_checkers(&mut driver, &spec)
+            .map_err(|e| CliError(e.to_string()))?;
+    }
+    for checker in &opts.checkers {
+        let text = std::fs::read_to_string(checker)
+            .map_err(|e| CliError(format!("{}: {e}", checker.display())))?;
+        driver
+            .add_metal_source(&text)
+            .map_err(|e| CliError(format!("{}: {e}", checker.display())))?;
+    }
+
+    let mut sources = Vec::new();
+    for file in &opts.files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| CliError(format!("{}: {e}", file.display())))?;
+        sources.push((text, file.display().to_string()));
+    }
+    driver
+        .check_sources(&sources)
+        .map_err(|e| CliError(e.to_string()))
+}
+
+fn mc_cfg_mode_exhaustive() -> mc_cfg::Mode {
+    mc_cfg::Mode::Exhaustive { max_paths: 1_000_000 }
+}
+
+/// Writes the six generated protocols (sources, spec JSON, and manifest)
+/// under `dir`.
+fn emit_corpus(dir: &std::path::Path, seed: u64) -> Result<(), CliError> {
+    let io = |e: std::io::Error| CliError(e.to_string());
+    for proto in mc_corpus::generate_all(seed) {
+        let pdir = dir.join(&proto.name);
+        std::fs::create_dir_all(&pdir).map_err(io)?;
+        for f in &proto.files {
+            std::fs::write(pdir.join(&f.name), &f.source).map_err(io)?;
+        }
+        let spec_json = serde_json::to_string_pretty(&proto.spec)
+            .map_err(|e| CliError(e.to_string()))?;
+        std::fs::write(pdir.join("spec.json"), spec_json).map_err(io)?;
+        let manifest: String = proto
+            .manifest
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}\t{}\t{}\t{:?}\t{}\t{}\n",
+                    p.checker, p.file, p.function, p.kind, p.expected_reports, p.note
+                )
+            })
+            .collect();
+        std::fs::write(pdir.join("MANIFEST.tsv"), manifest).map_err(io)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Result<Options, CliError> {
+        parse_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_typical_invocation() {
+        let o = args(&["--builtin", "--mode", "exhaustive", "a.c", "b.c"]).unwrap();
+        assert!(o.builtin);
+        assert!(o.exhaustive);
+        assert_eq!(o.files.len(), 2);
+    }
+
+    #[test]
+    fn requires_input_files() {
+        assert!(args(&["--builtin"]).is_err());
+    }
+
+    #[test]
+    fn requires_some_checker() {
+        assert!(args(&["a.c"]).is_err());
+    }
+
+    #[test]
+    fn seed_parsing() {
+        let o = args(&["--emit-corpus", "/tmp/x", "--seed", "0xF1A5"]).unwrap();
+        assert_eq!(o.seed, 0xF1A5);
+        let o = args(&["--emit-corpus", "/tmp/x", "--seed", "42"]).unwrap();
+        assert_eq!(o.seed, 42);
+        assert!(args(&["--emit-corpus", "/tmp/x", "--seed", "zz"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(args(&["--frobnicate", "a.c"]).is_err());
+    }
+
+    #[test]
+    fn run_with_metal_checker_on_temp_files() {
+        let dir = std::env::temp_dir().join("mcheck_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("h.c");
+        std::fs::write(&src, "void h(void) { MISCBUS_READ_DB(a, b); }").unwrap();
+        let sm = dir.join("race.metal");
+        std::fs::write(
+            &sm,
+            "sm race { decl { scalar } a, b; start: { MISCBUS_READ_DB(a, b); } ==> { err(\"raw read\"); } ; }",
+        )
+        .unwrap();
+        let opts = args(&[
+            "--checker",
+            sm.to_str().unwrap(),
+            src.to_str().unwrap(),
+        ])
+        .unwrap();
+        let reports = run(&opts).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].message, "raw read");
+    }
+
+    #[test]
+    fn emit_corpus_writes_files() {
+        let dir = std::env::temp_dir().join("mcheck_corpus_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = args(&["--emit-corpus", dir.to_str().unwrap(), "--seed", "7"]).unwrap();
+        run(&opts).unwrap();
+        assert!(dir.join("bitvector").join("spec.json").exists());
+        assert!(dir.join("common").join("MANIFEST.tsv").exists());
+        let any_c = std::fs::read_dir(dir.join("sci"))
+            .unwrap()
+            .any(|e| e.unwrap().file_name().to_string_lossy().ends_with(".c"));
+        assert!(any_c);
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let mut spec = FlashSpec::new();
+        spec.free_routines.insert("f".into());
+        spec.lane_quota.insert("h".into(), [1, 2, 3, 4]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FlashSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}
+
+#[cfg(test)]
+mod format_tests {
+    use super::*;
+
+    #[test]
+    fn format_flag_parses() {
+        let o = parse_args(["--builtin", "--format", "json", "a.c"].map(String::from)).unwrap();
+        assert!(o.json);
+        let o = parse_args(["--builtin", "--format", "text", "a.c"].map(String::from)).unwrap();
+        assert!(!o.json);
+        assert!(parse_args(["--builtin", "--format", "xml", "a.c"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let r = mc_driver::Report::error("c", "f.c", "g", mc_ast::Span::new(3, 4), "m");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"line\":3"));
+        let back: mc_driver::Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,46 @@
+//! `mcheck` — check FLASH-style protocol C with metal and built-in
+//! checkers from the command line. See [`mc_cli::USAGE`].
+
+use mc_driver::Severity;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = match mc_cli::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match mc_cli::run(&opts) {
+        Ok(reports) => {
+            let errors = reports
+                .iter()
+                .filter(|r| r.severity == Severity::Error)
+                .count();
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&reports).expect("reports serialize")
+                );
+            } else {
+                for r in &reports {
+                    println!("{r}");
+                }
+            }
+            if opts.emit_corpus.is_some() {
+                println!("corpus written");
+                ExitCode::SUCCESS
+            } else if errors > 0 {
+                eprintln!("\n{errors} error(s), {} report(s)", reports.len());
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

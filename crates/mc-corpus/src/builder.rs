@@ -1,0 +1,165 @@
+//! Low-level source construction: a tiny builder that accumulates the body
+//! of one C function and renders it with the FLASH prologue conventions.
+
+/// How a routine is rendered (hooks, classification prefix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FnKind {
+    /// Hardware handler: `HANDLER_DEFS(); HANDLER_PROLOGUE();`.
+    Hardware,
+    /// Software handler: `SWHANDLER_DEFS(); SWHANDLER_PROLOGUE();`.
+    Software,
+    /// Ordinary procedure: `PROC_DEFS(); PROC_PROLOGUE();`.
+    Procedure,
+}
+
+/// Accumulates one function body.
+#[derive(Debug, Clone)]
+pub struct FuncBuf {
+    /// Function name.
+    pub name: String,
+    /// Kind (decides the hooks).
+    pub kind: FnKind,
+    /// Return type (only procedures ever deviate from `void`).
+    pub ret: &'static str,
+    /// When `true`, the simulator hooks are omitted (planting a Table 5
+    /// violation).
+    pub omit_hooks: bool,
+    body: Vec<String>,
+    /// Number of local declarations emitted (the Table 5 "Vars" metric).
+    pub decls: usize,
+    indent: usize,
+}
+
+impl FuncBuf {
+    /// Starts a function of the given kind.
+    pub fn new(name: impl Into<String>, kind: FnKind) -> FuncBuf {
+        FuncBuf {
+            name: name.into(),
+            kind,
+            ret: "void",
+            omit_hooks: false,
+            body: Vec::new(),
+            decls: 0,
+            indent: 1,
+        }
+    }
+
+    /// Appends one body line at the current indentation.
+    pub fn line(&mut self, s: impl Into<String>) -> &mut Self {
+        let pad = "    ".repeat(self.indent);
+        self.body.push(format!("{pad}{}", s.into()));
+        self
+    }
+
+    /// Appends a local declaration `int name = init;`, counting it.
+    pub fn decl(&mut self, name: &str, init: &str) -> &mut Self {
+        self.decls += 1;
+        self.line(format!("int {name} = {init};"))
+    }
+
+    /// Opens a block: writes `header {` and indents.
+    pub fn open(&mut self, header: &str) -> &mut Self {
+        self.line(format!("{header} {{"));
+        self.indent += 1;
+        self
+    }
+
+    /// Closes the innermost block.
+    pub fn close(&mut self) -> &mut Self {
+        self.indent -= 1;
+        self.line("}")
+    }
+
+    /// Closes with an `else {` continuation.
+    pub fn else_open(&mut self) -> &mut Self {
+        self.indent -= 1;
+        self.line("} else {");
+        self.indent += 1;
+        self
+    }
+
+    /// Current number of body lines.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether the body is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Renders the complete function definition.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} {}(void)\n{{\n", self.ret, self.name));
+        if !self.omit_hooks {
+            let (defs, prologue) = match self.kind {
+                FnKind::Hardware => ("HANDLER_DEFS", "HANDLER_PROLOGUE"),
+                FnKind::Software => ("SWHANDLER_DEFS", "SWHANDLER_PROLOGUE"),
+                FnKind::Procedure => ("PROC_DEFS", "PROC_PROLOGUE"),
+            };
+            out.push_str(&format!("    {defs}();\n    {prologue}();\n"));
+        }
+        for l in &self.body {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_hooks_and_body() {
+        let mut f = FuncBuf::new("NITest", FnKind::Hardware);
+        f.decl("x", "0");
+        f.open("if (x)");
+        f.line("x = 1;");
+        f.close();
+        let src = f.render();
+        assert!(src.starts_with("void NITest(void)"));
+        assert!(src.contains("HANDLER_DEFS();"));
+        assert!(src.contains("    int x = 0;"));
+        assert!(src.contains("    if (x) {"));
+        assert_eq!(f.decls, 1);
+        // And it parses.
+        let tu = mc_ast::parse_translation_unit(&src, "t.c").unwrap();
+        assert_eq!(tu.functions().count(), 1);
+    }
+
+    #[test]
+    fn omit_hooks_flag() {
+        let f = FuncBuf::new("NIBad", FnKind::Hardware);
+        let mut f = f;
+        f.omit_hooks = true;
+        f.line("x = 1;");
+        assert!(!f.render().contains("HANDLER_DEFS"));
+    }
+
+    #[test]
+    fn else_blocks_render() {
+        let mut f = FuncBuf::new("p_helper", FnKind::Procedure);
+        f.open("if (a)");
+        f.line("b();");
+        f.else_open();
+        f.line("c();");
+        f.close();
+        let src = f.render();
+        assert!(src.contains("} else {"));
+        mc_ast::parse_translation_unit(&src, "t.c").unwrap();
+    }
+
+    #[test]
+    fn procedure_ret_type() {
+        let mut f = FuncBuf::new("cf_release", FnKind::Procedure);
+        f.ret = "int";
+        f.line("return 0;");
+        let src = f.render();
+        assert!(src.starts_with("int cf_release(void)"));
+        mc_ast::parse_translation_unit(&src, "t.c").unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! Joining checker reports against the planted-defect manifest.
+//!
+//! This is the evaluation harness behind the table reproductions: each
+//! report is attributed to the planted item in the same `(checker,
+//! function)` slot; reports with no slot are *unexpected* (in a correct
+//! reproduction there are none), and planted items that received fewer
+//! reports than expected are *missed*.
+
+use crate::{Planted, PlantedKind, Protocol};
+use mc_driver::Report;
+use std::collections::BTreeMap;
+
+/// The outcome of evaluating one protocol's reports against its manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Outcome {
+    /// Planted items with the number of reports attributed to each.
+    pub matched: Vec<(Planted, usize)>,
+    /// Planted items that received fewer reports than expected.
+    pub missed: Vec<Planted>,
+    /// Reports that match no planted item.
+    pub unexpected: Vec<Report>,
+}
+
+impl Outcome {
+    /// Total reports attributed to planted items of the given kind and
+    /// checker (empty checker matches all).
+    pub fn reports_of(&self, checker: &str, kind: PlantedKind) -> usize {
+        self.matched
+            .iter()
+            .filter(|(p, _)| p.kind == kind && (checker.is_empty() || p.checker == checker))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Whether every planted item was fully found and nothing unexpected
+    /// was reported.
+    pub fn is_exact(&self) -> bool {
+        self.missed.is_empty() && self.unexpected.is_empty()
+    }
+}
+
+/// Evaluates `reports` (from running the checker suite over `protocol`)
+/// against the protocol's manifest.
+pub fn evaluate(protocol: &Protocol, reports: &[Report]) -> Outcome {
+    // Group reports by (checker, function).
+    let mut by_slot: BTreeMap<(String, String), Vec<Report>> = BTreeMap::new();
+    for r in reports {
+        by_slot
+            .entry((r.checker.clone(), r.function.clone()))
+            .or_default()
+            .push(r.clone());
+    }
+    let mut out = Outcome::default();
+    for planted in &protocol.manifest {
+        let key = (planted.checker.clone(), planted.function.clone());
+        let got = by_slot.remove(&key).unwrap_or_default();
+        let n = got.len();
+        if n < planted.expected_reports {
+            out.missed.push(planted.clone());
+        }
+        out.matched
+            .push((planted.clone(), n.min(planted.expected_reports)));
+        // Surplus reports in a planted slot are unexpected.
+        if n > planted.expected_reports {
+            out.unexpected
+                .extend(got.into_iter().skip(planted.expected_reports));
+        }
+    }
+    for (_, rest) in by_slot {
+        out.unexpected.extend(rest);
+    }
+    out
+}
+
+/// Per-checker error / false-positive tallies for one protocol, in the
+/// shape of the paper's tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Reports attributed to planted bugs.
+    pub errors: usize,
+    /// Reports attributed to planted false positives.
+    pub false_positives: usize,
+    /// Reports attributed to minor violations.
+    pub minor: usize,
+    /// Reports with no planted counterpart (should be zero).
+    pub unexpected: usize,
+}
+
+/// Tallies the outcome for one checker.
+pub fn tally(outcome: &Outcome, checker: &str) -> Tally {
+    Tally {
+        errors: outcome.reports_of(checker, PlantedKind::Bug)
+            + outcome.reports_of(checker, PlantedKind::Incident),
+        false_positives: outcome.reports_of(checker, PlantedKind::FalsePositive),
+        minor: outcome.reports_of(checker, PlantedKind::Minor),
+        unexpected: outcome
+            .unexpected
+            .iter()
+            .filter(|r| r.checker == checker)
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::Span;
+
+    fn planted(checker: &str, function: &str, kind: PlantedKind, n: usize) -> Planted {
+        Planted {
+            checker: checker.into(),
+            file: "f.c".into(),
+            function: function.into(),
+            kind,
+            expected_reports: n,
+            note: String::new(),
+        }
+    }
+
+    fn report(checker: &str, function: &str) -> Report {
+        Report::error(checker, "f.c", function, Span::new(1, 1), "m")
+    }
+
+    fn proto(manifest: Vec<Planted>) -> Protocol {
+        Protocol {
+            name: "t".into(),
+            files: vec![],
+            spec: Default::default(),
+            manifest,
+        }
+    }
+
+    #[test]
+    fn exact_match() {
+        let p = proto(vec![planted("c1", "f1", PlantedKind::Bug, 1)]);
+        let out = evaluate(&p, &[report("c1", "f1")]);
+        assert!(out.is_exact());
+        assert_eq!(out.reports_of("c1", PlantedKind::Bug), 1);
+    }
+
+    #[test]
+    fn missed_detection() {
+        let p = proto(vec![planted("c1", "f1", PlantedKind::Bug, 1)]);
+        let out = evaluate(&p, &[]);
+        assert_eq!(out.missed.len(), 1);
+        assert!(!out.is_exact());
+    }
+
+    #[test]
+    fn unexpected_report() {
+        let p = proto(vec![]);
+        let out = evaluate(&p, &[report("c1", "somewhere")]);
+        assert_eq!(out.unexpected.len(), 1);
+    }
+
+    #[test]
+    fn surplus_in_slot_is_unexpected() {
+        let p = proto(vec![planted("c1", "f1", PlantedKind::FalsePositive, 1)]);
+        let out = evaluate(&p, &[report("c1", "f1"), report("c1", "f1")]);
+        // Reports are deduplicated upstream normally; here two identical
+        // ones: one matches, one is surplus.
+        assert_eq!(out.unexpected.len(), 1);
+        assert_eq!(out.reports_of("c1", PlantedKind::FalsePositive), 1);
+    }
+
+    #[test]
+    fn tally_separates_kinds() {
+        let p = proto(vec![
+            planted("c1", "f1", PlantedKind::Bug, 1),
+            planted("c1", "f2", PlantedKind::FalsePositive, 2),
+            planted("c1", "f3", PlantedKind::Minor, 1),
+        ]);
+        let out = evaluate(
+            &p,
+            &[
+                report("c1", "f1"),
+                report("c1", "f2"),
+                report("c1", "f2"),
+                report("c1", "f3"),
+            ],
+        );
+        let t = tally(&out, "c1");
+        assert_eq!(t.errors, 1);
+        assert_eq!(t.false_positives, 2);
+        assert_eq!(t.minor, 1);
+        assert_eq!(t.unexpected, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! # mc-corpus
+//!
+//! A deterministic synthetic stand-in for the (proprietary) Stanford FLASH
+//! protocol sources: five cache-coherence protocols plus shared common
+//! code, written in the FLASH macro vocabulary, with bugs, false-positive
+//! triggers, and suppression annotations **seeded at exactly the
+//! per-protocol counts the paper reports** in Tables 2–6 and §7.
+//!
+//! Each generated [`Protocol`] carries:
+//!
+//! * `files` — compilable C sources in the [`mc_checkers::flash`] idiom,
+//! * `spec` — the [`mc_checkers::flash::FlashSpec`] tables (handler
+//!   classification, lane quotas, routine tables) the checkers consult,
+//! * `manifest` — the ground truth: every planted defect with the checker
+//!   expected to find it and the number of reports it should produce.
+//!
+//! The [`eval`] module joins checker reports against the manifest, which is
+//! how the table reproductions classify reports into errors and false
+//! positives (and how the integration tests prove the checkers find all
+//! planted defects and nothing else).
+//!
+//! # Example
+//!
+//! ```
+//! use mc_corpus::{generate, plan::plan_for, DEFAULT_SEED};
+//!
+//! let proto = generate(plan_for("bitvector").unwrap(), DEFAULT_SEED);
+//! assert_eq!(proto.name, "bitvector");
+//! assert!(proto.manifest.iter().any(|p| p.checker == "wait_for_db"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod eval;
+mod generate;
+pub mod plan;
+
+pub use builder::{FnKind, FuncBuf};
+pub use generate::{generate, generate_all, DEFAULT_SEED};
+
+use mc_checkers::flash::FlashSpec;
+
+/// One generated source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// File name (e.g. `bitvector_ni.c`).
+    pub name: String,
+    /// Complete C source text.
+    pub source: String,
+}
+
+/// How a planted item should be accounted in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlantedKind {
+    /// A real defect the checker must report (an "Errors" column entry).
+    Bug,
+    /// A construct that provokes a report which is not a real defect (a
+    /// "False Pos" / "Useless" column entry).
+    FalsePositive,
+    /// A technically-real violation in unreachable or legacy code (the
+    /// "Minor" column of Table 4).
+    Minor,
+    /// A planted `has_buffer()` / `no_free_needed()` suppression call (the
+    /// "Useful" column of Table 4); produces no report.
+    Annotation,
+    /// A violation the checker deliberately does not report (e.g. inside a
+    /// `FATAL_ERROR` stub).
+    Suppressed,
+    /// The §11 manual-refcount call found by the post-incident check.
+    Incident,
+}
+
+/// Ground truth for one planted item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Planted {
+    /// Name of the checker expected to react (report name).
+    pub checker: String,
+    /// File containing the planted function.
+    pub file: String,
+    /// The planted function (one planted item per function).
+    pub function: String,
+    /// Accounting class.
+    pub kind: PlantedKind,
+    /// Number of reports the checker should produce for it.
+    pub expected_reports: usize,
+    /// Human-readable description, mirroring the paper's anecdotes.
+    pub note: String,
+}
+
+/// A complete generated protocol.
+#[derive(Debug, Clone)]
+pub struct Protocol {
+    /// Protocol name (`bitvector`, `dyn_ptr`, `sci`, `coma`, `rac`,
+    /// `common`).
+    pub name: String,
+    /// Generated sources.
+    pub files: Vec<SourceFile>,
+    /// Checker tables for this protocol.
+    pub spec: FlashSpec,
+    /// Ground-truth manifest of planted items.
+    pub manifest: Vec<Planted>,
+}
+
+impl Protocol {
+    /// Total generated lines of code (the Table 1 LOC metric).
+    pub fn loc(&self) -> usize {
+        self.files.iter().map(|f| f.source.lines().count()).sum()
+    }
+
+    /// The sources as `(source, file-name)` pairs for
+    /// [`mc_driver::Driver::check_sources`].
+    pub fn sources(&self) -> Vec<(String, String)> {
+        self.files
+            .iter()
+            .map(|f| (f.source.clone(), f.name.clone()))
+            .collect()
+    }
+}

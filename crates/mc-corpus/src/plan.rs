@@ -1,0 +1,354 @@
+//! The per-protocol generation plan: structural targets from Table 1/5 and
+//! the planted-defect quotas from Tables 2–6 and §7 of the paper.
+//!
+//! Every number here is taken directly from the paper so the regenerated
+//! tables can be compared one-to-one. The generator treats the *operation
+//! quotas* (reads, sends, allocations, directory operations, send-waits)
+//! and the *planted-defect counts* as exact; lines of code and path counts
+//! are structural targets it approximates.
+
+/// The names of the five protocols plus the shared code, in table order.
+pub const PROTOCOL_NAMES: [&str; 6] = ["bitvector", "dyn_ptr", "sci", "coma", "rac", "common"];
+
+/// Structural and quota plan for one protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoPlan {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Table 1: lines of code target.
+    pub loc: usize,
+    /// Table 5: routines (handlers + procedures).
+    pub routines: usize,
+    /// Table 5: declared variables.
+    pub vars: usize,
+    /// Table 2 "Applied": `MISCBUS_READ_DB` occurrences.
+    pub reads: usize,
+    /// Table 3 "Applied": total send occurrences.
+    pub sends: usize,
+    /// Table 6 "Applied": `DB_ALLOC` occurrences.
+    pub allocs: usize,
+    /// Table 6 "Applied": directory operations.
+    pub dir_ops: usize,
+    /// Table 6 "Applied": waited sends plus wait calls.
+    pub send_waits: usize,
+
+    // ---- planted defects ----
+    /// Table 2: buffer-race bugs.
+    pub race_bugs: usize,
+    /// Table 2: buffer-race false positives (intentional debug reads).
+    pub race_fps: usize,
+    /// Table 3: message-length bugs.
+    pub msglen_bugs: usize,
+    /// Table 3: message-length false positives (run-time selected sends;
+    /// each planted site yields two reports and counts as two).
+    pub msglen_fps: usize,
+    /// Table 4: buffer-management bugs (double frees / leaks).
+    pub buf_bugs: usize,
+    /// Table 4: of `buf_bugs`, how many are leaks (the rest double frees).
+    pub buf_bug_leaks: usize,
+    /// Table 4: minor violations (unreachable/legacy code).
+    pub buf_minor: usize,
+    /// Table 4: useful annotations to plant (`has_buffer`, `no_free_needed`).
+    pub buf_annotations: usize,
+    /// Table 4: useless-annotation (false-positive) reports. Correlated
+    /// branch sites yield two reports each; data-dependent frees one.
+    pub buf_fps: usize,
+    /// Table 5: routines with missing simulator hooks (reported).
+    pub hook_bugs: usize,
+    /// Table 5: hook violations inside unimplemented (`FATAL_ERROR`)
+    /// routines — present in the code but not reported.
+    pub hook_suppressed: usize,
+    /// §7: lane-quota bugs.
+    pub lane_bugs: usize,
+    /// Table 6: allocation-check false positives (debug prints).
+    pub alloc_fps: usize,
+    /// Table 6: directory bugs.
+    pub dir_bugs: usize,
+    /// Table 6 §9.1: directory FPs from un-annotated write-back helpers.
+    pub dir_fp_subroutine: usize,
+    /// Table 6 §9.1: directory FPs from speculative back-out without NAK.
+    pub dir_fp_speculative: usize,
+    /// Table 6 §9.1: directory FPs from explicit address computation.
+    pub dir_fp_abstraction: usize,
+    /// Table 6: send-wait false positives (manual status-register spins).
+    pub sw_fps: usize,
+    /// §11: manual refcount-increment calls (exactly one in all of FLASH).
+    pub refcount_incidents: usize,
+}
+
+/// The six plans, in [`PROTOCOL_NAMES`] order.
+pub const PLANS: [ProtoPlan; 6] = [
+    ProtoPlan {
+        name: "bitvector",
+        loc: 10_386,
+        routines: 168,
+        vars: 489,
+        reads: 14,
+        sends: 205,
+        allocs: 17,
+        dir_ops: 214,
+        send_waits: 32,
+        race_bugs: 4,
+        race_fps: 0,
+        msglen_bugs: 3,
+        msglen_fps: 0,
+        buf_bugs: 2,
+        buf_bug_leaks: 0,
+        buf_minor: 1,
+        buf_annotations: 0,
+        buf_fps: 1,
+        hook_bugs: 2,
+        hook_suppressed: 0,
+        lane_bugs: 1,
+        alloc_fps: 0,
+        dir_bugs: 1,
+        dir_fp_subroutine: 1,
+        dir_fp_speculative: 0,
+        dir_fp_abstraction: 2,
+        sw_fps: 2,
+        refcount_incidents: 1,
+    },
+    ProtoPlan {
+        name: "dyn_ptr",
+        loc: 18_438,
+        routines: 227,
+        vars: 768,
+        reads: 16,
+        sends: 316,
+        allocs: 19,
+        dir_ops: 382,
+        send_waits: 38,
+        race_bugs: 0,
+        race_fps: 0,
+        msglen_bugs: 7,
+        msglen_fps: 0,
+        buf_bugs: 2,
+        buf_bug_leaks: 0,
+        buf_minor: 2,
+        buf_annotations: 3,
+        buf_fps: 3,
+        hook_bugs: 4,
+        hook_suppressed: 0,
+        lane_bugs: 1,
+        alloc_fps: 2,
+        dir_bugs: 0,
+        dir_fp_subroutine: 4,
+        dir_fp_speculative: 1,
+        dir_fp_abstraction: 8,
+        sw_fps: 2,
+        refcount_incidents: 0,
+    },
+    ProtoPlan {
+        name: "sci",
+        loc: 11_473,
+        routines: 214,
+        vars: 794,
+        reads: 2,
+        sends: 308,
+        allocs: 5,
+        dir_ops: 88,
+        send_waits: 11,
+        race_bugs: 0,
+        race_fps: 0,
+        msglen_bugs: 0,
+        msglen_fps: 0,
+        buf_bugs: 3,
+        buf_bug_leaks: 1,
+        buf_minor: 2,
+        buf_annotations: 10,
+        buf_fps: 10,
+        hook_bugs: 0,
+        hook_suppressed: 3,
+        lane_bugs: 0,
+        alloc_fps: 0,
+        dir_bugs: 0,
+        dir_fp_subroutine: 0,
+        dir_fp_speculative: 0,
+        dir_fp_abstraction: 1,
+        sw_fps: 0,
+        refcount_incidents: 0,
+    },
+    ProtoPlan {
+        name: "coma",
+        loc: 17_031,
+        routines: 193,
+        vars: 648,
+        reads: 0,
+        sends: 302,
+        allocs: 32,
+        dir_ops: 659,
+        send_waits: 7,
+        race_bugs: 0,
+        race_fps: 0,
+        msglen_bugs: 0,
+        msglen_fps: 2,
+        buf_bugs: 0,
+        buf_bug_leaks: 0,
+        buf_minor: 0,
+        buf_annotations: 0,
+        buf_fps: 0,
+        hook_bugs: 3,
+        hook_suppressed: 0,
+        lane_bugs: 0,
+        alloc_fps: 0,
+        dir_bugs: 0,
+        dir_fp_subroutine: 5,
+        dir_fp_speculative: 0,
+        dir_fp_abstraction: 0,
+        sw_fps: 0,
+        refcount_incidents: 0,
+    },
+    ProtoPlan {
+        name: "rac",
+        loc: 14_396,
+        routines: 200,
+        vars: 668,
+        reads: 10,
+        sends: 346,
+        allocs: 20,
+        dir_ops: 424,
+        send_waits: 35,
+        race_bugs: 0,
+        race_fps: 0,
+        msglen_bugs: 8,
+        msglen_fps: 0,
+        buf_bugs: 2,
+        buf_bug_leaks: 0,
+        buf_minor: 0,
+        buf_annotations: 2,
+        buf_fps: 4,
+        hook_bugs: 2,
+        hook_suppressed: 0,
+        lane_bugs: 0,
+        alloc_fps: 0,
+        dir_bugs: 0,
+        dir_fp_subroutine: 4,
+        dir_fp_speculative: 2,
+        dir_fp_abstraction: 3,
+        sw_fps: 2,
+        refcount_incidents: 0,
+    },
+    ProtoPlan {
+        name: "common",
+        loc: 8_783,
+        routines: 62,
+        vars: 398,
+        reads: 17,
+        sends: 73,
+        allocs: 4,
+        dir_ops: 1,
+        send_waits: 2,
+        race_bugs: 0,
+        race_fps: 1,
+        msglen_bugs: 0,
+        msglen_fps: 0,
+        buf_bugs: 0,
+        buf_bug_leaks: 0,
+        buf_minor: 1,
+        buf_annotations: 3,
+        buf_fps: 7,
+        hook_bugs: 0,
+        hook_suppressed: 0,
+        lane_bugs: 0,
+        alloc_fps: 0,
+        dir_bugs: 0,
+        dir_fp_subroutine: 0,
+        dir_fp_speculative: 0,
+        dir_fp_abstraction: 0,
+        sw_fps: 2,
+        refcount_incidents: 0,
+    },
+];
+
+/// Looks up the plan for a protocol.
+pub fn plan_for(name: &str) -> Option<&'static ProtoPlan> {
+    PLANS.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_headlines() {
+        let total_bugs: usize = PLANS
+            .iter()
+            .map(|p| {
+                p.race_bugs
+                    + p.msglen_bugs
+                    + p.buf_bugs
+                    + p.hook_bugs
+                    + p.lane_bugs
+                    + p.dir_bugs
+            })
+            .sum();
+        // Table 7: 34 bugs total (9 buffer mgmt + 18 msglen + 2 lanes +
+        // 4 race + 0 alloc + 1 directory + 0 send-wait + 11 exec... the
+        // paper's Table 7 counts exec-restriction hook omissions under
+        // "Execution-restriction: 0" and lists them in Table 5 separately;
+        // its 34 = 9 + 18 + 2 + 4 + 0 + 1 + 0 + 0. Our plan plants the 11
+        // hook omissions as well, so the grand planted-bug total is 45,
+        // of which the Table 7 accounting covers 34.
+        assert_eq!(total_bugs, 34 + 11);
+        let table7_bugs: usize = PLANS
+            .iter()
+            .map(|p| p.race_bugs + p.msglen_bugs + p.buf_bugs + p.lane_bugs + p.dir_bugs)
+            .sum();
+        assert_eq!(table7_bugs, 34);
+    }
+
+    #[test]
+    fn table2_applied_total() {
+        let reads: usize = PLANS.iter().map(|p| p.reads).sum();
+        assert_eq!(reads, 59);
+    }
+
+    #[test]
+    fn table3_totals() {
+        assert_eq!(PLANS.iter().map(|p| p.msglen_bugs).sum::<usize>(), 18);
+        assert_eq!(PLANS.iter().map(|p| p.msglen_fps).sum::<usize>(), 2);
+        assert_eq!(PLANS.iter().map(|p| p.sends).sum::<usize>(), 1550);
+    }
+
+    #[test]
+    fn table4_totals() {
+        assert_eq!(PLANS.iter().map(|p| p.buf_bugs).sum::<usize>(), 9);
+        assert_eq!(PLANS.iter().map(|p| p.buf_minor).sum::<usize>(), 6);
+        assert_eq!(PLANS.iter().map(|p| p.buf_annotations).sum::<usize>(), 18);
+        assert_eq!(PLANS.iter().map(|p| p.buf_fps).sum::<usize>(), 25);
+    }
+
+    #[test]
+    fn table5_totals() {
+        assert_eq!(PLANS.iter().map(|p| p.hook_bugs).sum::<usize>(), 11);
+        assert_eq!(PLANS.iter().map(|p| p.routines).sum::<usize>(), 1064);
+        assert_eq!(PLANS.iter().map(|p| p.vars).sum::<usize>(), 3765);
+    }
+
+    #[test]
+    fn table6_totals() {
+        assert_eq!(PLANS.iter().map(|p| p.alloc_fps).sum::<usize>(), 2);
+        assert_eq!(PLANS.iter().map(|p| p.allocs).sum::<usize>(), 97);
+        let dir_fps: usize = PLANS
+            .iter()
+            .map(|p| p.dir_fp_subroutine + p.dir_fp_speculative + p.dir_fp_abstraction)
+            .sum();
+        assert_eq!(dir_fps, 31);
+        assert_eq!(PLANS.iter().map(|p| p.dir_bugs).sum::<usize>(), 1);
+        assert_eq!(PLANS.iter().map(|p| p.dir_ops).sum::<usize>(), 1768);
+        assert_eq!(PLANS.iter().map(|p| p.sw_fps).sum::<usize>(), 8);
+        assert_eq!(PLANS.iter().map(|p| p.send_waits).sum::<usize>(), 125);
+    }
+
+    #[test]
+    fn lanes_and_incidents() {
+        assert_eq!(PLANS.iter().map(|p| p.lane_bugs).sum::<usize>(), 2);
+        assert_eq!(PLANS.iter().map(|p| p.refcount_incidents).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn loc_total_roughly_80k() {
+        let loc: usize = PLANS.iter().map(|p| p.loc).sum();
+        assert_eq!(loc, 80_507);
+    }
+}

@@ -1,0 +1,44 @@
+//! Property test: manifest exactness is seed-independent. Whatever seed
+//! the generator runs with, the checker suite finds every planted defect
+//! and nothing else.
+
+use mc_checkers::all_checkers;
+use mc_corpus::eval::evaluate;
+use mc_corpus::{generate, plan::plan_for};
+use mc_driver::Driver;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case checks an ~10 kLOC protocol; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn bitvector_manifest_exact_for_any_seed(seed in any::<u64>()) {
+        let proto = generate(plan_for("bitvector").unwrap(), seed);
+        let mut driver = Driver::new();
+        all_checkers(&mut driver, &proto.spec).unwrap();
+        let reports = driver.check_sources(&proto.sources()).unwrap();
+        let outcome = evaluate(&proto, &reports);
+        prop_assert!(outcome.missed.is_empty(), "missed: {:#?}", outcome.missed);
+        prop_assert!(
+            outcome.unexpected.is_empty(),
+            "unexpected: {:#?}",
+            outcome.unexpected.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sci_manifest_exact_for_any_seed(seed in any::<u64>()) {
+        let proto = generate(plan_for("sci").unwrap(), seed);
+        let mut driver = Driver::new();
+        all_checkers(&mut driver, &proto.spec).unwrap();
+        let reports = driver.check_sources(&proto.sources()).unwrap();
+        let outcome = evaluate(&proto, &reports);
+        prop_assert!(outcome.missed.is_empty());
+        prop_assert!(
+            outcome.unexpected.is_empty(),
+            "unexpected: {:#?}",
+            outcome.unexpected.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The checker driver.
+
+use crate::report::Report;
+use mc_ast::{parse_translation_unit, Function, ParseError, TranslationUnit};
+use mc_cfg::{run_machine, Cfg, Mode};
+use mc_metal::{MetalMachine, MetalParseError, MetalProgram, MetalReport};
+use std::fmt;
+
+/// An error from driving a check run.
+#[derive(Debug)]
+pub enum DriverError {
+    /// A source file failed to parse.
+    Parse(ParseError),
+    /// A metal program failed to parse.
+    Metal(MetalParseError),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Parse(e) => write!(f, "{e}"),
+            DriverError::Metal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<ParseError> for DriverError {
+    fn from(e: ParseError) -> Self {
+        DriverError::Parse(e)
+    }
+}
+
+impl From<MetalParseError> for DriverError {
+    fn from(e: MetalParseError) -> Self {
+        DriverError::Metal(e)
+    }
+}
+
+/// Everything a per-function checker may inspect.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionContext<'a> {
+    /// File the function is defined in.
+    pub file: &'a str,
+    /// The whole translation unit (for prototypes, globals, structs).
+    pub unit: &'a TranslationUnit,
+    /// The function being checked.
+    pub function: &'a Function,
+    /// Its control-flow graph.
+    pub cfg: &'a Cfg,
+}
+
+/// Everything a whole-program checker may inspect, after all per-function
+/// passes ran.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramContext<'a> {
+    /// All parsed units of the protocol, in input order.
+    pub units: &'a [TranslationUnit],
+}
+
+impl ProgramContext<'_> {
+    /// Iterates over every function definition in the program with its file.
+    pub fn functions(&self) -> impl Iterator<Item = (&str, &Function)> {
+        self.units
+            .iter()
+            .flat_map(|u| u.functions().map(move |f| (u.file.as_str(), f)))
+    }
+}
+
+/// A native checker extension.
+///
+/// Implementations get a per-function hook and an optional whole-program
+/// hook that runs after every function has been seen (the paper's two-pass
+/// emit-and-link global framework; see [`crate::global`]).
+pub trait Checker {
+    /// Short name used in reports (e.g. `"buffer_mgmt"`).
+    fn name(&self) -> &str;
+
+    /// Checks one function.
+    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>);
+
+    /// Checks the whole program after all functions were visited.
+    fn check_program(&mut self, ctx: &ProgramContext<'_>, sink: &mut Vec<Report>) {
+        let _ = (ctx, sink);
+    }
+}
+
+/// The analysis driver: a set of checkers plus traversal settings.
+pub struct Driver {
+    metal: Vec<MetalProgram>,
+    native: Vec<Box<dyn Checker>>,
+    /// Path traversal mode used for metal machines.
+    pub mode: Mode,
+}
+
+impl fmt::Debug for Driver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Driver")
+            .field("metal", &self.metal.iter().map(|m| &m.name).collect::<Vec<_>>())
+            .field("native", &self.native.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver::new()
+    }
+}
+
+impl Driver {
+    /// Creates a driver with no checkers, using state-set traversal.
+    pub fn new() -> Driver {
+        Driver {
+            metal: Vec::new(),
+            native: Vec::new(),
+            mode: Mode::StateSet,
+        }
+    }
+
+    /// Registers a metal checker.
+    pub fn add_metal_checker(&mut self, prog: MetalProgram) -> &mut Self {
+        self.metal.push(prog);
+        self
+    }
+
+    /// Parses and registers a metal checker from source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Metal`] if the program does not parse.
+    pub fn add_metal_source(&mut self, src: &str) -> Result<&mut Self, DriverError> {
+        self.metal.push(MetalProgram::parse(src)?);
+        Ok(self)
+    }
+
+    /// Registers a native checker extension.
+    pub fn add_checker(&mut self, checker: Box<dyn Checker>) -> &mut Self {
+        self.native.push(checker);
+        self
+    }
+
+    /// Number of registered checkers (metal + native).
+    pub fn checker_count(&self) -> usize {
+        self.metal.len() + self.native.len()
+    }
+
+    /// Checks a single source string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Parse`] if the source does not parse.
+    pub fn check_source(&mut self, src: &str, file: &str) -> Result<Vec<Report>, DriverError> {
+        self.check_sources(&[(src.to_string(), file.to_string())])
+    }
+
+    /// Checks a set of `(source, file-name)` pairs as one program.
+    ///
+    /// All per-function checks run first (metal and native), then each
+    /// native checker's whole-program pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Parse`] on the first file that fails to parse.
+    pub fn check_sources(
+        &mut self,
+        sources: &[(String, String)],
+    ) -> Result<Vec<Report>, DriverError> {
+        let mut units = Vec::new();
+        for (src, file) in sources {
+            units.push(parse_translation_unit(src, file)?);
+        }
+        Ok(self.check_units(&units))
+    }
+
+    /// Checks already-parsed translation units as one program.
+    pub fn check_units(&mut self, units: &[TranslationUnit]) -> Vec<Report> {
+        let mut reports = Vec::new();
+        for unit in units {
+            for function in unit.functions() {
+                let cfg = Cfg::build(function);
+                let ctx = FunctionContext {
+                    file: &unit.file,
+                    unit,
+                    function,
+                    cfg: &cfg,
+                };
+                for prog in &self.metal {
+                    let mut machine = MetalMachine::new(prog);
+                    let init = machine.start_state();
+                    run_machine(&cfg, &mut machine, init, self.mode);
+                    reports.extend(machine.reports.iter().map(|r| {
+                        convert_metal_report(r, &unit.file, &function.name)
+                    }));
+                }
+                for checker in &mut self.native {
+                    checker.check_function(&ctx, &mut reports);
+                }
+            }
+        }
+        let ctx = ProgramContext { units };
+        for checker in &mut self.native {
+            checker.check_program(&ctx, &mut reports);
+        }
+        reports.sort();
+        reports.dedup();
+        reports
+    }
+}
+
+fn convert_metal_report(r: &MetalReport, file: &str, function: &str) -> Report {
+    if r.is_error {
+        Report::error(&r.sm_name, file, function, r.span, &r.message)
+    } else {
+        Report::warning(&r.sm_name, file, function, r.span, &r.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Severity;
+    use mc_ast::Span;
+
+    const SM: &str = r#"
+        sm wait_for_db {
+            decl { scalar } addr, buf;
+            start:
+                { WAIT_FOR_DB_FULL(addr); } ==> stop
+              | { MISCBUS_READ_DB(addr, buf); } ==> { err("Buffer not synchronized"); }
+            ;
+        }
+    "#;
+
+    #[test]
+    fn metal_checker_via_driver() {
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        let reports = d
+            .check_source("void h(void) { MISCBUS_READ_DB(a, b); }", "h.c")
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].checker, "wait_for_db");
+        assert_eq!(reports[0].function, "h");
+        assert_eq!(reports[0].file, "h.c");
+        assert_eq!(reports[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn multiple_files_one_program() {
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        let reports = d
+            .check_sources(&[
+                ("void a(void) { MISCBUS_READ_DB(a, b); }".into(), "a.c".into()),
+                ("void b(void) { WAIT_FOR_DB_FULL(x); MISCBUS_READ_DB(x, y); }".into(), "b.c".into()),
+            ])
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].file, "a.c");
+    }
+
+    /// A native checker that flags functions with more than `max` returns.
+    struct ReturnCounter {
+        max: usize,
+        program_calls: usize,
+    }
+
+    impl Checker for ReturnCounter {
+        fn name(&self) -> &str {
+            "return_counter"
+        }
+        fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+            let exits = ctx.cfg.exits().len();
+            if exits > self.max {
+                sink.push(Report::error(
+                    self.name(),
+                    ctx.file,
+                    &ctx.function.name,
+                    ctx.function.span,
+                    format!("{exits} exits, max {}", self.max),
+                ));
+            }
+        }
+        fn check_program(&mut self, _: &ProgramContext<'_>, _: &mut Vec<Report>) {
+            self.program_calls += 1;
+        }
+    }
+
+    #[test]
+    fn native_checker_and_program_pass() {
+        let mut d = Driver::new();
+        d.add_checker(Box::new(ReturnCounter { max: 1, program_calls: 0 }));
+        let reports = d
+            .check_source(
+                "void ok(void) { a(); }\nvoid bad(void) { if (x) { return; } b(); }",
+                "t.c",
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].function, "bad");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut d = Driver::new();
+        let err = d.check_source("void broken( {", "bad.c").unwrap_err();
+        assert!(matches!(err, DriverError::Parse(_)));
+    }
+
+    #[test]
+    fn bad_metal_source_rejected() {
+        let mut d = Driver::new();
+        assert!(d.add_metal_source("sm broken {").is_err());
+    }
+
+    #[test]
+    fn reports_sorted_and_deduped() {
+        let a = Report::error("c", "f.c", "g", Span::new(5, 1), "m");
+        let b = Report::error("c", "f.c", "g", Span::new(2, 1), "m");
+        let mut v = vec![a.clone(), b.clone(), a.clone()];
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].span.line, 2);
+    }
+
+    #[test]
+    fn checker_count() {
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        d.add_checker(Box::new(ReturnCounter { max: 0, program_calls: 0 }));
+        assert_eq!(d.checker_count(), 2);
+    }
+}

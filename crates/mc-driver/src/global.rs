@@ -1,0 +1,620 @@
+//! Inter-procedural ("global") analysis framework.
+//!
+//! xg++ did not integrate global analysis into the SM framework; instead it
+//! let extensions *emit client-annotated flow graphs to files*, then *link*
+//! them into a whole-protocol call graph and traverse it. This module
+//! reproduces that design:
+//!
+//! 1. A local pass turns each function's CFG into an [`EmittedGraph`]:
+//!    blocks with successor edges and client [`GraphEvent`]s (numeric
+//!    `Count` annotations — e.g. "one send on lane 2" — plus `Call` events
+//!    collected automatically from call expressions). Graphs serialize to
+//!    JSON with [`EmittedGraph::to_json`], mirroring xg++'s emit-to-file.
+//! 2. [`GlobalGraph::link`] joins the graphs by callee name.
+//! 3. [`GlobalGraph::summarize`] computes, per function and per key, the
+//!    maximum summed `Count` along any inter-procedural path, with the
+//!    paper's fixed-point treatment of cycles: a cycle that contributes no
+//!    counts is a fixed point and is safely ignored; a cycle *with* counts
+//!    is reported to the caller (the lane checker turns these into
+//!    potential-deadlock warnings).
+
+use mc_ast::{Expr, ExprKind, Initializer, StmtKind};
+use mc_cfg::{Cfg, Terminator};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// An event recorded in an emitted flow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphEvent {
+    /// A client annotation adding `amount` to the per-path total of `key`.
+    Count {
+        /// Which quantity this event contributes to (e.g. `"lane1"`).
+        key: String,
+        /// Contribution (sends are `+1`).
+        amount: i64,
+        /// Source line, for back traces.
+        line: u32,
+    },
+    /// A call to a named function (collected automatically).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Source line, for back traces.
+        line: u32,
+    },
+}
+
+/// One block of an emitted graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EmittedBlock {
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Events in execution order.
+    pub events: Vec<GraphEvent>,
+}
+
+/// A function's annotated flow graph, as emitted by a local pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmittedGraph {
+    /// Function name (the link key).
+    pub function: String,
+    /// Defining file.
+    pub file: String,
+    /// Entry block index.
+    pub entry: usize,
+    /// Blocks.
+    pub blocks: Vec<EmittedBlock>,
+}
+
+impl EmittedGraph {
+    /// Builds an emitted graph from a CFG. `annotate` is the client hook:
+    /// it is offered every expression in the function (in block order) and
+    /// returns `Count` events to record. `Call` events are collected
+    /// automatically from call expressions.
+    pub fn from_cfg<F>(file: &str, cfg: &Cfg, mut annotate: F) -> EmittedGraph
+    where
+        F: FnMut(&Expr) -> Option<GraphEvent>,
+    {
+        let mut blocks = Vec::with_capacity(cfg.blocks.len());
+        for (_, block) in cfg.iter() {
+            let mut eb = EmittedBlock {
+                succs: block.term.successors().into_iter().map(|b| b.0).collect(),
+                events: Vec::new(),
+            };
+            let mut visit = |e: &Expr| {
+                collect_events(e, &mut annotate, &mut eb.events);
+            };
+            for node in &block.nodes {
+                match &node.stmt.kind {
+                    StmtKind::Expr(e) => visit(e),
+                    StmtKind::Decl(d) => {
+                        if let Some(Initializer::Expr(e)) = &d.init {
+                            visit(e);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match &block.term {
+                Terminator::Branch { cond, .. } => visit(cond),
+                Terminator::Switch { scrutinee, .. } => visit(scrutinee),
+                Terminator::Return { value: Some(v), .. } => visit(v),
+                _ => {}
+            }
+            blocks.push(eb);
+        }
+        EmittedGraph {
+            function: cfg.name.clone(),
+            file: file.to_string(),
+            entry: cfg.entry.0,
+            blocks,
+        }
+    }
+
+    /// Serializes to JSON (the on-disk format of the emit step).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("graph serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message on malformed input.
+    pub fn from_json(s: &str) -> Result<EmittedGraph, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Walks `e` post-order, recording client `Count` events and `Call` events.
+fn collect_events<F>(e: &Expr, annotate: &mut F, out: &mut Vec<GraphEvent>)
+where
+    F: FnMut(&Expr) -> Option<GraphEvent>,
+{
+    match &e.kind {
+        ExprKind::Call { callee, args } => {
+            collect_events(callee, annotate, out);
+            for a in args {
+                collect_events(a, annotate, out);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            collect_events(lhs, annotate, out);
+            collect_events(rhs, annotate, out);
+        }
+        ExprKind::Unary { operand, .. } | ExprKind::Postfix { operand, .. } => {
+            collect_events(operand, annotate, out)
+        }
+        ExprKind::Ternary { cond, then, els } => {
+            collect_events(cond, annotate, out);
+            collect_events(then, annotate, out);
+            collect_events(els, annotate, out);
+        }
+        ExprKind::Index { base, index } => {
+            collect_events(base, annotate, out);
+            collect_events(index, annotate, out);
+        }
+        ExprKind::Member { base, .. } => collect_events(base, annotate, out),
+        ExprKind::Cast { expr, .. } => collect_events(expr, annotate, out),
+        ExprKind::Comma(a, b) => {
+            collect_events(a, annotate, out);
+            collect_events(b, annotate, out);
+        }
+        _ => {}
+    }
+    if let Some(ev) = annotate(e) {
+        out.push(ev);
+    } else if let Some((name, _)) = e.as_call() {
+        out.push(GraphEvent::Call {
+            callee: name.to_string(),
+            line: e.span.line,
+        });
+    }
+}
+
+/// The per-function result of [`GlobalGraph::summarize`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Per key: maximum total along any inter-procedural path from this
+    /// function's entry.
+    pub max: BTreeMap<String, i64>,
+    /// Per key: a back trace (one line per contributing event or call) for
+    /// the maximizing path.
+    pub trace: BTreeMap<String, Vec<String>>,
+}
+
+/// A warning produced during summarization when a cycle contributes counts
+/// (the paper: "If there were sends, then it warns of a possible error").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleWarning {
+    /// Function at which the cycle was detected.
+    pub function: String,
+    /// Keys whose counts occur inside the cycle.
+    pub keys: Vec<String>,
+    /// Human-readable description of the cycle.
+    pub description: String,
+}
+
+/// All emitted graphs of a program, linked by function name.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalGraph {
+    graphs: HashMap<String, EmittedGraph>,
+}
+
+impl GlobalGraph {
+    /// Links emitted graphs into a call graph. Later graphs with the same
+    /// function name override earlier ones (protocols never define a
+    /// function twice; this mirrors last-wins linking).
+    pub fn link(graphs: impl IntoIterator<Item = EmittedGraph>) -> GlobalGraph {
+        GlobalGraph {
+            graphs: graphs.into_iter().map(|g| (g.function.clone(), g)).collect(),
+        }
+    }
+
+    /// The graph for `function`, if emitted.
+    pub fn graph(&self, function: &str) -> Option<&EmittedGraph> {
+        self.graphs.get(function)
+    }
+
+    /// Number of linked functions.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether no graphs are linked.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Computes the inter-procedural [`Summary`] for `root`.
+    ///
+    /// Calls to functions without an emitted graph contribute nothing
+    /// (mirroring xg++, which could only see code it compiled). Cycles —
+    /// both in-function loops and call-graph recursion — are handled with
+    /// the fixed-point rule: count-free cycles are ignored; cycles that
+    /// contain counts are appended to `warnings` and their body counted
+    /// once.
+    pub fn summarize(&self, root: &str, warnings: &mut Vec<CycleWarning>) -> Summary {
+        let mut memo: HashMap<String, Summary> = HashMap::new();
+        let mut on_stack: HashSet<String> = HashSet::new();
+        self.summarize_rec(root, &mut memo, &mut on_stack, warnings)
+    }
+
+    fn summarize_rec(
+        &self,
+        func: &str,
+        memo: &mut HashMap<String, Summary>,
+        on_stack: &mut HashSet<String>,
+        warnings: &mut Vec<CycleWarning>,
+    ) -> Summary {
+        if let Some(s) = memo.get(func) {
+            return s.clone();
+        }
+        if on_stack.contains(func) {
+            // Call-graph cycle. The caller decides whether it has progress:
+            // we contribute an empty summary here (fixed point) and let the
+            // in-function count detection below flag progress cycles.
+            return Summary::default();
+        }
+        let Some(graph) = self.graphs.get(func) else {
+            return Summary::default();
+        };
+        on_stack.insert(func.to_string());
+
+        // Resolve per-block weights: own counts plus callee summaries.
+        let n = graph.blocks.len();
+        let mut weight: Vec<BTreeMap<String, i64>> = vec![BTreeMap::new(); n];
+        let mut block_trace: Vec<BTreeMap<String, Vec<String>>> = vec![BTreeMap::new(); n];
+        let mut recursive_callees: Vec<String> = Vec::new();
+        for (bi, block) in graph.blocks.iter().enumerate() {
+            for ev in &block.events {
+                match ev {
+                    GraphEvent::Count { key, amount, line } => {
+                        *weight[bi].entry(key.clone()).or_insert(0) += amount;
+                        block_trace[bi].entry(key.clone()).or_default().push(format!(
+                            "{}:{}: {} in {}",
+                            graph.file, line, key, graph.function
+                        ));
+                    }
+                    GraphEvent::Call { callee, line } => {
+                        if on_stack.contains(callee) {
+                            recursive_callees.push(callee.clone());
+                            continue;
+                        }
+                        let sub = self.summarize_rec(callee, memo, on_stack, warnings);
+                        for (key, amount) in &sub.max {
+                            if *amount != 0 {
+                                *weight[bi].entry(key.clone()).or_insert(0) += amount;
+                                let t = block_trace[bi].entry(key.clone()).or_default();
+                                t.push(format!(
+                                    "{}:{}: call {} from {}",
+                                    graph.file, line, callee, graph.function
+                                ));
+                                if let Some(sub_t) = sub.trace.get(key) {
+                                    t.extend(sub_t.iter().cloned());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // In-function cycles: a block inside a non-trivial SCC whose weight
+        // is non-zero is a cycle with progress.
+        let sccs = tarjan_sccs(&graph.blocks);
+        let mut cyclic_keys: Vec<String> = Vec::new();
+        for scc in &sccs {
+            let non_trivial = scc.len() > 1
+                || graph.blocks[scc[0]].succs.contains(&scc[0]);
+            if !non_trivial {
+                continue;
+            }
+            for &b in scc {
+                for (key, amount) in &weight[b] {
+                    if *amount > 0 {
+                        cyclic_keys.push(key.clone());
+                    }
+                }
+            }
+        }
+        if !recursive_callees.is_empty() {
+            // Recursion whose body contains counts is also progress.
+            let has_counts = weight.iter().any(|w| w.values().any(|v| *v > 0));
+            if has_counts {
+                cyclic_keys.push("<recursion>".to_string());
+            }
+        }
+        if !cyclic_keys.is_empty() {
+            cyclic_keys.sort();
+            cyclic_keys.dedup();
+            warnings.push(CycleWarning {
+                function: func.to_string(),
+                keys: cyclic_keys,
+                description: format!(
+                    "cycle with side effects in `{func}`: counts inside a loop or recursion \
+                     cannot be bounded statically"
+                ),
+            });
+        }
+
+        // Longest-path DP per key over the back-edge-free DAG.
+        let order = topo_order(&graph.blocks, graph.entry);
+        let keys: HashSet<String> = weight
+            .iter()
+            .flat_map(|w| w.keys().cloned())
+            .collect();
+        let mut summary = Summary::default();
+        for key in keys {
+            let mut best: Vec<i64> = vec![i64::MIN; n];
+            let mut choice: Vec<Option<usize>> = vec![None; n];
+            // Process in reverse topological order (successors first).
+            for &b in order.iter().rev() {
+                let own = weight[b].get(&key).copied().unwrap_or(0);
+                let mut m = 0i64;
+                let mut ch = None;
+                for &s in &graph.blocks[b].succs {
+                    if best[s] != i64::MIN && best[s] > m {
+                        m = best[s];
+                        ch = Some(s);
+                    }
+                }
+                best[b] = own + m;
+                choice[b] = ch;
+            }
+            let total = if best[graph.entry] == i64::MIN {
+                0
+            } else {
+                best[graph.entry]
+            };
+            // Build the trace along the chosen chain.
+            let mut trace = Vec::new();
+            let mut cur = Some(graph.entry);
+            while let Some(b) = cur {
+                if let Some(t) = block_trace[b].get(&key) {
+                    trace.extend(t.iter().cloned());
+                }
+                cur = choice[b];
+            }
+            summary.max.insert(key.clone(), total);
+            summary.trace.insert(key, trace);
+        }
+
+        on_stack.remove(func);
+        memo.insert(func.to_string(), summary.clone());
+        summary
+    }
+}
+
+/// Topological-ish order of blocks reachable from `entry` (back edges
+/// ignored by virtue of post-order DFS with a visited set).
+fn topo_order(blocks: &[EmittedBlock], entry: usize) -> Vec<usize> {
+    let mut visited = vec![false; blocks.len()];
+    let mut post = Vec::new();
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    if blocks.is_empty() {
+        return post;
+    }
+    visited[entry] = true;
+    while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+        if *i < blocks[u].succs.len() {
+            let v = blocks[u].succs[*i];
+            *i += 1;
+            if !visited[v] {
+                visited[v] = true;
+                stack.push((v, 0));
+            }
+        } else {
+            post.push(u);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Tarjan's strongly-connected components over block indices.
+fn tarjan_sccs(blocks: &[EmittedBlock]) -> Vec<Vec<usize>> {
+    struct T<'a> {
+        blocks: &'a [EmittedBlock],
+        index: usize,
+        indices: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        sccs: Vec<Vec<usize>>,
+    }
+    impl T<'_> {
+        fn strongconnect(&mut self, v: usize) {
+            self.indices[v] = Some(self.index);
+            self.low[v] = self.index;
+            self.index += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for i in 0..self.blocks[v].succs.len() {
+                let w = self.blocks[v].succs[i];
+                if self.indices[w].is_none() {
+                    self.strongconnect(w);
+                    self.low[v] = self.low[v].min(self.low[w]);
+                } else if self.on_stack[w] {
+                    self.low[v] = self.low[v].min(self.indices[w].expect("indexed"));
+                }
+            }
+            if self.low[v] == self.indices[v].expect("indexed") {
+                let mut scc = Vec::new();
+                loop {
+                    let w = self.stack.pop().expect("stack non-empty");
+                    self.on_stack[w] = false;
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.sccs.push(scc);
+            }
+        }
+    }
+    let mut t = T {
+        blocks,
+        index: 0,
+        indices: vec![None; blocks.len()],
+        low: vec![0; blocks.len()],
+        on_stack: vec![false; blocks.len()],
+        stack: Vec::new(),
+        sccs: Vec::new(),
+    };
+    for v in 0..blocks.len() {
+        if t.indices[v].is_none() {
+            t.strongconnect(v);
+        }
+    }
+    t.sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::parse_translation_unit;
+
+    /// Annotates NI_SEND(lane, ...) calls as Count events on "lane<k>".
+    fn lane_annotator(e: &Expr) -> Option<GraphEvent> {
+        let (name, args) = e.as_call()?;
+        if name != "NI_SEND" {
+            return None;
+        }
+        let lane = match &args.first()?.kind {
+            ExprKind::IntLit(v, _) => *v,
+            _ => 0,
+        };
+        Some(GraphEvent::Count {
+            key: format!("lane{lane}"),
+            amount: 1,
+            line: e.span.line,
+        })
+    }
+
+    fn graphs_of(src: &str) -> Vec<EmittedGraph> {
+        let tu = parse_translation_unit(src, "p.c").unwrap();
+        tu.functions()
+            .map(|f| EmittedGraph::from_cfg("p.c", &Cfg::build(f), lane_annotator))
+            .collect()
+    }
+
+    #[test]
+    fn emit_records_counts_and_calls() {
+        let g = graphs_of("void h(void) { NI_SEND(2, x); helper(); }");
+        assert_eq!(g.len(), 1);
+        let events: Vec<_> = g[0].blocks.iter().flat_map(|b| &b.events).collect();
+        assert!(events.iter().any(|e| matches!(e, GraphEvent::Count { key, .. } if key == "lane2")));
+        assert!(events.iter().any(|e| matches!(e, GraphEvent::Call { callee, .. } if callee == "helper")));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = graphs_of("void h(void) { NI_SEND(1, x); }");
+        let json = g[0].to_json();
+        let back = EmittedGraph::from_json(&json).unwrap();
+        assert_eq!(g[0], back);
+    }
+
+    #[test]
+    fn summarize_straight_line() {
+        let graphs = graphs_of("void h(void) { NI_SEND(1, x); NI_SEND(1, y); NI_SEND(2, z); }");
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let s = gg.summarize("h", &mut w);
+        assert_eq!(s.max["lane1"], 2);
+        assert_eq!(s.max["lane2"], 1);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn summarize_takes_max_over_branches() {
+        let graphs = graphs_of(
+            "void h(void) { if (c) { NI_SEND(1, x); NI_SEND(1, y); } else { NI_SEND(1, z); } }",
+        );
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let s = gg.summarize("h", &mut w);
+        assert_eq!(s.max["lane1"], 2);
+    }
+
+    #[test]
+    fn summarize_crosses_calls() {
+        let graphs = graphs_of(
+            "void helper(void) { NI_SEND(3, a); }\n\
+             void h(void) { helper(); NI_SEND(3, b); }",
+        );
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let s = gg.summarize("h", &mut w);
+        assert_eq!(s.max["lane3"], 2);
+        // Back trace mentions the call and the callee's send.
+        let t = &s.trace["lane3"];
+        assert!(t.iter().any(|l| l.contains("call helper")), "{t:?}");
+        assert!(t.iter().any(|l| l.contains("in helper")), "{t:?}");
+    }
+
+    #[test]
+    fn unknown_callees_contribute_nothing() {
+        let graphs = graphs_of("void h(void) { mystery(); NI_SEND(1, a); }");
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let s = gg.summarize("h", &mut w);
+        assert_eq!(s.max["lane1"], 1);
+    }
+
+    #[test]
+    fn sendless_loop_is_fixed_point() {
+        let graphs = graphs_of(
+            "void h(void) { while (x) { spin(); } NI_SEND(1, a); }",
+        );
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let s = gg.summarize("h", &mut w);
+        assert_eq!(s.max["lane1"], 1);
+        assert!(w.is_empty(), "sendless cycles must not warn: {w:?}");
+    }
+
+    #[test]
+    fn loop_with_sends_warns() {
+        let graphs = graphs_of("void h(void) { while (x) { NI_SEND(1, a); } }");
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let _ = gg.summarize("h", &mut w);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].function, "h");
+        assert_eq!(w[0].keys, vec!["lane1".to_string()]);
+    }
+
+    #[test]
+    fn sendless_recursion_is_fixed_point() {
+        let graphs = graphs_of(
+            "void r(void) { if (x) { r(); } }\n\
+             void h(void) { r(); NI_SEND(1, a); }",
+        );
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let s = gg.summarize("h", &mut w);
+        assert_eq!(s.max["lane1"], 1);
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn recursion_with_sends_warns() {
+        let graphs = graphs_of("void r(void) { NI_SEND(1, a); if (x) { r(); } }");
+        let gg = GlobalGraph::link(graphs);
+        let mut w = Vec::new();
+        let _ = gg.summarize("r", &mut w);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn link_len() {
+        let gg = GlobalGraph::link(graphs_of("void a(void) { }\nvoid b(void) { }"));
+        assert_eq!(gg.len(), 2);
+        assert!(!gg.is_empty());
+        assert!(gg.graph("a").is_some());
+        assert!(gg.graph("zz").is_none());
+    }
+}

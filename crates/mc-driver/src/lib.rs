@@ -1,0 +1,49 @@
+//! # mc-driver
+//!
+//! The xg++ analog: an extensible analysis driver that parses protocol
+//! sources, builds CFGs, applies every registered checker down every path
+//! of every function, and collects [`Report`]s.
+//!
+//! Checkers come in two forms, mirroring the paper:
+//!
+//! * **metal programs** ([`mc_metal::MetalProgram`]) — added with
+//!   [`Driver::add_metal_checker`]; the driver runs them via the
+//!   path-sensitive engine.
+//! * **native extensions** — Rust types implementing [`Checker`], for
+//!   analyses that need tables, richer state, or the global framework
+//!   (buffer management, lane quotas, execution restrictions).
+//!
+//! The [`global`] module reproduces xg++'s inter-procedural support: local
+//! passes *emit* annotated flow graphs (serializable to files, exactly as
+//! xg++ wrote them to disk), a link step builds a whole-protocol call
+//! graph, and a traversal with fixed-point cycle handling computes
+//! inter-procedural summaries (used by the lane/deadlock checker).
+//!
+//! # Example
+//!
+//! ```
+//! use mc_driver::Driver;
+//! use mc_metal::MetalProgram;
+//!
+//! let sm = MetalProgram::parse(r#"
+//!     sm no_raw_read {
+//!         decl { scalar } a, b;
+//!         start: { MISCBUS_READ_DB(a, b); } ==> { err("raw read"); } ;
+//!     }
+//! "#)?;
+//! let mut driver = Driver::new();
+//! driver.add_metal_checker(sm);
+//! let reports = driver.check_source(
+//!     "void h(void) { MISCBUS_READ_DB(x, y); }", "h.c")?;
+//! assert_eq!(reports.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod driver;
+pub mod global;
+mod report;
+
+pub use driver::{Checker, Driver, DriverError, FunctionContext, ProgramContext};
+pub use report::{Report, Severity};

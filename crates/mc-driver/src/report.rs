@@ -1,0 +1,123 @@
+//! Checker diagnostics.
+
+use mc_ast::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How serious a report is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Severity {
+    /// A rule violation (the paper's `err()`).
+    Error,
+    /// A suspicious construct (the paper's softer diagnostics).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One diagnostic produced by a checker.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Report {
+    /// Name of the checker that produced the report.
+    pub checker: String,
+    /// Severity.
+    pub severity: Severity,
+    /// File the violation is in.
+    pub file: String,
+    /// Function the violation is in (empty for file-level reports).
+    pub function: String,
+    /// Location of the violating construct.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+    /// For inter-procedural checkers: the call path that leads to the
+    /// violation, innermost last ("back trace" in the paper's terms).
+    pub trace: Vec<String>,
+}
+
+impl Report {
+    /// Creates an error report.
+    pub fn error(
+        checker: impl Into<String>,
+        file: impl Into<String>,
+        function: impl Into<String>,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Report {
+        Report {
+            checker: checker.into(),
+            severity: Severity::Error,
+            file: file.into(),
+            function: function.into(),
+            span,
+            message: message.into(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Creates a warning report.
+    pub fn warning(
+        checker: impl Into<String>,
+        file: impl Into<String>,
+        function: impl Into<String>,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Report {
+        Report {
+            severity: Severity::Warning,
+            ..Report::error(checker, file, function, span, message)
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: [{}] {}",
+            self.file, self.span, self.severity, self.checker, self.message
+        )?;
+        if !self.function.is_empty() {
+            write!(f, " (in {})", self.function)?;
+        }
+        for line in &self.trace {
+            write!(f, "\n    via {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let r = Report::error("msglen", "bv.c", "PILocalGet", Span::new(10, 5), "data send, zero len");
+        let s = r.to_string();
+        assert!(s.contains("bv.c:10:5"));
+        assert!(s.contains("[msglen]"));
+        assert!(s.contains("(in PILocalGet)"));
+    }
+
+    #[test]
+    fn trace_lines_rendered() {
+        let mut r = Report::error("lanes", "f.c", "h", Span::new(1, 1), "quota exceeded");
+        r.trace = vec!["h -> helper".into(), "helper: NI_SEND lane 2".into()];
+        let s = r.to_string();
+        assert!(s.contains("via h -> helper"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error < Severity::Warning);
+    }
+}

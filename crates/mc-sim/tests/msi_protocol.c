@@ -1,0 +1,121 @@
+#include "flash.h"
+
+/* A small write-invalidate MSI coherence protocol in the FLASH handler
+ * idiom, runnable on the mc-sim machine model. Node gHomeNode homes the
+ * line; requesters issue read/write misses with the software handlers and
+ * receive data/invalidations with the hardware handlers. */
+
+enum Ops { OP_GET = 10, OP_GETX = 11, OP_PUT = 12, OP_PUTX = 13, OP_INVAL = 14 };
+enum MsiState { MSI_IDLE = 0, MSI_SHARED = 1 };
+
+/* ---- requester side ---------------------------------------------- */
+
+void SWReadMiss(void)
+{
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int nb = DB_ALLOC();
+    if (nb == DB_FAIL) {
+        return;
+    }
+    HANDLER_GLOBALS(header.nh.dest) = gHomeNode;
+    HANDLER_GLOBALS(header.nh.type) = OP_GET;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(MSG_REQ, F_NODATA, 1, W_NOWAIT, 1, 0);
+    DB_FREE();
+}
+
+void SWWriteMiss(void)
+{
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int nb = DB_ALLOC();
+    if (nb == DB_FAIL) {
+        return;
+    }
+    DB_WRITE(nb, 0, gStoreValue);
+    HANDLER_GLOBALS(header.nh.dest) = gHomeNode;
+    HANDLER_GLOBALS(header.nh.type) = OP_GETX;
+    HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+    NI_SEND(MSG_REQ, F_DATA, 1, W_NOWAIT, 1, 0);
+    DB_FREE();
+}
+
+void NIPut(void)
+{
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    WAIT_FOR_DB_FULL(addr);
+    gCache = MISCBUS_READ_DB(addr, 0);
+    gCacheValid = 1;
+    DB_FREE();
+}
+
+void NIPutX(void)
+{
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    WAIT_FOR_DB_FULL(addr);
+    gCache = MISCBUS_READ_DB(addr, 0);
+    gCacheValid = 1;
+    DB_FREE();
+}
+
+void NIInval(void)
+{
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    gCacheValid = 0;
+    gInvalCount = gInvalCount + 1;
+    DB_FREE();
+}
+
+/* ---- home side ----------------------------------------------------- */
+
+void NIHomeGet(void)
+{
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int requester = HANDLER_GLOBALS(header.nh.src);
+    DIR_LOAD();
+    DIR_SET_STATE(MSI_SHARED);
+    DIR_SET_PTR(DIR_PTR() | (1 << requester));
+    DIR_WRITEBACK();
+    DB_WRITE(DB_CURRENT(), 0, gMemory);
+    HANDLER_GLOBALS(header.nh.dest) = requester;
+    HANDLER_GLOBALS(header.nh.type) = OP_PUT;
+    HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+    NI_SEND(MSG_REPLY, F_DATA, 1, W_NOWAIT, 1, 0);
+    DB_FREE();
+}
+
+void NIHomeGetX(void)
+{
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int writer = HANDLER_GLOBALS(header.nh.src);
+    int sharers;
+    int i;
+    WAIT_FOR_DB_FULL(addr);
+    gMemory = MISCBUS_READ_DB(addr, 0);
+    DIR_LOAD();
+    sharers = DIR_PTR();
+    for (i = 0; i < 8; i++) {
+        if ((sharers >> i) & 1) {
+            if (i != writer) {
+                HANDLER_GLOBALS(header.nh.dest) = i;
+                HANDLER_GLOBALS(header.nh.type) = OP_INVAL;
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                NI_SEND(MSG_REQ, F_NODATA, 1, W_NOWAIT, 1, 0);
+            }
+        }
+    }
+    DIR_SET_STATE(MSI_SHARED);
+    DIR_SET_PTR(1 << writer);
+    DIR_WRITEBACK();
+    HANDLER_GLOBALS(header.nh.dest) = writer;
+    HANDLER_GLOBALS(header.nh.type) = OP_PUTX;
+    HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+    NI_SEND(MSG_REPLY, F_DATA, 1, W_NOWAIT, 1, 0);
+    DB_FREE();
+}

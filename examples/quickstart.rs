@@ -1,0 +1,51 @@
+//! Quickstart: check a FLASH handler with the paper's Figure 2 checker.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use flash_mc::checkers::WAIT_FOR_DB_METAL;
+use flash_mc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A handler with the classic §4 bug: it reads the incoming data
+    // buffer while the hardware may still be filling it.
+    let protocol_code = r#"
+        void NILocalGet(void) {
+            HANDLER_DEFS();
+            HANDLER_PROLOGUE();
+            int opcode;
+
+            /* BUG: read before WAIT_FOR_DB_FULL on this path. */
+            opcode = MISCBUS_READ_DB(addr, 0) & 255;
+            if (opcode == OPC_UPGRADE) {
+                WAIT_FOR_DB_FULL(addr);
+                process_upgrade();
+            }
+            DB_FREE();
+        }
+    "#;
+
+    // 1. Load the metal checker — this is the literal program from
+    //    Figure 2 of the paper, parsed and compiled at run time.
+    let sm = MetalProgram::parse(WAIT_FOR_DB_METAL)?;
+    println!(
+        "loaded metal checker `{}` ({} states, {} wildcards)\n",
+        sm.name,
+        sm.states.len(),
+        sm.wildcards.len()
+    );
+
+    // 2. Register it with the driver and check the source.
+    let mut driver = Driver::new();
+    driver.add_metal_checker(sm);
+    let reports = driver.check_source(protocol_code, "nilocalget.c")?;
+
+    // 3. Report.
+    for report in &reports {
+        println!("{report}");
+    }
+    assert_eq!(reports.len(), 1, "exactly the planted race is found");
+    println!("\n1 bug found — a race the FLASH team would otherwise chase on hardware.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! The "deadlocks after days" demo: run a leaky handler and its fixed
+//! version under identical message load in the FlashLite-analog simulator.
+//!
+//! ```sh
+//! cargo run --example simulate_protocol
+//! ```
+
+use flash_mc::sim::{Machine, Program, SimConfig, SimEvent};
+
+const LEAKY: &str = r#"
+    void NIRemotePut(void) {
+        HANDLER_DEFS();
+        HANDLER_PROLOGUE();
+        WAIT_FOR_DB_FULL(addr);
+        gSum = gSum + MISCBUS_READ_DB(addr, 0);
+        if (gSum % 16 == 3) {
+            /* Rare bookkeeping path — and the buffer is never freed.
+             * The buffer-management checker flags this statically as
+             * "exit path still holds a data buffer". */
+            gRareCount = gRareCount + 1;
+            return;
+        }
+        DB_FREE();
+    }
+"#;
+
+const FIXED: &str = r#"
+    void NIRemotePut(void) {
+        HANDLER_DEFS();
+        HANDLER_PROLOGUE();
+        WAIT_FOR_DB_FULL(addr);
+        gSum = gSum + MISCBUS_READ_DB(addr, 0);
+        if (gSum % 16 == 3) {
+            gRareCount = gRareCount + 1;
+            DB_FREE();
+            return;
+        }
+        DB_FREE();
+    }
+"#;
+
+fn drive(label: &str, src: &str) {
+    let program = Program::parse(src).expect("handler parses");
+    let config = SimConfig {
+        nodes: 2,
+        buffers_per_node: 16,
+        lane_capacity: 100_000,
+        max_handler_runs: 50_000,
+    };
+    let mut machine = Machine::new(program, config);
+    for _ in 0..20_000 {
+        machine.inject(0, "NIRemotePut");
+    }
+    machine.run();
+
+    let leaks = machine
+        .events()
+        .iter()
+        .filter(|e| matches!(e, SimEvent::BufferLeaked { .. }))
+        .count();
+    let exhausted = machine.events().iter().find_map(|e| match e {
+        SimEvent::BufferExhausted { time, .. } => Some(*time),
+        _ => None,
+    });
+    println!("== {label} ==");
+    println!("handler invocations: {}", machine.handler_runs());
+    println!("buffers leaked:      {leaks}");
+    match exhausted {
+        Some(t) => println!(
+            "DEADLOCK: node 0 ran out of data buffers after {t} handler runs\n\
+             (a low-grade leak: every run looked healthy until the pool drained)"
+        ),
+        None => println!("machine healthy: all messages processed, no deadlock"),
+    }
+    println!();
+}
+
+fn main() {
+    println!("Injecting 20,000 messages into a 16-buffer node.\n");
+    drive("leaky handler (as shipped)", LEAKY);
+    drive("fixed handler (after the checker report)", FIXED);
+    println!(
+        "The static checker pinpoints the leaking return in milliseconds;\n\
+         in simulation the same bug needs ~250 runs to wedge the node, and on\n\
+         hardware (1M+ messages/s, 128 buffers) it hides for days."
+    );
+}

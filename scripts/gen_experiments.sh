@@ -1,0 +1,186 @@
+#!/bin/sh
+# Regenerates EXPERIMENTS.md from the measured tables.
+set -e
+cd "$(dirname "$0")/.."
+{
+cat <<'EOF'
+# EXPERIMENTS — paper vs. measured
+
+Every cell below is printed as `paper/measured`. Measured values come from
+running the full checker suite (`mc-checkers`) over the synthetic corpus
+(`mc-corpus`, seed `0xF1A5`) and joining reports against the planted-defect
+manifest — see `crates/mc-corpus/tests/manifest_exactness.rs` for the test
+that pins all of this in CI.
+
+Regenerate this file with `scripts/gen_experiments.sh`, or any single table
+with `cargo run -p mc-bench --bin tableN`.
+
+## Methodology
+
+The original FLASH protocol sources are proprietary, so the corpus
+generator plants the paper's defects (and false-positive triggers, and
+suppression annotations) at the **exact per-protocol counts** of Tables
+2–6/§7, inside protocols whose size, routine count, variable count, and
+operation mix match Tables 1/5. Because the evaluation joins reports
+against ground truth, the "Errors" and "False Pos" columns are measured
+facts about the checkers, not assumptions: a checker that missed a planted
+bug or reported noise would show up immediately (and does, in the
+integration tests, if you break one). The planted counts are exact by
+construction; everything else — LOC, path statistics, applied counts,
+which checker finds what, and that nothing *extra* is reported — is
+measured from the generated code and the reports. Seed-independence of the
+exactness property is itself property-tested
+(`crates/mc-corpus/tests/proptest_seeds.rs`).
+
+## Table 1 — protocol size
+
+EOF
+echo '```'
+cargo run -q -p mc-bench --bin table1
+echo '```'
+cat <<'EOF'
+
+LOC matches the paper within 0.3 % per protocol. Path counts match within
+~1.5× (ordering preserved for the extremes: dyn_ptr has by far the most
+paths, bitvector the fewest); path lengths are shorter than the paper's
+because our statement-count metric does not count brace/blank lines the
+paper's LOC-based metric does.
+
+## Table 2 — buffer race checker (Figure 2)
+
+EOF
+echo '```'
+cargo run -q -p mc-bench --bin table2
+echo '```'
+cat <<'EOF'
+
+Exact: 4 bugs, all in bitvector (two of them the "only the first byte is
+read early" shape), 1 intentional debug-code false positive in the common
+code, 59 reads checked.
+
+## Table 3 — message length checker (Figure 3)
+
+EOF
+echo '```'
+cargo run -q -p mc-bench --bin table3
+echo '```'
+cat <<'EOF'
+
+Exact, including the paper's headline: this checker finds the most bugs
+(18), with both coma false positives produced by the same run-time-selected
+send in one function.
+
+## Table 4 — buffer management checker
+
+EOF
+echo '```'
+cargo run -q -p mc-bench --bin table4
+echo '```'
+cat <<'EOF'
+
+Exact across all four columns. "Useful" counts planted `has_buffer()` /
+`no_free_needed()` annotations (which correctly silence the checker);
+"Useless" counts false-positive reports from unpruned correlated branches
+(2 reports each) and data-dependent frees (1 report each).
+
+## Table 5 — execution restriction checker
+
+EOF
+echo '```'
+cargo run -q -p mc-bench --bin table5
+echo '```'
+cat <<'EOF'
+
+All 11 violations are missing simulator hooks, as in the paper; sci's 3
+violations sit inside `FATAL_ERROR` stubs and are correctly not counted.
+The variable count drifts by 1 in coma (the generator's var-distribution
+remainder).
+
+## Table 6 — the three lower-yield checks
+
+EOF
+echo '```'
+cargo run -q -p mc-bench --bin table6
+echo '```'
+cat <<'EOF'
+
+Exact, including the directory checker's single real bug (bitvector) and
+its 31 false positives decomposed as in §9.1: 14 un-annotated write-back
+subroutines, 3 speculative back-outs without a NAK, 14 explicit
+address-computation abstraction errors.
+
+## §7 — lane/deadlock checker
+
+Two bugs, zero false positives, reproduced in `table7` and pinned by
+`crates/mc-checkers/src/lanes.rs` tests and
+`crates/mc-checkers/tests/paper_anecdotes.rs`: the dyn_ptr bug (a hardware
+workaround in a helper pushes the handler over its lane allowance —
+found **inter-procedurally** with a back trace through the call) and the
+bitvector bug (a duplicated request send). Send-free loops and recursion
+are fixed points and produce no false positives.
+
+## Table 7 — summary
+
+EOF
+echo '```'
+cargo run -q -p mc-bench --bin table7
+echo '```'
+cat <<'EOF'
+
+Bug and false-positive totals are exact (34 / 69). Checker sizes differ
+where the implementation language differs: the two metal checkers are
+*smaller* than the paper's, while native Rust extensions carry Rust's
+verbosity (e.g. buffer management ~250 lines vs 94 lines of
+metal-with-C-actions). The ordering the paper emphasizes — pattern-based
+checkers are 1–2 orders of magnitude smaller than the code they check —
+holds. (The paper's "No-float 7" row is folded into our `exec_restrict`;
+its slot lists the §11 refcount check.)
+
+## Figures
+
+* **Figure 1** (FLASH node block diagram) is architectural, not a data
+  artifact; its structure is realized by `mc-sim` (R10000-side PI
+  interface, MAGIC controller with buffer pool + lanes + directory, NI/IO
+  interfaces). A complete MSI coherence protocol written in the handler
+  idiom runs on it (`crates/mc-sim/tests/msi_coherence.rs`,
+  `examples/msi_coherence.rs`).
+* **Figures 2 and 3** (metal checker listings) ship as runnable metal
+  programs: `crates/mc-checkers/metal/wait_for_db.metal` and
+  `crates/mc-checkers/metal/msglen.metal`, exercised by every table above.
+
+## §11 — the "betrayal" incident
+
+The single manual `DB_REFCOUNT_INCR()` call in all ~80 K lines is planted
+in bitvector; the post-incident checker finds exactly it (pinned by
+`refcount_incident_found_once_in_bitvector`). The simulator replays the
+dynamics: with the manual bump, the apparent double free is *correct* and
+removing it leaks (`manual_refcount_bump_requires_two_frees` in `mc-sim`).
+
+## Dynamic validation (FlashLite analog)
+
+`crates/mc-sim/tests/corpus_dynamics.rs` shows the statically-found bugs
+manifesting at run time, reproducing the paper's motivation:
+
+* the bitvector race bug reads garbage from a not-yet-filled buffer;
+* a rac message-length bug corrupts the wire header **only** when its
+  rare double corner-case (`gDirtyRemote && gQueueFull`) is armed — and is
+  completely silent otherwise, which is why such bugs survive years of
+  simulation;
+* the sci leak bug drains the buffer pool and wedges the node only after
+  many healthy-looking handler runs (the "deadlocks after several days"
+  class, scaled to a small pool);
+* clean generated handlers sustain hundreds of messages with no events.
+
+## Benchmarks
+
+`cargo bench -p mc-bench` (Criterion). `framework` measures front end,
+CFG construction, each checker end-to-end over bitvector, and simulator
+throughput. `scaling` runs the two ablations from DESIGN.md: state-set
+worklist vs. exhaustive path enumeration as sequential branching grows
+(4→16 branches ≈ 16→65 536 paths; state-set stays ~10–35 µs while
+exhaustive grows from ~50 µs through ~13 ms and beyond), and pattern
+pre-filtering vs. naive matching. Full numbers are recorded in
+`bench_output.txt`.
+EOF
+} > EXPERIMENTS.md
+echo "EXPERIMENTS.md regenerated"

@@ -1,0 +1,64 @@
+//! # flash-mc
+//!
+//! A reproduction, as a Rust library, of the system from:
+//!
+//! > Andy Chou, Benjamin Chelf, Dawson Engler, Mark Heinrich.
+//! > *Using Meta-level Compilation to Check FLASH Protocol Code.*
+//! > ASPLOS 2000.
+//!
+//! Meta-level compilation (MC) lets system implementors write small,
+//! system-specific compiler extensions — state-machine *checkers* in a DSL
+//! called **metal** — that are applied down every execution path of every
+//! function in the checked source. This workspace provides:
+//!
+//! * [`ast`] — front end for the C subset FLASH protocol code is written in,
+//! * [`mod@cfg`] — control-flow graphs and path statistics,
+//! * [`metal`] — the metal DSL (parser, pattern matcher, SM engine),
+//! * [`driver`] — the xg++-like analysis driver and global (inter-procedural)
+//!   analysis framework,
+//! * [`checkers`] — the paper's eight FLASH checkers,
+//! * [`corpus`] — a deterministic synthetic FLASH protocol generator with
+//!   seeded bugs matching the paper's per-protocol counts,
+//! * [`sim`] — a FlashLite-analog protocol simulator that demonstrates the
+//!   dynamic consequences of the statically-found bugs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flash_mc::prelude::*;
+//!
+//! // 1. Obtain protocol code (here: one generated FLASH protocol file).
+//! let src = r#"
+//!     void NILocalGet(void) {
+//!         MISCBUS_READ_DB(addr, buf);   /* read before wait: race! */
+//!         WAIT_FOR_DB_FULL(addr);
+//!     }
+//! "#;
+//!
+//! // 2. Load the buffer-race checker (Figure 2 of the paper) and run it.
+//! let sm = MetalProgram::parse(flash_mc::checkers::WAIT_FOR_DB_METAL)?;
+//! let mut driver = Driver::new();
+//! driver.add_metal_checker(sm);
+//! let reports = driver.check_source(src, "example.c")?;
+//! assert_eq!(reports.len(), 1);
+//! assert!(reports[0].message.contains("Buffer not synchronized"));
+//! # Ok::<(), flash_mc::driver::DriverError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mc_ast as ast;
+pub use mc_cfg as cfg;
+pub use mc_checkers as checkers;
+pub use mc_corpus as corpus;
+pub use mc_driver as driver;
+pub use mc_metal as metal;
+pub use mc_sim as sim;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use mc_ast::{parse_translation_unit, TranslationUnit};
+    pub use mc_cfg::Cfg;
+    pub use mc_driver::{Driver, Report, Severity};
+    pub use mc_metal::MetalProgram;
+}

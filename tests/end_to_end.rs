@@ -1,0 +1,145 @@
+//! Cross-crate integration tests through the `flash-mc` facade: the full
+//! pipeline from protocol text to classified reports, and the interplay
+//! between the static checkers and the dynamic simulator.
+
+use flash_mc::checkers::{all_checkers, flash::FlashSpec};
+use flash_mc::corpus::eval::evaluate;
+use flash_mc::corpus::{generate, plan::plan_for, DEFAULT_SEED};
+use flash_mc::prelude::*;
+use flash_mc::sim::{Machine, Program, SimConfig, SimEvent};
+
+#[test]
+fn facade_reexports_compose() {
+    let tu = parse_translation_unit("void f(void) { g(); }", "t.c").unwrap();
+    let cfg = Cfg::build(tu.function("f").unwrap());
+    assert_eq!(cfg.path_stats().paths, 1);
+    let sm = MetalProgram::parse("sm s { start: { g(); } ==> stop ; }").unwrap();
+    assert_eq!(sm.name, "s");
+}
+
+#[test]
+fn full_pipeline_on_one_protocol() {
+    let proto = generate(plan_for("bitvector").unwrap(), DEFAULT_SEED);
+    let mut driver = Driver::new();
+    all_checkers(&mut driver, &proto.spec).unwrap();
+    let reports = driver.check_sources(&proto.sources()).unwrap();
+    let outcome = evaluate(&proto, &reports);
+    assert!(outcome.is_exact(), "missed: {:?}\nunexpected: {:?}",
+        outcome.missed, outcome.unexpected);
+}
+
+#[test]
+fn figures_2_and_3_run_from_their_shipped_sources() {
+    // The shipped metal files are the paper's figures; they must parse and
+    // find their respective bug classes.
+    let mut driver = Driver::new();
+    driver
+        .add_metal_source(flash_mc::checkers::WAIT_FOR_DB_METAL)
+        .unwrap();
+    driver
+        .add_metal_source(flash_mc::checkers::MSGLEN_METAL)
+        .unwrap();
+    let reports = driver
+        .check_source(
+            r#"void h(void) {
+                MISCBUS_READ_DB(a, b);
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                NI_SEND(t, F_DATA, k, w, d, n);
+            }"#,
+            "both.c",
+        )
+        .unwrap();
+    assert_eq!(reports.len(), 2);
+    assert!(reports.iter().any(|r| r.checker == "wait_for_db"));
+    assert!(reports.iter().any(|r| r.checker == "msglen_check"));
+}
+
+#[test]
+fn static_finding_reproduces_dynamically() {
+    // One source, two tools: the checker flags the leak statically, the
+    // simulator wedges on it dynamically.
+    let src = r#"
+        void NILeaky(void) {
+            HANDLER_DEFS();
+            HANDLER_PROLOGUE();
+            if (gErr) {
+                return;
+            }
+            DB_FREE();
+        }
+    "#;
+    // Static.
+    let mut driver = Driver::new();
+    all_checkers(&mut driver, &FlashSpec::new()).unwrap();
+    let reports = driver.check_source(src, "leaky.c").unwrap();
+    assert!(reports
+        .iter()
+        .any(|r| r.checker == "buffer_mgmt" && r.message.contains("leak")));
+
+    // Dynamic.
+    let mut machine = Machine::new(
+        Program::parse(src).unwrap(),
+        SimConfig { buffers_per_node: 4, ..Default::default() },
+    );
+    machine.set_global(0, "gErr", 1);
+    for _ in 0..8 {
+        machine.inject(0, "NILeaky");
+    }
+    machine.run();
+    assert!(machine.deadlocked());
+    assert!(machine
+        .events()
+        .iter()
+        .any(|e| matches!(e, SimEvent::BufferExhausted { .. })));
+}
+
+#[test]
+fn custom_spec_tables_change_checker_behavior() {
+    // The same code is a false positive without the table entry and clean
+    // with it — the §9.1 annotation mechanism.
+    let src = r#"
+        void PIHandler(void) {
+            HANDLER_DEFS();
+            HANDLER_PROLOGUE();
+            DIR_LOAD();
+            DIR_SET_STATE(DIR_SHARED);
+            commit_dir_entry();
+            DB_FREE();
+        }
+    "#;
+    let run = |spec: FlashSpec| {
+        let mut driver = Driver::new();
+        all_checkers(&mut driver, &spec).unwrap();
+        driver
+            .check_source(src, "t.c")
+            .unwrap()
+            .into_iter()
+            .filter(|r| r.checker == "directory")
+            .count()
+    };
+    assert_eq!(run(FlashSpec::new()), 1, "un-annotated helper is flagged");
+    let mut spec = FlashSpec::new();
+    spec.writeback_routines.insert("commit_dir_entry".into());
+    assert_eq!(run(spec), 0, "annotated helper is trusted");
+}
+
+#[test]
+fn exhaustive_and_state_set_modes_agree_on_a_protocol() {
+    // The ablation's correctness side: both traversal modes produce the
+    // same msglen reports on real protocol code.
+    let proto = generate(plan_for("rac").unwrap(), DEFAULT_SEED.wrapping_add(4));
+    let run = |mode| {
+        let mut driver = Driver::new();
+        driver.mode = mode;
+        driver
+            .add_metal_source(flash_mc::checkers::MSGLEN_METAL)
+            .unwrap();
+        let mut reports = driver.check_sources(&proto.sources()).unwrap();
+        reports.sort();
+        reports
+    };
+    let a = run(flash_mc::cfg::Mode::StateSet);
+    let b = run(flash_mc::cfg::Mode::Exhaustive { max_paths: 200_000 });
+    assert_eq!(a, b);
+    assert_eq!(a.iter().filter(|r| r.checker == "msglen_check").count(), 8);
+}
