@@ -622,10 +622,7 @@ mod tests {
     #[test]
     fn type_sizes() {
         assert_eq!(Type::int().size_bits(), 32);
-        assert_eq!(
-            Type::Array(Box::new(Type::int()), Some(4)).size_bits(),
-            128
-        );
+        assert_eq!(Type::Array(Box::new(Type::int()), Some(4)).size_bits(), 128);
         assert_eq!(Type::Ptr(Box::new(Type::Void)).size_bits(), 64);
     }
 
@@ -634,7 +631,11 @@ mod tests {
         assert!(Type::unsigned().is_scalar());
         assert!(Type::Ptr(Box::new(Type::int())).is_scalar());
         assert!(!Type::Void.is_scalar());
-        assert!(!Type::Struct { name: "S".into(), is_union: false }.is_scalar());
+        assert!(!Type::Struct {
+            name: "S".into(),
+            is_union: false
+        }
+        .is_scalar());
     }
 
     #[test]
@@ -646,7 +647,9 @@ mod tests {
         let (name, args) = call.as_call().unwrap();
         assert_eq!(name, "PI_SEND");
         assert_eq!(args.len(), 1);
-        assert!(Expr::synth(ExprKind::IntLit(1, "1".into())).as_call().is_none());
+        assert!(Expr::synth(ExprKind::IntLit(1, "1".into()))
+            .as_call()
+            .is_none());
     }
 
     #[test]

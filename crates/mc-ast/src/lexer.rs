@@ -210,7 +210,9 @@ impl<'src> Lexer<'src> {
         let is_float = self.peek() == b'.' && self.peek2().is_ascii_digit()
             || self.peek() == b'e'
             || self.peek() == b'E'
-            || (self.peek() == b'.' && !self.peek2().is_ascii_alphanumeric() && self.peek2() != b'.');
+            || (self.peek() == b'.'
+                && !self.peek2().is_ascii_alphanumeric()
+                && self.peek2() != b'.');
         if is_float || self.peek() == b'f' || self.peek() == b'F' {
             if self.peek() == b'.' {
                 text.push(self.bump() as char);
@@ -416,7 +418,9 @@ mod tests {
 
     #[test]
     fn preprocessor_lines_recorded() {
-        let (toks, pp) = Lexer::new("#include \"flash.h\"\nint x;").tokenize().unwrap();
+        let (toks, pp) = Lexer::new("#include \"flash.h\"\nint x;")
+            .tokenize()
+            .unwrap();
         assert_eq!(pp, vec!["#include \"flash.h\"".to_string()]);
         assert_eq!(toks[0].kind, TokenKind::Ident("int".into()));
     }

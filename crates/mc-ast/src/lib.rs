@@ -42,8 +42,8 @@ pub mod token;
 pub mod visit;
 
 pub use ast::{
-    BinaryOp, Declaration, Expr, ExprKind, ExternalDecl, Function, Initializer, Item, Param,
-    Stmt, StmtKind, StorageClass, StructDef, SwitchCase, TranslationUnit, Type, UnaryOp,
+    BinaryOp, Declaration, Expr, ExprKind, ExternalDecl, Function, Initializer, Item, Param, Stmt,
+    StmtKind, StorageClass, StructDef, SwitchCase, TranslationUnit, Type, UnaryOp,
 };
 pub use lexer::{LexError, Lexer};
 pub use parser::{parse_expr, parse_stmt, parse_translation_unit, ParseError, Parser};

@@ -35,7 +35,11 @@ impl fmt::Display for ParseError {
         if self.file.is_empty() {
             write!(f, "parse error at {}: {}", self.span, self.message)
         } else {
-            write!(f, "{}:{}: parse error: {}", self.file, self.span, self.message)
+            write!(
+                f,
+                "{}:{}: parse error: {}",
+                self.file, self.span, self.message
+            )
         }
     }
 }
@@ -154,7 +158,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() {
             self.pos += 1;
         }
@@ -257,12 +263,18 @@ impl Parser {
             if self.peek().is_kw("union") {
                 self.bump();
                 let name = self.expect_ident()?;
-                return Ok(self.pointered(Type::Struct { name, is_union: true }));
+                return Ok(self.pointered(Type::Struct {
+                    name,
+                    is_union: true,
+                }));
             }
             false
         } {
             let name = self.expect_ident()?;
-            return Ok(self.pointered(Type::Struct { name, is_union: false }));
+            return Ok(self.pointered(Type::Struct {
+                name,
+                is_union: false,
+            }));
         }
         if self.eat_kw("enum") {
             let name = self.expect_ident()?;
@@ -431,7 +443,11 @@ impl Parser {
                 }
             }
             self.expect_punct(";")?;
-            return Ok(Item::Decl(ExternalDecl::EnumDef { name, variants, span }));
+            return Ok(Item::Decl(ExternalDecl::EnumDef {
+                name,
+                variants,
+                span,
+            }));
         }
 
         let storage = self.storage_class();
@@ -615,7 +631,15 @@ impl Parser {
             };
             self.expect_punct(")")?;
             let body = Box::new(self.stmt()?);
-            return Ok(Stmt::new(StmtKind::For { init, cond, step, body }, span));
+            return Ok(Stmt::new(
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                },
+                span,
+            ));
         }
         if self.eat_kw("switch") {
             self.expect_punct("(")?;
@@ -645,7 +669,11 @@ impl Parser {
                     }
                     body.push(self.stmt()?);
                 }
-                cases.push(SwitchCase { value, body, span: case_span });
+                cases.push(SwitchCase {
+                    value,
+                    body,
+                    span: case_span,
+                });
             }
             return Ok(Stmt::new(StmtKind::Switch { scrutinee, cases }, span));
         }
@@ -699,7 +727,13 @@ impl Parser {
                 None
             };
             decls.push(Stmt::new(
-                StmtKind::Decl(Declaration { storage, ty, name, init, span }),
+                StmtKind::Decl(Declaration {
+                    storage,
+                    ty,
+                    name,
+                    init,
+                    span,
+                }),
                 span,
             ));
             if !self.eat_punct(",") {
@@ -873,9 +907,7 @@ impl Parser {
 
     fn lookahead_is_type(&self) -> bool {
         match self.peek_at(1) {
-            TokenKind::Ident(s) => {
-                is_type_keyword(s) || self.typedefs.contains(s)
-            }
+            TokenKind::Ident(s) => is_type_keyword(s) || self.typedefs.contains(s),
             _ => false,
         }
     }
@@ -1016,11 +1048,8 @@ mod tests {
 
     #[test]
     fn parse_simple_function() {
-        let tu = parse_translation_unit(
-            "void PILocalGet(void) { int x; x = 1 + 2 * 3; }",
-            "t.c",
-        )
-        .unwrap();
+        let tu = parse_translation_unit("void PILocalGet(void) { int x; x = 1 + 2 * 3; }", "t.c")
+            .unwrap();
         let f = tu.function("PILocalGet").unwrap();
         assert!(f.is_handler_shaped());
         assert_eq!(f.body.len(), 2);
@@ -1030,8 +1059,18 @@ mod tests {
     fn precedence_mul_over_add() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e.kind {
-            ExprKind::Binary { op: BinaryOp::Add, rhs, .. } => {
-                assert!(matches!(rhs.kind, ExprKind::Binary { op: BinaryOp::Mul, .. }));
+            ExprKind::Binary {
+                op: BinaryOp::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    rhs.kind,
+                    ExprKind::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong shape: {other:?}"),
         }
@@ -1075,10 +1114,8 @@ mod tests {
 
     #[test]
     fn switch_statement() {
-        let s = parse_stmt(
-            "switch (op) { case 1: f(); break; case 2: default: g(); break; }",
-        )
-        .unwrap();
+        let s =
+            parse_stmt("switch (op) { case 1: f(); break; case 2: default: g(); break; }").unwrap();
         match s.kind {
             StmtKind::Switch { cases, .. } => {
                 assert_eq!(cases.len(), 3);
@@ -1105,7 +1142,9 @@ mod tests {
             StmtKind::For { .. }
         ));
         assert!(matches!(
-            parse_stmt("for (int i = 0; i < 10; i++) f(i);").unwrap().kind,
+            parse_stmt("for (int i = 0; i < 10; i++) f(i);")
+                .unwrap()
+                .kind,
             StmtKind::For { .. }
         ));
     }
@@ -1150,11 +1189,7 @@ mod tests {
 
     #[test]
     fn enum_definition() {
-        let tu = parse_translation_unit(
-            "enum State { IDLE, BUSY = 5, DONE };",
-            "t.c",
-        )
-        .unwrap();
+        let tu = parse_translation_unit("enum State { IDLE, BUSY = 5, DONE };", "t.c").unwrap();
         match &tu.items[0] {
             Item::Decl(ExternalDecl::EnumDef { variants, .. }) => {
                 assert_eq!(variants.len(), 3);
@@ -1174,7 +1209,13 @@ mod tests {
     fn cast_vs_paren_disambiguation() {
         // `(a) + b` is addition, not a cast.
         let e = parse_expr("(a) + b").unwrap();
-        assert!(matches!(e.kind, ExprKind::Binary { op: BinaryOp::Add, .. }));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1190,8 +1231,20 @@ mod tests {
         let e = parse_expr("*p = &x").unwrap();
         match e.kind {
             ExprKind::Assign { lhs, rhs, .. } => {
-                assert!(matches!(lhs.kind, ExprKind::Unary { op: UnaryOp::Deref, .. }));
-                assert!(matches!(rhs.kind, ExprKind::Unary { op: UnaryOp::AddrOf, .. }));
+                assert!(matches!(
+                    lhs.kind,
+                    ExprKind::Unary {
+                        op: UnaryOp::Deref,
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    rhs.kind,
+                    ExprKind::Unary {
+                        op: UnaryOp::AddrOf,
+                        ..
+                    }
+                ));
             }
             other => panic!("wrong shape: {other:?}"),
         }
@@ -1236,11 +1289,8 @@ mod tests {
     #[test]
     fn float_literals_parse() {
         // The no-float checker must be able to see these, so they must parse.
-        let tu = parse_translation_unit(
-            "void f(void) { float r; r = 0.5; r = r * 2.0; }",
-            "t.c",
-        )
-        .unwrap();
+        let tu = parse_translation_unit("void f(void) { float r; r = 0.5; r = r * 2.0; }", "t.c")
+            .unwrap();
         assert_eq!(tu.functions().count(), 1);
     }
 
@@ -1248,7 +1298,10 @@ mod tests {
     fn compound_assignment_ops() {
         for op in ["+=", "-=", "|=", "&=", "^=", "<<=", ">>="] {
             let e = parse_expr(&format!("a {op} 1")).unwrap();
-            assert!(matches!(e.kind, ExprKind::Assign { op: Some(_), .. }), "{op}");
+            assert!(
+                matches!(e.kind, ExprKind::Assign { op: Some(_), .. }),
+                "{op}"
+            );
         }
     }
 

@@ -268,7 +268,12 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             write_expr(out, cond);
             out.push_str(");\n");
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             indent(out, level);
             out.push_str("for (");
             match init {
@@ -495,10 +500,13 @@ mod tests {
     fn roundtrip_expr(src: &str) {
         let e1 = parse_expr(src).unwrap();
         let printed = print_expr(&e1);
-        let e2 = parse_expr(&printed).unwrap_or_else(|err| {
-            panic!("re-parse of `{printed}` failed: {err}")
-        });
-        assert_eq!(strip_expr(&e1), strip_expr(&e2), "src: {src} printed: {printed}");
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("re-parse of `{printed}` failed: {err}"));
+        assert_eq!(
+            strip_expr(&e1),
+            strip_expr(&e2),
+            "src: {src} printed: {printed}"
+        );
     }
 
     /// Clears spans so structural comparison ignores positions.

@@ -1,6 +1,6 @@
 //! Tokens and source spans.
 
-use serde::{Deserialize, Serialize};
+use mc_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A location range in a source file.
@@ -9,14 +9,30 @@ use std::fmt;
 /// the exact line of protocol code that violates a rule — the paper stresses
 /// that MC checkers "exactly locate errors" that would otherwise take days of
 /// debugging to find.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Span {
     /// 1-based line of the first token.
     pub line: u32,
     /// 1-based column of the first token.
     pub col: u32,
+}
+
+impl ToJson for Span {
+    fn to_json(&self) -> Json {
+        mc_json::object(vec![
+            ("line", self.line.to_json()),
+            ("col", self.col.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Span {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Span {
+            line: mc_json::field(v, "line")?,
+            col: mc_json::field(v, "col")?,
+        })
+    }
 }
 
 impl Span {
@@ -111,8 +127,8 @@ impl Token {
 pub const KEYWORDS: &[&str] = &[
     "void", "int", "char", "long", "short", "unsigned", "signed", "float", "double", "struct",
     "union", "enum", "typedef", "static", "extern", "const", "volatile", "inline", "register",
-    "if", "else", "while", "do", "for", "switch", "case", "default", "break", "continue",
-    "return", "goto", "sizeof",
+    "if", "else", "while", "do", "for", "switch", "case", "default", "break", "continue", "return",
+    "goto", "sizeof",
 ];
 
 /// Returns `true` if `s` is a reserved C keyword in this subset.

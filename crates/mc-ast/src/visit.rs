@@ -27,7 +27,6 @@ pub trait Visitor {
     fn visit_decl(&mut self, decl: &Declaration) {
         let _ = decl;
     }
-
 }
 
 /// Drives traversal of a whole function body, invoking the visitor's hooks
@@ -75,7 +74,12 @@ pub fn walk_stmt<V: Visitor>(v: &mut V, stmt: &Stmt) {
             walk_stmt(v, body);
             walk_expr_root(v, cond);
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(s) = init {
                 v.visit_stmt(s);
                 walk_stmt(v, s);
@@ -214,7 +218,12 @@ mod tests {
             "t.c",
         )
         .unwrap();
-        let mut c = Counter { exprs: 0, stmts: 0, decls: 0, float_lits: 0 };
+        let mut c = Counter {
+            exprs: 0,
+            stmts: 0,
+            decls: 0,
+            float_lits: 0,
+        };
         walk_function(&mut c, tu.function("f").unwrap());
         assert_eq!(c.decls, 2);
         assert_eq!(c.float_lits, 1);
@@ -229,7 +238,12 @@ mod tests {
             "t.c",
         )
         .unwrap();
-        let mut c = Counter { exprs: 0, stmts: 0, decls: 0, float_lits: 0 };
+        let mut c = Counter {
+            exprs: 0,
+            stmts: 0,
+            decls: 0,
+            float_lits: 0,
+        };
         walk_function(&mut c, tu.function("f").unwrap());
         // i=0, i<4 (and children), i++, switch i, g(i) call + callee + arg...
         assert!(c.exprs >= 10, "exprs = {}", c.exprs);

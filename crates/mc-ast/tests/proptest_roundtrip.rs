@@ -67,12 +67,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     args,
                 })
             }),
-            (inner.clone(), inner.clone()).prop_map(|(base, index)| Expr::synth(
-                ExprKind::Index {
-                    base: Box::new(base),
-                    index: Box::new(index)
-                }
-            )),
+            (inner.clone(), inner.clone()).prop_map(|(base, index)| Expr::synth(ExprKind::Index {
+                base: Box::new(base),
+                index: Box::new(index)
+            })),
             (inner.clone(), ident(), any::<bool>()).prop_map(|(base, field, arrow)| Expr::synth(
                 ExprKind::Member {
                     base: Box::new(base),

@@ -12,7 +12,7 @@ use mc_checkers::{
     exec_restrict::ExecRestrict, lanes::Lanes, send_wait::SendWait,
 };
 use mc_corpus::{generate, plan::plan_for, DEFAULT_SEED};
-use mc_driver::{Checker, Driver, FunctionContext};
+use mc_driver::{CheckSink, CheckedUnit, Checker, Driver, FunctionContext};
 use mc_sim::{Machine, Program, SimConfig};
 use std::hint::black_box;
 
@@ -70,10 +70,10 @@ fn bench_cfg(c: &mut Criterion) {
 
 fn bench_checkers(c: &mut Criterion) {
     let proto = bitvector();
-    let units: Vec<_> = proto
+    let units: Vec<CheckedUnit> = proto
         .files
         .iter()
-        .map(|f| parse_translation_unit(&f.source, &f.name).unwrap())
+        .map(|f| CheckedUnit::new(parse_translation_unit(&f.source, &f.name).unwrap()))
         .collect();
     let spec = proto.spec.clone();
     let mut g = c.benchmark_group("checker");
@@ -93,13 +93,17 @@ fn bench_checkers(c: &mut Criterion) {
         });
     }
 
-    // Native checkers, applied function by function.
-    fn run_native(units: &[mc_ast::TranslationUnit], mut checker: Box<dyn Checker>) -> usize {
-        let mut sink = Vec::new();
+    // Native checkers, applied function by function over the cached CFGs.
+    fn run_native(units: &[CheckedUnit], checker: Box<dyn Checker>) -> usize {
+        let mut sink = CheckSink::new();
         for u in units {
-            for f in u.functions() {
-                let cfg = Cfg::build(f);
-                let ctx = FunctionContext { file: &u.file, unit: u, function: f, cfg: &cfg };
+            for (f, cfg) in u.functions() {
+                let ctx = FunctionContext {
+                    file: &u.unit.file,
+                    unit: &u.unit,
+                    function: f,
+                    cfg,
+                };
                 checker.check_function(&ctx, &mut sink);
             }
         }
@@ -165,7 +169,11 @@ fn bench_sim(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Machine::new(
                 program.clone(),
-                SimConfig { lane_capacity: 4096, max_handler_runs: 5000, ..Default::default() },
+                SimConfig {
+                    lane_capacity: 4096,
+                    max_handler_runs: 5000,
+                    ..Default::default()
+                },
             );
             for _ in 0..1000 {
                 m.inject(0, "NIBench");

@@ -1,0 +1,71 @@
+//! Driver throughput at 1/2/4/8 workers over the full generated corpus.
+//!
+//! The work fanned out is the whole check pipeline — parsing, CFG
+//! construction, metal machines, native checkers — and the merged report
+//! vector is identical at every worker count (asserted here), so the only
+//! thing that may vary between bars is wall time.
+//!
+//! `cargo run --release -p mc-bench --bin perf` runs the same comparison
+//! outside the criterion harness and writes `BENCH_driver.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mc_checkers::all_checkers;
+use mc_corpus::plan::PLANS;
+use mc_corpus::{generate, Protocol, DEFAULT_SEED};
+use mc_driver::Driver;
+use std::hint::black_box;
+
+fn corpus() -> Vec<Protocol> {
+    PLANS
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| generate(plan, DEFAULT_SEED.wrapping_add(i as u64)))
+        .collect()
+}
+
+fn check_corpus(protocols: &[Protocol], jobs: usize) -> usize {
+    let mut reports = 0;
+    for proto in protocols {
+        let mut driver = Driver::new();
+        driver.jobs(jobs);
+        all_checkers(&mut driver, &proto.spec).expect("suite registers");
+        let units = driver.parse_units(&proto.sources()).expect("corpus parses");
+        reports += driver.check_units(&units).len();
+    }
+    reports
+}
+
+fn bench_worker_counts(c: &mut Criterion) {
+    let protocols = corpus();
+    let functions: usize = {
+        let driver = Driver::new();
+        protocols
+            .iter()
+            .map(|p| {
+                driver
+                    .parse_units(&p.sources())
+                    .expect("corpus parses")
+                    .iter()
+                    .map(|u| u.cfgs.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    };
+    let baseline = check_corpus(&protocols, 1);
+    let mut g = c.benchmark_group("driver_jobs");
+    g.throughput(Throughput::Elements(functions as u64));
+    g.sample_size(10);
+    for jobs in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let reports = check_corpus(black_box(&protocols), jobs);
+                assert_eq!(reports, baseline, "report count changed at jobs={jobs}");
+                reports
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_worker_counts);
+criterion_main!(benches);

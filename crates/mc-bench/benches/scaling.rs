@@ -23,9 +23,7 @@ fn branchy_source(k: usize) -> String {
             "if (c{i}) {{ t = t + {i}; }} else {{ t = t - {i}; }}\n"
         ));
     }
-    format!(
-        "void NIBranchy(void) {{ int t = 0; {body} MISCBUS_READ_DB(a, b); }}"
-    )
+    format!("void NIBranchy(void) {{ int t = 0; {body} MISCBUS_READ_DB(a, b); }}")
 }
 
 const SM: &str = r#"
@@ -61,7 +59,9 @@ fn bench_traversal_modes(c: &mut Criterion) {
                     black_box(&cfg),
                     &mut m,
                     init,
-                    Mode::Exhaustive { max_paths: 1_000_000 },
+                    Mode::Exhaustive {
+                        max_paths: 1_000_000,
+                    },
                 );
                 m.reports.len()
             })

@@ -1,0 +1,160 @@
+//! Driver throughput trajectory: checks the full corpus at several worker
+//! counts and writes the measurements to `BENCH_driver.json`.
+//!
+//! ```text
+//! cargo run --release -p mc-bench --bin perf [-- --jobs-list 1,2,4,8] [--out FILE]
+//! ```
+//!
+//! Every row records wall time, functions checked per second, and the
+//! report count; the report count is asserted identical across worker
+//! counts (the driver's determinism guarantee), so a row differing in
+//! anything but speed is a bug, not noise.
+
+use mc_checkers::all_checkers;
+use mc_corpus::plan::PLANS;
+use mc_corpus::{generate, DEFAULT_SEED};
+use mc_driver::Driver;
+use mc_json::Json;
+use std::time::Instant;
+
+/// Timed result of one full-corpus check at a fixed worker count.
+struct Row {
+    workers: usize,
+    wall_ms: f64,
+    functions: usize,
+    reports: usize,
+}
+
+fn check_corpus(
+    sources: &[Vec<(String, String)>],
+    specs: &[mc_checkers::flash::FlashSpec],
+    jobs: usize,
+) -> (usize, usize) {
+    let mut functions = 0;
+    let mut reports = 0;
+    for (srcs, spec) in sources.iter().zip(specs) {
+        let mut driver = Driver::new();
+        driver.jobs(jobs);
+        all_checkers(&mut driver, spec).expect("suite registers");
+        let units = driver.parse_units(srcs).expect("corpus parses");
+        functions += units.iter().map(|u| u.cfgs.len()).sum::<usize>();
+        reports += driver.check_units(&units).len();
+    }
+    (functions, reports)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut jobs_list: Vec<usize> = vec![1, 2, 4, 8];
+    let mut out = "BENCH_driver.json".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs-list" if i + 1 < args.len() => {
+                jobs_list = args[i + 1]
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .expect("--jobs-list expects comma-separated integers")
+                    })
+                    .filter(|&n| n >= 1)
+                    .collect();
+                if jobs_list.is_empty() {
+                    eprintln!("--jobs-list needs at least one worker count >= 1");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: perf [--jobs-list 1,2,4,8] [--out BENCH_driver.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let protocols: Vec<_> = PLANS
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| generate(plan, DEFAULT_SEED.wrapping_add(i as u64)))
+        .collect();
+    let sources: Vec<Vec<(String, String)>> = protocols.iter().map(|p| p.sources()).collect();
+    let specs: Vec<_> = protocols.iter().map(|p| p.spec.clone()).collect();
+
+    // Warm up caches and page in the corpus before timing anything.
+    let (functions, baseline_reports) = check_corpus(&sources, &specs, 1);
+    println!(
+        "corpus: {} protocols, {functions} functions, {baseline_reports} reports",
+        protocols.len()
+    );
+
+    const REPS: usize = 3;
+    let mut rows = Vec::new();
+    for &jobs in &jobs_list {
+        let mut best = f64::INFINITY;
+        let mut reports = 0;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let (_, r) = check_corpus(&sources, &specs, jobs);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            best = best.min(ms);
+            reports = r;
+        }
+        assert_eq!(
+            reports, baseline_reports,
+            "jobs={jobs} changed the report count — determinism violated"
+        );
+        println!(
+            "jobs={jobs:<2} wall={best:8.1} ms  {:8.0} functions/s  {reports} reports",
+            functions as f64 / (best / 1e3)
+        );
+        rows.push(Row {
+            workers: jobs,
+            wall_ms: best,
+            functions,
+            reports,
+        });
+    }
+
+    let json = Json::Object(vec![
+        ("benchmark".into(), Json::Str("driver_throughput".into())),
+        ("corpus_seed".into(), Json::Int(DEFAULT_SEED as i64)),
+        ("protocols".into(), Json::Int(protocols.len() as i64)),
+        (
+            "available_parallelism".into(),
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as i64,
+            ),
+        ),
+        (
+            "runs".into(),
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::Object(vec![
+                            ("workers".into(), Json::Int(r.workers as i64)),
+                            (
+                                "wall_ms".into(),
+                                Json::Float((r.wall_ms * 1e3).round() / 1e3),
+                            ),
+                            ("functions".into(), Json::Int(r.functions as i64)),
+                            (
+                                "functions_per_sec".into(),
+                                Json::Float((r.functions as f64 / (r.wall_ms / 1e3)).round()),
+                            ),
+                            ("reports".into(), Json::Int(r.reports as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out, json.to_pretty()).expect("write BENCH_driver.json");
+    println!("wrote {out}");
+}

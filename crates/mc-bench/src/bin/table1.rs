@@ -1,6 +1,6 @@
 //! Table 1 — protocol size: LOC, number of paths, average/max path length.
 
-use mc_bench::{pm, row, run_all_protocols};
+use mc_bench::{jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
 /// Paper values: (LOC, paths, avg path length, max path length).
 const PAPER: [(usize, u64, u64, u64); 6] = [
@@ -18,13 +18,22 @@ fn main() {
     println!(
         "{}",
         row(
-            &["Protocol", "LOC", "# of paths", "avg path len", "max path len"]
-                .map(String::from),
+            &[
+                "Protocol",
+                "LOC",
+                "# of paths",
+                "avg path len",
+                "max path len"
+            ]
+            .map(String::from),
             &widths
         )
     );
     let mut total_loc = 0usize;
-    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+    for (run, paper) in run_all_protocols_with_jobs(jobs_from_args())
+        .iter()
+        .zip(PAPER)
+    {
         let stats = run.path_stats();
         total_loc += run.loc();
         println!(

@@ -1,20 +1,32 @@
 //! Table 2 — the buffer race condition checker (Figure 2).
 
-use mc_bench::{applied, pm, row, run_all_protocols};
+use mc_bench::{applied, jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
 /// Paper values: (errors, false positives, applied).
-const PAPER: [(usize, usize, usize); 6] =
-    [(4, 0, 14), (0, 0, 16), (0, 0, 2), (0, 0, 0), (0, 0, 10), (0, 1, 17)];
+const PAPER: [(usize, usize, usize); 6] = [
+    (4, 0, 14),
+    (0, 0, 16),
+    (0, 0, 2),
+    (0, 0, 0),
+    (0, 0, 10),
+    (0, 1, 17),
+];
 
 fn main() {
     println!("Table 2: buffer race condition checker (paper/measured)");
     let widths = [12, 10, 12, 10];
     println!(
         "{}",
-        row(&["Protocol", "Errors", "False Pos", "Applied"].map(String::from), &widths)
+        row(
+            &["Protocol", "Errors", "False Pos", "Applied"].map(String::from),
+            &widths
+        )
     );
     let mut totals = (0, 0, 0);
-    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+    for (run, paper) in run_all_protocols_with_jobs(jobs_from_args())
+        .iter()
+        .zip(PAPER)
+    {
         let t = run.tally("wait_for_db");
         let applied = applied::reads(run);
         totals.0 += t.errors;

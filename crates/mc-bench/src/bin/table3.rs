@@ -1,6 +1,6 @@
 //! Table 3 — the message length consistency checker (Figure 3).
 
-use mc_bench::{applied, pm, row, run_all_protocols};
+use mc_bench::{applied, jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
 /// Paper values: (errors, false positives, applied).
 const PAPER: [(usize, usize, usize); 6] = [
@@ -17,10 +17,16 @@ fn main() {
     let widths = [12, 10, 12, 10];
     println!(
         "{}",
-        row(&["Protocol", "Errors", "False Pos", "Applied"].map(String::from), &widths)
+        row(
+            &["Protocol", "Errors", "False Pos", "Applied"].map(String::from),
+            &widths
+        )
     );
     let mut totals = (0, 0, 0);
-    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+    for (run, paper) in run_all_protocols_with_jobs(jobs_from_args())
+        .iter()
+        .zip(PAPER)
+    {
         let t = run.tally("msglen_check");
         let applied = applied::sends(run);
         totals.0 += t.errors;

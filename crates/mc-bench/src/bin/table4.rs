@@ -1,11 +1,11 @@
 //! Table 4 — the buffer management checker.
 
-use mc_bench::{pm, row, run_all_protocols};
+use mc_bench::{jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
 /// Paper values: (errors, minor, useful annotations, useless annotations).
 const PAPER: [(usize, usize, usize, usize); 6] = [
-    (2, 1, 0, 1),  // bitvector
-    (2, 2, 3, 3),  // dyn_ptr
+    (2, 1, 0, 1), // bitvector
+    (2, 2, 3, 3), // dyn_ptr
     (3, 2, 10, 10),
     (0, 0, 0, 0),
     (2, 0, 2, 4),
@@ -23,7 +23,10 @@ fn main() {
         )
     );
     let mut totals = (0, 0, 0, 0);
-    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+    for (run, paper) in run_all_protocols_with_jobs(jobs_from_args())
+        .iter()
+        .zip(PAPER)
+    {
         let t = run.tally("buffer_mgmt");
         let useful = run.annotations();
         totals.0 += t.errors;

@@ -1,6 +1,6 @@
 //! Table 5 — the execution restriction checker.
 
-use mc_bench::{applied, pm, row, run_all_protocols};
+use mc_bench::{applied, jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
 /// Paper values: (violations, handlers/routines, vars).
 const PAPER: [(usize, usize, usize); 6] = [
@@ -17,10 +17,16 @@ fn main() {
     let widths = [12, 12, 12, 10];
     println!(
         "{}",
-        row(&["Protocol", "Violations", "Handlers", "Vars"].map(String::from), &widths)
+        row(
+            &["Protocol", "Violations", "Handlers", "Vars"].map(String::from),
+            &widths
+        )
     );
     let mut totals = (0, 0, 0);
-    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+    for (run, paper) in run_all_protocols_with_jobs(jobs_from_args())
+        .iter()
+        .zip(PAPER)
+    {
         let t = run.tally("exec_restrict");
         let (routines, vars) = applied::routines_and_vars(run);
         totals.0 += t.errors;

@@ -1,7 +1,7 @@
 //! Table 6 — the three lower-yield checks: buffer allocation, directory
 //! management, and send-wait pairing.
 
-use mc_bench::{applied, pm, row, run_all_protocols};
+use mc_bench::{applied, jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
 /// Paper values per protocol:
 /// (alloc FP, alloc applied, dir FP, dir applied, sw FP, sw applied).
@@ -20,15 +20,16 @@ fn main() {
     println!(
         "{}",
         row(
-            &[
-                "Protocol", "allocFP", "allocApp", "dirFP", "dirApp", "swFP", "swApp"
-            ]
-            .map(String::from),
+            &["Protocol", "allocFP", "allocApp", "dirFP", "dirApp", "swFP", "swApp"]
+                .map(String::from),
             &widths
         )
     );
     let mut totals = [0usize; 6];
-    for (run, paper) in run_all_protocols().iter().zip(PAPER) {
+    for (run, paper) in run_all_protocols_with_jobs(jobs_from_args())
+        .iter()
+        .zip(PAPER)
+    {
         let alloc = run.tally("alloc_check");
         let dir = run.tally("directory");
         let sw = run.tally("send_wait");

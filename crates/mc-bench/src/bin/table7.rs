@@ -2,7 +2,7 @@
 //! and false positives. Also covers the §7 lane checker (2 errors, 0 FPs)
 //! and the §11 refcount incident.
 
-use mc_bench::{checker_loc, pm, row, run_all_protocols};
+use mc_bench::{checker_loc, jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
 /// Paper values: (checker, LOC, errors, false positives).
 const PAPER: [(&str, usize, usize, usize); 9] = [
@@ -19,12 +19,15 @@ const PAPER: [(&str, usize, usize, usize); 9] = [
 
 fn main() {
     println!("Table 7: checker summary over all protocols (paper/measured)");
-    let runs = run_all_protocols();
+    let runs = run_all_protocols_with_jobs(jobs_from_args());
     let locs = checker_loc();
     let widths = [16, 12, 10, 12];
     println!(
         "{}",
-        row(&["Checker", "LOC", "Err", "False Pos"].map(String::from), &widths)
+        row(
+            &["Checker", "LOC", "Err", "False Pos"].map(String::from),
+            &widths
+        )
     );
     let mut total_err = 0;
     let mut total_fp = 0;

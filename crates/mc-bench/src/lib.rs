@@ -10,13 +10,13 @@
 //! so the printed "Errors" and "False Pos" columns are *measured*, not
 //! copied.
 
-use mc_ast::{parse_translation_unit, Function, TranslationUnit};
-use mc_cfg::{Cfg, PathStats};
+use mc_ast::Function;
+use mc_cfg::PathStats;
 use mc_checkers::{all_checkers, exec_restrict, flash};
 use mc_corpus::eval::{evaluate, tally, Outcome, Tally};
 use mc_corpus::plan::{ProtoPlan, PLANS};
 use mc_corpus::{generate, PlantedKind, Protocol, DEFAULT_SEED};
-use mc_driver::{Driver, Report};
+use mc_driver::{CheckedUnit, Driver, Report};
 
 /// Everything measured about one protocol, shared by the table binaries.
 pub struct ProtocolRun {
@@ -24,8 +24,9 @@ pub struct ProtocolRun {
     pub protocol: Protocol,
     /// Its plan (paper targets).
     pub plan: &'static ProtoPlan,
-    /// Parsed units.
-    pub units: Vec<TranslationUnit>,
+    /// Parsed units with each function's CFG built once — the same cache
+    /// the driver checked, reused here for the Table 1 path statistics.
+    pub units: Vec<CheckedUnit>,
     /// All reports of the full suite.
     pub reports: Vec<Report>,
     /// Reports joined against the manifest.
@@ -35,14 +36,16 @@ pub struct ProtocolRun {
 impl ProtocolRun {
     /// Iterates over all function definitions.
     pub fn functions(&self) -> impl Iterator<Item = &Function> {
-        self.units.iter().flat_map(|u| u.functions())
+        self.units.iter().flat_map(|u| u.unit.functions())
     }
 
-    /// Aggregate path statistics (Table 1).
+    /// Aggregate path statistics (Table 1), from the cached CFGs.
     pub fn path_stats(&self) -> PathStats {
         let mut agg = PathStats::default();
-        for f in self.functions() {
-            agg.merge(&Cfg::build(f).path_stats());
+        for u in &self.units {
+            for cfg in &u.cfgs {
+                agg.merge(&cfg.path_stats());
+            }
         }
         agg
     }
@@ -73,25 +76,61 @@ impl ProtocolRun {
 }
 
 /// Generates, checks, and evaluates all six protocols at the canonical
-/// seed. This is the shared entry point of every table binary.
+/// seed, using the machine's available parallelism. This is the shared
+/// entry point of every table binary.
 pub fn run_all_protocols() -> Vec<ProtocolRun> {
+    run_all_protocols_with_jobs(default_jobs())
+}
+
+/// [`run_all_protocols`] with an explicit driver worker count.
+pub fn run_all_protocols_with_jobs(jobs: usize) -> Vec<ProtocolRun> {
     PLANS
         .iter()
         .enumerate()
         .map(|(i, plan)| {
             let protocol = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
-            let units: Vec<TranslationUnit> = protocol
-                .files
-                .iter()
-                .map(|f| parse_translation_unit(&f.source, &f.name).expect("corpus parses"))
-                .collect();
             let mut driver = Driver::new();
+            driver.jobs(jobs);
             all_checkers(&mut driver, &protocol.spec).expect("suite registers");
+            let units = driver
+                .parse_units(&protocol.sources())
+                .expect("corpus parses");
             let reports = driver.check_units(&units);
             let outcome = evaluate(&protocol, &reports);
-            ProtocolRun { protocol, plan, units, reports, outcome }
+            ProtocolRun {
+                protocol,
+                plan,
+                units,
+                reports,
+                outcome,
+            }
         })
         .collect()
+}
+
+/// The machine's available parallelism (the driver's default worker count).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Reads a `--jobs N` override from the command line, for the table and
+/// benchmark binaries. Defaults to [`default_jobs`]; rejects `0`.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--jobs" {
+            match pair[1].parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => {
+                    eprintln!("--jobs expects a positive integer, got `{}`", pair[1]);
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    default_jobs()
 }
 
 /// Applied-count helpers matching the paper's per-table definitions.
@@ -184,18 +223,12 @@ pub fn checker_loc() -> Vec<(&'static str, usize)> {
             "buffer_mgmt",
             rust_loc(include_str!("../../mc-checkers/src/buffer_mgmt.rs")),
         ),
-        (
-            "msglen_check",
-            metal_loc(mc_checkers::MSGLEN_METAL),
-        ),
+        ("msglen_check", metal_loc(mc_checkers::MSGLEN_METAL)),
         (
             "lanes",
             rust_loc(include_str!("../../mc-checkers/src/lanes.rs")),
         ),
-        (
-            "wait_for_db",
-            metal_loc(mc_checkers::WAIT_FOR_DB_METAL),
-        ),
+        ("wait_for_db", metal_loc(mc_checkers::WAIT_FOR_DB_METAL)),
         (
             "alloc_check",
             rust_loc(include_str!("../../mc-checkers/src/alloc_check.rs")),
@@ -212,10 +245,7 @@ pub fn checker_loc() -> Vec<(&'static str, usize)> {
             "exec_restrict",
             rust_loc(include_str!("../../mc-checkers/src/exec_restrict.rs")),
         ),
-        (
-            "refcount_bump",
-            metal_loc(mc_checkers::REFCOUNT_BUMP_METAL),
-        ),
+        ("refcount_bump", metal_loc(mc_checkers::REFCOUNT_BUMP_METAL)),
     ]
 }
 
@@ -233,9 +263,24 @@ mod tests {
     #[test]
     fn applied_counts_match_plans() {
         for run in run_all_protocols() {
-            assert_eq!(applied::reads(&run), run.plan.reads, "{} reads", run.plan.name);
-            assert_eq!(applied::sends(&run), run.plan.sends, "{} sends", run.plan.name);
-            assert_eq!(applied::allocs(&run), run.plan.allocs, "{} allocs", run.plan.name);
+            assert_eq!(
+                applied::reads(&run),
+                run.plan.reads,
+                "{} reads",
+                run.plan.name
+            );
+            assert_eq!(
+                applied::sends(&run),
+                run.plan.sends,
+                "{} sends",
+                run.plan.name
+            );
+            assert_eq!(
+                applied::allocs(&run),
+                run.plan.allocs,
+                "{} allocs",
+                run.plan.name
+            );
             assert_eq!(
                 applied::dir_ops(&run),
                 run.plan.dir_ops,
@@ -251,7 +296,10 @@ mod tests {
     fn checker_loc_nonzero_and_small() {
         for (name, loc) in checker_loc() {
             assert!(loc > 5, "{name} has {loc} lines");
-            assert!(loc < 500, "{name} has {loc} lines — checkers must stay small");
+            assert!(
+                loc < 500,
+                "{name} has {loc} lines — checkers must stay small"
+            );
         }
     }
 

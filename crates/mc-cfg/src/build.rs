@@ -56,8 +56,14 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { then_to, else_to, .. } => vec![*then_to, *else_to],
-            Terminator::Switch { targets, fallthrough, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => vec![*then_to, *else_to],
+            Terminator::Switch {
+                targets,
+                fallthrough,
+                ..
+            } => {
                 let mut v: Vec<BlockId> = targets.iter().map(|(_, t)| *t).collect();
                 if !targets.iter().any(|(val, _)| val.is_none()) {
                     v.push(*fallthrough);
@@ -121,10 +127,7 @@ impl Cfg {
 
     /// Iterates over `(id, block)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (BlockId(i), b))
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i), b))
     }
 
     /// Ids of blocks ending in `return`.
@@ -197,7 +200,12 @@ impl Builder {
 
     /// Lowers a statement list starting in `cur`; returns the id of the
     /// block control falls out of, or `None` if all paths terminated.
-    fn lower_stmts(&mut self, stmts: &[Stmt], mut cur: BlockId, frames: &Frames) -> Option<BlockId> {
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        mut cur: BlockId,
+        frames: &Frames,
+    ) -> Option<BlockId> {
         for s in stmts {
             match self.lower_stmt(s, cur, frames) {
                 Some(next) => cur = next,
@@ -220,7 +228,11 @@ impl Builder {
             StmtKind::If { cond, then, els } => {
                 let then_b = self.new_block();
                 let join = self.new_block();
-                let else_b = if els.is_some() { self.new_block() } else { join };
+                let else_b = if els.is_some() {
+                    self.new_block()
+                } else {
+                    join
+                };
                 self.set_term(
                     cur,
                     Terminator::Branch {
@@ -283,7 +295,12 @@ impl Builder {
                 );
                 Some(after)
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let mut cur = cur;
                 if let Some(init) = init {
                     cur = self.lower_stmt(init, cur, frames)?;
@@ -312,10 +329,7 @@ impl Builder {
                     self.set_term(end, Terminator::Jump(step_b));
                 }
                 if let Some(step) = step {
-                    self.push_node(
-                        step_b,
-                        Stmt::new(StmtKind::Expr(step.clone()), step.span),
-                    );
+                    self.push_node(step_b, Stmt::new(StmtKind::Expr(step.clone()), step.span));
                 }
                 self.set_term(step_b, Terminator::Jump(head));
                 Some(after)
@@ -477,7 +491,9 @@ mod tests {
         let cfg = cfg_of("if (x) { a(); } else { b(); } c();");
         let entry = cfg.block(cfg.entry);
         match &entry.term {
-            Terminator::Branch { then_to, else_to, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
                 assert_ne!(then_to, else_to);
             }
             other => panic!("expected branch, got {other:?}"),
@@ -489,7 +505,9 @@ mod tests {
         let cfg = cfg_of("if (x) a(); b();");
         let entry = cfg.block(cfg.entry);
         match &entry.term {
-            Terminator::Branch { then_to, else_to, .. } => {
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => {
                 // else edge goes straight to the join block
                 let join = cfg.block(*else_to);
                 assert_eq!(join.nodes.len(), 1); // b();

@@ -121,8 +121,20 @@ fn flow_block<M: PathMachine>(
 }
 
 fn dedup<S: Eq + Hash + Clone>(v: Vec<S>) -> Vec<S> {
-    let mut seen = HashSet::new();
-    v.into_iter().filter(|s| seen.insert(s.clone())).collect()
+    // Membership is checked before inserting so only the states that are
+    // kept get cloned — metal states carry owned strings, and this runs
+    // once per block per state set.
+    let mut seen = HashSet::with_capacity(v.len());
+    v.into_iter()
+        .filter(|s| {
+            if seen.contains(s) {
+                false
+            } else {
+                seen.insert(s.clone());
+                true
+            }
+        })
+        .collect()
 }
 
 fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
@@ -142,7 +154,11 @@ fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
                     worklist.push((*t, s));
                 }
             }
-            Terminator::Branch { cond, then_to, else_to } => {
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
                 for s in states {
                     for ns in machine.step(&s, &PathEvent::Branch { cond, taken: true }) {
                         worklist.push((*then_to, ns));
@@ -152,7 +168,11 @@ fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
                     }
                 }
             }
-            Terminator::Switch { scrutinee, targets, fallthrough } => {
+            Terminator::Switch {
+                scrutinee,
+                targets,
+                fallthrough,
+            } => {
                 let has_default = targets.iter().any(|(v, _)| v.is_none());
                 for s in states {
                     for (value, target) in targets {
@@ -165,7 +185,10 @@ fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
                         }
                     }
                     if !has_default {
-                        let ev = PathEvent::Case { scrutinee, value: None };
+                        let ev = PathEvent::Case {
+                            scrutinee,
+                            value: None,
+                        };
                         for ns in machine.step(&s, &ev) {
                             worklist.push((*fallthrough, ns));
                         }
@@ -187,90 +210,147 @@ fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
     }
 }
 
+/// One entry of the explicit DFS stack in [`run_exhaustive`].
+///
+/// `Enter` visits a block with the states alive on this path; `Exit` runs
+/// after the whole subtree below the block finished and releases its
+/// per-path revisit slot. The recursion this replaces overflowed the thread
+/// stack on functions whose CFG forms a long block chain (thousands of
+/// sequential conditionals); the explicit stack grows on the heap instead.
+enum Frame<S> {
+    Enter { block: BlockId, states: Vec<S> },
+    Exit { block: BlockId },
+}
+
 fn run_exhaustive<M: PathMachine>(
     cfg: &Cfg,
     machine: &mut M,
-    block: BlockId,
-    states: Vec<M::State>,
-    back_counts: &mut Vec<u8>,
+    entry: BlockId,
+    init: Vec<M::State>,
+    back_counts: &mut [u8],
     budget: &mut usize,
 ) {
-    if *budget == 0 {
-        return;
-    }
-    // Per-path revisit limit: each block may appear at most twice on one
-    // path (enough for a loop body to execute once and be re-examined at
-    // the head).
-    if back_counts[block.0] >= 2 {
-        *budget = budget.saturating_sub(1);
-        return;
-    }
-    back_counts[block.0] += 1;
-
-    let states = flow_block(cfg, machine, block, states);
-    if states.is_empty() {
-        back_counts[block.0] -= 1;
-        return;
-    }
-    match &cfg.block(block).term {
-        Terminator::Jump(t) => {
-            run_exhaustive(cfg, machine, *t, states, back_counts, budget);
+    let mut stack: Vec<Frame<M::State>> = vec![Frame::Enter {
+        block: entry,
+        states: init,
+    }];
+    while let Some(frame) = stack.pop() {
+        let (block, states) = match frame {
+            Frame::Exit { block } => {
+                back_counts[block.0] -= 1;
+                continue;
+            }
+            Frame::Enter { block, states } => (block, states),
+        };
+        if *budget == 0 {
+            continue;
         }
-        Terminator::Branch { cond, then_to, else_to } => {
-            let mut then_states = Vec::new();
-            let mut else_states = Vec::new();
-            for s in &states {
-                then_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: true }));
-                else_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: false }));
-            }
-            if !then_states.is_empty() {
-                run_exhaustive(cfg, machine, *then_to, dedup(then_states), back_counts, budget);
-            }
-            if !else_states.is_empty() {
-                run_exhaustive(cfg, machine, *else_to, dedup(else_states), back_counts, budget);
-            }
-        }
-        Terminator::Switch { scrutinee, targets, fallthrough } => {
-            let has_default = targets.iter().any(|(v, _)| v.is_none());
-            for (value, target) in targets {
-                let mut next = Vec::new();
-                for s in &states {
-                    next.extend(machine.step(
-                        s,
-                        &PathEvent::Case {
-                            scrutinee,
-                            value: value.as_ref(),
-                        },
-                    ));
-                }
-                if !next.is_empty() {
-                    run_exhaustive(cfg, machine, *target, dedup(next), back_counts, budget);
-                }
-            }
-            if !has_default {
-                let mut next = Vec::new();
-                for s in &states {
-                    next.extend(machine.step(s, &PathEvent::Case { scrutinee, value: None }));
-                }
-                if !next.is_empty() {
-                    run_exhaustive(cfg, machine, *fallthrough, dedup(next), back_counts, budget);
-                }
-            }
-        }
-        Terminator::Return { value, span } => {
-            for s in &states {
-                let _ = machine.step(
-                    s,
-                    &PathEvent::Return {
-                        value: value.as_ref(),
-                        span: *span,
-                    },
-                );
-            }
+        // Per-path revisit limit: each block may appear at most twice on one
+        // path (enough for a loop body to execute once and be re-examined at
+        // the head). The revisit slot is held until this block's `Exit`
+        // frame, i.e. exactly while the block is on the current path.
+        if back_counts[block.0] >= 2 {
             *budget = budget.saturating_sub(1);
+            continue;
+        }
+        back_counts[block.0] += 1;
+
+        let states = flow_block(cfg, machine, block, states);
+        if states.is_empty() {
+            back_counts[block.0] -= 1;
+            continue;
+        }
+        // The `Exit` frame goes below the children so it pops after the
+        // whole subtree; children are pushed in reverse so they pop in
+        // the original left-to-right order.
+        stack.push(Frame::Exit { block });
+        match &cfg.block(block).term {
+            Terminator::Jump(t) => {
+                stack.push(Frame::Enter { block: *t, states });
+            }
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                let mut then_states = Vec::new();
+                let mut else_states = Vec::new();
+                for s in &states {
+                    then_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: true }));
+                    else_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: false }));
+                }
+                if !else_states.is_empty() {
+                    stack.push(Frame::Enter {
+                        block: *else_to,
+                        states: dedup(else_states),
+                    });
+                }
+                if !then_states.is_empty() {
+                    stack.push(Frame::Enter {
+                        block: *then_to,
+                        states: dedup(then_states),
+                    });
+                }
+            }
+            Terminator::Switch {
+                scrutinee,
+                targets,
+                fallthrough,
+            } => {
+                let has_default = targets.iter().any(|(v, _)| v.is_none());
+                let mut children = Vec::new();
+                for (value, target) in targets {
+                    let mut next = Vec::new();
+                    for s in &states {
+                        next.extend(machine.step(
+                            s,
+                            &PathEvent::Case {
+                                scrutinee,
+                                value: value.as_ref(),
+                            },
+                        ));
+                    }
+                    if !next.is_empty() {
+                        children.push(Frame::Enter {
+                            block: *target,
+                            states: dedup(next),
+                        });
+                    }
+                }
+                if !has_default {
+                    let mut next = Vec::new();
+                    for s in &states {
+                        next.extend(machine.step(
+                            s,
+                            &PathEvent::Case {
+                                scrutinee,
+                                value: None,
+                            },
+                        ));
+                    }
+                    if !next.is_empty() {
+                        children.push(Frame::Enter {
+                            block: *fallthrough,
+                            states: dedup(next),
+                        });
+                    }
+                }
+                stack.extend(children.into_iter().rev());
+            }
+            Terminator::Return { value, span } => {
+                for s in &states {
+                    let _ = machine.step(
+                        s,
+                        &PathEvent::Return {
+                            value: value.as_ref(),
+                            span: *span,
+                        },
+                    );
+                }
+                *budget = budget.saturating_sub(1);
+            }
         }
     }
-    back_counts[block.0] -= 1;
 }
 
 #[cfg(test)]
@@ -316,7 +396,10 @@ mod tests {
     #[test]
     fn exhaustive_visits_both_arms() {
         let cfg = cfg_of("if (x) { a(); } else { b(); } c();");
-        let mut m = Tracer { visits: vec![], returns: 0 };
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
         run_machine(&cfg, &mut m, 0, Mode::Exhaustive { max_paths: 100 });
         assert_eq!(m.returns, 2);
         assert!(m.visits.contains(&"a".to_string()));
@@ -328,7 +411,10 @@ mod tests {
     #[test]
     fn state_set_merges_join_states() {
         let cfg = cfg_of("if (x) { a(); } else { b(); } c();");
-        let mut m = Tracer { visits: vec![], returns: 0 };
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
         run_machine(&cfg, &mut m, 0, Mode::StateSet);
         // After the join, both paths carry state 0, so c() is seen once.
         assert_eq!(m.visits.iter().filter(|v| *v == "c").count(), 1);
@@ -338,10 +424,16 @@ mod tests {
     #[test]
     fn loops_terminate_in_both_modes() {
         let cfg = cfg_of("while (x) { a(); } b();");
-        let mut m = Tracer { visits: vec![], returns: 0 };
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
         run_machine(&cfg, &mut m, 0, Mode::StateSet);
         assert!(m.visits.contains(&"a".to_string()));
-        let mut m2 = Tracer { visits: vec![], returns: 0 };
+        let mut m2 = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
         run_machine(&cfg, &mut m2, 0, Mode::Exhaustive { max_paths: 1000 });
         assert!(m2.returns >= 1);
     }
@@ -382,16 +474,58 @@ mod tests {
         // 2^20 paths would hang; the budget keeps it bounded.
         let body = "if (a) x(); ".repeat(20) + "z();";
         let cfg = cfg_of(&body);
-        let mut m = Tracer { visits: vec![], returns: 0 };
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
         run_machine(&cfg, &mut m, 0, Mode::Exhaustive { max_paths: 500 });
         assert!(m.returns <= 500);
         assert!(m.returns > 0);
     }
 
     #[test]
+    fn exhaustive_handles_very_long_functions() {
+        // A chain of 50k sequential conditionals produces a CFG whose
+        // longest path is ~150k blocks. The recursive traversal this
+        // replaced overflowed the thread stack here; the explicit stack
+        // must walk it to completion.
+        let body = "if (c) { a(); } ".repeat(50_000) + "z();";
+        let cfg = cfg_of(&body);
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
+        run_machine(&cfg, &mut m, 0, Mode::Exhaustive { max_paths: 8 });
+        assert!(m.returns >= 1);
+        assert!(m.visits.contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn dedup_clones_only_kept_states() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CLONES: AtomicUsize = AtomicUsize::new(0);
+        #[derive(PartialEq, Eq, Hash)]
+        struct S(u32);
+        impl Clone for S {
+            fn clone(&self) -> S {
+                CLONES.fetch_add(1, Ordering::Relaxed);
+                S(self.0)
+            }
+        }
+        let out = dedup(vec![S(1), S(2), S(1), S(2), S(1)]);
+        assert_eq!(out.len(), 2);
+        // One clone per *kept* state; duplicates are dropped without cloning.
+        assert_eq!(CLONES.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn switch_cases_all_visited() {
-        let cfg = cfg_of("switch (op) { case 1: a(); break; case 2: b(); break; default: c(); } d();");
-        let mut m = Tracer { visits: vec![], returns: 0 };
+        let cfg =
+            cfg_of("switch (op) { case 1: a(); break; case 2: b(); break; default: c(); } d();");
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
         run_machine(&cfg, &mut m, 0, Mode::StateSet);
         for callee in ["a", "b", "c", "d"] {
             assert!(m.visits.contains(&callee.to_string()), "missing {callee}");

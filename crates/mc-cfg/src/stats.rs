@@ -218,7 +218,8 @@ mod tests {
 
     #[test]
     fn switch_paths() {
-        let s = stats_of("switch (op) { case 1: a(); break; case 2: b(); break; default: c(); } d();");
+        let s =
+            stats_of("switch (op) { case 1: a(); break; case 2: b(); break; default: c(); } d();");
         assert_eq!(s.paths, 3);
     }
 

@@ -18,9 +18,8 @@ fn arb_body() -> impl Strategy<Value = String> {
             // sequence
             prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.join("\n")),
             // if / if-else
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!(
-                "if (c) {{ {a} }} else {{ {b} }}"
-            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("if (c) {{ {a} }} else {{ {b} }}")),
             inner.clone().prop_map(|a| format!("if (c) {{ {a} }}")),
             // loops
             inner.clone().prop_map(|a| format!("while (c) {{ {a} }}")),
@@ -28,9 +27,8 @@ fn arb_body() -> impl Strategy<Value = String> {
                 .clone()
                 .prop_map(|a| format!("for (i = 0; i < 4; i++) {{ {a} }}")),
             // switch
-            (inner.clone(), inner).prop_map(|(a, b)| format!(
-                "switch (op) {{ case 1: {a} break; default: {b} }}"
-            )),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| format!("switch (op) {{ case 1: {a} break; default: {b} }}")),
         ]
     })
 }

@@ -12,7 +12,7 @@
 use crate::flash;
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
 use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
-use mc_driver::{Checker, FunctionContext, Report};
+use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 use std::collections::BTreeSet;
 
 /// The allocation-failure checker.
@@ -31,7 +31,7 @@ impl Checker for AllocCheck {
         "alloc_check"
     }
 
-    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
         if flash::is_unimplemented(ctx.function) {
             return;
         }
@@ -90,10 +90,9 @@ impl AllocMachine {
             return;
         }
         match &e.kind {
-            ExprKind::Ident(name)
-                if state.contains(name) => {
-                    out.push((e.span, name.clone()));
-                }
+            ExprKind::Ident(name) if state.contains(name) => {
+                out.push((e.span, name.clone()));
+            }
             ExprKind::Assign { lhs, rhs, .. } => {
                 if Self::alloc_target(e).is_some() {
                     return; // the defining assignment is not a use
@@ -215,13 +214,18 @@ mod tests {
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
         let mut checker = AllocCheck::new();
-        let mut sink = Vec::new();
+        let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
-            let ctx = FunctionContext { file: "t.c", unit: &tu, function: f, cfg: &cfg };
+            let ctx = FunctionContext {
+                file: "t.c",
+                unit: &tu,
+                function: f,
+                cfg: &cfg,
+            };
             checker.check_function(&ctx, &mut sink);
         }
-        sink
+        sink.into_reports()
     }
 
     #[test]

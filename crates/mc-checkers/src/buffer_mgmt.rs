@@ -19,7 +19,7 @@
 use crate::flash::{self, FlashSpec, RoutineKind};
 use mc_ast::{Expr, ExprKind, Span, Stmt, StmtKind};
 use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
-use mc_driver::{Checker, FunctionContext, Report};
+use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// Buffer-possession state along a path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,7 +55,10 @@ pub struct BufferMgmt {
 impl BufferMgmt {
     /// Creates the checker with the given protocol tables.
     pub fn new(spec: FlashSpec) -> BufferMgmt {
-        BufferMgmt { spec, value_sensitive: true }
+        BufferMgmt {
+            spec,
+            value_sensitive: true,
+        }
     }
 
     /// Should this function be checked, and from which initial state?
@@ -83,7 +86,7 @@ impl Checker for BufferMgmt {
         "buffer_mgmt"
     }
 
-    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
         if flash::is_unimplemented(ctx.function) {
             return;
         }
@@ -240,9 +243,10 @@ impl BufMachine<'_> {
                     .contains(name)
                     .then_some((name, false))
             }
-            ExprKind::Unary { op: mc_ast::UnaryOp::Not, operand } => self
-                .cond_free_in_branch(operand)
-                .map(|(n, neg)| (n, !neg)),
+            ExprKind::Unary {
+                op: mc_ast::UnaryOp::Not,
+                operand,
+            } => self.cond_free_in_branch(operand).map(|(n, neg)| (n, !neg)),
             _ => None,
         }
     }
@@ -282,10 +286,8 @@ impl PathMachine for BufMachine<'_> {
                         ));
                     }
                     (EndRule::MustHold, BufState::None) => {
-                        self.found.push((
-                            *span,
-                            "buffer-keeping routine freed its buffer".to_string(),
-                        ));
+                        self.found
+                            .push((*span, "buffer-keeping routine freed its buffer".to_string()));
                     }
                     _ => {}
                 }
@@ -328,13 +330,18 @@ mod tests {
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
         let mut checker = BufferMgmt::new(spec());
-        let mut sink = Vec::new();
+        let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
-            let ctx = FunctionContext { file: "t.c", unit: &tu, function: f, cfg: &cfg };
+            let ctx = FunctionContext {
+                file: "t.c",
+                unit: &tu,
+                function: f,
+                cfg: &cfg,
+            };
             checker.check_function(&ctx, &mut sink);
         }
-        sink
+        sink.into_reports()
     }
 
     #[test]
@@ -396,16 +403,16 @@ mod tests {
     fn annotations_suppress() {
         let r = check("void PILocalGet(void) { no_free_needed(); }");
         assert!(r.is_empty());
-        let r = check("void SWPageMove(void) { has_buffer(); PI_SEND(F_DATA, k, s, w, d, n); DB_FREE(); }");
+        let r = check(
+            "void SWPageMove(void) { has_buffer(); PI_SEND(F_DATA, k, s, w, d, n); DB_FREE(); }",
+        );
         assert!(r.is_empty(), "{r:?}");
     }
 
     #[test]
     fn free_routine_checked_for_consistency() {
         // Listed free-routine that forgets to free on one path.
-        let r = check(
-            "void send_reply_and_free(void) { if (x) { DB_FREE(); } }",
-        );
+        let r = check("void send_reply_and_free(void) { if (x) { DB_FREE(); } }");
         assert_eq!(r.len(), 1);
         assert!(r[0].message.contains("leak"));
     }
@@ -436,7 +443,10 @@ mod tests {
                 DB_FREE();
             }"#,
         );
-        assert!(!r.is_empty(), "infeasible path should (by design) be flagged");
+        assert!(
+            !r.is_empty(),
+            "infeasible path should (by design) be flagged"
+        );
     }
 
     #[test]
@@ -448,17 +458,25 @@ mod tests {
             DB_FREE();
         }"#;
         let r = check(src);
-        assert!(r.is_empty(), "value-sensitive handling should be clean: {r:?}");
+        assert!(
+            r.is_empty(),
+            "value-sensitive handling should be clean: {r:?}"
+        );
 
         // With sensitivity off, the conservative both-edges-free treatment
         // produces the cascade the paper describes.
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
         let mut checker = BufferMgmt::new(spec());
         checker.value_sensitive = false;
-        let mut sink = Vec::new();
+        let mut sink = CheckSink::new();
         let f = tu.functions().next().unwrap();
         let cfg = Cfg::build(f);
-        let ctx = FunctionContext { file: "t.c", unit: &tu, function: f, cfg: &cfg };
+        let ctx = FunctionContext {
+            file: "t.c",
+            unit: &tu,
+            function: f,
+            cfg: &cfg,
+        };
         checker.check_function(&ctx, &mut sink);
         assert!(!sink.is_empty());
     }

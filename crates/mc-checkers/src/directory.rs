@@ -19,7 +19,7 @@
 use crate::flash::{self, FlashSpec, RoutineKind};
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
 use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
-use mc_driver::{Checker, FunctionContext, Report};
+use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// The directory-update checker.
 #[derive(Debug, Clone)]
@@ -39,7 +39,7 @@ impl Checker for Directory {
         "directory"
     }
 
-    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
         if flash::is_unimplemented(ctx.function) {
             return;
         }
@@ -140,10 +140,8 @@ impl DirMachine<'_> {
             }
             flash::DIR_STATE | flash::DIR_PTR => {
                 if !st.loaded {
-                    self.found.push((
-                        e.span,
-                        "directory entry read before DIR_LOAD".to_string(),
-                    ));
+                    self.found
+                        .push((e.span, "directory entry read before DIR_LOAD".to_string()));
                 }
             }
             flash::DIR_SET_STATE | flash::DIR_SET_PTR => {
@@ -243,13 +241,18 @@ mod tests {
     fn check_spec(spec: FlashSpec, src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
         let mut checker = Directory::new(spec);
-        let mut sink = Vec::new();
+        let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
-            let ctx = FunctionContext { file: "t.c", unit: &tu, function: f, cfg: &cfg };
+            let ctx = FunctionContext {
+                file: "t.c",
+                unit: &tu,
+                function: f,
+                cfg: &cfg,
+            };
             checker.check_function(&ctx, &mut sink);
         }
-        sink
+        sink.into_reports()
     }
 
     fn check(src: &str) -> Vec<Report> {
@@ -333,7 +336,8 @@ mod tests {
     #[test]
     fn annotated_writeback_routine_trusted() {
         let mut spec = FlashSpec::new();
-        spec.writeback_routines.insert("update_and_writeback".into());
+        spec.writeback_routines
+            .insert("update_and_writeback".into());
         let r = check_spec(
             spec,
             r#"void PILocalGet(void) {
@@ -361,7 +365,8 @@ mod tests {
     #[test]
     fn writeback_routine_itself_checked() {
         let mut spec = FlashSpec::new();
-        spec.writeback_routines.insert("update_and_writeback".into());
+        spec.writeback_routines
+            .insert("update_and_writeback".into());
         // It starts "loaded" and must write back what it modifies.
         let r = check_spec(
             spec.clone(),

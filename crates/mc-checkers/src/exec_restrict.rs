@@ -18,10 +18,8 @@
 //! from the hook requirement, matching the paper's counting.
 
 use crate::flash::{self, FlashSpec, RoutineKind};
-use mc_ast::{
-    walk_function, Declaration, Expr, ExprKind, Function, Stmt, StmtKind, Type, Visitor,
-};
-use mc_driver::{Checker, FunctionContext, Report};
+use mc_ast::{walk_function, Declaration, Expr, ExprKind, Function, Stmt, StmtKind, Type, Visitor};
+use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// Maximum number of locals a no-stack handler may declare (they must all
 /// fit in registers).
@@ -53,7 +51,7 @@ impl Checker for ExecRestrict {
         "exec_restrict"
     }
 
-    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
         let f = ctx.function;
         if flash::is_unimplemented(f) {
             return;
@@ -114,7 +112,10 @@ impl Checker for ExecRestrict {
             ..
         } = walk;
         for span in float_spans {
-            sink.push(err(span, "floating point is forbidden in protocol code".into()));
+            sink.push(err(
+                span,
+                "floating point is forbidden in protocol code".into(),
+            ));
         }
         for (name, span) in deprecated {
             sink.push(warn(span, format!("use of deprecated macro `{name}`")));
@@ -181,7 +182,7 @@ fn stmt_is_call(s: Option<&Stmt>, name: &str) -> bool {
 
 struct RestrictionWalk<'a> {
     #[allow(dead_code)]
-    sink: &'a mut Vec<Report>,
+    sink: &'a mut CheckSink,
     #[allow(dead_code)]
     file: &'a str,
     #[allow(dead_code)]
@@ -207,10 +208,9 @@ impl Visitor for RestrictionWalk<'_> {
     fn visit_expr(&mut self, e: &Expr) {
         match &e.kind {
             ExprKind::FloatLit(..) => self.float_spans.push(e.span),
-            ExprKind::Cast { ty, .. } | ExprKind::SizeofType(ty)
-                if ty.contains_float() => {
-                    self.float_spans.push(e.span);
-                }
+            ExprKind::Cast { ty, .. } | ExprKind::SizeofType(ty) if ty.contains_float() => {
+                self.float_spans.push(e.span);
+            }
             ExprKind::Call { callee, .. } => {
                 if let ExprKind::Ident(name) = &callee.kind {
                     if flash::DEPRECATED_MACROS.contains(&name.as_str()) {
@@ -218,7 +218,10 @@ impl Visitor for RestrictionWalk<'_> {
                     }
                 }
             }
-            ExprKind::Unary { op: mc_ast::UnaryOp::AddrOf, operand } => {
+            ExprKind::Unary {
+                op: mc_ast::UnaryOp::AddrOf,
+                operand,
+            } => {
                 if let ExprKind::Ident(name) = &operand.kind {
                     if self.locals.contains(name) {
                         self.addr_of_locals.push((name.clone(), e.span));
@@ -234,8 +237,8 @@ impl Visitor for RestrictionWalk<'_> {
 /// subroutine call is immediately preceded by `SET_STACKPTR()`, and every
 /// `SET_STACKPTR()` is immediately followed by a call. Checked per
 /// statement sequence (block), which matches how handlers are written.
-fn check_set_stackptr(f: &Function, file: &str, sink: &mut Vec<Report>) {
-    fn scan(stmts: &[Stmt], file: &str, func: &str, sink: &mut Vec<Report>) {
+fn check_set_stackptr(f: &Function, file: &str, sink: &mut CheckSink) {
+    fn scan(stmts: &[Stmt], file: &str, func: &str, sink: &mut CheckSink) {
         let mut prev_was_set = false;
         for s in stmts {
             let is_set = stmt_is_call(Some(s), flash::SET_STACKPTR);
@@ -329,13 +332,18 @@ mod tests {
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
         let mut checker = ExecRestrict::new(FlashSpec::new());
-        let mut sink = Vec::new();
+        let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
-            let ctx = FunctionContext { file: "t.c", unit: &tu, function: f, cfg: &cfg };
+            let ctx = FunctionContext {
+                file: "t.c",
+                unit: &tu,
+                function: f,
+                cfg: &cfg,
+            };
             checker.check_function(&ctx, &mut sink);
         }
-        sink
+        sink.into_reports()
     }
 
     const CLEAN: &str = r#"
@@ -402,9 +410,8 @@ mod tests {
             "y = (double) x;",
             "z = sizeof(float);",
         ] {
-            let src = format!(
-                "void PILocalGet(void) {{ HANDLER_DEFS(); HANDLER_PROLOGUE(); {body} }}"
-            );
+            let src =
+                format!("void PILocalGet(void) {{ HANDLER_DEFS(); HANDLER_PROLOGUE(); {body} }}");
             let r = check(&src);
             assert!(
                 r.iter().any(|x| x.message.contains("floating point")),
@@ -415,9 +422,8 @@ mod tests {
 
     #[test]
     fn deprecated_macros_warned() {
-        let r = check(
-            "void PILocalGet(void) { HANDLER_DEFS(); HANDLER_PROLOGUE(); OLD_WAIT_DB(a); }",
-        );
+        let r =
+            check("void PILocalGet(void) { HANDLER_DEFS(); HANDLER_PROLOGUE(); OLD_WAIT_DB(a); }");
         assert!(r.iter().any(|x| x.message.contains("deprecated")));
     }
 
@@ -447,7 +453,10 @@ mod tests {
                 use_ptr(&a);
             }"#,
         );
-        assert!(r.iter().any(|x| x.message.contains("address of local")), "{r:?}");
+        assert!(
+            r.iter().any(|x| x.message.contains("address of local")),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -480,7 +489,8 @@ mod tests {
             }"#,
         );
         assert!(
-            r.iter().any(|x| x.message.contains("without preceding SET_STACKPTR")),
+            r.iter()
+                .any(|x| x.message.contains("without preceding SET_STACKPTR")),
             "{r:?}"
         );
     }
@@ -505,7 +515,10 @@ mod tests {
                 NO_STACK();
             }"#,
         );
-        assert!(r.iter().any(|x| x.message.contains("more than one")), "{r:?}");
+        assert!(
+            r.iter().any(|x| x.message.contains("more than one")),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -517,7 +530,10 @@ mod tests {
                 NO_STACK();
             }"#,
         );
-        assert!(r.iter().any(|x| x.message.contains("directly follow")), "{r:?}");
+        assert!(
+            r.iter().any(|x| x.message.contains("directly follow")),
+            "{r:?}"
+        );
     }
 
     #[test]

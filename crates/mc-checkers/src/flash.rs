@@ -6,7 +6,7 @@
 //! amenable to pattern-based checking. The corpus generator emits code in
 //! exactly this vocabulary.
 
-use serde::{Deserialize, Serialize};
+use mc_json::{FromJson, Json, JsonError, ToJson};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Number of virtual network lanes (§7 of the paper).
@@ -144,8 +144,7 @@ pub enum RoutineKind {
 /// In the paper these came from the protocol specification plus small
 /// checker-maintained tables; here they are built by the corpus generator
 /// (or by hand for ad-hoc use) and handed to the checkers.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-#[serde(default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlashSpec {
     /// Names of hardware handlers.
     pub hardware_handlers: BTreeSet<String>,
@@ -168,6 +167,38 @@ pub struct FlashSpec {
     /// behalf (annotating these removes the §9.1 subroutine false
     /// positives).
     pub writeback_routines: BTreeSet<String>,
+}
+
+impl ToJson for FlashSpec {
+    fn to_json(&self) -> Json {
+        mc_json::object(vec![
+            ("hardware_handlers", self.hardware_handlers.to_json()),
+            ("software_handlers", self.software_handlers.to_json()),
+            ("lane_quota", self.lane_quota.to_json()),
+            ("default_quota", self.default_quota.to_json()),
+            ("free_routines", self.free_routines.to_json()),
+            ("use_routines", self.use_routines.to_json()),
+            ("cond_free_routines", self.cond_free_routines.to_json()),
+            ("writeback_routines", self.writeback_routines.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FlashSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // Every field is optional with a `Default` fallback, mirroring the
+        // hand-written spec files which usually set only a few tables.
+        Ok(FlashSpec {
+            hardware_handlers: mc_json::field_or_default(v, "hardware_handlers")?,
+            software_handlers: mc_json::field_or_default(v, "software_handlers")?,
+            lane_quota: mc_json::field_or_default(v, "lane_quota")?,
+            default_quota: mc_json::field_or_default(v, "default_quota")?,
+            free_routines: mc_json::field_or_default(v, "free_routines")?,
+            use_routines: mc_json::field_or_default(v, "use_routines")?,
+            cond_free_routines: mc_json::field_or_default(v, "cond_free_routines")?,
+            writeback_routines: mc_json::field_or_default(v, "writeback_routines")?,
+        })
+    }
 }
 
 impl FlashSpec {

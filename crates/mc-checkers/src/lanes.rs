@@ -15,14 +15,12 @@ use crate::flash::{self, FlashSpec, RoutineKind, NUM_LANES};
 use mc_ast::ExprKind;
 use mc_cfg::Cfg;
 use mc_driver::global::{EmittedGraph, GlobalGraph, GraphEvent};
-use mc_driver::{Checker, FunctionContext, ProgramContext, Report};
+use mc_driver::{CheckSink, Checker, Fact, FunctionContext, ProgramContext, Report};
 
 /// The lane-quota checker.
 #[derive(Debug)]
 pub struct Lanes {
     spec: FlashSpec,
-    /// Graphs emitted by the local pass, linked in the program pass.
-    emitted: Vec<EmittedGraph>,
     /// When `false`, cycles are not given fixed-point treatment and every
     /// cycle is flagged (the ablation arm showing why the paper added the
     /// fixed point: recursion-based false positives).
@@ -34,7 +32,6 @@ impl Lanes {
     pub fn new(spec: FlashSpec) -> Lanes {
         Lanes {
             spec,
-            emitted: Vec::new(),
             fixed_point_cycles: true,
         }
     }
@@ -51,16 +48,19 @@ impl Checker for Lanes {
     }
 
     /// Local pass: emit this function's flow graph with each send
-    /// annotated by the lane it uses.
-    fn check_function(&mut self, ctx: &FunctionContext<'_>, _sink: &mut Vec<Report>) {
-        let graph = emit_lane_graph(ctx.file, ctx.cfg);
-        self.emitted.push(graph);
+    /// annotated by the lane it uses. Runs concurrently per function; the
+    /// graph travels to the program pass as a [`Fact`].
+    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
+        sink.emit(emit_lane_graph(ctx.file, ctx.cfg));
     }
 
     /// Global pass: link all graphs, traverse from every handler, and flag
     /// any lane whose maximum send count exceeds the handler's allowance.
-    fn check_program(&mut self, ctx: &ProgramContext<'_>, sink: &mut Vec<Report>) {
-        let graphs = std::mem::take(&mut self.emitted);
+    fn check_program(&self, ctx: &ProgramContext<'_>, facts: Vec<Fact>, sink: &mut Vec<Report>) {
+        let graphs: Vec<EmittedGraph> = facts
+            .into_iter()
+            .filter_map(|f| f.downcast::<EmittedGraph>().ok().map(|g| *g))
+            .collect();
         let global = GlobalGraph::link(graphs);
         for (file, func) in ctx.functions() {
             let kind = self.spec.classify(&func.name);
@@ -129,7 +129,7 @@ pub fn emit_lane_graph(file: &str, cfg: &Cfg) -> EmittedGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use mc_driver::Driver;
 
     fn check_with(spec: FlashSpec, src: &str) -> Vec<Report> {

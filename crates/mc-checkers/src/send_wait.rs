@@ -14,7 +14,7 @@
 use crate::flash;
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
 use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
-use mc_driver::{Checker, FunctionContext, Report};
+use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// The send-wait checker.
 #[derive(Debug, Clone, Default)]
@@ -32,7 +32,7 @@ impl Checker for SendWait {
         "send_wait"
     }
 
-    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
         if flash::is_unimplemented(ctx.function) {
             return;
         }
@@ -202,13 +202,18 @@ mod tests {
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
         let mut checker = SendWait::new();
-        let mut sink = Vec::new();
+        let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
-            let ctx = FunctionContext { file: "t.c", unit: &tu, function: f, cfg: &cfg };
+            let ctx = FunctionContext {
+                file: "t.c",
+                unit: &tu,
+                function: f,
+                cfg: &cfg,
+            };
             checker.check_function(&ctx, &mut sink);
         }
-        sink
+        sink.into_reports()
     }
 
     #[test]

@@ -33,10 +33,7 @@ fn first_byte_early_peek() {
             DB_FREE();
         }"#,
     );
-    assert_eq!(
-        r.iter().filter(|x| x.checker == "wait_for_db").count(),
-        1
-    );
+    assert_eq!(r.iter().filter(|x| x.checker == "wait_for_db").count(), 1);
 }
 
 /// §5: "It is not unusual for a length assignment to be hundreds of lines
@@ -45,9 +42,7 @@ fn first_byte_early_peek() {
 /// occur in practice".
 #[test]
 fn uncached_read_corner_case() {
-    let filler: String = (0..60)
-        .map(|i| format!("g{i} = g{i} + 1;\n"))
-        .collect();
+    let filler: String = (0..60).map(|i| format!("g{i} = g{i} + 1;\n")).collect();
     let src = format!(
         r#"void NIUncachedRead(void) {{
             HANDLER_DEFS();

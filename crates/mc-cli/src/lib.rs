@@ -10,6 +10,7 @@
 //!   --builtin                add the full built-in FLASH suite
 //!   --spec <spec.json>       FlashSpec tables for the native checkers
 //!   --mode <state-set|exhaustive>
+//!   --jobs <n>               worker threads (default: available parallelism)
 //!   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
 //!   --seed <n>               corpus seed (default 0xF1A5)
 //! ```
@@ -32,6 +33,9 @@ pub struct Options {
     pub spec: Option<PathBuf>,
     /// Use exhaustive traversal instead of the state-set worklist.
     pub exhaustive: bool,
+    /// Worker threads for parsing and checking (`None`: available
+    /// parallelism). Reports are identical at any worker count.
+    pub jobs: Option<usize>,
     /// Write the corpus to this directory instead of checking.
     pub emit_corpus: Option<PathBuf>,
     /// Corpus seed.
@@ -62,6 +66,9 @@ usage: mcheck [OPTIONS] <file.c>...
   --spec <spec.json>       FlashSpec tables (handler classes, lane quotas,
                            routine tables) for the native checkers
   --mode <state-set|exhaustive>   path traversal mode (default state-set)
+  --jobs <n>               worker threads for parsing and checking
+                           (default: available parallelism; output is
+                           identical at any worker count)
   --format <text|json>     report output format (default text)
   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
   --seed <n>               corpus seed (default 0xF1A5)
@@ -74,7 +81,10 @@ usage: mcheck [OPTIONS] <file.c>...
 /// Returns [`CliError`] on unknown flags, missing values, or a run that
 /// would do nothing.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
-    let mut opts = Options { seed: mc_corpus::DEFAULT_SEED, ..Options::default() };
+    let mut opts = Options {
+        seed: mc_corpus::DEFAULT_SEED,
+        ..Options::default()
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -99,15 +109,24 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                     }
                 }
             }
+            "--jobs" => {
+                let v = it.next().ok_or(CliError("--jobs needs a number".into()))?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => opts.jobs = Some(n),
+                    _ => {
+                        return Err(CliError(format!(
+                            "--jobs expects a positive integer, got `{v}`"
+                        )))
+                    }
+                }
+            }
             "--format" => {
                 let v = it.next().ok_or(CliError("--format needs a value".into()))?;
                 match v.as_str() {
                     "text" => opts.json = false,
                     "json" => opts.json = true,
                     other => {
-                        return Err(CliError(format!(
-                            "unknown format `{other}` (text | json)"
-                        )))
+                        return Err(CliError(format!("unknown format `{other}` (text | json)")))
                     }
                 }
             }
@@ -119,8 +138,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             }
             "--seed" => {
                 let v = it.next().ok_or(CliError("--seed needs a number".into()))?;
-                opts.seed = parse_seed(&v)
-                    .ok_or_else(|| CliError(format!("invalid seed `{v}`")))?;
+                opts.seed =
+                    parse_seed(&v).ok_or_else(|| CliError(format!("invalid seed `{v}`")))?;
             }
             "--help" | "-h" => return Err(CliError(USAGE.to_string())),
             other if other.starts_with('-') => {
@@ -166,7 +185,7 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
-            serde_json::from_str::<FlashSpec>(&text)
+            mc_json::from_str::<FlashSpec>(&text)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?
         }
         None => FlashSpec::new(),
@@ -176,9 +195,11 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
     if opts.exhaustive {
         driver.mode = mc_cfg_mode_exhaustive();
     }
+    if let Some(n) = opts.jobs {
+        driver.jobs(n);
+    }
     if opts.builtin {
-        mc_checkers::all_checkers(&mut driver, &spec)
-            .map_err(|e| CliError(e.to_string()))?;
+        mc_checkers::all_checkers(&mut driver, &spec).map_err(|e| CliError(e.to_string()))?;
     }
     for checker in &opts.checkers {
         let text = std::fs::read_to_string(checker)
@@ -200,7 +221,9 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
 }
 
 fn mc_cfg_mode_exhaustive() -> mc_cfg::Mode {
-    mc_cfg::Mode::Exhaustive { max_paths: 1_000_000 }
+    mc_cfg::Mode::Exhaustive {
+        max_paths: 1_000_000,
+    }
 }
 
 /// Writes the six generated protocols (sources, spec JSON, and manifest)
@@ -213,8 +236,7 @@ fn emit_corpus(dir: &std::path::Path, seed: u64) -> Result<(), CliError> {
         for f in &proto.files {
             std::fs::write(pdir.join(&f.name), &f.source).map_err(io)?;
         }
-        let spec_json = serde_json::to_string_pretty(&proto.spec)
-            .map_err(|e| CliError(e.to_string()))?;
+        let spec_json = mc_json::to_string_pretty(&proto.spec);
         std::fs::write(pdir.join("spec.json"), spec_json).map_err(io)?;
         let manifest: String = proto
             .manifest
@@ -272,6 +294,27 @@ mod tests {
     }
 
     #[test]
+    fn jobs_parsing() {
+        let o = args(&["--builtin", "--jobs", "4", "a.c"]).unwrap();
+        assert_eq!(o.jobs, Some(4));
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert_eq!(o.jobs, None);
+    }
+
+    #[test]
+    fn jobs_rejects_zero_and_garbage() {
+        assert!(args(&["--builtin", "--jobs", "0", "a.c"]).is_err());
+        assert!(args(&["--builtin", "--jobs", "four", "a.c"]).is_err());
+        assert!(args(&["--builtin", "--jobs", "-2", "a.c"]).is_err());
+        assert!(args(&["--builtin", "--jobs"]).is_err());
+    }
+
+    #[test]
+    fn jobs_documented_in_usage() {
+        assert!(USAGE.contains("--jobs"));
+    }
+
+    #[test]
     fn run_with_metal_checker_on_temp_files() {
         let dir = std::env::temp_dir().join("mcheck_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -283,12 +326,7 @@ mod tests {
             "sm race { decl { scalar } a, b; start: { MISCBUS_READ_DB(a, b); } ==> { err(\"raw read\"); } ; }",
         )
         .unwrap();
-        let opts = args(&[
-            "--checker",
-            sm.to_str().unwrap(),
-            src.to_str().unwrap(),
-        ])
-        .unwrap();
+        let opts = args(&["--checker", sm.to_str().unwrap(), src.to_str().unwrap()]).unwrap();
         let reports = run(&opts).unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].message, "raw read");
@@ -313,8 +351,8 @@ mod tests {
         let mut spec = FlashSpec::new();
         spec.free_routines.insert("f".into());
         spec.lane_quota.insert("h".into(), [1, 2, 3, 4]);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: FlashSpec = serde_json::from_str(&json).unwrap();
+        let json = mc_json::to_string(&spec);
+        let back: FlashSpec = mc_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
     }
 }
@@ -335,10 +373,10 @@ mod format_tests {
     #[test]
     fn reports_serialize_to_json() {
         let r = mc_driver::Report::error("c", "f.c", "g", mc_ast::Span::new(3, 4), "m");
-        let json = serde_json::to_string(&r).unwrap();
+        let json = mc_json::to_string(&r);
         assert!(json.contains("\"severity\":\"error\""));
         assert!(json.contains("\"line\":3"));
-        let back: mc_driver::Report = serde_json::from_str(&json).unwrap();
+        let back: mc_driver::Report = mc_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
 }

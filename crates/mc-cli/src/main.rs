@@ -19,10 +19,7 @@ fn main() -> ExitCode {
                 .filter(|r| r.severity == Severity::Error)
                 .count();
             if opts.json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&reports).expect("reports serialize")
-                );
+                println!("{}", mc_json::to_string_pretty(&reports));
             } else {
                 for r in &reports {
                     println!("{r}");

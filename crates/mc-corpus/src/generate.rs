@@ -3,10 +3,9 @@
 
 use crate::builder::{FnKind, FuncBuf};
 use crate::plan::{ProtoPlan, PLANS};
+use crate::rng::CorpusRng;
 use crate::{Planted, PlantedKind, Protocol, SourceFile};
 use mc_checkers::flash::FlashSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The canonical corpus seed used by the table reproductions.
 pub const DEFAULT_SEED: u64 = 0xF1A5;
@@ -38,13 +37,23 @@ fn tag(name: &str) -> &'static str {
 }
 
 const VERBS: [&str; 12] = [
-    "LocalGet", "RemoteGet", "LocalPut", "RemotePut", "Inval", "Ack", "Sharing", "Upgrade",
-    "UncachedRead", "UncachedWrite", "WriteBack", "Replace",
+    "LocalGet",
+    "RemoteGet",
+    "LocalPut",
+    "RemotePut",
+    "Inval",
+    "Ack",
+    "Sharing",
+    "Upgrade",
+    "UncachedRead",
+    "UncachedWrite",
+    "WriteBack",
+    "Replace",
 ];
 
 struct Gen<'p> {
     plan: &'p ProtoPlan,
-    rng: StdRng,
+    rng: CorpusRng,
     spec: FlashSpec,
     manifest: Vec<Planted>,
     // Remaining budgets.
@@ -88,7 +97,7 @@ impl<'p> Gen<'p> {
         spec.default_quota = [4, 4, 4, 4];
         Gen {
             plan,
-            rng: StdRng::seed_from_u64(seed),
+            rng: CorpusRng::seed_from_u64(seed),
             spec,
             manifest: Vec::new(),
             reads: plan.reads,
@@ -178,7 +187,11 @@ impl<'p> Gen<'p> {
     fn emit_send(&mut self, f: &mut FuncBuf, lane: usize, data: bool, wait: bool) {
         let len = if data {
             self.len_alt = !self.len_alt;
-            if self.len_alt { "LEN_CACHELINE" } else { "LEN_WORD" }
+            if self.len_alt {
+                "LEN_CACHELINE"
+            } else {
+                "LEN_WORD"
+            }
         } else {
             "LEN_NODATA"
         };
@@ -310,7 +323,10 @@ impl<'p> Gen<'p> {
             // realistic bulk of address arithmetic.
             f.line(format!("{target} = ({target} * {}) & 2047;", 3 + id % 7));
             f.line(format!("gScratch = gScratch ^ {target};"));
-            f.line(format!("{target} = {target} + (gScratch >> {});", 1 + id % 5));
+            f.line(format!(
+                "{target} = {target} + (gScratch >> {});",
+                1 + id % 5
+            ));
         }
     }
 
@@ -1240,8 +1256,8 @@ mod tests {
                         "MISCBUS_READ_DB" => self.reads += 1,
                         "PI_SEND" | "IO_SEND" | "NI_SEND" => self.sends += 1,
                         "DB_ALLOC" => self.allocs += 1,
-                        "DIR_LOAD" | "DIR_STATE" | "DIR_PTR" | "DIR_SET_STATE"
-                        | "DIR_SET_PTR" | "DIR_WRITEBACK" => self.dir_ops += 1,
+                        "DIR_LOAD" | "DIR_STATE" | "DIR_PTR" | "DIR_SET_STATE" | "DIR_SET_PTR"
+                        | "DIR_WRITEBACK" => self.dir_ops += 1,
                         _ => {}
                     }
                 }
@@ -1249,7 +1265,12 @@ mod tests {
         }
         for plan in &PLANS {
             let p = generate(plan, DEFAULT_SEED);
-            let mut c = Counter { reads: 0, sends: 0, allocs: 0, dir_ops: 0 };
+            let mut c = Counter {
+                reads: 0,
+                sends: 0,
+                allocs: 0,
+                dir_ops: 0,
+            };
             for f in &p.files {
                 let tu = mc_ast::parse_translation_unit(&f.source, &f.name).unwrap();
                 for func in tu.functions() {

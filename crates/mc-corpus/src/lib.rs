@@ -35,6 +35,7 @@ mod builder;
 pub mod eval;
 mod generate;
 pub mod plan;
+pub mod rng;
 
 pub use builder::{FnKind, FuncBuf};
 pub use generate::{generate, generate_all, DEFAULT_SEED};

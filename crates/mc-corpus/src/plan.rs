@@ -274,12 +274,7 @@ mod tests {
         let total_bugs: usize = PLANS
             .iter()
             .map(|p| {
-                p.race_bugs
-                    + p.msglen_bugs
-                    + p.buf_bugs
-                    + p.hook_bugs
-                    + p.lane_bugs
-                    + p.dir_bugs
+                p.race_bugs + p.msglen_bugs + p.buf_bugs + p.hook_bugs + p.lane_bugs + p.dir_bugs
             })
             .sum();
         // Table 7: 34 bugs total (9 buffer mgmt + 18 msglen + 2 lanes +

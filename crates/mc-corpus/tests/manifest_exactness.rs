@@ -119,6 +119,10 @@ fn annotations_planted_and_silent() {
                     + f.source.matches("has_buffer()").count()
             })
             .sum();
-        assert_eq!(calls, plan.buf_annotations, "{} annotation calls", plan.name);
+        assert_eq!(
+            calls, plan.buf_annotations,
+            "{} annotation calls",
+            plan.name
+        );
     }
 }

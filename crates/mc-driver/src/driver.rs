@@ -1,10 +1,16 @@
-//! The checker driver.
+//! The checker driver: parse sources, build every function's CFG exactly
+//! once, fan the per-function checks out over a worker pool, and merge the
+//! results in a stable order so parallel and sequential runs are
+//! byte-identical.
 
 use crate::report::Report;
 use mc_ast::{parse_translation_unit, Function, ParseError, TranslationUnit};
 use mc_cfg::{run_machine, Cfg, Mode};
 use mc_metal::{MetalMachine, MetalParseError, MetalProgram, MetalReport};
+use std::any::Any;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// An error from driving a check run.
 #[derive(Debug)]
@@ -38,6 +44,35 @@ impl From<MetalParseError> for DriverError {
     }
 }
 
+/// A parsed translation unit plus the control-flow graph of every function
+/// in it.
+///
+/// Building the CFG is the most expensive per-function step, and before
+/// this cache existed it happened once in the driver and again in every
+/// consumer that wanted path statistics. A `CheckedUnit` is built once
+/// (usually by [`Driver::parse_units`]) and shared by the check pass, the
+/// global emit/link pass, and the benchmark harness.
+#[derive(Debug)]
+pub struct CheckedUnit {
+    /// The parsed unit.
+    pub unit: TranslationUnit,
+    /// One CFG per function definition, in `unit.functions()` order.
+    pub cfgs: Vec<Cfg>,
+}
+
+impl CheckedUnit {
+    /// Builds the CFG of every function in `unit`.
+    pub fn new(unit: TranslationUnit) -> CheckedUnit {
+        let cfgs = unit.functions().map(Cfg::build).collect();
+        CheckedUnit { unit, cfgs }
+    }
+
+    /// Iterates `(function, cfg)` pairs in definition order.
+    pub fn functions(&self) -> impl Iterator<Item = (&Function, &Cfg)> {
+        self.unit.functions().zip(self.cfgs.iter())
+    }
+}
+
 /// Everything a per-function checker may inspect.
 #[derive(Debug, Clone, Copy)]
 pub struct FunctionContext<'a> {
@@ -55,8 +90,8 @@ pub struct FunctionContext<'a> {
 /// passes ran.
 #[derive(Debug, Clone, Copy)]
 pub struct ProgramContext<'a> {
-    /// All parsed units of the protocol, in input order.
-    pub units: &'a [TranslationUnit],
+    /// All checked units of the protocol, in input order.
+    pub units: &'a [CheckedUnit],
 }
 
 impl ProgramContext<'_> {
@@ -64,7 +99,72 @@ impl ProgramContext<'_> {
     pub fn functions(&self) -> impl Iterator<Item = (&str, &Function)> {
         self.units
             .iter()
-            .flat_map(|u| u.functions().map(move |f| (u.file.as_str(), f)))
+            .flat_map(|u| u.unit.functions().map(move |f| (u.unit.file.as_str(), f)))
+    }
+}
+
+/// A piece of per-function state emitted by a checker's function pass for
+/// its whole-program pass (the "emit" half of the paper's emit-and-link
+/// global framework).
+pub type Fact = Box<dyn Any + Send + Sync>;
+
+/// The accumulator handed to per-function hooks.
+///
+/// Function hooks run concurrently on worker threads, so checkers are
+/// immutable (`&self`) while checking; everything a hook learns flows out
+/// through its sink — diagnostics via [`CheckSink::push`], state for the
+/// whole-program pass via [`CheckSink::emit`]. The driver merges sinks in
+/// `(unit, function)` index order, never in completion order, which is why
+/// parallel runs produce byte-identical reports.
+#[derive(Default)]
+pub struct CheckSink {
+    reports: Vec<Report>,
+    facts: Vec<Fact>,
+}
+
+impl fmt::Debug for CheckSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckSink")
+            .field("reports", &self.reports)
+            .field("facts", &self.facts.len())
+            .finish()
+    }
+}
+
+impl CheckSink {
+    /// Creates an empty sink.
+    pub fn new() -> CheckSink {
+        CheckSink::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, report: Report) {
+        self.reports.push(report);
+    }
+
+    /// Emits a fact for the owning checker's whole-program pass.
+    pub fn emit<F: Any + Send + Sync>(&mut self, fact: F) {
+        self.facts.push(Box::new(fact));
+    }
+
+    /// The diagnostics recorded so far.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Number of diagnostics recorded so far.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Returns `true` if no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Consumes the sink, returning its diagnostics.
+    pub fn into_reports(self) -> Vec<Report> {
+        self.reports
     }
 }
 
@@ -73,17 +173,37 @@ impl ProgramContext<'_> {
 /// Implementations get a per-function hook and an optional whole-program
 /// hook that runs after every function has been seen (the paper's two-pass
 /// emit-and-link global framework; see [`crate::global`]).
-pub trait Checker {
+///
+/// The per-function hook takes `&self` because the driver fans functions
+/// out across worker threads; per-function state goes into the
+/// [`CheckSink`], and cross-function state travels to [`check_program`]
+/// as [`Fact`]s via [`CheckSink::emit`].
+///
+/// [`check_program`]: Checker::check_program
+pub trait Checker: Send + Sync {
     /// Short name used in reports (e.g. `"buffer_mgmt"`).
     fn name(&self) -> &str;
 
-    /// Checks one function.
-    fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>);
+    /// Checks one function. May run concurrently with other functions.
+    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink);
 
     /// Checks the whole program after all functions were visited.
-    fn check_program(&mut self, ctx: &ProgramContext<'_>, sink: &mut Vec<Report>) {
-        let _ = (ctx, sink);
+    ///
+    /// `facts` holds everything this checker emitted from its function
+    /// pass, in stable `(unit, function)` order regardless of which worker
+    /// produced each fact.
+    fn check_program(&self, ctx: &ProgramContext<'_>, facts: Vec<Fact>, sink: &mut Vec<Report>) {
+        let _ = (ctx, facts, sink);
     }
+}
+
+/// Per-function results, produced by whichever worker claimed the item and
+/// merged by the driver in item order.
+struct FunctionOutput {
+    /// Reports from all metal checkers, in registration order.
+    metal: Vec<Report>,
+    /// One sink per native checker, in registration order.
+    native: Vec<CheckSink>,
 }
 
 /// The analysis driver: a set of checkers plus traversal settings.
@@ -92,14 +212,22 @@ pub struct Driver {
     native: Vec<Box<dyn Checker>>,
     /// Path traversal mode used for metal machines.
     pub mode: Mode,
+    jobs: Option<usize>,
 }
 
 impl fmt::Debug for Driver {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Driver")
-            .field("metal", &self.metal.iter().map(|m| &m.name).collect::<Vec<_>>())
-            .field("native", &self.native.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .field(
+                "metal",
+                &self.metal.iter().map(|m| &m.name).collect::<Vec<_>>(),
+            )
+            .field(
+                "native",
+                &self.native.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
             .field("mode", &self.mode)
+            .field("jobs", &self.jobs)
             .finish()
     }
 }
@@ -111,13 +239,34 @@ impl Default for Driver {
 }
 
 impl Driver {
-    /// Creates a driver with no checkers, using state-set traversal.
+    /// Creates a driver with no checkers, using state-set traversal and
+    /// the machine's available parallelism.
     pub fn new() -> Driver {
         Driver {
             metal: Vec::new(),
             native: Vec::new(),
             mode: Mode::StateSet,
+            jobs: None,
         }
+    }
+
+    /// Sets the worker-pool size used for parsing and function checking.
+    ///
+    /// `1` forces a fully sequential run (no threads are spawned). Values
+    /// are clamped to at least one worker. Without an explicit setting the
+    /// driver uses [`std::thread::available_parallelism`].
+    pub fn jobs(&mut self, n: usize) -> &mut Self {
+        self.jobs = Some(n.max(1));
+        self
+    }
+
+    /// The worker count the next check run will use.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 
     /// Registers a metal checker.
@@ -152,7 +301,7 @@ impl Driver {
     /// # Errors
     ///
     /// Returns [`DriverError::Parse`] if the source does not parse.
-    pub fn check_source(&mut self, src: &str, file: &str) -> Result<Vec<Report>, DriverError> {
+    pub fn check_source(&self, src: &str, file: &str) -> Result<Vec<Report>, DriverError> {
         self.check_sources(&[(src.to_string(), file.to_string())])
     }
 
@@ -163,46 +312,146 @@ impl Driver {
     ///
     /// # Errors
     ///
-    /// Returns [`DriverError::Parse`] on the first file that fails to parse.
-    pub fn check_sources(
-        &mut self,
-        sources: &[(String, String)],
-    ) -> Result<Vec<Report>, DriverError> {
-        let mut units = Vec::new();
-        for (src, file) in sources {
-            units.push(parse_translation_unit(src, file)?);
-        }
+    /// Returns [`DriverError::Parse`] on the first file (in input order)
+    /// that fails to parse.
+    pub fn check_sources(&self, sources: &[(String, String)]) -> Result<Vec<Report>, DriverError> {
+        let units = self.parse_units(sources)?;
         Ok(self.check_units(&units))
     }
 
-    /// Checks already-parsed translation units as one program.
-    pub fn check_units(&mut self, units: &[TranslationUnit]) -> Vec<Report> {
+    /// Parses `(source, file-name)` pairs and builds every function's CFG,
+    /// fanning the files out over the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Parse`] on the first file in *input* order
+    /// that fails to parse, regardless of which worker hit the error first.
+    pub fn parse_units(
+        &self,
+        sources: &[(String, String)],
+    ) -> Result<Vec<CheckedUnit>, DriverError> {
+        let parse_one = |i: usize| -> Result<CheckedUnit, ParseError> {
+            let (src, file) = &sources[i];
+            parse_translation_unit(src, file).map(CheckedUnit::new)
+        };
+        let workers = self.effective_jobs().min(sources.len());
+        let mut parsed: Vec<Result<CheckedUnit, ParseError>> = Vec::with_capacity(sources.len());
+        if workers <= 1 {
+            parsed.extend((0..sources.len()).map(parse_one));
+        } else {
+            let slots: Vec<OnceLock<Result<CheckedUnit, ParseError>>> =
+                sources.iter().map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= sources.len() {
+                            break;
+                        }
+                        let _ = slots[i].set(parse_one(i));
+                    });
+                }
+            });
+            for slot in slots {
+                parsed.push(slot.into_inner().expect("every file was parsed"));
+            }
+        }
+        let mut units = Vec::with_capacity(sources.len());
+        for result in parsed {
+            units.push(result?);
+        }
+        Ok(units)
+    }
+
+    /// Checks already-parsed units as one program.
+    ///
+    /// Functions are tagged with their `(unit, function)` index, fanned out
+    /// over the worker pool, and the per-function outputs are merged back
+    /// in index order — so the final report vector does not depend on the
+    /// worker count or on scheduling.
+    pub fn check_units(&self, units: &[CheckedUnit]) -> Vec<Report> {
+        // One work item per function definition, in program order.
+        let mut items: Vec<(usize, usize)> = Vec::new();
+        let fns: Vec<Vec<&Function>> = units.iter().map(|u| u.unit.functions().collect()).collect();
+        for (u, fs) in fns.iter().enumerate() {
+            for f in 0..fs.len() {
+                items.push((u, f));
+            }
+        }
+
+        let run_item = |&(u, f): &(usize, usize)| -> FunctionOutput {
+            let unit = &units[u];
+            let function = fns[u][f];
+            let cfg = &unit.cfgs[f];
+            let ctx = FunctionContext {
+                file: &unit.unit.file,
+                unit: &unit.unit,
+                function,
+                cfg,
+            };
+            let mut metal = Vec::new();
+            for prog in &self.metal {
+                let mut machine = MetalMachine::new(prog);
+                let init = machine.start_state();
+                run_machine(cfg, &mut machine, init, self.mode);
+                metal.extend(
+                    machine
+                        .reports
+                        .iter()
+                        .map(|r| convert_metal_report(r, &unit.unit.file, &function.name)),
+                );
+            }
+            let native = self
+                .native
+                .iter()
+                .map(|checker| {
+                    let mut sink = CheckSink::new();
+                    checker.check_function(&ctx, &mut sink);
+                    sink
+                })
+                .collect();
+            FunctionOutput { metal, native }
+        };
+
+        let workers = self.effective_jobs().min(items.len());
+        let mut outputs: Vec<FunctionOutput> = Vec::with_capacity(items.len());
+        if workers <= 1 {
+            outputs.extend(items.iter().map(run_item));
+        } else {
+            let slots: Vec<OnceLock<FunctionOutput>> =
+                items.iter().map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let _ = slots[i].set(run_item(&items[i]));
+                    });
+                }
+            });
+            for slot in slots {
+                outputs.push(slot.into_inner().expect("every work item completed"));
+            }
+        }
+
+        // Merge in item order: parallel and sequential runs see the exact
+        // same report and fact sequences.
         let mut reports = Vec::new();
-        for unit in units {
-            for function in unit.functions() {
-                let cfg = Cfg::build(function);
-                let ctx = FunctionContext {
-                    file: &unit.file,
-                    unit,
-                    function,
-                    cfg: &cfg,
-                };
-                for prog in &self.metal {
-                    let mut machine = MetalMachine::new(prog);
-                    let init = machine.start_state();
-                    run_machine(&cfg, &mut machine, init, self.mode);
-                    reports.extend(machine.reports.iter().map(|r| {
-                        convert_metal_report(r, &unit.file, &function.name)
-                    }));
-                }
-                for checker in &mut self.native {
-                    checker.check_function(&ctx, &mut reports);
-                }
+        let mut facts: Vec<Vec<Fact>> = self.native.iter().map(|_| Vec::new()).collect();
+        for out in outputs {
+            reports.extend(out.metal);
+            for (i, sink) in out.native.into_iter().enumerate() {
+                reports.extend(sink.reports);
+                facts[i].extend(sink.facts);
             }
         }
         let ctx = ProgramContext { units };
-        for checker in &mut self.native {
-            checker.check_program(&ctx, &mut reports);
+        for (checker, checker_facts) in self.native.iter().zip(facts) {
+            checker.check_program(&ctx, checker_facts, &mut reports);
         }
         reports.sort();
         reports.dedup();
@@ -223,6 +472,7 @@ mod tests {
     use super::*;
     use crate::report::Severity;
     use mc_ast::Span;
+    use std::sync::atomic::AtomicUsize;
 
     const SM: &str = r#"
         sm wait_for_db {
@@ -254,26 +504,43 @@ mod tests {
         d.add_metal_source(SM).unwrap();
         let reports = d
             .check_sources(&[
-                ("void a(void) { MISCBUS_READ_DB(a, b); }".into(), "a.c".into()),
-                ("void b(void) { WAIT_FOR_DB_FULL(x); MISCBUS_READ_DB(x, y); }".into(), "b.c".into()),
+                (
+                    "void a(void) { MISCBUS_READ_DB(a, b); }".into(),
+                    "a.c".into(),
+                ),
+                (
+                    "void b(void) { WAIT_FOR_DB_FULL(x); MISCBUS_READ_DB(x, y); }".into(),
+                    "b.c".into(),
+                ),
             ])
             .unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].file, "a.c");
     }
 
-    /// A native checker that flags functions with more than `max` returns.
+    /// A native checker that flags functions with more than `max` returns
+    /// and counts per-pass activity through the sink/fact machinery.
     struct ReturnCounter {
         max: usize,
-        program_calls: usize,
+        program_calls: AtomicUsize,
+    }
+
+    impl ReturnCounter {
+        fn new(max: usize) -> ReturnCounter {
+            ReturnCounter {
+                max,
+                program_calls: AtomicUsize::new(0),
+            }
+        }
     }
 
     impl Checker for ReturnCounter {
         fn name(&self) -> &str {
             "return_counter"
         }
-        fn check_function(&mut self, ctx: &FunctionContext<'_>, sink: &mut Vec<Report>) {
+        fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
             let exits = ctx.cfg.exits().len();
+            sink.emit(exits);
             if exits > self.max {
                 sink.push(Report::error(
                     self.name(),
@@ -284,15 +551,18 @@ mod tests {
                 ));
             }
         }
-        fn check_program(&mut self, _: &ProgramContext<'_>, _: &mut Vec<Report>) {
-            self.program_calls += 1;
+        fn check_program(&self, ctx: &ProgramContext<'_>, facts: Vec<Fact>, _: &mut Vec<Report>) {
+            self.program_calls.fetch_add(1, Ordering::Relaxed);
+            // One fact per function, delivered in program order.
+            assert_eq!(facts.len(), ctx.functions().count());
+            assert!(facts.iter().all(|f| f.is::<usize>()));
         }
     }
 
     #[test]
     fn native_checker_and_program_pass() {
         let mut d = Driver::new();
-        d.add_checker(Box::new(ReturnCounter { max: 1, program_calls: 0 }));
+        d.add_checker(Box::new(ReturnCounter::new(1)));
         let reports = d
             .check_source(
                 "void ok(void) { a(); }\nvoid bad(void) { if (x) { return; } b(); }",
@@ -305,9 +575,27 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported() {
-        let mut d = Driver::new();
+        let d = Driver::new();
         let err = d.check_source("void broken( {", "bad.c").unwrap_err();
         assert!(matches!(err, DriverError::Parse(_)));
+    }
+
+    #[test]
+    fn parse_error_is_first_in_input_order() {
+        // With many files and many workers, a later broken file may be
+        // parsed before an earlier one; the reported error must still be
+        // the first bad file in input order.
+        let mut sources: Vec<(String, String)> = (0..32)
+            .map(|i| (format!("void f{i}(void) {{ a(); }}"), format!("ok{i}.c")))
+            .collect();
+        sources[5] = ("void broken( {".into(), "bad5.c".into());
+        sources[20] = ("void broken( {".into(), "bad20.c".into());
+        let mut d = Driver::new();
+        d.jobs(8);
+        match d.check_sources(&sources).unwrap_err() {
+            DriverError::Parse(e) => assert!(e.to_string().contains("bad5.c"), "{e}"),
+            other => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]
@@ -331,7 +619,54 @@ mod tests {
     fn checker_count() {
         let mut d = Driver::new();
         d.add_metal_source(SM).unwrap();
-        d.add_checker(Box::new(ReturnCounter { max: 0, program_calls: 0 }));
+        d.add_checker(Box::new(ReturnCounter::new(0)));
         assert_eq!(d.checker_count(), 2);
+    }
+
+    #[test]
+    fn jobs_clamped_and_defaulted() {
+        let mut d = Driver::new();
+        assert!(d.effective_jobs() >= 1);
+        d.jobs(0);
+        assert_eq!(d.effective_jobs(), 1);
+        d.jobs(4);
+        assert_eq!(d.effective_jobs(), 4);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_are_identical() {
+        let many: Vec<(String, String)> = (0..16)
+            .map(|i| {
+                (
+                    format!(
+                        "void f{i}(void) {{ MISCBUS_READ_DB(a, b); }}\n\
+                         void g{i}(void) {{ WAIT_FOR_DB_FULL(x); MISCBUS_READ_DB(x, y); }}"
+                    ),
+                    format!("u{i}.c"),
+                )
+            })
+            .collect();
+        let run = |jobs: usize| {
+            let mut d = Driver::new();
+            d.add_metal_source(SM).unwrap();
+            d.add_checker(Box::new(ReturnCounter::new(0)));
+            d.jobs(jobs);
+            d.check_sources(&many).unwrap()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential.len(), 48); // 16 metal + 32 native reports
+        for jobs in [2, 4, 8] {
+            assert_eq!(run(jobs), sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn checked_unit_builds_each_cfg_once() {
+        let unit =
+            parse_translation_unit("void a(void) { x(); }\nvoid b(void) { y(); }", "t.c").unwrap();
+        let cu = CheckedUnit::new(unit);
+        assert_eq!(cu.cfgs.len(), 2);
+        let names: Vec<&str> = cu.functions().map(|(f, _)| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
     }
 }

@@ -20,11 +20,11 @@
 
 use mc_ast::{Expr, ExprKind, Initializer, StmtKind};
 use mc_cfg::{Cfg, Terminator};
-use serde::{Deserialize, Serialize};
+use mc_json::{FromJson, Json, JsonError, ToJson};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// An event recorded in an emitted flow graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphEvent {
     /// A client annotation adding `amount` to the per-path total of `key`.
     Count {
@@ -44,8 +44,47 @@ pub enum GraphEvent {
     },
 }
 
+impl ToJson for GraphEvent {
+    fn to_json(&self) -> Json {
+        // Externally tagged, matching serde's default enum representation.
+        match self {
+            GraphEvent::Count { key, amount, line } => mc_json::object(vec![(
+                "Count",
+                mc_json::object(vec![
+                    ("key", key.to_json()),
+                    ("amount", amount.to_json()),
+                    ("line", line.to_json()),
+                ]),
+            )]),
+            GraphEvent::Call { callee, line } => mc_json::object(vec![(
+                "Call",
+                mc_json::object(vec![("callee", callee.to_json()), ("line", line.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for GraphEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = v.get("Count") {
+            Ok(GraphEvent::Count {
+                key: mc_json::field(body, "key")?,
+                amount: mc_json::field(body, "amount")?,
+                line: mc_json::field(body, "line")?,
+            })
+        } else if let Some(body) = v.get("Call") {
+            Ok(GraphEvent::Call {
+                callee: mc_json::field(body, "callee")?,
+                line: mc_json::field(body, "line")?,
+            })
+        } else {
+            Err(JsonError::expected("a `Count` or `Call` event object"))
+        }
+    }
+}
+
 /// One block of an emitted graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EmittedBlock {
     /// Successor block indices.
     pub succs: Vec<usize>,
@@ -53,8 +92,26 @@ pub struct EmittedBlock {
     pub events: Vec<GraphEvent>,
 }
 
+impl ToJson for EmittedBlock {
+    fn to_json(&self) -> Json {
+        mc_json::object(vec![
+            ("succs", self.succs.to_json()),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EmittedBlock {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(EmittedBlock {
+            succs: mc_json::field(v, "succs")?,
+            events: mc_json::field(v, "events")?,
+        })
+    }
+}
+
 /// A function's annotated flow graph, as emitted by a local pass.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmittedGraph {
     /// Function name (the link key).
     pub function: String,
@@ -113,16 +170,27 @@ impl EmittedGraph {
 
     /// Serializes to JSON (the on-disk format of the emit step).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("graph serialization cannot fail")
+        mc_json::to_string(&mc_json::object(vec![
+            ("function", self.function.to_json()),
+            ("file", self.file.to_json()),
+            ("entry", self.entry.to_json()),
+            ("blocks", self.blocks.to_json()),
+        ]))
     }
 
     /// Deserializes from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error message on malformed input.
+    /// Returns the parse error message on malformed input.
     pub fn from_json(s: &str) -> Result<EmittedGraph, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = Json::parse(s).map_err(|e| e.to_string())?;
+        Ok(EmittedGraph {
+            function: mc_json::field(&v, "function").map_err(|e| e.to_string())?,
+            file: mc_json::field(&v, "file").map_err(|e| e.to_string())?,
+            entry: mc_json::field(&v, "entry").map_err(|e| e.to_string())?,
+            blocks: mc_json::field(&v, "blocks").map_err(|e| e.to_string())?,
+        })
     }
 }
 
@@ -207,7 +275,10 @@ impl GlobalGraph {
     /// function twice; this mirrors last-wins linking).
     pub fn link(graphs: impl IntoIterator<Item = EmittedGraph>) -> GlobalGraph {
         GlobalGraph {
-            graphs: graphs.into_iter().map(|g| (g.function.clone(), g)).collect(),
+            graphs: graphs
+                .into_iter()
+                .map(|g| (g.function.clone(), g))
+                .collect(),
         }
     }
 
@@ -271,10 +342,13 @@ impl GlobalGraph {
                 match ev {
                     GraphEvent::Count { key, amount, line } => {
                         *weight[bi].entry(key.clone()).or_insert(0) += amount;
-                        block_trace[bi].entry(key.clone()).or_default().push(format!(
-                            "{}:{}: {} in {}",
-                            graph.file, line, key, graph.function
-                        ));
+                        block_trace[bi]
+                            .entry(key.clone())
+                            .or_default()
+                            .push(format!(
+                                "{}:{}: {} in {}",
+                                graph.file, line, key, graph.function
+                            ));
                     }
                     GraphEvent::Call { callee, line } => {
                         if on_stack.contains(callee) {
@@ -305,8 +379,7 @@ impl GlobalGraph {
         let sccs = tarjan_sccs(&graph.blocks);
         let mut cyclic_keys: Vec<String> = Vec::new();
         for scc in &sccs {
-            let non_trivial = scc.len() > 1
-                || graph.blocks[scc[0]].succs.contains(&scc[0]);
+            let non_trivial = scc.len() > 1 || graph.blocks[scc[0]].succs.contains(&scc[0]);
             if !non_trivial {
                 continue;
             }
@@ -340,10 +413,7 @@ impl GlobalGraph {
 
         // Longest-path DP per key over the back-edge-free DAG.
         let order = topo_order(&graph.blocks, graph.entry);
-        let keys: HashSet<String> = weight
-            .iter()
-            .flat_map(|w| w.keys().cloned())
-            .collect();
+        let keys: HashSet<String> = weight.iter().flat_map(|w| w.keys().cloned()).collect();
         let mut summary = Summary::default();
         for key in keys {
             let mut best: Vec<i64> = vec![i64::MIN; n];
@@ -505,8 +575,12 @@ mod tests {
         let g = graphs_of("void h(void) { NI_SEND(2, x); helper(); }");
         assert_eq!(g.len(), 1);
         let events: Vec<_> = g[0].blocks.iter().flat_map(|b| &b.events).collect();
-        assert!(events.iter().any(|e| matches!(e, GraphEvent::Count { key, .. } if key == "lane2")));
-        assert!(events.iter().any(|e| matches!(e, GraphEvent::Call { callee, .. } if callee == "helper")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, GraphEvent::Count { key, .. } if key == "lane2")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, GraphEvent::Call { callee, .. } if callee == "helper")));
     }
 
     #[test]
@@ -566,9 +640,7 @@ mod tests {
 
     #[test]
     fn sendless_loop_is_fixed_point() {
-        let graphs = graphs_of(
-            "void h(void) { while (x) { spin(); } NI_SEND(1, a); }",
-        );
+        let graphs = graphs_of("void h(void) { while (x) { spin(); } NI_SEND(1, a); }");
         let gg = GlobalGraph::link(graphs);
         let mut w = Vec::new();
         let s = gg.summarize("h", &mut w);

@@ -19,6 +19,11 @@
 //! graph, and a traversal with fixed-point cycle handling computes
 //! inter-procedural summaries (used by the lane/deadlock checker).
 //!
+//! Checking is parallel: the driver parses files and checks functions
+//! across a worker pool ([`Driver::jobs`]), tagging every work item with
+//! its `(unit, function)` index and merging results in index order, so the
+//! report vector is byte-identical at any worker count.
+//!
 //! # Example
 //!
 //! ```
@@ -45,5 +50,7 @@ mod driver;
 pub mod global;
 mod report;
 
-pub use driver::{Checker, Driver, DriverError, FunctionContext, ProgramContext};
+pub use driver::{
+    CheckSink, CheckedUnit, Checker, Driver, DriverError, Fact, FunctionContext, ProgramContext,
+};
 pub use report::{Report, Severity};

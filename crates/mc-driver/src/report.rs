@@ -1,17 +1,32 @@
 //! Checker diagnostics.
 
 use mc_ast::Span;
-use serde::{Deserialize, Serialize};
+use mc_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// How serious a report is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Severity {
     /// A rule violation (the paper's `err()`).
     Error,
     /// A suspicious construct (the paper's softer diagnostics).
     Warning,
+}
+
+impl ToJson for Severity {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl FromJson for Severity {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("error") => Ok(Severity::Error),
+            Some("warning") => Ok(Severity::Warning),
+            _ => Err(JsonError::expected("\"error\" or \"warning\"")),
+        }
+    }
 }
 
 impl fmt::Display for Severity {
@@ -24,7 +39,7 @@ impl fmt::Display for Severity {
 }
 
 /// One diagnostic produced by a checker.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Report {
     /// Name of the checker that produced the report.
     pub checker: String,
@@ -78,6 +93,34 @@ impl Report {
     }
 }
 
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        mc_json::object(vec![
+            ("checker", self.checker.to_json()),
+            ("severity", self.severity.to_json()),
+            ("file", self.file.to_json()),
+            ("function", self.function.to_json()),
+            ("span", self.span.to_json()),
+            ("message", self.message.to_json()),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Report {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Report {
+            checker: mc_json::field(v, "checker")?,
+            severity: mc_json::field(v, "severity")?,
+            file: mc_json::field(v, "file")?,
+            function: mc_json::field(v, "function")?,
+            span: mc_json::field(v, "span")?,
+            message: mc_json::field(v, "message")?,
+            trace: mc_json::field(v, "trace")?,
+        })
+    }
+}
+
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -101,7 +144,13 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let r = Report::error("msglen", "bv.c", "PILocalGet", Span::new(10, 5), "data send, zero len");
+        let r = Report::error(
+            "msglen",
+            "bv.c",
+            "PILocalGet",
+            Span::new(10, 5),
+            "data send, zero len",
+        );
         let s = r.to_string();
         assert!(s.contains("bv.c:10:5"));
         assert!(s.contains("[msglen]"));

@@ -178,10 +178,7 @@ impl MetalProgram {
 
     /// Looks up a state id by name.
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
-        self.states
-            .iter()
-            .position(|s| s.name == name)
-            .map(StateId)
+        self.states.iter().position(|s| s.name == name).map(StateId)
     }
 
     /// The set of wildcard names, used when parsing pattern fragments.

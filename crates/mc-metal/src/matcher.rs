@@ -71,42 +71,99 @@ pub(crate) fn exprs_equal(a: &Expr, b: &Expr) -> bool {
         (CharLit(x), CharLit(y)) => x == y,
         (StrLit(x), StrLit(y)) => x == y,
         (Ident(x), Ident(y)) | (Wildcard(x), Wildcard(y)) => x == y,
-        (Call { callee: c1, args: a1 }, Call { callee: c2, args: a2 }) => {
+        (
+            Call {
+                callee: c1,
+                args: a1,
+            },
+            Call {
+                callee: c2,
+                args: a2,
+            },
+        ) => {
             exprs_equal(c1, c2)
                 && a1.len() == a2.len()
                 && a1.iter().zip(a2).all(|(x, y)| exprs_equal(x, y))
         }
         (
-            Binary { op: o1, lhs: l1, rhs: r1 },
-            Binary { op: o2, lhs: l2, rhs: r2 },
+            Binary {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Binary {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+            },
         ) => o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2),
         (
-            Unary { op: o1, operand: e1 },
-            Unary { op: o2, operand: e2 },
+            Unary {
+                op: o1,
+                operand: e1,
+            },
+            Unary {
+                op: o2,
+                operand: e2,
+            },
         ) => o1 == o2 && exprs_equal(e1, e2),
         (
-            Postfix { operand: e1, inc: i1 },
-            Postfix { operand: e2, inc: i2 },
+            Postfix {
+                operand: e1,
+                inc: i1,
+            },
+            Postfix {
+                operand: e2,
+                inc: i2,
+            },
         ) => i1 == i2 && exprs_equal(e1, e2),
         (
-            Assign { op: o1, lhs: l1, rhs: r1 },
-            Assign { op: o2, lhs: l2, rhs: r2 },
+            Assign {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Assign {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+            },
         ) => o1 == o2 && exprs_equal(l1, l2) && exprs_equal(r1, r2),
         (
-            Ternary { cond: c1, then: t1, els: e1 },
-            Ternary { cond: c2, then: t2, els: e2 },
+            Ternary {
+                cond: c1,
+                then: t1,
+                els: e1,
+            },
+            Ternary {
+                cond: c2,
+                then: t2,
+                els: e2,
+            },
         ) => exprs_equal(c1, c2) && exprs_equal(t1, t2) && exprs_equal(e1, e2),
         (
-            Index { base: b1, index: i1 },
-            Index { base: b2, index: i2 },
+            Index {
+                base: b1,
+                index: i1,
+            },
+            Index {
+                base: b2,
+                index: i2,
+            },
         ) => exprs_equal(b1, b2) && exprs_equal(i1, i2),
         (
-            Member { base: b1, field: f1, arrow: a1 },
-            Member { base: b2, field: f2, arrow: a2 },
+            Member {
+                base: b1,
+                field: f1,
+                arrow: a1,
+            },
+            Member {
+                base: b2,
+                field: f2,
+                arrow: a2,
+            },
         ) => f1 == f2 && a1 == a2 && exprs_equal(b1, b2),
-        (Cast { ty: t1, expr: e1 }, Cast { ty: t2, expr: e2 }) => {
-            t1 == t2 && exprs_equal(e1, e2)
-        }
+        (Cast { ty: t1, expr: e1 }, Cast { ty: t2, expr: e2 }) => t1 == t2 && exprs_equal(e1, e2),
         (SizeofType(t1), SizeofType(t2)) => t1 == t2,
         (Comma(a1, b1), Comma(a2, b2)) => exprs_equal(a1, a2) && exprs_equal(b1, b2),
         _ => false,
@@ -129,7 +186,16 @@ fn expr_matches(
         (CharLit(x), CharLit(y)) => x == y,
         (StrLit(x), StrLit(y)) => x == y,
         (Ident(x), Ident(y)) => x == y,
-        (Call { callee: c1, args: a1 }, Call { callee: c2, args: a2 }) => {
+        (
+            Call {
+                callee: c1,
+                args: a1,
+            },
+            Call {
+                callee: c2,
+                args: a2,
+            },
+        ) => {
             a1.len() == a2.len()
                 && expr_matches(c1, c2, classes, b)
                 && a1
@@ -138,36 +204,86 @@ fn expr_matches(
                     .all(|(p, c)| expr_matches(p, c, classes, b))
         }
         (
-            Binary { op: o1, lhs: l1, rhs: r1 },
-            Binary { op: o2, lhs: l2, rhs: r2 },
+            Binary {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Binary {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+            },
         ) => o1 == o2 && expr_matches(l1, l2, classes, b) && expr_matches(r1, r2, classes, b),
         (
-            Unary { op: o1, operand: e1 },
-            Unary { op: o2, operand: e2 },
+            Unary {
+                op: o1,
+                operand: e1,
+            },
+            Unary {
+                op: o2,
+                operand: e2,
+            },
         ) => o1 == o2 && expr_matches(e1, e2, classes, b),
         (
-            Postfix { operand: e1, inc: i1 },
-            Postfix { operand: e2, inc: i2 },
+            Postfix {
+                operand: e1,
+                inc: i1,
+            },
+            Postfix {
+                operand: e2,
+                inc: i2,
+            },
         ) => i1 == i2 && expr_matches(e1, e2, classes, b),
         (
-            Assign { op: o1, lhs: l1, rhs: r1 },
-            Assign { op: o2, lhs: l2, rhs: r2 },
+            Assign {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Assign {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+            },
         ) => o1 == o2 && expr_matches(l1, l2, classes, b) && expr_matches(r1, r2, classes, b),
         (
-            Ternary { cond: c1, then: t1, els: e1 },
-            Ternary { cond: c2, then: t2, els: e2 },
+            Ternary {
+                cond: c1,
+                then: t1,
+                els: e1,
+            },
+            Ternary {
+                cond: c2,
+                then: t2,
+                els: e2,
+            },
         ) => {
             expr_matches(c1, c2, classes, b)
                 && expr_matches(t1, t2, classes, b)
                 && expr_matches(e1, e2, classes, b)
         }
         (
-            Index { base: b1, index: i1 },
-            Index { base: b2, index: i2 },
+            Index {
+                base: b1,
+                index: i1,
+            },
+            Index {
+                base: b2,
+                index: i2,
+            },
         ) => expr_matches(b1, b2, classes, b) && expr_matches(i1, i2, classes, b),
         (
-            Member { base: b1, field: f1, arrow: a1 },
-            Member { base: b2, field: f2, arrow: a2 },
+            Member {
+                base: b1,
+                field: f1,
+                arrow: a1,
+            },
+            Member {
+                base: b2,
+                field: f2,
+                arrow: a2,
+            },
         ) => f1 == f2 && a1 == a2 && expr_matches(b1, b2, classes, b),
         (Cast { ty: t1, expr: e1 }, Cast { ty: t2, expr: e2 }) => {
             t1 == t2 && expr_matches(e1, e2, classes, b)

@@ -95,7 +95,9 @@ impl MetalParser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() {
             self.pos += 1;
         }
@@ -198,14 +200,18 @@ impl MetalParser {
                         }
                     },
                 };
-                resolved.push(Rule { patterns, target, actions });
+                resolved.push(Rule {
+                    patterns,
+                    target,
+                    actions,
+                });
             }
-            states.push(StateDef { name: sname, rules: resolved });
+            states.push(StateDef {
+                name: sname,
+                rules: resolved,
+            });
         }
-        let all_state = states
-            .iter()
-            .position(|s| s.name == "all")
-            .map(StateId);
+        let all_state = states.iter().position(|s| s.name == "all").map(StateId);
         Ok(MetalProgram {
             name,
             prologue: None,
@@ -256,9 +262,7 @@ impl MetalParser {
                         pats.extend(expansion.iter().cloned());
                         self.bump();
                     }
-                    None => {
-                        return self.err(format!("reference to undeclared pattern `{name}`"))
-                    }
+                    None => return self.err(format!("reference to undeclared pattern `{name}`")),
                 }
             } else {
                 return self.err(format!(
@@ -405,9 +409,7 @@ impl MetalParser {
             self.expect_punct("(")?;
             let msg = match self.bump() {
                 TokenKind::Str(s) => s,
-                other => {
-                    return self.err(format!("expected string literal, found `{other}`"))
-                }
+                other => return self.err(format!("expected string literal, found `{other}`")),
             };
             // Optional extra arguments are allowed and ignored (the paper's
             // err() takes printf-style arguments; our messages interpolate
@@ -440,15 +442,12 @@ impl MetalParser {
                 "err" => actions.push(Action::Err(msg)),
                 "warn" => actions.push(Action::Warn(msg)),
                 other => {
-                    return self.err(format!(
-                        "unknown action `{other}` (supported: err, warn)"
-                    ))
+                    return self.err(format!("unknown action `{other}` (supported: err, warn)"))
                 }
             }
         }
         Ok(actions)
     }
-
 }
 
 /// Splits a leading raw `{ ... }` prologue off the source text, returning
@@ -595,10 +594,7 @@ mod tests {
 
     #[test]
     fn rejects_undeclared_state() {
-        let err = MetalProgram::parse(
-            "sm x { start: { f(); } ==> nowhere ; }",
-        )
-        .unwrap_err();
+        let err = MetalProgram::parse("sm x { start: { f(); } ==> nowhere ; }").unwrap_err();
         assert!(err.message.contains("undeclared state"));
     }
 
@@ -628,10 +624,7 @@ mod tests {
 
     #[test]
     fn rule_without_arrow_stays() {
-        let sm = MetalProgram::parse(
-            "sm x { start: { f(); } | { g(); } ==> stop ; }",
-        )
-        .unwrap();
+        let sm = MetalProgram::parse("sm x { start: { f(); } | { g(); } ==> stop ; }").unwrap();
         assert_eq!(sm.states[0].rules.len(), 2);
         assert_eq!(sm.states[0].rules[0].target, RuleTarget::Stay);
         assert_eq!(sm.states[0].rules[1].target, RuleTarget::Stop);
@@ -650,10 +643,7 @@ mod tests {
 
     #[test]
     fn expression_fragments_without_semicolon() {
-        let sm = MetalProgram::parse(
-            "sm x { start: { a = b } ==> stop ; }",
-        )
-        .unwrap();
+        let sm = MetalProgram::parse("sm x { start: { a = b } ==> stop ; }").unwrap();
         assert!(matches!(
             sm.states[0].rules[0].patterns[0].kind,
             PatternKind::Expr(_)

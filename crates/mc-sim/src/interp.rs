@@ -220,7 +220,12 @@ impl Ctx<'_> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     self.exec(i, locals)?;
                 }
@@ -323,7 +328,11 @@ impl Ctx<'_> {
                 match op {
                     UnaryOp::PreInc | UnaryOp::PreDec => {
                         let cur = self.eval(operand, locals)?;
-                        let v = if *op == UnaryOp::PreInc { cur + 1 } else { cur - 1 };
+                        let v = if *op == UnaryOp::PreInc {
+                            cur + 1
+                        } else {
+                            cur - 1
+                        };
                         self.write_lvalue(operand, v, locals)?;
                         Ok(v)
                     }
@@ -420,9 +429,10 @@ impl Ctx<'_> {
             ExprKind::Index { base, .. } | ExprKind::Member { base, .. } => {
                 self.write_lvalue(base, value, locals)
             }
-            ExprKind::Unary { op: UnaryOp::Deref, operand } => {
-                self.write_lvalue(operand, value, locals)
-            }
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                operand,
+            } => self.write_lvalue(operand, value, locals),
             _ => self.fault("unsupported assignment target"),
         }
     }
@@ -467,7 +477,9 @@ impl Ctx<'_> {
             }
             "DB_FREE" => {
                 if self.current_buf < 0
-                    || !self.machine.nodes[node].buffers.decref(self.current_buf as usize)
+                    || !self.machine.nodes[node]
+                        .buffers
+                        .decref(self.current_buf as usize)
                 {
                     let handler = self.handler.clone();
                     self.machine.record(SimEvent::DoubleFree { node, handler });
@@ -476,7 +488,9 @@ impl Ctx<'_> {
             }
             "DB_REFCOUNT_INCR" => {
                 if self.current_buf >= 0 {
-                    self.machine.nodes[node].buffers.incref(self.current_buf as usize);
+                    self.machine.nodes[node]
+                        .buffers
+                        .incref(self.current_buf as usize);
                 }
                 Ok(0)
             }
@@ -491,7 +505,9 @@ impl Ctx<'_> {
             }
             "WAIT_FOR_DB_FULL" => {
                 if self.current_buf >= 0 {
-                    self.machine.nodes[node].buffers.fill(self.current_buf as usize);
+                    self.machine.nodes[node]
+                        .buffers
+                        .fill(self.current_buf as usize);
                 }
                 Ok(1)
             }
@@ -715,7 +731,10 @@ mod tests {
         m.inject(0, "NIClean");
         m.run();
         assert_eq!(m.nodes[0].buffers.in_use(), 0);
-        assert!(m.events().iter().any(|e| matches!(e, SimEvent::HandlerRan { .. })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::HandlerRan { .. })));
     }
 
     #[test]
@@ -723,14 +742,20 @@ mod tests {
         let mut m = machine_with("void NIBad(void) { DB_FREE(); DB_FREE(); }");
         m.inject(0, "NIBad");
         m.run();
-        assert!(m.events().iter().any(|e| matches!(e, SimEvent::DoubleFree { .. })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::DoubleFree { .. })));
     }
 
     #[test]
     fn leak_event_and_eventual_exhaustion() {
         let mut m = Machine::new(
             Program::parse("void NILeak(void) { gCount = gCount + 1; }").unwrap(),
-            SimConfig { buffers_per_node: 3, ..Default::default() },
+            SimConfig {
+                buffers_per_node: 3,
+                ..Default::default()
+            },
         );
         for _ in 0..5 {
             m.inject(0, "NILeak");
@@ -759,7 +784,10 @@ mod tests {
         );
         m.inject(0, "NIRace");
         m.run();
-        assert!(m.events().iter().any(|e| matches!(e, SimEvent::UnsynchronizedRead { .. })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::UnsynchronizedRead { .. })));
         assert_eq!(m.nodes[0].globals["gGot"], 0xDEAD);
     }
 
@@ -788,10 +816,14 @@ mod tests {
         );
         m.inject(0, "NIWrongLen");
         m.run();
-        assert!(m
-            .events()
-            .iter()
-            .any(|e| matches!(e, SimEvent::InconsistentLength { len: 0, has_data: true, .. })));
+        assert!(m.events().iter().any(|e| matches!(
+            e,
+            SimEvent::InconsistentLength {
+                len: 0,
+                has_data: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -827,7 +859,10 @@ mod tests {
         );
         m.inject(0, "PIHang");
         m.run();
-        assert!(m.events().iter().any(|e| matches!(e, SimEvent::MissedWait { .. })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::MissedWait { .. })));
     }
 
     #[test]
@@ -842,7 +877,10 @@ mod tests {
         );
         m.inject(0, "PIOk");
         m.run();
-        assert!(!m.events().iter().any(|e| matches!(e, SimEvent::MissedWait { .. })));
+        assert!(!m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::MissedWait { .. })));
     }
 
     #[test]
@@ -856,7 +894,10 @@ mod tests {
         );
         m.inject(0, "NIStale");
         m.run();
-        assert!(m.events().iter().any(|e| matches!(e, SimEvent::StaleDirectory { .. })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::StaleDirectory { .. })));
         // The directory still holds the default state.
         assert!(!m.nodes[0].directory.contains_key(&0));
     }
@@ -889,7 +930,10 @@ mod tests {
         );
         m.inject(0, "NIIncident");
         m.run();
-        assert!(!m.events().iter().any(|e| matches!(e, SimEvent::DoubleFree { .. })));
+        assert!(!m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::DoubleFree { .. })));
         assert_eq!(m.nodes[0].buffers.in_use(), 0);
 
         let mut m2 = machine_with(
@@ -900,7 +944,10 @@ mod tests {
         );
         m2.inject(0, "NIFixed");
         m2.run();
-        assert!(m2.events().iter().any(|e| matches!(e, SimEvent::BufferLeaked { .. })));
+        assert!(m2
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::BufferLeaked { .. })));
     }
 
     #[test]
@@ -908,7 +955,10 @@ mod tests {
         let mut m = machine_with("void NISpin(void) { while (1) { gX = gX + 1; } }");
         m.inject(0, "NISpin");
         m.run();
-        assert!(m.events().iter().any(|e| matches!(e, SimEvent::HandlerFault { .. })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::HandlerFault { .. })));
     }
 
     #[test]
@@ -962,6 +1012,9 @@ mod tests {
         );
         m.inject(0, "PISpinWait");
         m.run();
-        assert!(!m.events().iter().any(|e| matches!(e, SimEvent::HandlerFault { .. })));
+        assert!(!m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::HandlerFault { .. })));
     }
 }

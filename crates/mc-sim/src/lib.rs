@@ -45,6 +45,4 @@ mod interp;
 mod machine;
 
 pub use interp::{InterpError, Outcome, MAX_CALL_DEPTH, MAX_STEPS_PER_HANDLER};
-pub use machine::{
-    BufferPool, DirEntry, Machine, Message, Node, Program, SimConfig, SimEvent,
-};
+pub use machine::{BufferPool, DirEntry, Machine, Message, Node, Program, SimConfig, SimEvent};

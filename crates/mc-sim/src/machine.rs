@@ -44,7 +44,10 @@ impl Program {
         for tu in units {
             collect(tu, &mut functions, &mut constants);
         }
-        Program { functions, constants }
+        Program {
+            functions,
+            constants,
+        }
     }
 
     /// Looks up an enum or global constant declared in the sources.
@@ -413,7 +416,8 @@ impl Machine {
         let node = &mut self.nodes[m.dst];
         let lane = m.lane.min(3);
         if node.lanes[lane].len() >= self.config.lane_capacity {
-            self.events.push(SimEvent::LaneOverflow { node: m.dst, lane });
+            self.events
+                .push(SimEvent::LaneOverflow { node: m.dst, lane });
             node.wedged = true;
             return;
         }
@@ -509,7 +513,13 @@ impl Machine {
         };
 
         let src = msg.src;
-        match run_handler(self, node_idx, buf.map(|b| b as i64).unwrap_or(-1), src, &func) {
+        match run_handler(
+            self,
+            node_idx,
+            buf.map(|b| b as i64).unwrap_or(-1),
+            src,
+            &func,
+        ) {
             Ok(outcome) => {
                 if outcome.missed_wait {
                     self.events.push(SimEvent::MissedWait {
@@ -605,18 +615,27 @@ mod tests {
 
     #[test]
     fn lane_overflow_wedges_node() {
-        let cfg = SimConfig { lane_capacity: 2, ..Default::default() };
+        let cfg = SimConfig {
+            lane_capacity: 2,
+            ..Default::default()
+        };
         let mut m = Machine::new(Program::default(), cfg);
         for _ in 0..3 {
             m.inject(1, "X");
         }
-        assert!(m.events().iter().any(|e| matches!(e, SimEvent::LaneOverflow { node: 1, lane: 2 })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::LaneOverflow { node: 1, lane: 2 })));
         assert!(m.deadlocked());
     }
 
     #[test]
     fn handler_budget_caps_run() {
-        let cfg = SimConfig { max_handler_runs: 5, ..Default::default() };
+        let cfg = SimConfig {
+            max_handler_runs: 5,
+            ..Default::default()
+        };
         let mut m = Machine::new(Program::default(), cfg);
         for _ in 0..10 {
             m.inject(0, "X");

@@ -123,7 +123,11 @@ fn sci_leak_bug_slowly_deadlocks_the_node() {
         .expect("sci has a leak bug");
     let mut m = Machine::new(
         program,
-        SimConfig { buffers_per_node: 8, lane_capacity: 1024, ..Default::default() },
+        SimConfig {
+            buffers_per_node: 8,
+            lane_capacity: 1024,
+            ..Default::default()
+        },
     );
     m.set_global(0, "gErrCase", 1); // the rare error path leaks
     for _ in 0..64 {
@@ -155,22 +159,23 @@ fn clean_handlers_run_healthily_under_load() {
         .expect("coma has clean handlers");
     let mut m = Machine::new(
         program,
-        SimConfig { buffers_per_node: 4, lane_capacity: 4096, ..Default::default() },
+        SimConfig {
+            buffers_per_node: 4,
+            lane_capacity: 4096,
+            ..Default::default()
+        },
     );
     for _ in 0..200 {
         m.inject(0, clean);
     }
     m.run();
     assert!(!m.deadlocked(), "clean handler must not wedge the machine");
-    assert!(!m
-        .events()
-        .iter()
-        .any(|e| matches!(
-            e,
-            SimEvent::DoubleFree { .. }
-                | SimEvent::BufferLeaked { .. }
-                | SimEvent::InconsistentLength { .. }
-                | SimEvent::UnsynchronizedRead { .. }
-        )));
+    assert!(!m.events().iter().any(|e| matches!(
+        e,
+        SimEvent::DoubleFree { .. }
+            | SimEvent::BufferLeaked { .. }
+            | SimEvent::InconsistentLength { .. }
+            | SimEvent::UnsynchronizedRead { .. }
+    )));
     assert!(m.handler_runs() >= 200);
 }

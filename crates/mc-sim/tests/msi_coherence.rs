@@ -12,7 +12,12 @@ fn msi_machine() -> Machine {
     let program = Program::parse(MSI).expect("MSI protocol parses");
     let mut m = Machine::new(
         program,
-        SimConfig { nodes: 4, buffers_per_node: 16, lane_capacity: 256, max_handler_runs: 10_000 },
+        SimConfig {
+            nodes: 4,
+            buffers_per_node: 16,
+            lane_capacity: 256,
+            max_handler_runs: 10_000,
+        },
     );
     // Wire the message types to their handlers (the protocol
     // specification's opcode table).

@@ -63,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("            e.g. {r}");
         }
     }
-    println!(
-        "\ntotal: {grand_bugs} bugs and {grand_fps} false positives across all protocols"
-    );
+    println!("\ntotal: {grand_bugs} bugs and {grand_fps} false positives across all protocols");
     println!(
         "(paper: 34 Table-7 bugs + 11 hook omissions (Table 5) + 1 refcount \
          incident (§11) = 46; 69 false positives)"

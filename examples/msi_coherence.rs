@@ -15,7 +15,12 @@ fn main() {
     let program = Program::parse(MSI).expect("MSI protocol parses");
     let mut m = Machine::new(
         program,
-        SimConfig { nodes: 4, buffers_per_node: 16, lane_capacity: 256, max_handler_runs: 10_000 },
+        SimConfig {
+            nodes: 4,
+            buffers_per_node: 16,
+            lane_capacity: 256,
+            max_handler_runs: 10_000,
+        },
     );
     for (code, handler) in [
         (10, "NIHomeGet"),
@@ -38,9 +43,7 @@ fn main() {
     m.run();
     println!(
         "nodes 1 and 3 read-miss:     node1.cache = {}, node3.cache = {}, sharers = {:04b}",
-        m.nodes[1].globals["gCache"],
-        m.nodes[3].globals["gCache"],
-        m.nodes[0].directory[&0].ptr
+        m.nodes[1].globals["gCache"], m.nodes[3].globals["gCache"], m.nodes[0].directory[&0].ptr
     );
 
     m.set_global(2, "gStoreValue", 99);

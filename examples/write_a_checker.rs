@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     driver.add_metal_source(INTR_CHECKER)?;
     let reports = driver.check_source(KERNEL_CODE, "critical.c")?;
 
-    println!("checker source: {} lines of metal\n", INTR_CHECKER.trim().lines().count());
+    println!(
+        "checker source: {} lines of metal\n",
+        INTR_CHECKER.trim().lines().count()
+    );
     for r in &reports {
         println!("{r}");
     }

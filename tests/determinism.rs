@@ -1,0 +1,62 @@
+//! Determinism guarantee of the parallel driver: for any corpus protocol
+//! and any worker count, `check_sources` produces a report vector that is
+//! byte-identical to the sequential run — same reports, same order.
+//!
+//! This is the property that makes `--jobs` safe to default to the
+//! machine's parallelism: output never depends on thread scheduling.
+
+use flash_mc::checkers::all_checkers;
+use flash_mc::corpus::plan::PLANS;
+use flash_mc::corpus::{generate, DEFAULT_SEED};
+use flash_mc::driver::{Driver, Report};
+use proptest::prelude::*;
+
+/// Runs the full built-in checker suite over one protocol's sources at the
+/// given worker count and returns the merged report vector.
+fn check_protocol(plan_idx: usize, seed: u64, jobs: usize) -> Vec<Report> {
+    let proto = generate(&PLANS[plan_idx], seed);
+    let mut driver = Driver::new();
+    driver.jobs(jobs);
+    all_checkers(&mut driver, &proto.spec).expect("suite registers");
+    driver
+        .check_sources(&proto.sources())
+        .expect("corpus parses")
+}
+
+#[test]
+fn full_corpus_identical_across_worker_counts() {
+    // Every built-in protocol at the canonical corpus seed: the parallel
+    // runs must reproduce the sequential report vector exactly.
+    for (i, _) in PLANS.iter().enumerate() {
+        let seed = DEFAULT_SEED.wrapping_add(i as u64);
+        let sequential = check_protocol(i, seed, 1);
+        for jobs in [2, 4, 8] {
+            let parallel = check_protocol(i, seed, jobs);
+            assert_eq!(
+                parallel, sequential,
+                "protocol #{i} at jobs={jobs} diverged from the sequential run"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_protocols_identical_across_worker_counts(
+        (plan_idx, seed_offset, jobs) in (0usize..6, 0u64..1024, 2usize..9)
+    ) {
+        let seed = DEFAULT_SEED.wrapping_add(seed_offset);
+        let sequential = check_protocol(plan_idx, seed, 1);
+        let parallel = check_protocol(plan_idx, seed, jobs);
+        prop_assert_eq!(
+            parallel,
+            sequential,
+            "plan {} seed {:#x} jobs {} diverged",
+            plan_idx,
+            seed,
+            jobs
+        );
+    }
+}

@@ -24,8 +24,12 @@ fn full_pipeline_on_one_protocol() {
     all_checkers(&mut driver, &proto.spec).unwrap();
     let reports = driver.check_sources(&proto.sources()).unwrap();
     let outcome = evaluate(&proto, &reports);
-    assert!(outcome.is_exact(), "missed: {:?}\nunexpected: {:?}",
-        outcome.missed, outcome.unexpected);
+    assert!(
+        outcome.is_exact(),
+        "missed: {:?}\nunexpected: {:?}",
+        outcome.missed,
+        outcome.unexpected
+    );
 }
 
 #[test]
@@ -79,7 +83,10 @@ fn static_finding_reproduces_dynamically() {
     // Dynamic.
     let mut machine = Machine::new(
         Program::parse(src).unwrap(),
-        SimConfig { buffers_per_node: 4, ..Default::default() },
+        SimConfig {
+            buffers_per_node: 4,
+            ..Default::default()
+        },
     );
     machine.set_global(0, "gErr", 1);
     for _ in 0..8 {

@@ -1,0 +1,215 @@
+//! An offline, API-compatible subset of the `criterion` crate.
+//!
+//! The flash-mc workspace builds without crates.io access, so the
+//! `cargo bench` targets link against this stub. It measures wall time
+//! with `std::time::Instant` (adaptive iteration counts, mean over a
+//! fixed measurement window) and prints one line per benchmark — no
+//! statistics, plots, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How throughput is reported for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up briefly, then running enough
+    /// iterations to fill a short measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly the measurement window.
+        let calibration_start = Instant::now();
+        let mut calibration_iters: u64 = 0;
+        while calibration_start.elapsed() < Duration::from_millis(40) {
+            black_box(routine());
+            calibration_iters += 1;
+            if calibration_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calibration_start.elapsed() / calibration_iters.max(1) as u32;
+        let target = Duration::from_millis(150);
+        let iters = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_and_report(id: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { measured: None };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((total, iters)) => {
+            let mean = total / iters.max(1) as u32;
+            let mut line = format!(
+                "{id:<44} {:>12}/iter ({iters} iters)",
+                format_duration(mean)
+            );
+            if let Some(tp) = throughput {
+                let per_sec = |n: u64| {
+                    let secs = mean.as_secs_f64();
+                    if secs > 0.0 {
+                        n as f64 / secs
+                    } else {
+                        0.0
+                    }
+                };
+                match tp {
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!("  {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                    }
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  {:.0} elem/s", per_sec(n)));
+                    }
+                }
+            }
+            println!("{line}");
+        }
+        None => println!("{id:<44} (no measurement)"),
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes samples by wall
+    /// time instead of iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_and_report(&format!("{}/{id}", self.name), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_and_report(
+            &format!("{}/{}", self.name, id.name),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_and_report(&id.to_string(), None, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
