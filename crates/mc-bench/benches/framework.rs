@@ -103,6 +103,7 @@ fn bench_checkers(c: &mut Criterion) {
                     unit: &u.unit,
                     function: f,
                     cfg,
+                    traversal: mc_cfg::Traversal::default(),
                 };
                 checker.check_function(&ctx, &mut sink);
             }

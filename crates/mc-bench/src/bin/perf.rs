@@ -8,7 +8,10 @@
 //! Every row records wall time, functions checked per second, and the
 //! report count; the report count is asserted identical across worker
 //! counts (the driver's determinism guarantee), so a row differing in
-//! anything but speed is a bug, not noise.
+//! anything but speed is a bug, not noise. The whole trajectory is
+//! measured twice: with path-feasibility pruning on (the driver default)
+//! and off, so the cost of the feasibility analysis is visible next to
+//! the false positives it removes.
 
 use mc_checkers::all_checkers;
 use mc_corpus::plan::PLANS;
@@ -20,6 +23,7 @@ use std::time::Instant;
 /// Timed result of one full-corpus check at a fixed worker count.
 struct Row {
     workers: usize,
+    prune: bool,
     wall_ms: f64,
     functions: usize,
     reports: usize,
@@ -29,12 +33,14 @@ fn check_corpus(
     sources: &[Vec<(String, String)>],
     specs: &[mc_checkers::flash::FlashSpec],
     jobs: usize,
+    prune: bool,
 ) -> (usize, usize) {
     let mut functions = 0;
     let mut reports = 0;
     for (srcs, spec) in sources.iter().zip(specs) {
         let mut driver = Driver::new();
         driver.jobs(jobs);
+        driver.prune(prune);
         all_checkers(&mut driver, spec).expect("suite registers");
         let units = driver.parse_units(srcs).expect("corpus parses");
         functions += units.iter().map(|u| u.cfgs.len()).sum::<usize>();
@@ -86,38 +92,43 @@ fn main() {
     let specs: Vec<_> = protocols.iter().map(|p| p.spec.clone()).collect();
 
     // Warm up caches and page in the corpus before timing anything.
-    let (functions, baseline_reports) = check_corpus(&sources, &specs, 1);
+    let (functions, _) = check_corpus(&sources, &specs, 1, true);
     println!(
-        "corpus: {} protocols, {functions} functions, {baseline_reports} reports",
+        "corpus: {} protocols, {functions} functions",
         protocols.len()
     );
 
     const REPS: usize = 3;
     let mut rows = Vec::new();
-    for &jobs in &jobs_list {
-        let mut best = f64::INFINITY;
-        let mut reports = 0;
-        for _ in 0..REPS {
-            let start = Instant::now();
-            let (_, r) = check_corpus(&sources, &specs, jobs);
-            let ms = start.elapsed().as_secs_f64() * 1e3;
-            best = best.min(ms);
-            reports = r;
+    for prune in [true, false] {
+        let (_, baseline_reports) = check_corpus(&sources, &specs, 1, prune);
+        for &jobs in &jobs_list {
+            let mut best = f64::INFINITY;
+            let mut reports = 0;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let (_, r) = check_corpus(&sources, &specs, jobs, prune);
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                best = best.min(ms);
+                reports = r;
+            }
+            assert_eq!(
+                reports, baseline_reports,
+                "jobs={jobs} changed the report count — determinism violated"
+            );
+            println!(
+                "prune={} jobs={jobs:<2} wall={best:8.1} ms  {:8.0} functions/s  {reports} reports",
+                if prune { "on " } else { "off" },
+                functions as f64 / (best / 1e3)
+            );
+            rows.push(Row {
+                workers: jobs,
+                prune,
+                wall_ms: best,
+                functions,
+                reports,
+            });
         }
-        assert_eq!(
-            reports, baseline_reports,
-            "jobs={jobs} changed the report count — determinism violated"
-        );
-        println!(
-            "jobs={jobs:<2} wall={best:8.1} ms  {:8.0} functions/s  {reports} reports",
-            functions as f64 / (best / 1e3)
-        );
-        rows.push(Row {
-            workers: jobs,
-            wall_ms: best,
-            functions,
-            reports,
-        });
     }
 
     let json = Json::Object(vec![
@@ -139,6 +150,7 @@ fn main() {
                     .map(|r| {
                         Json::Object(vec![
                             ("workers".into(), Json::Int(r.workers as i64)),
+                            ("prune".into(), Json::Bool(r.prune)),
                             (
                                 "wall_ms".into(),
                                 Json::Float((r.wall_ms * 1e3).round() / 1e3),

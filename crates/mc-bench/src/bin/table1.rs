@@ -2,16 +2,6 @@
 
 use mc_bench::{jobs_from_args, pm, row, run_all_protocols_with_jobs};
 
-/// Paper values: (LOC, paths, avg path length, max path length).
-const PAPER: [(usize, u64, u64, u64); 6] = [
-    (10386, 486, 87, 563),
-    (18438, 2322, 135, 399),
-    (11473, 1051, 73, 330),
-    (17031, 1131, 135, 244),
-    (14396, 1364, 133, 516),
-    (8783, 1165, 183, 461),
-];
-
 fn main() {
     println!("Table 1: protocol size (paper/measured)");
     let widths = [12, 16, 14, 16, 14];
@@ -30,10 +20,7 @@ fn main() {
         )
     );
     let mut total_loc = 0usize;
-    for (run, paper) in run_all_protocols_with_jobs(jobs_from_args())
-        .iter()
-        .zip(PAPER)
-    {
+    for run in run_all_protocols_with_jobs(jobs_from_args()) {
         let stats = run.path_stats();
         total_loc += run.loc();
         println!(
@@ -41,10 +28,10 @@ fn main() {
             row(
                 &[
                     run.plan.name.to_string(),
-                    pm(paper.0, run.loc()),
-                    pm(paper.1, stats.paths),
-                    pm(paper.2, format!("{:.0}", stats.avg_len())),
-                    pm(paper.3, stats.max_len),
+                    pm(run.plan.loc, run.loc()),
+                    pm(run.plan.paths, stats.paths),
+                    pm(run.plan.avg_path_len, format!("{:.0}", stats.avg_len())),
+                    pm(run.plan.max_path_len, stats.max_len),
                 ],
                 &widths
             )

@@ -13,7 +13,7 @@
 use mc_ast::Function;
 use mc_cfg::PathStats;
 use mc_checkers::{all_checkers, exec_restrict, flash};
-use mc_corpus::eval::{evaluate, tally, Outcome, Tally};
+use mc_corpus::eval::{evaluate_with, tally, Outcome, Tally};
 use mc_corpus::plan::{ProtoPlan, PLANS};
 use mc_corpus::{generate, PlantedKind, Protocol, DEFAULT_SEED};
 use mc_driver::{CheckedUnit, Driver, Report};
@@ -31,6 +31,8 @@ pub struct ProtocolRun {
     pub reports: Vec<Report>,
     /// Reports joined against the manifest.
     pub outcome: Outcome,
+    /// Whether the driver ran with path-feasibility pruning.
+    pub prune: bool,
 }
 
 impl ProtocolRun {
@@ -77,13 +79,21 @@ impl ProtocolRun {
 
 /// Generates, checks, and evaluates all six protocols at the canonical
 /// seed, using the machine's available parallelism. This is the shared
-/// entry point of every table binary.
+/// entry point of every table binary; tables reproduce the paper's xg++,
+/// which had no feasibility pruning, so pruning is off here.
 pub fn run_all_protocols() -> Vec<ProtocolRun> {
     run_all_protocols_with_jobs(default_jobs())
 }
 
 /// [`run_all_protocols`] with an explicit driver worker count.
 pub fn run_all_protocols_with_jobs(jobs: usize) -> Vec<ProtocolRun> {
+    run_all_protocols_with(jobs, false)
+}
+
+/// [`run_all_protocols`] with explicit worker count and pruning setting.
+/// `prune = true` is the driver (and `mcheck`) default; `prune = false`
+/// reproduces the paper's tables.
+pub fn run_all_protocols_with(jobs: usize, prune: bool) -> Vec<ProtocolRun> {
     PLANS
         .iter()
         .enumerate()
@@ -91,18 +101,20 @@ pub fn run_all_protocols_with_jobs(jobs: usize) -> Vec<ProtocolRun> {
             let protocol = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
             let mut driver = Driver::new();
             driver.jobs(jobs);
+            driver.prune(prune);
             all_checkers(&mut driver, &protocol.spec).expect("suite registers");
             let units = driver
                 .parse_units(&protocol.sources())
                 .expect("corpus parses");
             let reports = driver.check_units(&units);
-            let outcome = evaluate(&protocol, &reports);
+            let outcome = evaluate_with(&protocol, &reports, prune);
             ProtocolRun {
                 protocol,
                 plan,
                 units,
                 reports,
                 outcome,
+                prune,
             }
         })
         .collect()
@@ -257,6 +269,13 @@ mod tests {
     fn run_all_protocols_is_exact() {
         for run in run_all_protocols() {
             assert!(run.outcome.is_exact(), "{}", run.plan.name);
+        }
+    }
+
+    #[test]
+    fn pruned_run_is_exact_too() {
+        for run in run_all_protocols_with(default_jobs(), true) {
+            assert!(run.outcome.is_exact(), "{} (pruned)", run.plan.name);
         }
     }
 

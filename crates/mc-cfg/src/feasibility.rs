@@ -1,0 +1,630 @@
+//! Intraprocedural path-feasibility facts.
+//!
+//! The paper attributes most of its false positives to "unpruned correlated
+//! branches": xg++ walks every syntactic path, including ones the code can
+//! never execute (`if (gMode) free(); ...; if (!gMode) free();` has no real
+//! double-free). This module implements the pruning pass the paper lacked:
+//! a [`FactSet`] accumulates what each branch condition implies about simple
+//! lvalues along one path, and [`FactSet::assume`] refuses edges whose
+//! condition contradicts the accumulated facts.
+//!
+//! The domain is deliberately small — truthiness, `lvalue ==/!= constant`,
+//! and integer bounds from comparisons against literals — because that is
+//! exactly the shape of the correlated guards in FLASH handler code (mode
+//! flags, opcode tests, length-field selections). Conditions outside the
+//! domain (function calls, bit tests) contribute no facts, so data-dependent
+//! branches are never pruned: the analysis only ever removes paths it can
+//! positively refute.
+
+use mc_ast::{BinaryOp, Expr, ExprKind, Initializer, Stmt, StmtKind, UnaryOp};
+use std::collections::BTreeSet;
+
+/// A constant a tracked lvalue may be compared against: an integer literal
+/// or a manifest-constant identifier (`OPC_UPGRADE`, `LEN_NODATA`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// Integer (or character) literal value.
+    Int(i64),
+    /// Symbolic manifest constant, kept by name.
+    Sym(String),
+}
+
+/// Everything known about one lvalue on the current path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+struct VarFacts {
+    /// Known truthiness (`Some(false)` means the value is zero).
+    truth: Option<bool>,
+    /// Known exact value.
+    eq: Option<Const>,
+    /// Values the lvalue is known *not* to hold.
+    ne: BTreeSet<Const>,
+    /// Inclusive lower bound from literal comparisons.
+    lo: Option<i64>,
+    /// Inclusive upper bound from literal comparisons.
+    hi: Option<i64>,
+}
+
+impl VarFacts {
+    fn is_vacuous(&self) -> bool {
+        self.truth.is_none()
+            && self.eq.is_none()
+            && self.ne.is_empty()
+            && self.lo.is_none()
+            && self.hi.is_none()
+    }
+}
+
+/// The facts accumulated along one path, keyed by printed lvalue.
+///
+/// Kept as a sorted vector so it can serve as part of a traversal's visited
+/// key: two paths with the same checker state but incompatible facts hash
+/// differently and are explored separately (the "sound join" of state-set
+/// mode — states are only merged when their fact sets are identical).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct FactSet {
+    facts: Vec<(String, VarFacts)>,
+}
+
+impl FactSet {
+    /// The empty fact set (nothing known; every edge feasible).
+    pub fn new() -> FactSet {
+        FactSet::default()
+    }
+
+    /// Returns `true` if nothing is known on this path.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    fn get(&self, key: &str) -> Option<&VarFacts> {
+        self.facts
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.facts[i].1)
+    }
+
+    fn entry(&mut self, key: &str) -> &mut VarFacts {
+        match self.facts.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => &mut self.facts[i].1,
+            Err(i) => {
+                self.facts.insert(i, (key.to_string(), VarFacts::default()));
+                &mut self.facts[i].1
+            }
+        }
+    }
+
+    fn drop_key(&mut self, key: &str) {
+        // An assignment to `x` also invalidates facts about `x.f` / `x->f`.
+        self.facts.retain(|(k, _)| {
+            !(k == key
+                || k.strip_prefix(key)
+                    .is_some_and(|rest| rest.starts_with('.') || rest.starts_with("->")))
+        });
+    }
+
+    /// Returns the facts after assuming `cond` evaluated to `taken`, or
+    /// `None` if that assumption contradicts facts already on the path
+    /// (the edge is infeasible).
+    pub fn assume(&self, cond: &Expr, taken: bool) -> Option<FactSet> {
+        let mut next = self.clone();
+        if next.assume_into(cond, taken) {
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// In-place version of [`FactSet::assume`]; returns `false` on
+    /// contradiction (the set is then partially updated and must be
+    /// discarded).
+    fn assume_into(&mut self, cond: &Expr, taken: bool) -> bool {
+        match &cond.kind {
+            ExprKind::Unary {
+                op: UnaryOp::Not,
+                operand,
+            } => self.assume_into(operand, !taken),
+            ExprKind::Cast { expr, .. } => self.assume_into(expr, taken),
+            ExprKind::Comma(_, rhs) => self.assume_into(rhs, taken),
+            ExprKind::IntLit(v, _) => (*v != 0) == taken,
+            ExprKind::Binary {
+                op: BinaryOp::LogAnd,
+                lhs,
+                rhs,
+            } => {
+                // `a && b` taken means both held; not-taken tells us nothing
+                // about either conjunct alone.
+                !taken || (self.assume_into(lhs, true) && self.assume_into(rhs, true))
+            }
+            ExprKind::Binary {
+                op: BinaryOp::LogOr,
+                lhs,
+                rhs,
+            } => taken || (self.assume_into(lhs, false) && self.assume_into(rhs, false)),
+            ExprKind::Binary {
+                op: op @ (BinaryOp::Eq | BinaryOp::Ne),
+                lhs,
+                rhs,
+            } => {
+                let eq_holds = (*op == BinaryOp::Eq) == taken;
+                match (key_of(lhs), const_of(rhs), key_of(rhs), const_of(lhs)) {
+                    (Some(k), Some(c), _, _) | (_, _, Some(k), Some(c)) => {
+                        if eq_holds {
+                            self.assume_eq(&k, c)
+                        } else {
+                            self.assume_ne(&k, c)
+                        }
+                    }
+                    _ => true,
+                }
+            }
+            ExprKind::Binary {
+                op: op @ (BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge),
+                lhs,
+                rhs,
+            } => {
+                // Normalize to `key <rel> literal`, flipping the relation if
+                // the literal is on the left or the edge is the else-edge.
+                let (key, lit, mut op) = match (key_of(lhs), int_of(rhs), key_of(rhs), int_of(lhs))
+                {
+                    (Some(k), Some(v), _, _) => (k, v, *op),
+                    (_, _, Some(k), Some(v)) => (k, v, flip(*op)),
+                    _ => return true,
+                };
+                if !taken {
+                    op = negate(op);
+                }
+                let (lo, hi) = match op {
+                    BinaryOp::Lt => (None, Some(lit - 1)),
+                    BinaryOp::Le => (None, Some(lit)),
+                    BinaryOp::Gt => (Some(lit + 1), None),
+                    BinaryOp::Ge => (Some(lit), None),
+                    _ => unreachable!(),
+                };
+                self.assume_bounds(&key, lo, hi)
+            }
+            _ => match key_of(cond) {
+                Some(key) => {
+                    if taken {
+                        self.assume_ne(&key, Const::Int(0))
+                    } else {
+                        self.assume_eq(&key, Const::Int(0))
+                    }
+                }
+                None => true,
+            },
+        }
+    }
+
+    /// Assumes a `switch` edge. `value` is the case constant, or `None` for
+    /// the default / implicit no-match edge, in which case the scrutinee is
+    /// known to differ from every labelled constant in `all_values`.
+    pub fn assume_case(
+        &self,
+        scrutinee: &Expr,
+        value: Option<&Expr>,
+        all_values: &[Const],
+    ) -> Option<FactSet> {
+        let Some(key) = key_of(scrutinee) else {
+            // Untracked scrutinee: neutral, never refutes.
+            return Some(self.clone());
+        };
+        let mut next = self.clone();
+        let ok = match value {
+            Some(v) => match const_of(v) {
+                Some(c) => next.assume_eq(&key, c),
+                None => true,
+            },
+            None => all_values.iter().all(|c| next.assume_ne(&key, c.clone())),
+        };
+        if ok {
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    fn assume_eq(&mut self, key: &str, c: Const) -> bool {
+        let known = self.get(key).cloned().unwrap_or_default();
+        if known.ne.contains(&c) {
+            return false;
+        }
+        if let Some(d) = &known.eq {
+            // Distinct symbolic constants are not assumed distinct values.
+            if d != &c && matches!((d, &c), (Const::Int(_), Const::Int(_))) {
+                return false;
+            }
+        }
+        if let Const::Int(v) = c {
+            if known.truth == Some(v == 0) {
+                return false;
+            }
+            if known.lo.is_some_and(|lo| v < lo) || known.hi.is_some_and(|hi| v > hi) {
+                return false;
+            }
+        }
+        let f = self.entry(key);
+        if let Const::Int(v) = c {
+            f.truth = Some(v != 0);
+        }
+        f.eq = Some(c);
+        true
+    }
+
+    fn assume_ne(&mut self, key: &str, c: Const) -> bool {
+        let known = self.get(key).cloned().unwrap_or_default();
+        if known.eq.as_ref() == Some(&c) {
+            return false;
+        }
+        if c == Const::Int(0) {
+            if known.truth == Some(false) {
+                return false;
+            }
+            self.entry(key).truth = Some(true);
+        }
+        self.entry(key).ne.insert(c);
+        true
+    }
+
+    fn assume_bounds(&mut self, key: &str, lo: Option<i64>, hi: Option<i64>) -> bool {
+        let known = self.get(key).cloned().unwrap_or_default();
+        let lo = match (known.lo, lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let hi = match (known.hi, hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let (Some(l), Some(h)) = (lo, hi) {
+            if l > h {
+                return false;
+            }
+        }
+        if let Some(Const::Int(v)) = known.eq {
+            if lo.is_some_and(|l| v < l) || hi.is_some_and(|h| v > h) {
+                return false;
+            }
+        }
+        // A range excluding zero contradicts known falsiness.
+        if known.truth == Some(false) && (lo.is_some_and(|l| l > 0) || hi.is_some_and(|h| h < 0)) {
+            return false;
+        }
+        let f = self.entry(key);
+        f.lo = lo;
+        f.hi = hi;
+        true
+    }
+
+    /// Kills facts invalidated by the side effects of one statement
+    /// (assignments, `++`/`--`, declarations, and address-taking).
+    pub fn invalidate_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Expr(e) => self.invalidate_expr(e),
+            StmtKind::Decl(d) => {
+                self.drop_key(&d.name);
+                if let Some(Initializer::Expr(e)) = &d.init {
+                    self.invalidate_expr(e);
+                }
+            }
+            _ => {}
+        }
+        self.facts.retain(|(_, f)| !f.is_vacuous());
+    }
+
+    /// Kills facts for every lvalue `e` might write to. Function calls are
+    /// deliberately *not* treated as clobbering tracked globals: handler
+    /// guards like `gMode` are set by the dispatcher, not by the helpers
+    /// called between correlated branches, and clobbering on every
+    /// `DB_FREE()` would defeat the pruning this module exists for.
+    pub fn invalidate_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Assign { lhs, rhs, .. } => {
+                if let Some(key) = key_of(lhs) {
+                    self.drop_key(&key);
+                }
+                self.invalidate_expr(lhs);
+                self.invalidate_expr(rhs);
+            }
+            ExprKind::Postfix { operand, .. }
+            | ExprKind::Unary {
+                op: UnaryOp::PreInc | UnaryOp::PreDec,
+                operand,
+            } => {
+                if let Some(key) = key_of(operand) {
+                    self.drop_key(&key);
+                }
+                self.invalidate_expr(operand);
+            }
+            ExprKind::Unary {
+                op: UnaryOp::AddrOf,
+                operand,
+            } => {
+                // The address escapes; anything may write through it.
+                if let Some(key) = key_of(operand) {
+                    self.drop_key(&key);
+                }
+                self.invalidate_expr(operand);
+            }
+            ExprKind::Unary { operand, .. } => self.invalidate_expr(operand),
+            ExprKind::Call { callee, args } => {
+                self.invalidate_expr(callee);
+                for a in args {
+                    self.invalidate_expr(a);
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.invalidate_expr(lhs);
+                self.invalidate_expr(rhs);
+            }
+            ExprKind::Ternary { cond, then, els } => {
+                self.invalidate_expr(cond);
+                self.invalidate_expr(then);
+                self.invalidate_expr(els);
+            }
+            ExprKind::Index { base, index } => {
+                self.invalidate_expr(base);
+                self.invalidate_expr(index);
+            }
+            ExprKind::Member { base, .. } => self.invalidate_expr(base),
+            ExprKind::Cast { expr, .. } => self.invalidate_expr(expr),
+            ExprKind::Comma(a, b) => {
+                self.invalidate_expr(a);
+                self.invalidate_expr(b);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The stable key of a trackable lvalue: a plain identifier or a member
+/// chain rooted at one (`header.nh.len`). Anything else — dereferences,
+/// indexing, call results — is untracked.
+pub fn key_of(e: &Expr) -> Option<String> {
+    match &e.kind {
+        ExprKind::Ident(name) => {
+            if is_manifest_const(name) {
+                None
+            } else {
+                Some(name.clone())
+            }
+        }
+        ExprKind::Member { base, field, arrow } => {
+            let mut k = key_of(base)?;
+            k.push_str(if *arrow { "->" } else { "." });
+            k.push_str(field);
+            Some(k)
+        }
+        ExprKind::Cast { expr, .. } => key_of(expr),
+        _ => None,
+    }
+}
+
+/// Extracts a comparison constant: an integer/char literal (possibly
+/// negated) or a manifest-constant identifier.
+pub fn const_of(e: &Expr) -> Option<Const> {
+    match &e.kind {
+        ExprKind::IntLit(v, _) => Some(Const::Int(*v)),
+        ExprKind::CharLit(c) => Some(Const::Int(*c as i64)),
+        ExprKind::Unary {
+            op: UnaryOp::Neg,
+            operand,
+        } => match const_of(operand)? {
+            Const::Int(v) => Some(Const::Int(-v)),
+            Const::Sym(_) => None,
+        },
+        ExprKind::Ident(name) if is_manifest_const(name) => Some(Const::Sym(name.clone())),
+        ExprKind::Cast { expr, .. } => const_of(expr),
+        _ => None,
+    }
+}
+
+fn int_of(e: &Expr) -> Option<i64> {
+    match const_of(e)? {
+        Const::Int(v) => Some(v),
+        Const::Sym(_) => None,
+    }
+}
+
+/// FLASH manifest constants are SHOUTING_CASE macros (`OPC_UPGRADE`,
+/// `LEN_NODATA`); those are treated as opaque constant values, not as
+/// mutable lvalues.
+fn is_manifest_const(name: &str) -> bool {
+    name.chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && name.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Mirror a comparison so the tracked key is on the left.
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+/// The comparison that holds on the else-edge.
+fn negate(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Ge,
+        BinaryOp::Ge => BinaryOp::Lt,
+        BinaryOp::Gt => BinaryOp::Le,
+        BinaryOp::Le => BinaryOp::Gt,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::parse_translation_unit;
+
+    fn expr(src: &str) -> Expr {
+        let tu = parse_translation_unit(&format!("void f(void) {{ x = {src}; }}"), "t.c").unwrap();
+        let f = tu.function("f").unwrap();
+        match &f.body[0].kind {
+            StmtKind::Expr(e) => match &e.kind {
+                ExprKind::Assign { rhs, .. } => (**rhs).clone(),
+                _ => panic!("expected assignment"),
+            },
+            _ => panic!("expected expression statement"),
+        }
+    }
+
+    #[test]
+    fn correlated_negation_refuted() {
+        let g = expr("gMode");
+        let ng = expr("!gMode");
+        let facts = FactSet::new().assume(&g, true).unwrap();
+        assert!(facts.assume(&ng, true).is_none(), "gMode && !gMode");
+        assert!(facts.assume(&ng, false).is_some());
+        assert!(facts.assume(&g, true).is_some(), "re-assuming is fine");
+    }
+
+    #[test]
+    fn eq_ne_constants() {
+        let eq = expr("op == OPC_UPGRADE");
+        let ne = expr("op != OPC_UPGRADE");
+        let facts = FactSet::new().assume(&eq, true).unwrap();
+        assert!(facts.assume(&ne, true).is_none());
+        assert!(facts.assume(&eq, true).is_some());
+        let facts = FactSet::new().assume(&ne, true).unwrap();
+        assert!(facts.assume(&eq, true).is_none());
+    }
+
+    #[test]
+    fn reversed_operands_and_int_literals() {
+        let a = expr("3 == n");
+        let b = expr("n == 4");
+        let facts = FactSet::new().assume(&a, true).unwrap();
+        assert!(facts.assume(&b, true).is_none(), "n is 3, not 4");
+    }
+
+    #[test]
+    fn bounds_contradict() {
+        let lt = expr("len < 8");
+        let gt = expr("len > 16");
+        let facts = FactSet::new().assume(&lt, true).unwrap();
+        assert!(facts.assume(&gt, true).is_none());
+        assert!(facts.assume(&gt, false).is_some());
+        // Bound vs equality.
+        let eq = expr("len == 32");
+        assert!(facts.assume(&eq, true).is_none());
+    }
+
+    #[test]
+    fn member_chains_tracked() {
+        let has = expr("header.nh.len == LEN_WORD");
+        let not = expr("header.nh.len != LEN_WORD");
+        let facts = FactSet::new().assume(&has, true).unwrap();
+        assert!(facts.assume(&not, true).is_none());
+    }
+
+    #[test]
+    fn logical_connectives() {
+        let both = expr("gMode && gBusy");
+        let facts = FactSet::new().assume(&both, true).unwrap();
+        assert!(facts.assume(&expr("!gMode"), true).is_none());
+        assert!(facts.assume(&expr("!gBusy"), true).is_none());
+        // `||` not-taken means both disjuncts were false.
+        let either = expr("gMode || gBusy");
+        let facts = FactSet::new().assume(&either, false).unwrap();
+        assert!(facts.assume(&expr("gMode"), true).is_none());
+        // `||` taken tells us nothing about individual disjuncts.
+        let facts = FactSet::new().assume(&either, true).unwrap();
+        assert!(facts.assume(&expr("!gMode"), true).is_some());
+    }
+
+    #[test]
+    fn untracked_conditions_are_neutral() {
+        for src in [
+            "DIR_STATE() == DIR_SHARED",
+            "gOpClass & 1",
+            "MAGIC_PI_STATUS()",
+        ] {
+            let c = expr(src);
+            let facts = FactSet::new().assume(&c, true).unwrap();
+            assert!(facts.assume(&c, false).is_some(), "{src} must stay neutral");
+        }
+    }
+
+    #[test]
+    fn assignment_invalidates() {
+        let g = expr("gMode");
+        let facts = FactSet::new().assume(&g, true).unwrap();
+        let tu = parse_translation_unit("void f(void) { gMode = next(); }", "t.c").unwrap();
+        let f = tu.function("f").unwrap();
+        let mut facts = facts;
+        facts.invalidate_stmt(&f.body[0]);
+        assert!(facts.assume(&expr("!gMode"), true).is_some());
+    }
+
+    #[test]
+    fn calls_do_not_clobber() {
+        let g = expr("gMode");
+        let facts = FactSet::new().assume(&g, true).unwrap();
+        let tu = parse_translation_unit("void f(void) { DB_FREE(h); }", "t.c").unwrap();
+        let f = tu.function("f").unwrap();
+        let mut facts = facts;
+        facts.invalidate_stmt(&f.body[0]);
+        assert!(facts.assume(&expr("!gMode"), true).is_none());
+    }
+
+    #[test]
+    fn address_of_clobbers() {
+        let g = expr("gMode");
+        let mut facts = FactSet::new().assume(&g, true).unwrap();
+        let tu = parse_translation_unit("void f(void) { probe(&gMode); }", "t.c").unwrap();
+        facts.invalidate_stmt(&tu.function("f").unwrap().body[0]);
+        assert!(facts.assume(&expr("!gMode"), true).is_some());
+    }
+
+    #[test]
+    fn member_invalidated_by_base_assignment() {
+        let c = expr("header.nh.len == LEN_WORD");
+        let mut facts = FactSet::new().assume(&c, true).unwrap();
+        let tu = parse_translation_unit("void f(void) { header = fresh(); }", "t.c").unwrap();
+        facts.invalidate_stmt(&tu.function("f").unwrap().body[0]);
+        assert!(facts
+            .assume(&expr("header.nh.len != LEN_WORD"), true)
+            .is_some());
+    }
+
+    #[test]
+    fn switch_case_facts() {
+        let scrut = expr("gOpClass");
+        let zero = expr("0");
+        let one = expr("1");
+        let all = vec![Const::Int(0), Const::Int(1)];
+        let on_zero = FactSet::new()
+            .assume_case(&scrut, Some(&zero), &all)
+            .unwrap();
+        // In the `case 0:` arm a later `case 1` test is infeasible.
+        assert!(on_zero.assume_case(&scrut, Some(&one), &all).is_none());
+        assert!(on_zero.assume_case(&scrut, Some(&zero), &all).is_some());
+        // The default edge excludes every labelled constant.
+        let dflt = FactSet::new().assume_case(&scrut, None, &all).unwrap();
+        assert!(dflt.assume_case(&scrut, Some(&zero), &all).is_none());
+        assert!(dflt.assume_case(&scrut, Some(&one), &all).is_none());
+    }
+
+    #[test]
+    fn constant_conditions() {
+        assert!(FactSet::new().assume(&expr("0"), true).is_none());
+        assert!(FactSet::new().assume(&expr("0"), false).is_some());
+        assert!(FactSet::new().assume(&expr("1"), true).is_some());
+        assert!(FactSet::new().assume(&expr("1"), false).is_none());
+    }
+
+    #[test]
+    fn distinct_symbolic_constants_not_assumed_unequal() {
+        // LEN_WORD and LEN_CACHELINE might expand to the same value; seeing
+        // `len == LEN_WORD` must not refute `len == LEN_CACHELINE`.
+        let a = expr("len == LEN_WORD");
+        let b = expr("len == LEN_CACHELINE");
+        let facts = FactSet::new().assume(&a, true).unwrap();
+        assert!(facts.assume(&b, true).is_some());
+    }
+}

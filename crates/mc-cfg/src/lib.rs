@@ -13,6 +13,10 @@
 //!    state-set worklist that merges identical checker states at join
 //!    points (same reports, polynomial time). The ablation between the two
 //!    is one of the benchmarks.
+//! 3. **Path-feasibility pruning** ([`feasibility`], [`run_traversal`]) —
+//!    a predicate-tracking domain that refutes branch edges contradicting
+//!    facts accumulated along the path, killing the paper's dominant
+//!    false-positive class (unpruned correlated branches).
 //!
 //! # Example
 //!
@@ -30,9 +34,14 @@
 #![warn(missing_docs)]
 
 mod build;
+pub mod feasibility;
 mod machine;
 mod stats;
 
 pub use build::{Block, BlockId, Cfg, Node, Terminator};
-pub use machine::{run_machine, Mode, PathEvent, PathMachine};
+pub use feasibility::FactSet;
+pub use machine::{
+    feasibility_stats, run_machine, run_traversal, Mode, PathEvent, PathMachine, Traversal,
+    TraversalStats,
+};
 pub use stats::PathStats;

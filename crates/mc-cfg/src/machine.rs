@@ -17,6 +17,7 @@
 //!   `scaling` benchmark quantifies the difference.
 
 use crate::build::{BlockId, Cfg, Terminator};
+use crate::feasibility::{const_of, Const, FactSet};
 use mc_ast::{Expr, Span, Stmt};
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -79,10 +80,61 @@ pub enum Mode {
     },
 }
 
-/// Runs `machine` over `cfg` starting from `init` in the given mode.
+/// Traversal settings: a [`Mode`] plus whether infeasible edges are pruned
+/// by the [`crate::feasibility`] analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traversal {
+    /// Path enumeration strategy.
+    pub mode: Mode,
+    /// When `true`, branch/switch edges whose condition contradicts the
+    /// facts accumulated along the path are not followed.
+    pub prune: bool,
+}
+
+impl Traversal {
+    /// A pruning traversal in the given mode (the driver default).
+    pub fn new(mode: Mode) -> Traversal {
+        Traversal { mode, prune: true }
+    }
+
+    /// A traversal that walks every syntactic path, feasible or not —
+    /// the paper's original behavior.
+    pub fn without_pruning(mode: Mode) -> Traversal {
+        Traversal { mode, prune: false }
+    }
+}
+
+impl Default for Traversal {
+    fn default() -> Traversal {
+        Traversal::new(Mode::StateSet)
+    }
+}
+
+/// What a traversal observed about path feasibility.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Number of distinct CFG edges refuted as infeasible (counted once per
+    /// edge no matter how many paths reached it).
+    pub refuted_edges: usize,
+}
+
+/// Runs `machine` over `cfg` starting from `init` in the given mode,
+/// walking every syntactic path without feasibility pruning.
 pub fn run_machine<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State, mode: Mode) {
-    match mode {
-        Mode::StateSet => run_state_set(cfg, machine, init),
+    run_traversal(cfg, machine, init, Traversal::without_pruning(mode));
+}
+
+/// Runs `machine` over `cfg` starting from `init` with the given traversal
+/// settings, returning feasibility statistics.
+pub fn run_traversal<M: PathMachine>(
+    cfg: &Cfg,
+    machine: &mut M,
+    init: M::State,
+    traversal: Traversal,
+) -> TraversalStats {
+    let mut refuted: HashSet<(BlockId, usize)> = HashSet::new();
+    match traversal.mode {
+        Mode::StateSet => run_state_set(cfg, machine, init, traversal.prune, &mut refuted),
         Mode::Exhaustive { max_paths } => {
             let mut budget = max_paths;
             let mut back_counts = vec![0u8; cfg.blocks.len()];
@@ -91,23 +143,51 @@ pub fn run_machine<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State, m
                 machine,
                 cfg.entry,
                 vec![init],
+                FactSet::new(),
+                traversal.prune,
+                &mut refuted,
                 &mut back_counts,
                 &mut budget,
             );
         }
     }
+    TraversalStats {
+        refuted_edges: refuted.len(),
+    }
+}
+
+/// Counts how many CFG edges of `cfg` the feasibility analysis refutes,
+/// independent of any checker. The driver uses this as the `pruned_paths`
+/// evidence on reports: a function with refuted edges is exactly the shape
+/// where unpruned traversals manufacture correlated-branch false positives.
+pub fn feasibility_stats(cfg: &Cfg) -> TraversalStats {
+    /// A stateless machine that just rides along every edge.
+    struct Unit;
+    impl PathMachine for Unit {
+        type State = ();
+        fn step(&mut self, _: &(), _: &PathEvent<'_>) -> Vec<()> {
+            vec![()]
+        }
+    }
+    run_traversal(cfg, &mut Unit, (), Traversal::new(Mode::StateSet))
 }
 
 /// Feeds the events of one block to the machine, expanding the state set.
-/// Returns the states alive at the terminator.
+/// Returns the states alive at the terminator. When `facts` is provided,
+/// statements with side effects invalidate the feasibility facts they
+/// clobber.
 fn flow_block<M: PathMachine>(
     cfg: &Cfg,
     machine: &mut M,
     block: BlockId,
     states: Vec<M::State>,
+    mut facts: Option<&mut FactSet>,
 ) -> Vec<M::State> {
     let mut states = states;
     for node in &cfg.block(block).nodes {
+        if let Some(f) = facts.as_deref_mut() {
+            f.invalidate_stmt(&node.stmt);
+        }
         let mut next = Vec::new();
         for s in &states {
             next.extend(machine.step(s, &PathEvent::Stmt(&node.stmt)));
@@ -118,6 +198,14 @@ fn flow_block<M: PathMachine>(
         }
     }
     states
+}
+
+/// The labelled constants of a switch, for default-edge exclusion facts.
+fn switch_consts(targets: &[(Option<Expr>, BlockId)]) -> Vec<Const> {
+    targets
+        .iter()
+        .filter_map(|(v, _)| v.as_ref().and_then(const_of))
+        .collect()
 }
 
 fn dedup<S: Eq + Hash + Clone>(v: Vec<S>) -> Vec<S> {
@@ -137,21 +225,39 @@ fn dedup<S: Eq + Hash + Clone>(v: Vec<S>) -> Vec<S> {
         .collect()
 }
 
-fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
-    let mut visited: HashSet<(BlockId, M::State)> = HashSet::new();
-    let mut worklist: Vec<(BlockId, M::State)> = vec![(cfg.entry, init)];
-    while let Some((block, state)) = worklist.pop() {
-        if !visited.insert((block, state.clone())) {
+fn run_state_set<M: PathMachine>(
+    cfg: &Cfg,
+    machine: &mut M,
+    init: M::State,
+    prune: bool,
+    refuted: &mut HashSet<(BlockId, usize)>,
+) {
+    // The fact set is part of the visited key: identical checker states
+    // with incompatible facts stay distinct (the sound join — merging them
+    // would let facts from one path suppress the other). Without pruning
+    // every item carries the empty set and this degenerates to the classic
+    // `(block, state)` worklist.
+    let mut visited: HashSet<(BlockId, M::State, FactSet)> = HashSet::new();
+    let mut worklist: Vec<(BlockId, M::State, FactSet)> = vec![(cfg.entry, init, FactSet::new())];
+    while let Some((block, state, facts)) = worklist.pop() {
+        if !visited.insert((block, state.clone(), facts.clone())) {
             continue;
         }
-        let states = flow_block(cfg, machine, block, vec![state]);
+        let mut facts = facts;
+        let states = flow_block(
+            cfg,
+            machine,
+            block,
+            vec![state],
+            prune.then_some(&mut facts),
+        );
         if states.is_empty() {
             continue;
         }
         match &cfg.block(block).term {
             Terminator::Jump(t) => {
                 for s in states {
-                    worklist.push((*t, s));
+                    worklist.push((*t, s, facts.clone()));
                 }
             }
             Terminator::Branch {
@@ -159,12 +265,27 @@ fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
                 then_to,
                 else_to,
             } => {
+                let arm_facts: Vec<Option<FactSet>> = [true, false]
+                    .iter()
+                    .enumerate()
+                    .map(|(arm, &taken)| {
+                        if !prune {
+                            return Some(facts.clone());
+                        }
+                        let f = facts.assume(cond, taken);
+                        if f.is_none() {
+                            refuted.insert((block, arm));
+                        }
+                        f
+                    })
+                    .collect();
                 for s in states {
-                    for ns in machine.step(&s, &PathEvent::Branch { cond, taken: true }) {
-                        worklist.push((*then_to, ns));
-                    }
-                    for ns in machine.step(&s, &PathEvent::Branch { cond, taken: false }) {
-                        worklist.push((*else_to, ns));
+                    for (arm, &taken) in [true, false].iter().enumerate() {
+                        let Some(f) = &arm_facts[arm] else { continue };
+                        let target = if taken { then_to } else { else_to };
+                        for ns in machine.step(&s, &PathEvent::Branch { cond, taken }) {
+                            worklist.push((*target, ns, f.clone()));
+                        }
                     }
                 }
             }
@@ -174,23 +295,50 @@ fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
                 fallthrough,
             } => {
                 let has_default = targets.iter().any(|(v, _)| v.is_none());
+                let consts = switch_consts(targets);
+                let edge_facts = |value: Option<&Expr>,
+                                  arm: usize,
+                                  refuted: &mut HashSet<(BlockId, usize)>|
+                 -> Option<FactSet> {
+                    if !prune {
+                        return Some(facts.clone());
+                    }
+                    match facts.assume_case(scrutinee, value, &consts) {
+                        Some(f) => Some(f),
+                        None => {
+                            refuted.insert((block, arm));
+                            None
+                        }
+                    }
+                };
+                let case_facts: Vec<Option<FactSet>> = targets
+                    .iter()
+                    .enumerate()
+                    .map(|(arm, (value, _))| edge_facts(value.as_ref(), arm, refuted))
+                    .collect();
+                let fall_facts = if has_default {
+                    None
+                } else {
+                    edge_facts(None, targets.len(), refuted)
+                };
                 for s in states {
-                    for (value, target) in targets {
+                    for ((value, target), f) in targets.iter().zip(&case_facts) {
+                        let Some(f) = f else { continue };
                         let ev = PathEvent::Case {
                             scrutinee,
                             value: value.as_ref(),
                         };
                         for ns in machine.step(&s, &ev) {
-                            worklist.push((*target, ns));
+                            worklist.push((*target, ns, f.clone()));
                         }
                     }
-                    if !has_default {
+                    if let Some(f) = &fall_facts {
                         let ev = PathEvent::Case {
                             scrutinee,
                             value: None,
                         };
                         for ns in machine.step(&s, &ev) {
-                            worklist.push((*fallthrough, ns));
+                            worklist.push((*fallthrough, ns, f.clone()));
                         }
                     }
                 }
@@ -218,29 +366,44 @@ fn run_state_set<M: PathMachine>(cfg: &Cfg, machine: &mut M, init: M::State) {
 /// stack on functions whose CFG forms a long block chain (thousands of
 /// sequential conditionals); the explicit stack grows on the heap instead.
 enum Frame<S> {
-    Enter { block: BlockId, states: Vec<S> },
-    Exit { block: BlockId },
+    Enter {
+        block: BlockId,
+        states: Vec<S>,
+        facts: FactSet,
+    },
+    Exit {
+        block: BlockId,
+    },
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_exhaustive<M: PathMachine>(
     cfg: &Cfg,
     machine: &mut M,
     entry: BlockId,
     init: Vec<M::State>,
+    init_facts: FactSet,
+    prune: bool,
+    refuted: &mut HashSet<(BlockId, usize)>,
     back_counts: &mut [u8],
     budget: &mut usize,
 ) {
     let mut stack: Vec<Frame<M::State>> = vec![Frame::Enter {
         block: entry,
         states: init,
+        facts: init_facts,
     }];
     while let Some(frame) = stack.pop() {
-        let (block, states) = match frame {
+        let (block, states, mut facts) = match frame {
             Frame::Exit { block } => {
                 back_counts[block.0] -= 1;
                 continue;
             }
-            Frame::Enter { block, states } => (block, states),
+            Frame::Enter {
+                block,
+                states,
+                facts,
+            } => (block, states, facts),
         };
         if *budget == 0 {
             continue;
@@ -255,7 +418,7 @@ fn run_exhaustive<M: PathMachine>(
         }
         back_counts[block.0] += 1;
 
-        let states = flow_block(cfg, machine, block, states);
+        let states = flow_block(cfg, machine, block, states, prune.then_some(&mut facts));
         if states.is_empty() {
             back_counts[block.0] -= 1;
             continue;
@@ -266,31 +429,46 @@ fn run_exhaustive<M: PathMachine>(
         stack.push(Frame::Exit { block });
         match &cfg.block(block).term {
             Terminator::Jump(t) => {
-                stack.push(Frame::Enter { block: *t, states });
+                stack.push(Frame::Enter {
+                    block: *t,
+                    states,
+                    facts,
+                });
             }
             Terminator::Branch {
                 cond,
                 then_to,
                 else_to,
             } => {
-                let mut then_states = Vec::new();
-                let mut else_states = Vec::new();
-                for s in &states {
-                    then_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: true }));
-                    else_states.extend(machine.step(s, &PathEvent::Branch { cond, taken: false }));
+                let mut children = Vec::new();
+                for (arm, (taken, target)) in [(true, *then_to), (false, *else_to)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    let next_facts = if prune {
+                        match facts.assume(cond, taken) {
+                            Some(f) => f,
+                            None => {
+                                refuted.insert((block, arm));
+                                continue;
+                            }
+                        }
+                    } else {
+                        facts.clone()
+                    };
+                    let mut next = Vec::new();
+                    for s in &states {
+                        next.extend(machine.step(s, &PathEvent::Branch { cond, taken }));
+                    }
+                    if !next.is_empty() {
+                        children.push(Frame::Enter {
+                            block: target,
+                            states: dedup(next),
+                            facts: next_facts,
+                        });
+                    }
                 }
-                if !else_states.is_empty() {
-                    stack.push(Frame::Enter {
-                        block: *else_to,
-                        states: dedup(else_states),
-                    });
-                }
-                if !then_states.is_empty() {
-                    stack.push(Frame::Enter {
-                        block: *then_to,
-                        states: dedup(then_states),
-                    });
-                }
+                stack.extend(children.into_iter().rev());
             }
             Terminator::Switch {
                 scrutinee,
@@ -298,40 +476,34 @@ fn run_exhaustive<M: PathMachine>(
                 fallthrough,
             } => {
                 let has_default = targets.iter().any(|(v, _)| v.is_none());
-                let mut children = Vec::new();
-                for (value, target) in targets {
-                    let mut next = Vec::new();
-                    for s in &states {
-                        next.extend(machine.step(
-                            s,
-                            &PathEvent::Case {
-                                scrutinee,
-                                value: value.as_ref(),
-                            },
-                        ));
-                    }
-                    if !next.is_empty() {
-                        children.push(Frame::Enter {
-                            block: *target,
-                            states: dedup(next),
-                        });
-                    }
-                }
+                let consts = switch_consts(targets);
+                let mut edges: Vec<(Option<&Expr>, BlockId)> =
+                    targets.iter().map(|(v, t)| (v.as_ref(), *t)).collect();
                 if !has_default {
+                    edges.push((None, *fallthrough));
+                }
+                let mut children = Vec::new();
+                for (arm, (value, target)) in edges.into_iter().enumerate() {
+                    let next_facts = if prune {
+                        match facts.assume_case(scrutinee, value, &consts) {
+                            Some(f) => f,
+                            None => {
+                                refuted.insert((block, arm));
+                                continue;
+                            }
+                        }
+                    } else {
+                        facts.clone()
+                    };
                     let mut next = Vec::new();
                     for s in &states {
-                        next.extend(machine.step(
-                            s,
-                            &PathEvent::Case {
-                                scrutinee,
-                                value: None,
-                            },
-                        ));
+                        next.extend(machine.step(s, &PathEvent::Case { scrutinee, value }));
                     }
                     if !next.is_empty() {
                         children.push(Frame::Enter {
-                            block: *fallthrough,
+                            block: target,
                             states: dedup(next),
+                            facts: next_facts,
                         });
                     }
                 }
@@ -530,6 +702,123 @@ mod tests {
         for callee in ["a", "b", "c", "d"] {
             assert!(m.visits.contains(&callee.to_string()), "missing {callee}");
         }
+    }
+
+    #[test]
+    fn pruning_drops_correlated_branch_paths() {
+        // The canonical paper FP shape: `gMode` cannot be both true and
+        // false, so only 2 of the 4 syntactic paths are feasible. Both
+        // modes must agree.
+        let body = "if (gMode) { a(); } mid(); if (!gMode) { b(); } end();";
+        for mode in [Mode::StateSet, Mode::Exhaustive { max_paths: 100 }] {
+            let cfg = cfg_of(body);
+            let mut m = Tracer {
+                visits: vec![],
+                returns: 0,
+            };
+            let stats = run_traversal(&cfg, &mut m, 0, Traversal::new(mode));
+            // a-then-b and neither-a-nor-b are infeasible; every feasible
+            // path sees exactly one of a/b.
+            let a = m.visits.iter().filter(|v| *v == "a").count();
+            let b = m.visits.iter().filter(|v| *v == "b").count();
+            assert_eq!((a, b), (1, 1), "{mode:?}");
+            assert!(stats.refuted_edges >= 2, "{mode:?}: {stats:?}");
+            assert!(m.visits.contains(&"end".to_string()));
+        }
+    }
+
+    #[test]
+    fn no_pruning_keeps_all_syntactic_paths() {
+        let body = "if (gMode) { a(); } if (!gMode) { b(); } end();";
+        let cfg = cfg_of(body);
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
+        let stats = run_traversal(
+            &cfg,
+            &mut m,
+            0,
+            Traversal::without_pruning(Mode::Exhaustive { max_paths: 100 }),
+        );
+        assert_eq!(m.returns, 4);
+        assert_eq!(stats.refuted_edges, 0);
+    }
+
+    #[test]
+    fn pruning_respects_assignment_between_branches() {
+        // The guard is recomputed between the two tests, so no edge may be
+        // pruned: all 4 paths are feasible.
+        let body = "if (gMode) { a(); } gMode = next(); if (!gMode) { b(); } end();";
+        let cfg = cfg_of(body);
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
+        let stats = run_traversal(
+            &cfg,
+            &mut m,
+            0,
+            Traversal::new(Mode::Exhaustive { max_paths: 100 }),
+        );
+        assert_eq!(m.returns, 4);
+        assert_eq!(stats.refuted_edges, 0);
+    }
+
+    #[test]
+    fn switch_arms_prune_each_other() {
+        // Inside `case 1:` a nested test of the same scrutinee against a
+        // different label is infeasible.
+        let body =
+            "switch (op) { case 1: if (op == 2) { dead(); } a(); break; default: d(); } end();";
+        let cfg = cfg_of(body);
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
+        run_traversal(&cfg, &mut m, 0, Traversal::new(Mode::StateSet));
+        assert!(!m.visits.contains(&"dead".to_string()));
+        assert!(m.visits.contains(&"a".to_string()));
+        assert!(m.visits.contains(&"d".to_string()));
+    }
+
+    #[test]
+    fn state_set_keeps_incompatible_facts_distinct() {
+        // After the first branch the checker state is identical on both
+        // arms, but the fact sets differ; a naive merge would then explore
+        // the second branch once and miss that each arm is forced. The
+        // tracer's return count proves both fact variants survived: exactly
+        // the 2 feasible paths return.
+        let body = "if (gMode) { a(); } else { b(); } mid(); if (gMode) { c(); } else { d(); }";
+        let cfg = cfg_of(body);
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
+        run_traversal(&cfg, &mut m, 0, Traversal::new(Mode::StateSet));
+        assert!(m.visits.contains(&"c".to_string()));
+        assert!(m.visits.contains(&"d".to_string()));
+        // mid() is seen twice: the two fact sets do not merge.
+        assert_eq!(m.visits.iter().filter(|v| *v == "mid").count(), 2);
+    }
+
+    #[test]
+    fn feasibility_stats_counts_refutable_edges() {
+        let cfg = cfg_of("if (gMode) { a(); } if (!gMode) { b(); } end();");
+        assert_eq!(feasibility_stats(&cfg).refuted_edges, 2);
+        let cfg = cfg_of("if (gOpClass & 1) { a(); } end();");
+        assert_eq!(feasibility_stats(&cfg).refuted_edges, 0);
+    }
+
+    #[test]
+    fn run_machine_never_prunes() {
+        let cfg = cfg_of("if (gMode) { a(); } if (!gMode) { b(); } end();");
+        let mut m = Tracer {
+            visits: vec![],
+            returns: 0,
+        };
+        run_machine(&cfg, &mut m, 0, Mode::Exhaustive { max_paths: 100 });
+        assert_eq!(m.returns, 4);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::flash;
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
-use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
+use mc_cfg::{run_traversal, PathEvent, PathMachine};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 use std::collections::BTreeSet;
 
@@ -36,7 +36,9 @@ impl Checker for AllocCheck {
             return;
         }
         let mut machine = AllocMachine { found: Vec::new() };
-        run_machine(ctx.cfg, &mut machine, BTreeSet::new(), Mode::StateSet);
+        run_traversal(ctx.cfg, &mut machine, BTreeSet::new(), ctx.traversal);
+        machine.found.sort();
+        machine.found.dedup();
         for (span, var) in machine.found {
             sink.push(Report::error(
                 "alloc_check",
@@ -213,7 +215,7 @@ mod tests {
 
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
-        let mut checker = AllocCheck::new();
+        let checker = AllocCheck::new();
         let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
@@ -222,6 +224,7 @@ mod tests {
                 unit: &tu,
                 function: f,
                 cfg: &cfg,
+                traversal: mc_cfg::Traversal::default(),
             };
             checker.check_function(&ctx, &mut sink);
         }

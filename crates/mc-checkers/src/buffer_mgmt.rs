@@ -18,7 +18,7 @@
 
 use crate::flash::{self, FlashSpec, RoutineKind};
 use mc_ast::{Expr, ExprKind, Span, Stmt, StmtKind};
-use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
+use mc_cfg::{run_traversal, PathEvent, PathMachine};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// Buffer-possession state along a path.
@@ -98,7 +98,9 @@ impl Checker for BufferMgmt {
             end_rule,
             found: Vec::new(),
         };
-        run_machine(ctx.cfg, &mut machine, init, Mode::StateSet);
+        run_traversal(ctx.cfg, &mut machine, init, ctx.traversal);
+        machine.found.sort();
+        machine.found.dedup();
         for (span, message) in machine.found {
             sink.push(Report::error(
                 "buffer_mgmt",
@@ -329,7 +331,7 @@ mod tests {
 
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
-        let mut checker = BufferMgmt::new(spec());
+        let checker = BufferMgmt::new(spec());
         let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
@@ -338,6 +340,7 @@ mod tests {
                 unit: &tu,
                 function: f,
                 cfg: &cfg,
+                traversal: mc_cfg::Traversal::default(),
             };
             checker.check_function(&ctx, &mut sink);
         }
@@ -433,19 +436,41 @@ mod tests {
     #[test]
     fn correlated_branches_false_positive() {
         // The dominant false-positive class: two branches on the same
-        // condition; the checker explores the infeasible combination.
-        let r = check(
-            r#"void PILocalGet(void) {
+        // condition. Without feasibility pruning the checker explores the
+        // infeasible combination and reports; with pruning (the driver
+        // default, via ctx.traversal) the correlated paths are refuted.
+        let src = r#"void PILocalGet(void) {
                 if (c) { DB_FREE(); }
                 count++;
                 if (c) { return; }
                 NI_SEND(t, F_NODATA, k, w, d, n);
                 DB_FREE();
-            }"#,
+            }"#;
+        let run = |prune: bool| {
+            let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
+            let checker = BufferMgmt::new(spec());
+            let mut sink = CheckSink::new();
+            let f = tu.functions().next().unwrap();
+            let cfg = Cfg::build(f);
+            let mut traversal = mc_cfg::Traversal::default();
+            traversal.prune = prune;
+            let ctx = FunctionContext {
+                file: "t.c",
+                unit: &tu,
+                function: f,
+                cfg: &cfg,
+                traversal,
+            };
+            checker.check_function(&ctx, &mut sink);
+            sink.into_reports()
+        };
+        assert!(
+            !run(false).is_empty(),
+            "unpruned traversal flags the infeasible path, like xg++"
         );
         assert!(
-            !r.is_empty(),
-            "infeasible path should (by design) be flagged"
+            run(true).is_empty(),
+            "pruning refutes the correlated branches"
         );
     }
 
@@ -476,6 +501,7 @@ mod tests {
             unit: &tu,
             function: f,
             cfg: &cfg,
+            traversal: mc_cfg::Traversal::default(),
         };
         checker.check_function(&ctx, &mut sink);
         assert!(!sink.is_empty());

@@ -18,7 +18,7 @@
 
 use crate::flash::{self, FlashSpec, RoutineKind};
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
-use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
+use mc_cfg::{run_traversal, PathEvent, PathMachine};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// The directory-update checker.
@@ -60,7 +60,9 @@ impl Checker for Directory {
             spec: &self.spec,
             found: Vec::new(),
         };
-        run_machine(ctx.cfg, &mut machine, init, Mode::StateSet);
+        run_traversal(ctx.cfg, &mut machine, init, ctx.traversal);
+        machine.found.sort();
+        machine.found.dedup();
         for (span, msg) in machine.found {
             sink.push(Report::error(
                 "directory",
@@ -240,7 +242,7 @@ mod tests {
 
     fn check_spec(spec: FlashSpec, src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
-        let mut checker = Directory::new(spec);
+        let checker = Directory::new(spec);
         let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
@@ -249,6 +251,7 @@ mod tests {
                 unit: &tu,
                 function: f,
                 cfg: &cfg,
+                traversal: mc_cfg::Traversal::default(),
             };
             checker.check_function(&ctx, &mut sink);
         }

@@ -331,7 +331,7 @@ mod tests {
 
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
-        let mut checker = ExecRestrict::new(FlashSpec::new());
+        let checker = ExecRestrict::new(FlashSpec::new());
         let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
@@ -340,6 +340,7 @@ mod tests {
                 unit: &tu,
                 function: f,
                 cfg: &cfg,
+                traversal: mc_cfg::Traversal::default(),
             };
             checker.check_function(&ctx, &mut sink);
         }

@@ -13,7 +13,7 @@
 
 use crate::flash;
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
-use mc_cfg::{run_machine, Mode, PathEvent, PathMachine};
+use mc_cfg::{run_traversal, PathEvent, PathMachine};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// The send-wait checker.
@@ -37,7 +37,9 @@ impl Checker for SendWait {
             return;
         }
         let mut machine = WaitMachine { found: Vec::new() };
-        run_machine(ctx.cfg, &mut machine, WaitState::Idle, Mode::StateSet);
+        run_traversal(ctx.cfg, &mut machine, WaitState::Idle, ctx.traversal);
+        machine.found.sort();
+        machine.found.dedup();
         for (span, msg) in machine.found {
             sink.push(Report::error(
                 "send_wait",
@@ -201,7 +203,7 @@ mod tests {
 
     fn check(src: &str) -> Vec<Report> {
         let tu = mc_ast::parse_translation_unit(src, "t.c").unwrap();
-        let mut checker = SendWait::new();
+        let checker = SendWait::new();
         let mut sink = CheckSink::new();
         for f in tu.functions() {
             let cfg = Cfg::build(f);
@@ -210,6 +212,7 @@ mod tests {
                 unit: &tu,
                 function: f,
                 cfg: &cfg,
+                traversal: mc_cfg::Traversal::default(),
             };
             checker.check_function(&ctx, &mut sink);
         }

@@ -11,6 +11,7 @@
 //!   --spec <spec.json>       FlashSpec tables for the native checkers
 //!   --mode <state-set|exhaustive>
 //!   --jobs <n>               worker threads (default: available parallelism)
+//!   --prune / --no-prune     path-feasibility pruning (default on)
 //!   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
 //!   --seed <n>               corpus seed (default 0xF1A5)
 //! ```
@@ -36,6 +37,9 @@ pub struct Options {
     /// Worker threads for parsing and checking (`None`: available
     /// parallelism). Reports are identical at any worker count.
     pub jobs: Option<usize>,
+    /// Path-feasibility pruning (`--no-prune` turns it off, reproducing
+    /// the paper's unpruned xg++ behaviour).
+    pub prune: bool,
     /// Write the corpus to this directory instead of checking.
     pub emit_corpus: Option<PathBuf>,
     /// Corpus seed.
@@ -69,7 +73,12 @@ usage: mcheck [OPTIONS] <file.c>...
   --jobs <n>               worker threads for parsing and checking
                            (default: available parallelism; output is
                            identical at any worker count)
-  --format <text|json>     report output format (default text)
+  --prune / --no-prune     refute paths whose branch conditions contradict
+                           each other (default on; --no-prune reproduces
+                           the paper's unpruned behaviour)
+  --format <text|json>     report output format (default text); reports
+                           are ordered most-likely-real first (descending
+                           confidence)
   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
   --seed <n>               corpus seed (default 0xF1A5)
   --help                   show this message";
@@ -83,6 +92,7 @@ usage: mcheck [OPTIONS] <file.c>...
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
     let mut opts = Options {
         seed: mc_corpus::DEFAULT_SEED,
+        prune: true,
         ..Options::default()
     };
     let mut it = args.into_iter();
@@ -120,6 +130,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                     }
                 }
             }
+            "--prune" => opts.prune = true,
+            "--no-prune" => opts.prune = false,
             "--format" => {
                 let v = it.next().ok_or(CliError("--format needs a value".into()))?;
                 match v.as_str() {
@@ -195,6 +207,7 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
     if opts.exhaustive {
         driver.mode = mc_cfg_mode_exhaustive();
     }
+    driver.prune(opts.prune);
     if let Some(n) = opts.jobs {
         driver.jobs(n);
     }
@@ -215,9 +228,11 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
             .map_err(|e| CliError(format!("{}: {e}", file.display())))?;
         sources.push((text, file.display().to_string()));
     }
-    driver
+    let mut reports = driver
         .check_sources(&sources)
-        .map_err(|e| CliError(e.to_string()))
+        .map_err(|e| CliError(e.to_string()))?;
+    Report::sort_by_confidence(&mut reports);
+    Ok(reports)
 }
 
 fn mc_cfg_mode_exhaustive() -> mc_cfg::Mode {
@@ -243,8 +258,14 @@ fn emit_corpus(dir: &std::path::Path, seed: u64) -> Result<(), CliError> {
             .iter()
             .map(|p| {
                 format!(
-                    "{}\t{}\t{}\t{:?}\t{}\t{}\n",
-                    p.checker, p.file, p.function, p.kind, p.expected_reports, p.note
+                    "{}\t{}\t{}\t{:?}\t{}\t{}\t{}\n",
+                    p.checker,
+                    p.file,
+                    p.function,
+                    p.kind,
+                    p.expected_reports,
+                    p.expected_reports_pruned,
+                    p.note
                 )
             })
             .collect();
@@ -312,6 +333,45 @@ mod tests {
     #[test]
     fn jobs_documented_in_usage() {
         assert!(USAGE.contains("--jobs"));
+    }
+
+    #[test]
+    fn prune_flags_parse_and_default_on() {
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert!(o.prune, "pruning must default on");
+        let o = args(&["--builtin", "--no-prune", "a.c"]).unwrap();
+        assert!(!o.prune);
+        let o = args(&["--builtin", "--no-prune", "--prune", "a.c"]).unwrap();
+        assert!(o.prune, "later flag wins");
+        assert!(USAGE.contains("--no-prune"));
+    }
+
+    #[test]
+    fn no_prune_restores_correlated_branch_reports() {
+        let dir = std::env::temp_dir().join("mcheck_prune_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("corr.c");
+        // The §6 correlated-branch shape: infeasible interleavings yield a
+        // double free and a leak unless the feasibility analysis runs.
+        std::fs::write(
+            &src,
+            "void PIHandler(void) {\n\
+             if (gMode) { DB_FREE(); }\n\
+             if (!gMode) { DB_FREE(); }\n\
+             }\n",
+        )
+        .unwrap();
+        let pruned = run(&args(&["--builtin", src.to_str().unwrap()]).unwrap()).unwrap();
+        assert!(
+            pruned.iter().all(|r| r.checker != "buffer_mgmt"),
+            "default pruning refutes the correlated branches: {pruned:?}"
+        );
+        let unpruned = run(&args(&["--builtin", "--no-prune", src.to_str().unwrap()]).unwrap())
+            .unwrap()
+            .into_iter()
+            .filter(|r| r.checker == "buffer_mgmt")
+            .collect::<Vec<_>>();
+        assert!(!unpruned.is_empty(), "--no-prune reports infeasible paths");
     }
 
     #[test]

@@ -40,8 +40,17 @@ impl Outcome {
 }
 
 /// Evaluates `reports` (from running the checker suite over `protocol`)
-/// against the protocol's manifest.
+/// against the protocol's manifest, assuming the driver's default
+/// path-feasibility pruning was on.
 pub fn evaluate(protocol: &Protocol, reports: &[Report]) -> Outcome {
+    evaluate_with(protocol, reports, true)
+}
+
+/// Evaluates `reports` against the manifest under an explicit pruning
+/// setting: each planted item expects [`crate::Planted::expected`]`(pruned)`
+/// reports, so prunable false positives are *required absent* when `pruned`
+/// and *required present* when not.
+pub fn evaluate_with(protocol: &Protocol, reports: &[Report], pruned: bool) -> Outcome {
     // Group reports by (checker, function).
     let mut by_slot: BTreeMap<(String, String), Vec<Report>> = BTreeMap::new();
     for r in reports {
@@ -55,15 +64,14 @@ pub fn evaluate(protocol: &Protocol, reports: &[Report]) -> Outcome {
         let key = (planted.checker.clone(), planted.function.clone());
         let got = by_slot.remove(&key).unwrap_or_default();
         let n = got.len();
-        if n < planted.expected_reports {
+        let expected = planted.expected(pruned);
+        if n < expected {
             out.missed.push(planted.clone());
         }
-        out.matched
-            .push((planted.clone(), n.min(planted.expected_reports)));
+        out.matched.push((planted.clone(), n.min(expected)));
         // Surplus reports in a planted slot are unexpected.
-        if n > planted.expected_reports {
-            out.unexpected
-                .extend(got.into_iter().skip(planted.expected_reports));
+        if n > expected {
+            out.unexpected.extend(got.into_iter().skip(expected));
         }
     }
     for (_, rest) in by_slot {
@@ -113,6 +121,7 @@ mod tests {
             function: function.into(),
             kind,
             expected_reports: n,
+            expected_reports_pruned: n,
             note: String::new(),
         }
     }
@@ -161,6 +170,25 @@ mod tests {
         // ones: one matches, one is surplus.
         assert_eq!(out.unexpected.len(), 1);
         assert_eq!(out.reports_of("c1", PlantedKind::FalsePositive), 1);
+    }
+
+    #[test]
+    fn prunable_false_positive_expected_absent_when_pruned() {
+        let mut fp = planted("c1", "f1", PlantedKind::FalsePositive, 2);
+        fp.expected_reports_pruned = 0;
+        assert!(fp.prunable());
+        let p = proto(vec![fp]);
+        // With pruning on (the default), the slot must be empty...
+        let out = evaluate(&p, &[]);
+        assert!(out.is_exact());
+        // ...and any report there is unexpected.
+        let out = evaluate(&p, &[report("c1", "f1")]);
+        assert_eq!(out.unexpected.len(), 1);
+        // Without pruning, the two reports are required.
+        let out = evaluate_with(&p, &[report("c1", "f1"), report("c1", "f1")], false);
+        assert!(out.is_exact());
+        let out = evaluate_with(&p, &[], false);
+        assert_eq!(out.missed.len(), 1);
     }
 
     #[test]

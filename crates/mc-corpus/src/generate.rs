@@ -120,6 +120,7 @@ impl<'p> Gen<'p> {
     fn run(mut self) -> Protocol {
         self.emit_helpers();
         self.emit_planted();
+        self.emit_deep_handler();
         self.emit_clean_handlers();
         self.emit_filler();
         self.assemble()
@@ -176,8 +177,19 @@ impl<'p> Gen<'p> {
             function: function.to_string(),
             kind,
             expected_reports: expected,
+            expected_reports_pruned: expected,
             note: note.to_string(),
         });
+    }
+
+    /// Marks the most recently planted item as refuted by the feasibility
+    /// analysis: with pruning on (the driver default) it must produce
+    /// `pruned` reports instead of `expected_reports`.
+    fn prunable(&mut self, pruned: usize) {
+        self.manifest
+            .last_mut()
+            .expect("plant before prunable")
+            .expected_reports_pruned = pruned;
     }
 
     // ---------- reusable segments -----------------------------------------
@@ -603,6 +615,7 @@ impl<'p> Gen<'p> {
             expected,
             "send parameter selected at run time; impossible paths flagged",
         );
+        self.prunable(0);
     }
 
     /// §6 bug: double free (optionally buried under rare conditions).
@@ -696,6 +709,7 @@ impl<'p> Gen<'p> {
             2,
             "correlated branches: unpruned infeasible paths",
         );
+        self.prunable(0);
     }
 
     /// §6 false-positive site: data-dependent free (one leak report on the
@@ -835,12 +849,15 @@ impl<'p> Gen<'p> {
     }
 
     /// §9.1 FP: the write-back happens in an un-annotated subroutine.
+    /// Like most of the paper's directory false positives this handler
+    /// sits on a NAK-replying path, which the ranking heuristic demotes.
     fn plant_dir_fp_subroutine(&mut self) {
         let name = self.hw_name("NI");
         let mut f = FuncBuf::new(&name, FnKind::Hardware);
         f.line("DIR_LOAD();");
         f.line("DIR_SET_STATE(DIR_SHARED);");
         f.line(format!("{}_dir_update_raw();", self.plan.name));
+        f.line("gReply = MSG_NAK;");
         f.line("DB_FREE();");
         self.dir_ops = self.dir_ops.saturating_sub(2);
         let file = self.push_fn(&f);
@@ -854,13 +871,14 @@ impl<'p> Gen<'p> {
         );
     }
 
-    /// §9.1 FP: speculative back-out without the NAK pattern.
+    /// §9.1 FP: speculative modification backed out on the NAK path.
     fn plant_dir_fp_speculative(&mut self) {
         let name = self.hw_name("PI");
         let mut f = FuncBuf::new(&name, FnKind::Hardware);
         f.line("DIR_LOAD();");
         f.line("DIR_SET_STATE(DIR_PENDING);");
         f.open("if (gSpecialCircumstance)");
+        f.line("gReply = MSG_NAK;");
         f.line("DB_FREE();");
         f.line("return;");
         f.close();
@@ -874,17 +892,20 @@ impl<'p> Gen<'p> {
             &name,
             PlantedKind::FalsePositive,
             1,
-            "speculative back-out without a NAK reply",
+            "speculative back-out on the NAK reply path",
         );
     }
 
     /// §9.1 FP: entry address computed by hand instead of DIR_ADDR().
+    /// The hand computation is traced with a debug print, which the
+    /// ranking heuristic reads as benign-by-construction evidence.
     fn plant_dir_fp_abstraction(&mut self) {
         let name = self.hw_name("IO");
         let mut f = FuncBuf::new(&name, FnKind::Hardware);
         f.decl("entry", "0");
         f.line("DIR_LOAD();");
         f.line("entry = DIR_ADDR_BASE + gLine * 8;");
+        f.line("debug_print(\"dir entry\", entry);");
         f.line("DIR_WRITEBACK();");
         f.line("DB_FREE();");
         self.dir_ops = self.dir_ops.saturating_sub(2);
@@ -934,6 +955,65 @@ impl<'p> Gen<'p> {
             1,
             "the one manual refcount increment (post-incident check)",
         );
+    }
+
+    // ---------- Table 1 path-length calibration -----------------------------
+
+    /// The longest-path target for this protocol's deep handler, chosen so
+    /// the aggregate Table 1 max-path-length column lands within 2x of the
+    /// paper (which measured real FLASH handlers far deeper than the
+    /// op-quota handlers the generator otherwise produces).
+    fn deep_target(&self) -> usize {
+        match self.plan.name {
+            "bitvector" => 380,
+            "dyn_ptr" => 270,
+            "sci" => 220,
+            "coma" => 165,
+            "rac" => 350,
+            _ => 310, // common
+        }
+    }
+
+    /// Emits one very long hardware handler per protocol — the FLASH
+    /// protocols' biggest handlers inline whole state-machine arms, which
+    /// is where the paper's 244–563-statement maximum paths come from.
+    /// The body is straight-line address arithmetic split by four
+    /// sequential branches whose arms touch only their own temporary, so
+    /// it contributes 2^4 = 16 paths, no checker-visible operations
+    /// beyond the closing free, and nothing the feasibility analysis
+    /// could refute.
+    fn emit_deep_handler(&mut self) {
+        let target = self.deep_target();
+        let name = self.hw_name("NI");
+        let mut f = FuncBuf::new(&name, FnKind::Hardware);
+        f.decl("addr", "0");
+        f.decl("v0", "0");
+        // Five straight-line runs separated by four branches; solve the
+        // chunk size from the longest-path statement count: 2 hooks +
+        // 2 decls + 4 * (decl + seed + branch + arm) + 5 * chunk + free.
+        let chunk = target.saturating_sub(21) / 5;
+        for run in 0..5usize {
+            for i in 0..chunk {
+                let k = run * chunk + i;
+                match k % 3 {
+                    0 => f.line(format!("v0 = (v0 * {}) & 2047;", 3 + k % 7)),
+                    1 => f.line(format!("addr = addr + (v0 >> {});", 1 + k % 5)),
+                    _ => f.line(format!("gScratch = gScratch ^ {};", k % 251)),
+                };
+            }
+            if run < 4 {
+                let d = format!("d{run}");
+                f.decl(&d, "0");
+                f.line(format!("{d} = gScratch & {};", 15 + run));
+                f.open(&format!("if ({d} > {})", 3 + run));
+                f.line(format!("{d} = {d} - 1;"));
+                f.else_open();
+                f.line(format!("{d} = {d} + {};", 2 + run));
+                f.close();
+            }
+        }
+        f.line("DB_FREE();");
+        self.push_fn(&f);
     }
 
     // ---------- clean handlers and filler -----------------------------------
@@ -1281,6 +1361,46 @@ mod tests {
             assert_eq!(c.sends, plan.sends, "{} sends", plan.name);
             assert_eq!(c.allocs, plan.allocs, "{} allocs", plan.name);
             assert_eq!(c.dir_ops, plan.dir_ops, "{} dir ops", plan.name);
+        }
+    }
+
+    #[test]
+    fn path_lengths_within_2x_of_table1() {
+        use mc_cfg::Cfg;
+        for plan in &PLANS {
+            let p = generate(plan, DEFAULT_SEED);
+            let mut agg = mc_cfg::PathStats::default();
+            for f in &p.files {
+                let tu = mc_ast::parse_translation_unit(&f.source, &f.name).unwrap();
+                for func in tu.functions() {
+                    agg.merge(&Cfg::build(func).path_stats());
+                }
+            }
+            let within_2x = |measured: f64, paper: u64| {
+                let paper = paper as f64;
+                measured >= paper / 2.0 && measured <= paper * 2.0
+            };
+            assert!(
+                within_2x(agg.avg_len(), plan.avg_path_len),
+                "{}: avg path len {:.0} vs paper {}",
+                plan.name,
+                agg.avg_len(),
+                plan.avg_path_len
+            );
+            assert!(
+                within_2x(agg.max_len as f64, plan.max_path_len),
+                "{}: max path len {} vs paper {}",
+                plan.name,
+                agg.max_len,
+                plan.max_path_len
+            );
+            assert!(
+                within_2x(agg.paths as f64, plan.paths),
+                "{}: paths {} vs paper {}",
+                plan.name,
+                agg.paths,
+                plan.paths
+            );
         }
     }
 

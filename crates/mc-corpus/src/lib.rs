@@ -85,8 +85,29 @@ pub struct Planted {
     pub kind: PlantedKind,
     /// Number of reports the checker should produce for it.
     pub expected_reports: usize,
+    /// Number of reports expected when path-feasibility pruning is on
+    /// (the driver default). Differs from `expected_reports` only for the
+    /// correlated-branch false-positive class, which pruning refutes.
+    pub expected_reports_pruned: usize,
     /// Human-readable description, mirroring the paper's anecdotes.
     pub note: String,
+}
+
+impl Planted {
+    /// The report count expected under the given pruning setting.
+    pub fn expected(&self, pruned: bool) -> usize {
+        if pruned {
+            self.expected_reports_pruned
+        } else {
+            self.expected_reports
+        }
+    }
+
+    /// Whether this item is a false positive the feasibility analysis
+    /// removes.
+    pub fn prunable(&self) -> bool {
+        self.expected_reports_pruned < self.expected_reports
+    }
 }
 
 /// A complete generated protocol.

@@ -17,6 +17,12 @@ pub struct ProtoPlan {
     pub name: &'static str,
     /// Table 1: lines of code target.
     pub loc: usize,
+    /// Table 1: number of entry-to-exit paths.
+    pub paths: u64,
+    /// Table 1: average path length (statements).
+    pub avg_path_len: u64,
+    /// Table 1: maximum path length (statements).
+    pub max_path_len: u64,
     /// Table 5: routines (handlers + procedures).
     pub routines: usize,
     /// Table 5: declared variables.
@@ -81,6 +87,9 @@ pub const PLANS: [ProtoPlan; 6] = [
     ProtoPlan {
         name: "bitvector",
         loc: 10_386,
+        paths: 486,
+        avg_path_len: 87,
+        max_path_len: 563,
         routines: 168,
         vars: 489,
         reads: 14,
@@ -111,6 +120,9 @@ pub const PLANS: [ProtoPlan; 6] = [
     ProtoPlan {
         name: "dyn_ptr",
         loc: 18_438,
+        paths: 2322,
+        avg_path_len: 135,
+        max_path_len: 399,
         routines: 227,
         vars: 768,
         reads: 16,
@@ -141,6 +153,9 @@ pub const PLANS: [ProtoPlan; 6] = [
     ProtoPlan {
         name: "sci",
         loc: 11_473,
+        paths: 1051,
+        avg_path_len: 73,
+        max_path_len: 330,
         routines: 214,
         vars: 794,
         reads: 2,
@@ -171,6 +186,9 @@ pub const PLANS: [ProtoPlan; 6] = [
     ProtoPlan {
         name: "coma",
         loc: 17_031,
+        paths: 1131,
+        avg_path_len: 135,
+        max_path_len: 244,
         routines: 193,
         vars: 648,
         reads: 0,
@@ -201,6 +219,9 @@ pub const PLANS: [ProtoPlan; 6] = [
     ProtoPlan {
         name: "rac",
         loc: 14_396,
+        paths: 1364,
+        avg_path_len: 133,
+        max_path_len: 516,
         routines: 200,
         vars: 668,
         reads: 10,
@@ -231,6 +252,9 @@ pub const PLANS: [ProtoPlan; 6] = [
     ProtoPlan {
         name: "common",
         loc: 8_783,
+        paths: 1165,
+        avg_path_len: 183,
+        max_path_len: 461,
         routines: 62,
         vars: 398,
         reads: 17,

@@ -7,43 +7,94 @@
 //! not from trusting the checkers.
 
 use mc_checkers::all_checkers;
-use mc_corpus::eval::{evaluate, tally};
+use mc_corpus::eval::{evaluate_with, tally};
 use mc_corpus::{generate, plan::PLANS, PlantedKind, DEFAULT_SEED};
 use mc_driver::Driver;
 
-fn run_suite(proto: &mc_corpus::Protocol) -> Vec<mc_driver::Report> {
+fn run_suite(proto: &mc_corpus::Protocol, prune: bool) -> Vec<mc_driver::Report> {
     let mut driver = Driver::new();
+    driver.prune(prune);
     all_checkers(&mut driver, &proto.spec).unwrap();
     driver.check_sources(&proto.sources()).unwrap()
 }
 
 #[test]
 fn every_protocol_matches_its_manifest() {
-    for (i, plan) in PLANS.iter().enumerate() {
-        let proto = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
-        let reports = run_suite(&proto);
-        let outcome = evaluate(&proto, &reports);
-        assert!(
-            outcome.missed.is_empty(),
-            "{}: checkers missed planted defects: {:#?}",
-            plan.name,
-            outcome.missed
-        );
-        assert!(
-            outcome.unexpected.is_empty(),
-            "{}: unexpected reports (checker noise): {:#?}",
-            plan.name,
-            outcome
-                .unexpected
-                .iter()
-                .map(|r| r.to_string())
-                .collect::<Vec<_>>()
-        );
+    // Both with the driver's default path-feasibility pruning and without
+    // it, the suite must find every planted defect the manifest expects
+    // under that setting — and nothing else.
+    for prune in [true, false] {
+        for (i, plan) in PLANS.iter().enumerate() {
+            let proto = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
+            let reports = run_suite(&proto, prune);
+            let outcome = evaluate_with(&proto, &reports, prune);
+            assert!(
+                outcome.missed.is_empty(),
+                "{} (prune={prune}): checkers missed planted defects: {:#?}",
+                plan.name,
+                outcome.missed
+            );
+            assert!(
+                outcome.unexpected.is_empty(),
+                "{} (prune={prune}): unexpected reports (checker noise): {:#?}",
+                plan.name,
+                outcome
+                    .unexpected
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+            );
+        }
     }
 }
 
 #[test]
+fn pruning_never_drops_a_planted_bug() {
+    // The tentpole soundness claim, stated directly: every planted item
+    // that is a real defect keeps its full report count when pruning is
+    // on; only the correlated-branch false-positive class shrinks.
+    for (i, plan) in PLANS.iter().enumerate() {
+        let proto = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
+        for p in &proto.manifest {
+            if p.kind == PlantedKind::FalsePositive {
+                continue;
+            }
+            assert_eq!(
+                p.expected(true),
+                p.expected(false),
+                "{}: {} in {} must not be prunable",
+                plan.name,
+                p.checker,
+                p.function
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_cuts_total_false_positives_from_69_to_45() {
+    // Paper totals: 69 planted false-positive reports across Tables 2-6.
+    // The feasibility analysis refutes the 24 that ride on correlated
+    // branches (22 buffer-management, 2 msglen), leaving 45.
+    let mut unpruned = 0;
+    let mut pruned = 0;
+    for (i, plan) in PLANS.iter().enumerate() {
+        let proto = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
+        for p in &proto.manifest {
+            if p.kind == PlantedKind::FalsePositive {
+                unpruned += p.expected(false);
+                pruned += p.expected(true);
+            }
+        }
+    }
+    assert_eq!(unpruned, 69);
+    assert_eq!(pruned, 45);
+}
+
+#[test]
 fn per_checker_tallies_match_the_paper() {
+    // The paper's xg++ had no feasibility pruning, so the table
+    // reproduction runs with pruning off.
     // (checker, [bitvector, dyn_ptr, sci, coma, rac, common]) expected
     // error counts, straight from Tables 2-6 and §7.
     let expected_errors: &[(&str, [usize; 6])] = &[
@@ -67,8 +118,8 @@ fn per_checker_tallies_match_the_paper() {
     ];
     for (i, plan) in PLANS.iter().enumerate() {
         let proto = generate(plan, DEFAULT_SEED.wrapping_add(i as u64));
-        let reports = run_suite(&proto);
-        let outcome = evaluate(&proto, &reports);
+        let reports = run_suite(&proto, false);
+        let outcome = evaluate_with(&proto, &reports, false);
         for (checker, counts) in expected_errors {
             let t = tally(&outcome, checker);
             let errors = t.errors;
@@ -92,7 +143,7 @@ fn per_checker_tallies_match_the_paper() {
 #[test]
 fn refcount_incident_found_once_in_bitvector() {
     let proto = generate(&PLANS[0], DEFAULT_SEED);
-    let reports = run_suite(&proto);
+    let reports = run_suite(&proto, true);
     let incident: Vec<_> = reports
         .iter()
         .filter(|r| r.checker == "refcount_bump")

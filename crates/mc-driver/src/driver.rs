@@ -5,7 +5,7 @@
 
 use crate::report::Report;
 use mc_ast::{parse_translation_unit, Function, ParseError, TranslationUnit};
-use mc_cfg::{run_machine, Cfg, Mode};
+use mc_cfg::{feasibility_stats, run_traversal, Cfg, Mode, Traversal};
 use mc_metal::{MetalMachine, MetalParseError, MetalProgram, MetalReport};
 use std::any::Any;
 use std::fmt;
@@ -84,6 +84,10 @@ pub struct FunctionContext<'a> {
     pub function: &'a Function,
     /// Its control-flow graph.
     pub cfg: &'a Cfg,
+    /// The traversal settings (mode and feasibility pruning) the driver was
+    /// configured with; path-sensitive checkers should honor these instead
+    /// of hard-coding a mode.
+    pub traversal: Traversal,
 }
 
 /// Everything a whole-program checker may inspect, after all per-function
@@ -212,6 +216,7 @@ pub struct Driver {
     native: Vec<Box<dyn Checker>>,
     /// Path traversal mode used for metal machines.
     pub mode: Mode,
+    prune: bool,
     jobs: Option<usize>,
 }
 
@@ -227,6 +232,7 @@ impl fmt::Debug for Driver {
                 &self.native.iter().map(|c| c.name()).collect::<Vec<_>>(),
             )
             .field("mode", &self.mode)
+            .field("prune", &self.prune)
             .field("jobs", &self.jobs)
             .finish()
     }
@@ -239,14 +245,37 @@ impl Default for Driver {
 }
 
 impl Driver {
-    /// Creates a driver with no checkers, using state-set traversal and
-    /// the machine's available parallelism.
+    /// Creates a driver with no checkers, using state-set traversal with
+    /// feasibility pruning and the machine's available parallelism.
     pub fn new() -> Driver {
         Driver {
             metal: Vec::new(),
             native: Vec::new(),
             mode: Mode::StateSet,
+            prune: true,
             jobs: None,
+        }
+    }
+
+    /// Enables or disables path-feasibility pruning (default: enabled).
+    ///
+    /// With pruning off, traversals walk every syntactic path like the
+    /// paper's xg++, reproducing its correlated-branch false positives.
+    pub fn prune(&mut self, on: bool) -> &mut Self {
+        self.prune = on;
+        self
+    }
+
+    /// Whether the next check run prunes infeasible paths.
+    pub fn prune_enabled(&self) -> bool {
+        self.prune
+    }
+
+    /// The traversal settings the next check run will use.
+    pub fn traversal(&self) -> Traversal {
+        Traversal {
+            mode: self.mode,
+            prune: self.prune,
         }
     }
 
@@ -380,6 +409,7 @@ impl Driver {
             }
         }
 
+        let traversal = self.traversal();
         let run_item = |&(u, f): &(usize, usize)| -> FunctionOutput {
             let unit = &units[u];
             let function = fns[u][f];
@@ -389,12 +419,13 @@ impl Driver {
                 unit: &unit.unit,
                 function,
                 cfg,
+                traversal,
             };
             let mut metal = Vec::new();
             for prog in &self.metal {
                 let mut machine = MetalMachine::new(prog);
                 let init = machine.start_state();
-                run_machine(cfg, &mut machine, init, self.mode);
+                run_traversal(cfg, &mut machine, init, traversal);
                 metal.extend(
                     machine
                         .reports
@@ -402,7 +433,7 @@ impl Driver {
                         .map(|r| convert_metal_report(r, &unit.unit.file, &function.name)),
                 );
             }
-            let native = self
+            let mut native: Vec<CheckSink> = self
                 .native
                 .iter()
                 .map(|checker| {
@@ -411,6 +442,7 @@ impl Driver {
                     sink
                 })
                 .collect();
+            rank_function_reports(&mut metal, &mut native, function, cfg, traversal.prune);
             FunctionOutput { metal, native }
         };
 
@@ -464,6 +496,90 @@ fn convert_metal_report(r: &MetalReport, file: &str, function: &str) -> Report {
         Report::error(&r.sm_name, file, function, r.span, &r.message)
     } else {
         Report::warning(&r.sm_name, file, function, r.span, &r.message)
+    }
+}
+
+/// Ranking evidence gathered from one function's AST: the paper's manual
+/// triage heuristics, automated. Handlers that reply with NAKs take
+/// deliberately unusual paths (the paper ranked their reports last), and
+/// reads feeding only debug printing are benign by construction.
+struct RankScan {
+    mentions_nak: bool,
+    calls_debug: bool,
+}
+
+fn scan_for_ranking(function: &Function) -> RankScan {
+    struct Scan {
+        nak: bool,
+        debug: bool,
+    }
+    impl mc_ast::Visitor for Scan {
+        fn visit_expr(&mut self, expr: &mc_ast::Expr) {
+            if let Some(name) = expr.as_ident() {
+                if name == "MSG_NAK" || name.starts_with("MSG_NAK_") {
+                    self.nak = true;
+                }
+            }
+            if let Some((callee, _)) = expr.as_call() {
+                if callee.contains("debug_print") {
+                    self.debug = true;
+                }
+            }
+        }
+    }
+    let mut s = Scan {
+        nak: false,
+        debug: false,
+    };
+    mc_ast::walk_function(&mut s, function);
+    RankScan {
+        mentions_nak: s.nak,
+        calls_debug: s.debug,
+    }
+}
+
+/// Assigns `confidence` and `pruned_paths` to every report of one function.
+///
+/// Confidence starts at [`Report::DEFAULT_CONFIDENCE`] and moves on
+/// evidence: surviving a pruned traversal raises it; sitting in a function
+/// whose CFG has refutable edges while pruning was *off* lowers it (the
+/// report may live on an infeasible path — the paper's dominant FP class);
+/// the NAK and debug-print heuristics lower it further.
+fn rank_function_reports(
+    metal: &mut [Report],
+    native: &mut [CheckSink],
+    function: &Function,
+    cfg: &Cfg,
+    prune: bool,
+) {
+    if metal.is_empty() && native.iter().all(|s| s.reports.is_empty()) {
+        return;
+    }
+    let refuted = feasibility_stats(cfg).refuted_edges as u32;
+    let scan = scan_for_ranking(function);
+    let rank = |r: &mut Report| {
+        let mut c = i32::from(Report::DEFAULT_CONFIDENCE);
+        if prune {
+            c += 15;
+            r.pruned_paths = refuted;
+        } else if refuted > 0 {
+            c -= 25;
+        }
+        if scan.mentions_nak {
+            c -= 15;
+        }
+        if scan.calls_debug {
+            c -= 20;
+        }
+        r.confidence = c.clamp(0, 100) as u8;
+    };
+    for r in metal.iter_mut() {
+        rank(r);
+    }
+    for sink in native {
+        for r in sink.reports.iter_mut() {
+            rank(r);
+        }
     }
 }
 
@@ -658,6 +774,70 @@ mod tests {
         for jobs in [2, 4, 8] {
             assert_eq!(run(jobs), sequential, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn correlated_branch_fp_pruned_by_default() {
+        // The read is only reachable with `gMode` true, and every such path
+        // waited first: the classic correlated-branch false positive. The
+        // paper's xg++ (prune off) reports it; the default driver does not.
+        let src = "void h(void) {\n\
+                   if (gMode) { WAIT_FOR_DB_FULL(a); }\n\
+                   mid();\n\
+                   if (gMode) { MISCBUS_READ_DB(a, b); }\n\
+                   }";
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        assert!(d.prune_enabled());
+        assert!(d.check_source(src, "h.c").unwrap().is_empty());
+
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        d.prune(false);
+        let reports = d.check_source(src, "h.c").unwrap();
+        assert_eq!(reports.len(), 1);
+        // Unpruned report in a function with refutable edges: low rank.
+        assert!(reports[0].confidence < Report::DEFAULT_CONFIDENCE);
+        assert_eq!(reports[0].pruned_paths, 0);
+    }
+
+    #[test]
+    fn true_positives_survive_pruning_with_evidence() {
+        let src = "void h(void) {\n\
+                   if (gMode) { WAIT_FOR_DB_FULL(a); }\n\
+                   if (!gMode) { MISCBUS_READ_DB(a, b); }\n\
+                   }";
+        // The read really can execute without a wait (gMode false), so it
+        // must survive pruning — and carries the pruned-path evidence.
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        let reports = d.check_source(src, "h.c").unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].confidence > Report::DEFAULT_CONFIDENCE);
+        assert!(reports[0].pruned_paths > 0);
+    }
+
+    #[test]
+    fn nak_and_debug_heuristics_lower_confidence() {
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        let plain = d
+            .check_source("void h(void) { MISCBUS_READ_DB(a, b); }", "h.c")
+            .unwrap();
+        let nak = d
+            .check_source(
+                "void h(void) { r = MSG_NAK; MISCBUS_READ_DB(a, b); }",
+                "h.c",
+            )
+            .unwrap();
+        let debug = d
+            .check_source(
+                "void h(void) { MISCBUS_READ_DB(a, b); flash_debug_print(b); }",
+                "h.c",
+            )
+            .unwrap();
+        assert!(nak[0].confidence < plain[0].confidence);
+        assert!(debug[0].confidence < nak[0].confidence);
     }
 
     #[test]

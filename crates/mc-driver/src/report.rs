@@ -56,9 +56,19 @@ pub struct Report {
     /// For inter-procedural checkers: the call path that leads to the
     /// violation, innermost last ("back trace" in the paper's terms).
     pub trace: Vec<String>,
+    /// How likely the report is real, 0–100. Computed by the driver from
+    /// pruned-path evidence and the paper's NAK-style ranking heuristics;
+    /// reports built directly start at [`Report::DEFAULT_CONFIDENCE`].
+    pub confidence: u8,
+    /// Number of infeasible CFG edges the feasibility analysis refuted in
+    /// the surrounding function (0 when pruning was disabled).
+    pub pruned_paths: u32,
 }
 
 impl Report {
+    /// Confidence assigned before any ranking evidence is applied.
+    pub const DEFAULT_CONFIDENCE: u8 = 75;
+
     /// Creates an error report.
     pub fn error(
         checker: impl Into<String>,
@@ -75,6 +85,8 @@ impl Report {
             span,
             message: message.into(),
             trace: Vec::new(),
+            confidence: Report::DEFAULT_CONFIDENCE,
+            pruned_paths: 0,
         }
     }
 
@@ -91,6 +103,13 @@ impl Report {
             ..Report::error(checker, file, function, span, message)
         }
     }
+
+    /// Sorts reports most-likely-real first: descending confidence, then
+    /// the derived report order (checker, severity, location) for stable
+    /// tie-breaking.
+    pub fn sort_by_confidence(reports: &mut [Report]) {
+        reports.sort_by(|a, b| b.confidence.cmp(&a.confidence).then_with(|| a.cmp(b)));
+    }
 }
 
 impl ToJson for Report {
@@ -103,6 +122,8 @@ impl ToJson for Report {
             ("span", self.span.to_json()),
             ("message", self.message.to_json()),
             ("trace", self.trace.to_json()),
+            ("confidence", self.confidence.to_json()),
+            ("pruned_paths", self.pruned_paths.to_json()),
         ])
     }
 }
@@ -117,6 +138,13 @@ impl FromJson for Report {
             span: mc_json::field(v, "span")?,
             message: mc_json::field(v, "message")?,
             trace: mc_json::field(v, "trace")?,
+            // Absent in pre-pruning JSON; old reports carry no evidence
+            // either way, so they keep the neutral default.
+            confidence: match v.get("confidence") {
+                None => Report::DEFAULT_CONFIDENCE,
+                Some(_) => mc_json::field(v, "confidence")?,
+            },
+            pruned_paths: mc_json::field_or_default(v, "pruned_paths")?,
         })
     }
 }
@@ -168,5 +196,39 @@ mod tests {
     #[test]
     fn severity_ordering() {
         assert!(Severity::Error < Severity::Warning);
+    }
+
+    #[test]
+    fn confidence_json_roundtrip() {
+        use mc_json::{FromJson, Json, ToJson};
+        let mut r = Report::error("buffer_mgmt", "f.c", "h", Span::new(3, 1), "leak");
+        r.confidence = 40;
+        r.pruned_paths = 2;
+        let back = Report::from_json(&Json::parse(&r.to_json().to_compact()).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn legacy_json_defaults_confidence() {
+        use mc_json::{FromJson, Json};
+        // Pre-pruning report JSON has no confidence/pruned_paths fields.
+        let src = r#"{"checker":"c","severity":"error","file":"f.c","function":"g",
+                      "span":{"line":1,"col":1},"message":"m","trace":[]}"#;
+        let r = Report::from_json(&Json::parse(src).unwrap()).unwrap();
+        assert_eq!(r.confidence, Report::DEFAULT_CONFIDENCE);
+        assert_eq!(r.pruned_paths, 0);
+    }
+
+    #[test]
+    fn sort_by_confidence_ranks_descending_then_stable() {
+        let mut low = Report::error("a", "f.c", "g", Span::new(1, 1), "m");
+        low.confidence = 20;
+        let mut hi = Report::warning("z", "f.c", "g", Span::new(9, 1), "m");
+        hi.confidence = 90;
+        let mid1 = Report::error("b", "f.c", "g", Span::new(2, 1), "m");
+        let mid2 = Report::error("c", "f.c", "g", Span::new(3, 1), "m");
+        let mut v = vec![mid2.clone(), low.clone(), hi.clone(), mid1.clone()];
+        Report::sort_by_confidence(&mut v);
+        assert_eq!(v, vec![hi, mid1, mid2, low]);
     }
 }
