@@ -16,7 +16,9 @@
 //! branches are never pruned: the analysis only ever removes paths it can
 //! positively refute.
 
-use mc_ast::{BinaryOp, Expr, ExprKind, Initializer, Stmt, StmtKind, UnaryOp};
+use mc_ast::{
+    walk_expr, walk_stmt, BinaryOp, Expr, ExprKind, Initializer, Stmt, StmtKind, UnaryOp, Visitor,
+};
 use std::collections::BTreeSet;
 
 /// A constant a tracked lvalue may be compared against: an integer literal
@@ -63,6 +65,12 @@ impl VarFacts {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct FactSet {
     facts: Vec<(String, VarFacts)>,
+    /// Keys whose address is taken somewhere in the function (seeded by
+    /// [`FactSet::seed_escapes_stmt`] / [`FactSet::seed_escapes_expr`] before
+    /// the traversal starts, and extended at `&x` sites along the path). A
+    /// store through an lvalue we cannot track (`*p = …`, `buf[i] = …`) may
+    /// alias any of these, so it clobbers their facts.
+    escaped: BTreeSet<String>,
 }
 
 impl FactSet {
@@ -173,10 +181,19 @@ impl FactSet {
                 if !taken {
                     op = negate(op);
                 }
+                // `lit - 1` / `lit + 1` can overflow for i64::MIN/MAX
+                // literals; treat that as "no fact" rather than recording a
+                // wrapped (inverted) bound that could refute feasible edges.
                 let (lo, hi) = match op {
-                    BinaryOp::Lt => (None, Some(lit - 1)),
+                    BinaryOp::Lt => match lit.checked_sub(1) {
+                        Some(h) => (None, Some(h)),
+                        None => return true,
+                    },
                     BinaryOp::Le => (None, Some(lit)),
-                    BinaryOp::Gt => (Some(lit + 1), None),
+                    BinaryOp::Gt => match lit.checked_add(1) {
+                        Some(l) => (Some(l), None),
+                        None => return true,
+                    },
                     BinaryOp::Ge => (Some(lit), None),
                     _ => unreachable!(),
                 };
@@ -319,8 +336,12 @@ impl FactSet {
     pub fn invalidate_expr(&mut self, e: &Expr) {
         match &e.kind {
             ExprKind::Assign { lhs, rhs, .. } => {
-                if let Some(key) = key_of(lhs) {
-                    self.drop_key(&key);
+                match key_of(lhs) {
+                    Some(key) => self.drop_key(&key),
+                    // A store through an lvalue we cannot track (`*p = …`,
+                    // `buf[i] = …`) may write to anything whose address was
+                    // taken.
+                    None => self.clobber_escaped(),
                 }
                 self.invalidate_expr(lhs);
                 self.invalidate_expr(rhs);
@@ -330,8 +351,10 @@ impl FactSet {
                 op: UnaryOp::PreInc | UnaryOp::PreDec,
                 operand,
             } => {
-                if let Some(key) = key_of(operand) {
-                    self.drop_key(&key);
+                match key_of(operand) {
+                    Some(key) => self.drop_key(&key),
+                    // `(*p)++`, `buf[i]--`: an untracked write, like above.
+                    None => self.clobber_escaped(),
                 }
                 self.invalidate_expr(operand);
             }
@@ -339,9 +362,11 @@ impl FactSet {
                 op: UnaryOp::AddrOf,
                 operand,
             } => {
-                // The address escapes; anything may write through it.
+                // The address escapes; anything may write through it, here
+                // or later on this path.
                 if let Some(key) = key_of(operand) {
                     self.drop_key(&key);
+                    self.escaped.insert(key);
                 }
                 self.invalidate_expr(operand);
             }
@@ -372,6 +397,53 @@ impl FactSet {
                 self.invalidate_expr(b);
             }
             _ => {}
+        }
+    }
+
+    /// Drops the facts of every key whose address has escaped. Called on
+    /// stores whose target we cannot name; the escape set itself survives
+    /// (the pointer still exists).
+    fn clobber_escaped(&mut self) {
+        if self.escaped.is_empty() {
+            return;
+        }
+        let keys: Vec<String> = self.escaped.iter().cloned().collect();
+        for key in &keys {
+            self.drop_key(key);
+        }
+    }
+
+    /// Records every `&lvalue` under `stmt` in the escape set, without
+    /// touching facts. Traversals seed the initial fact set with the whole
+    /// function so an aliased store is handled even when the address was
+    /// taken on an earlier path segment, in a sibling branch, or before a
+    /// fact about the aliased variable was established.
+    pub fn seed_escapes_stmt(&mut self, stmt: &Stmt) {
+        walk_stmt(&mut EscapeScan(&mut self.escaped), stmt);
+    }
+
+    /// Expression form of [`FactSet::seed_escapes_stmt`], for branch
+    /// conditions, switch scrutinees, and return values.
+    pub fn seed_escapes_expr(&mut self, e: &Expr) {
+        let mut scan = EscapeScan(&mut self.escaped);
+        scan.visit_expr(e);
+        walk_expr(&mut scan, e);
+    }
+}
+
+/// Visitor collecting the keys of address-taken lvalues.
+struct EscapeScan<'a>(&'a mut BTreeSet<String>);
+
+impl Visitor for EscapeScan<'_> {
+    fn visit_expr(&mut self, e: &Expr) {
+        if let ExprKind::Unary {
+            op: UnaryOp::AddrOf,
+            operand,
+        } = &e.kind
+        {
+            if let Some(key) = key_of(operand) {
+                self.0.insert(key);
+            }
         }
     }
 }
@@ -409,7 +481,9 @@ pub fn const_of(e: &Expr) -> Option<Const> {
             op: UnaryOp::Neg,
             operand,
         } => match const_of(operand)? {
-            Const::Int(v) => Some(Const::Int(-v)),
+            // `-(i64::MIN)` has no i64 value; yield no constant rather than
+            // panicking (debug) or wrapping (release).
+            Const::Int(v) => v.checked_neg().map(Const::Int),
             Const::Sym(_) => None,
         },
         ExprKind::Ident(name) if is_manifest_const(name) => Some(Const::Sym(name.clone())),
@@ -579,6 +653,91 @@ mod tests {
         let tu = parse_translation_unit("void f(void) { probe(&gMode); }", "t.c").unwrap();
         facts.invalidate_stmt(&tu.function("f").unwrap().body[0]);
         assert!(facts.assume(&expr("!gMode"), true).is_some());
+    }
+
+    #[test]
+    fn deref_store_clobbers_escaped() {
+        let tu = parse_translation_unit("void f(void) { p = &gMode; *p = 0; }", "t.c").unwrap();
+        let f = tu.function("f").unwrap();
+        let mut facts = FactSet::new();
+        facts.invalidate_stmt(&f.body[0]); // `p = &gMode`: gMode escapes
+        let mut facts = facts.assume(&expr("gMode"), true).unwrap();
+        facts.invalidate_stmt(&f.body[1]); // `*p = 0` may write gMode
+        assert!(facts.assume(&expr("!gMode"), true).is_some());
+    }
+
+    #[test]
+    fn index_store_clobbers_escaped() {
+        let tu =
+            parse_translation_unit("void f(void) { probe(&len); buf[i] = 0; }", "t.c").unwrap();
+        let f = tu.function("f").unwrap();
+        let mut facts = FactSet::new();
+        facts.invalidate_stmt(&f.body[0]);
+        let mut facts = facts.assume(&expr("len < 8"), true).unwrap();
+        facts.invalidate_stmt(&f.body[1]); // `buf` could alias `&len`
+        assert!(facts.assume(&expr("len > 16"), true).is_some());
+    }
+
+    #[test]
+    fn untracked_store_without_escape_is_neutral() {
+        // No address was taken, so an index store cannot alias `gMode` and
+        // the pruning power is retained.
+        let facts = FactSet::new().assume(&expr("gMode"), true).unwrap();
+        let tu = parse_translation_unit("void f(void) { buf[i] = 0; }", "t.c").unwrap();
+        let mut facts = facts;
+        facts.invalidate_stmt(&tu.function("f").unwrap().body[0]);
+        assert!(facts.assume(&expr("!gMode"), true).is_none());
+    }
+
+    #[test]
+    fn seeded_escape_covers_earlier_or_sibling_address_taking() {
+        // The address is taken in a branch this path never executed; with
+        // the function-wide seed the `*p = 0` store still clobbers gMode.
+        let tu = parse_translation_unit("void f(void) { if (c) { p = &gMode; } *p = 0; }", "t.c")
+            .unwrap();
+        let f = tu.function("f").unwrap();
+        let mut seeded = FactSet::new();
+        for s in &f.body {
+            seeded.seed_escapes_stmt(s);
+        }
+        let mut facts = seeded.assume(&expr("gMode"), true).unwrap();
+        facts.invalidate_stmt(&f.body[1]);
+        assert!(facts.assume(&expr("!gMode"), true).is_some());
+    }
+
+    #[test]
+    fn extreme_literal_bounds_are_neutral() {
+        let len = Expr::synth(ExprKind::Ident("len".into()));
+        let cmp = |op: BinaryOp, rhs: i64| {
+            Expr::synth(ExprKind::Binary {
+                op,
+                lhs: Box::new(len.clone()),
+                rhs: Box::new(Expr::synth(ExprKind::IntLit(rhs, rhs.to_string()))),
+            })
+        };
+        // `len < i64::MIN` / `len > i64::MAX`: the normalized bound would
+        // overflow; no fact is recorded and nothing panics or wraps.
+        let facts = FactSet::new()
+            .assume(&cmp(BinaryOp::Lt, i64::MIN), true)
+            .unwrap();
+        assert!(facts.assume(&cmp(BinaryOp::Gt, i64::MAX), true).is_some());
+        // The else-edge of `len >= i64::MIN` normalizes to the same `< MIN`.
+        let facts = FactSet::new()
+            .assume(&cmp(BinaryOp::Ge, i64::MIN), false)
+            .unwrap();
+        assert!(facts.assume(&cmp(BinaryOp::Le, i64::MAX), false).is_some());
+    }
+
+    #[test]
+    fn negated_min_literal_is_no_constant() {
+        let neg_min = Expr::synth(ExprKind::Unary {
+            op: UnaryOp::Neg,
+            operand: Box::new(Expr::synth(ExprKind::IntLit(
+                i64::MIN,
+                i64::MIN.to_string(),
+            ))),
+        });
+        assert_eq!(const_of(&neg_min), None);
     }
 
     #[test]

@@ -133,8 +133,16 @@ pub fn run_traversal<M: PathMachine>(
     traversal: Traversal,
 ) -> TraversalStats {
     let mut refuted: HashSet<(BlockId, usize)> = HashSet::new();
+    let init_facts = initial_facts(cfg, traversal.prune);
     match traversal.mode {
-        Mode::StateSet => run_state_set(cfg, machine, init, traversal.prune, &mut refuted),
+        Mode::StateSet => run_state_set(
+            cfg,
+            machine,
+            init,
+            init_facts,
+            traversal.prune,
+            &mut refuted,
+        ),
         Mode::Exhaustive { max_paths } => {
             let mut budget = max_paths;
             let mut back_counts = vec![0u8; cfg.blocks.len()];
@@ -143,7 +151,7 @@ pub fn run_traversal<M: PathMachine>(
                 machine,
                 cfg.entry,
                 vec![init],
-                FactSet::new(),
+                init_facts,
                 traversal.prune,
                 &mut refuted,
                 &mut back_counts,
@@ -200,6 +208,34 @@ fn flow_block<M: PathMachine>(
     states
 }
 
+/// The starting fact set for a pruning traversal: empty facts, but with the
+/// escape set seeded from every `&lvalue` in the function. A store through
+/// an untracked lvalue (`*p = …`) must clobber a variable's facts even when
+/// its address was taken before the fact was established or in a sibling
+/// branch, so the seed covers the whole function, not just the current path.
+fn initial_facts(cfg: &Cfg, prune: bool) -> FactSet {
+    let mut facts = FactSet::new();
+    if !prune {
+        return facts;
+    }
+    for block in &cfg.blocks {
+        for node in &block.nodes {
+            facts.seed_escapes_stmt(&node.stmt);
+        }
+        match &block.term {
+            Terminator::Jump(_) => {}
+            Terminator::Branch { cond, .. } => facts.seed_escapes_expr(cond),
+            Terminator::Switch { scrutinee, .. } => facts.seed_escapes_expr(scrutinee),
+            Terminator::Return { value, .. } => {
+                if let Some(v) = value {
+                    facts.seed_escapes_expr(v);
+                }
+            }
+        }
+    }
+    facts
+}
+
 /// The labelled constants of a switch, for default-edge exclusion facts.
 fn switch_consts(targets: &[(Option<Expr>, BlockId)]) -> Vec<Const> {
     targets
@@ -229,6 +265,7 @@ fn run_state_set<M: PathMachine>(
     cfg: &Cfg,
     machine: &mut M,
     init: M::State,
+    init_facts: FactSet,
     prune: bool,
     refuted: &mut HashSet<(BlockId, usize)>,
 ) {
@@ -238,7 +275,7 @@ fn run_state_set<M: PathMachine>(
     // every item carries the empty set and this degenerates to the classic
     // `(block, state)` worklist.
     let mut visited: HashSet<(BlockId, M::State, FactSet)> = HashSet::new();
-    let mut worklist: Vec<(BlockId, M::State, FactSet)> = vec![(cfg.entry, init, FactSet::new())];
+    let mut worklist: Vec<(BlockId, M::State, FactSet)> = vec![(cfg.entry, init, init_facts)];
     while let Some((block, state, facts)) = worklist.pop() {
         if !visited.insert((block, state.clone(), facts.clone())) {
             continue;
@@ -265,6 +302,12 @@ fn run_state_set<M: PathMachine>(
                 then_to,
                 else_to,
             } => {
+                // The condition is evaluated on every path through this
+                // block; its side effects (`n--`, embedded assignments)
+                // clobber facts before the branch outcome is assumed.
+                if prune {
+                    facts.invalidate_expr(cond);
+                }
                 let arm_facts: Vec<Option<FactSet>> = [true, false]
                     .iter()
                     .enumerate()
@@ -294,6 +337,10 @@ fn run_state_set<M: PathMachine>(
                 targets,
                 fallthrough,
             } => {
+                // Scrutinee side effects apply before any case is matched.
+                if prune {
+                    facts.invalidate_expr(scrutinee);
+                }
                 let has_default = targets.iter().any(|(v, _)| v.is_none());
                 let consts = switch_consts(targets);
                 let edge_facts = |value: Option<&Expr>,
@@ -440,6 +487,10 @@ fn run_exhaustive<M: PathMachine>(
                 then_to,
                 else_to,
             } => {
+                // Condition side effects clobber facts on every arm.
+                if prune {
+                    facts.invalidate_expr(cond);
+                }
                 let mut children = Vec::new();
                 for (arm, (taken, target)) in [(true, *then_to), (false, *else_to)]
                     .into_iter()
@@ -475,6 +526,10 @@ fn run_exhaustive<M: PathMachine>(
                 targets,
                 fallthrough,
             } => {
+                // Scrutinee side effects apply before any case is matched.
+                if prune {
+                    facts.invalidate_expr(scrutinee);
+                }
                 let has_default = targets.iter().any(|(v, _)| v.is_none());
                 let consts = switch_consts(targets);
                 let mut edges: Vec<(Option<&Expr>, BlockId)> =
@@ -800,6 +855,60 @@ mod tests {
         assert!(m.visits.contains(&"d".to_string()));
         // mid() is seen twice: the two fact sets do not merge.
         assert_eq!(m.visits.iter().filter(|v| *v == "mid").count(), 2);
+    }
+
+    #[test]
+    fn condition_side_effects_invalidate_facts() {
+        // `n--` in the loop condition rewrites `n`, so the later `n != 3`
+        // test must not be refuted by the stale `n == 3` fact. Both modes.
+        let body = "if (n == 3) { while (n--) { a(); } if (n != 3) { b(); } } end();";
+        for mode in [Mode::StateSet, Mode::Exhaustive { max_paths: 100 }] {
+            let cfg = cfg_of(body);
+            let mut m = Tracer {
+                visits: vec![],
+                returns: 0,
+            };
+            let stats = run_traversal(&cfg, &mut m, 0, Traversal::new(mode));
+            assert!(m.visits.contains(&"b".to_string()), "{mode:?}");
+            assert_eq!(stats.refuted_edges, 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn switch_scrutinee_side_effects_invalidate_facts() {
+        // `op++` in the scrutinee clobbers the `op == 1` fact, so the later
+        // `op != 1` test stays feasible.
+        let body = "if (op == 1) { switch (op++) { case 2: a(); break; default: d(); } \
+                    if (op != 1) { b(); } } end();";
+        for mode in [Mode::StateSet, Mode::Exhaustive { max_paths: 100 }] {
+            let cfg = cfg_of(body);
+            let mut m = Tracer {
+                visits: vec![],
+                returns: 0,
+            };
+            let stats = run_traversal(&cfg, &mut m, 0, Traversal::new(mode));
+            assert!(m.visits.contains(&"b".to_string()), "{mode:?}");
+            assert_eq!(stats.refuted_edges, 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn aliased_store_invalidates_facts() {
+        // The escape of `&gMode` happens in a sibling branch, before the
+        // fact is established; the `*p = …` store must still clobber it.
+        let body = "if (c) { p = &gMode; } if (gMode) { a(); } *p = next(); \
+                    if (!gMode) { b(); } end();";
+        for mode in [Mode::StateSet, Mode::Exhaustive { max_paths: 100 }] {
+            let cfg = cfg_of(body);
+            let mut m = Tracer {
+                visits: vec![],
+                returns: 0,
+            };
+            let stats = run_traversal(&cfg, &mut m, 0, Traversal::new(mode));
+            assert!(m.visits.contains(&"a".to_string()), "{mode:?}");
+            assert!(m.visits.contains(&"b".to_string()), "{mode:?}");
+            assert_eq!(stats.refuted_edges, 0, "{mode:?}");
+        }
     }
 
     #[test]

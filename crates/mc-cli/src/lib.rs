@@ -24,7 +24,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// Parsed command line.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Metal checker files to load.
     pub checkers: Vec<PathBuf>,
@@ -48,6 +48,26 @@ pub struct Options {
     pub json: bool,
     /// C sources to check.
     pub files: Vec<PathBuf>,
+}
+
+/// The documented defaults: pruning on, the stock corpus seed. Derived
+/// `Default` would give `prune: false` and silently hand programmatic
+/// callers the paper's unpruned behaviour.
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            checkers: Vec::new(),
+            builtin: false,
+            spec: None,
+            exhaustive: false,
+            jobs: None,
+            prune: true,
+            emit_corpus: None,
+            seed: mc_corpus::DEFAULT_SEED,
+            json: false,
+            files: Vec::new(),
+        }
+    }
 }
 
 /// A CLI usage or I/O error.
@@ -90,11 +110,7 @@ usage: mcheck [OPTIONS] <file.c>...
 /// Returns [`CliError`] on unknown flags, missing values, or a run that
 /// would do nothing.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
-    let mut opts = Options {
-        seed: mc_corpus::DEFAULT_SEED,
-        prune: true,
-        ..Options::default()
-    };
+    let mut opts = Options::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -280,6 +296,15 @@ mod tests {
 
     fn args(s: &[&str]) -> Result<Options, CliError> {
         parse_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_options_match_documented_defaults() {
+        // Programmatic callers of `run()` construct `Options` directly;
+        // they must get pruning on and the stock seed, same as the CLI.
+        let o = Options::default();
+        assert!(o.prune);
+        assert_eq!(o.seed, mc_corpus::DEFAULT_SEED);
     }
 
     #[test]
