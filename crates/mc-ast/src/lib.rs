@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -45,6 +46,7 @@ pub use ast::{
     BinaryOp, Declaration, Expr, ExprKind, ExternalDecl, Function, Initializer, Item, Param, Stmt,
     StmtKind, StorageClass, StructDef, SwitchCase, TranslationUnit, Type, UnaryOp,
 };
+pub use fingerprint::{fnv1a, Fingerprint, Fnv1a};
 pub use lexer::{LexError, Lexer};
 pub use parser::{parse_expr, parse_stmt, parse_translation_unit, ParseError, Parser};
 pub use printer::{print_expr, print_stmt, print_translation_unit};

@@ -13,10 +13,17 @@
 //! and off, so the cost of the feasibility analysis is visible next to
 //! the false positives it removes.
 
+//! A second section measures the incremental engine on the same corpus:
+//! a cold run into an empty cache, a warm run (nothing changed), a warm
+//! run from a fresh process (disk records only), and a one-file-dirty run.
+//! The warm and dirty speedups over cold are recorded in the output so the
+//! incremental win is part of the tracked perf trajectory.
+
 use mc_checkers::all_checkers;
 use mc_corpus::plan::PLANS;
 use mc_corpus::{generate, DEFAULT_SEED};
-use mc_driver::Driver;
+use mc_driver::cache::DiskCache;
+use mc_driver::{CheckEngine, Driver};
 use mc_json::Json;
 use std::time::Instant;
 
@@ -47,6 +54,144 @@ fn check_corpus(
         reports += driver.check_units(&units).len();
     }
     (functions, reports)
+}
+
+/// Timed result of one incremental-engine phase over the whole corpus.
+struct IncPhase {
+    phase: &'static str,
+    wall_ms: f64,
+    reports: usize,
+}
+
+fn build_drivers(specs: &[mc_checkers::flash::FlashSpec]) -> Vec<Driver> {
+    specs
+        .iter()
+        .map(|spec| {
+            let mut driver = Driver::new();
+            driver.prune(true);
+            all_checkers(&mut driver, spec).expect("suite registers");
+            driver
+        })
+        .collect()
+}
+
+fn disk_engines(root: &std::path::Path, n: usize) -> Vec<CheckEngine> {
+    (0..n)
+        .map(|i| {
+            let disk = DiskCache::open(root.join(format!("p{i}"))).expect("cache dir");
+            CheckEngine::with_disk(disk)
+        })
+        .collect()
+}
+
+fn check_engines(
+    engines: &mut [CheckEngine],
+    drivers: &[Driver],
+    sources: &[Vec<(String, String)>],
+) -> usize {
+    engines
+        .iter_mut()
+        .zip(drivers)
+        .zip(sources)
+        .map(|((e, d), s)| e.check_sources(d, s).expect("corpus parses").0.len())
+        .collect::<Vec<_>>()
+        .iter()
+        .sum()
+}
+
+/// Measures cold / warm / warm-from-disk / one-file-dirty engine runs.
+fn bench_incremental(
+    sources: &[Vec<(String, String)>],
+    specs: &[mc_checkers::flash::FlashSpec],
+    reps: usize,
+) -> Vec<IncPhase> {
+    let drivers = build_drivers(specs);
+    let root = std::env::temp_dir().join(format!("mc-bench-cache-{}", std::process::id()));
+
+    // Cold: fresh engine, empty cache directory (recreated every rep so
+    // repetitions stay cold).
+    let mut cold_best = f64::INFINITY;
+    let mut cold_reports = 0;
+    let mut engines = Vec::new();
+    for _ in 0..reps {
+        let _ = std::fs::remove_dir_all(&root);
+        engines = disk_engines(&root, sources.len());
+        let start = Instant::now();
+        cold_reports = check_engines(&mut engines, &drivers, sources);
+        cold_best = cold_best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Warm: same engine, nothing changed — answered from the in-memory
+    // program-level memo.
+    let mut warm_best = f64::INFINITY;
+    let mut warm_reports = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        warm_reports = check_engines(&mut engines, &drivers, sources);
+        warm_best = warm_best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Warm from disk: a fresh process (new engine) over the populated
+    // cache directory.
+    let mut disk_best = f64::INFINITY;
+    let mut disk_reports = 0;
+    for _ in 0..reps {
+        let mut fresh = disk_engines(&root, sources.len());
+        let start = Instant::now();
+        disk_reports = check_engines(&mut fresh, &drivers, sources);
+        disk_best = disk_best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // One file dirty: append a hook-compliant no-op function to each
+    // protocol's first file; only that unit re-checks, everything else
+    // replays. The probe name varies per rep so every rep measures a real
+    // clean-to-dirty transition instead of hitting the previous rep's
+    // memoized dirty result.
+    let mut dirty_best = f64::INFINITY;
+    let mut dirty_reports = 0;
+    for rep in 0..reps {
+        let mut dirty_sources = sources.to_vec();
+        for srcs in &mut dirty_sources {
+            if let Some(first) = srcs.first_mut() {
+                first.0.push_str(&format!(
+                    "\nvoid __bench_probe{rep}(void) {{ PROC_DEFS(); PROC_PROLOGUE(); }}\n"
+                ));
+            }
+        }
+        // Re-prime with the clean corpus so every rep starts from the same
+        // warm state (cheap: program-level memo hit).
+        check_engines(&mut engines, &drivers, sources);
+        let start = Instant::now();
+        dirty_reports = check_engines(&mut engines, &drivers, &dirty_sources);
+        dirty_best = dirty_best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    assert_eq!(warm_reports, cold_reports, "warm run changed the reports");
+    assert_eq!(disk_reports, cold_reports, "disk-warm run changed reports");
+    let _ = std::fs::remove_dir_all(&root);
+
+    vec![
+        IncPhase {
+            phase: "cold",
+            wall_ms: cold_best,
+            reports: cold_reports,
+        },
+        IncPhase {
+            phase: "warm",
+            wall_ms: warm_best,
+            reports: warm_reports,
+        },
+        IncPhase {
+            phase: "warm_disk",
+            wall_ms: disk_best,
+            reports: disk_reports,
+        },
+        IncPhase {
+            phase: "one_dirty",
+            wall_ms: dirty_best,
+            reports: dirty_reports,
+        },
+    ]
 }
 
 fn main() {
@@ -131,6 +276,24 @@ fn main() {
         }
     }
 
+    let inc = bench_incremental(&sources, &specs, REPS);
+    let cold_ms = inc[0].wall_ms;
+    for p in &inc {
+        println!(
+            "incremental {:<9} wall={:8.2} ms  {:6.1}x vs cold  {} reports",
+            p.phase,
+            p.wall_ms,
+            cold_ms / p.wall_ms,
+            p.reports
+        );
+    }
+    let warm_speedup = cold_ms / inc[1].wall_ms;
+    let one_dirty_speedup = cold_ms / inc[3].wall_ms;
+    assert!(
+        warm_speedup >= 5.0,
+        "warm re-check is only {warm_speedup:.1}x faster than cold (expected >= 5x)"
+    );
+
     let json = Json::Object(vec![
         ("benchmark".into(), Json::Str("driver_throughput".into())),
         ("corpus_seed".into(), Json::Int(DEFAULT_SEED as i64)),
@@ -165,6 +328,36 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "incremental".into(),
+            Json::Object(vec![
+                (
+                    "phases".into(),
+                    Json::Array(
+                        inc.iter()
+                            .map(|p| {
+                                Json::Object(vec![
+                                    ("phase".into(), Json::Str(p.phase.into())),
+                                    (
+                                        "wall_ms".into(),
+                                        Json::Float((p.wall_ms * 1e3).round() / 1e3),
+                                    ),
+                                    ("reports".into(), Json::Int(p.reports as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "warm_speedup".into(),
+                    Json::Float((warm_speedup * 10.0).round() / 10.0),
+                ),
+                (
+                    "one_dirty_speedup".into(),
+                    Json::Float((one_dirty_speedup * 10.0).round() / 10.0),
+                ),
+            ]),
         ),
     ]);
     std::fs::write(&out, json.to_pretty()).expect("write BENCH_driver.json");

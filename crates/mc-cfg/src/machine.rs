@@ -102,6 +102,17 @@ impl Traversal {
     pub fn without_pruning(mode: Mode) -> Traversal {
         Traversal { mode, prune: false }
     }
+
+    /// A stable token identifying these settings, for content-addressed
+    /// cache keys: traversal mode and pruning both change checker output,
+    /// so results computed under different settings must never alias.
+    pub fn cache_token(&self) -> String {
+        let mode = match self.mode {
+            Mode::StateSet => "state-set".to_string(),
+            Mode::Exhaustive { max_paths } => format!("exhaustive:{max_paths}"),
+        };
+        format!("{mode}+{}", if self.prune { "prune" } else { "noprune" })
+    }
 }
 
 impl Default for Traversal {

@@ -31,6 +31,12 @@ impl Checker for AllocCheck {
         "alloc_check"
     }
 
+    /// Purely local: no program pass, so the incremental engine never
+    /// re-runs this checker for call-graph neighbours of an edited unit.
+    fn has_program_pass(&self) -> bool {
+        false
+    }
+
     fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
         if flash::is_unimplemented(ctx.function) {
             return;

@@ -51,6 +51,12 @@ impl Checker for ExecRestrict {
         "exec_restrict"
     }
 
+    /// Purely local: no program pass, so the incremental engine never
+    /// re-runs this checker for call-graph neighbours of an edited unit.
+    fn has_program_pass(&self) -> bool {
+        false
+    }
+
     fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
         let f = ctx.function;
         if flash::is_unimplemented(f) {

@@ -47,6 +47,12 @@ impl Checker for Lanes {
         "lanes"
     }
 
+    /// Inter-procedural: the program pass links the component's call graph,
+    /// so it must re-run whenever any unit in the component changes.
+    fn has_program_pass(&self) -> bool {
+        true
+    }
+
     /// Local pass: emit this function's flow graph with each send
     /// annotated by the lane it uses. Runs concurrently per function; the
     /// graph travels to the program pass as a [`Fact`].

@@ -19,9 +19,11 @@
 #![warn(missing_docs)]
 
 use mc_checkers::flash::FlashSpec;
-use mc_driver::{Driver, Report};
+use mc_driver::cache::DiskCache;
+use mc_driver::{CheckEngine, Driver, Report};
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +48,19 @@ pub struct Options {
     pub seed: u64,
     /// Emit reports as a JSON array instead of text.
     pub json: bool,
+    /// Persist check artifacts here; warm runs only re-check changed
+    /// files.
+    pub cache_dir: Option<PathBuf>,
+    /// Ignore `cache_dir` (fully cold run; nothing read or written).
+    pub no_cache: bool,
+    /// Keep running: poll the input files (mtime + content hash) and
+    /// re-check on every change.
+    pub watch: bool,
+    /// Watch poll interval in milliseconds.
+    pub watch_interval_ms: u64,
+    /// Stop watching after this many check cycles (`None`: run until
+    /// killed). Mainly for scripting and tests.
+    pub watch_iterations: Option<usize>,
     /// C sources to check.
     pub files: Vec<PathBuf>,
 }
@@ -65,6 +80,11 @@ impl Default for Options {
             emit_corpus: None,
             seed: mc_corpus::DEFAULT_SEED,
             json: false,
+            cache_dir: None,
+            no_cache: false,
+            watch: false,
+            watch_interval_ms: 500,
+            watch_iterations: None,
             files: Vec::new(),
         }
     }
@@ -99,9 +119,19 @@ usage: mcheck [OPTIONS] <file.c>...
   --format <text|json>     report output format (default text); reports
                            are ordered most-likely-real first (descending
                            confidence)
+  --cache-dir <dir>        persist check artifacts between runs; a warm
+                           run only re-checks files whose content changed
+  --no-cache               ignore --cache-dir for this run (fully cold)
+  --watch                  keep running: poll the input files (mtime +
+                           content hash) and re-check on every change
+  --watch-interval <ms>    watch poll interval (default 500)
+  --watch-iterations <n>   exit after n check cycles (for scripting/tests)
   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
   --seed <n>               corpus seed (default 0xF1A5)
-  --help                   show this message";
+  --help                   show this message
+
+exit codes: 0 ran clean (no reports), 1 ran and emitted reports,
+            2 usage, I/O, or parse error";
 
 /// Parses arguments (without the program name).
 ///
@@ -158,6 +188,35 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                     }
                 }
             }
+            "--cache-dir" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--cache-dir needs a directory".into()))?;
+                opts.cache_dir = Some(PathBuf::from(v));
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--watch" => opts.watch = true,
+            "--watch-interval" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--watch-interval needs milliseconds".into()))?;
+                opts.watch_interval_ms = v.parse::<u64>().map_err(|_| {
+                    CliError(format!("--watch-interval expects milliseconds, got `{v}`"))
+                })?;
+            }
+            "--watch-iterations" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--watch-iterations needs a number".into()))?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => opts.watch_iterations = Some(n),
+                    _ => {
+                        return Err(CliError(format!(
+                            "--watch-iterations expects a positive integer, got `{v}`"
+                        )))
+                    }
+                }
+            }
             "--emit-corpus" => {
                 let v = it
                     .next()
@@ -197,22 +256,20 @@ fn parse_seed(s: &str) -> Option<u64> {
     }
 }
 
-/// Executes the parsed options. Returns the reports (empty for
-/// `--emit-corpus` runs) so `main` can set the exit code.
+/// Builds the driver the options describe: traversal settings, worker
+/// count, checkers, and a config epoch hashed from the spec file's bytes
+/// (so editing the spec invalidates every cached result).
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] for I/O, parse, or metal errors.
-pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
-    if let Some(dir) = &opts.emit_corpus {
-        emit_corpus(dir, opts.seed)?;
-        return Ok(Vec::new());
-    }
-
+/// Returns [`CliError`] for unreadable or unparsable spec/checker files.
+pub fn build_driver(opts: &Options) -> Result<Driver, CliError> {
+    let mut epoch = mc_ast::Fnv1a::new();
     let spec = match &opts.spec {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            epoch.write_str("spec:").write_str(&text);
             mc_json::from_str::<FlashSpec>(&text)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?
         }
@@ -228,6 +285,7 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
         driver.jobs(n);
     }
     if opts.builtin {
+        epoch.write_str("builtin");
         mc_checkers::all_checkers(&mut driver, &spec).map_err(|e| CliError(e.to_string()))?;
     }
     for checker in &opts.checkers {
@@ -237,18 +295,187 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
             .add_metal_source(&text)
             .map_err(|e| CliError(format!("{}: {e}", checker.display())))?;
     }
+    driver.set_config_epoch(epoch.finish());
+    Ok(driver)
+}
 
+/// Reads every input file into `(source, file-name)` pairs.
+fn read_sources(files: &[PathBuf]) -> Result<Vec<(String, String)>, CliError> {
     let mut sources = Vec::new();
-    for file in &opts.files {
+    for file in files {
         let text = std::fs::read_to_string(file)
             .map_err(|e| CliError(format!("{}: {e}", file.display())))?;
         sources.push((text, file.display().to_string()));
     }
-    let mut reports = driver
-        .check_sources(&sources)
-        .map_err(|e| CliError(e.to_string()))?;
+    Ok(sources)
+}
+
+/// The incremental engine the options ask for: disk-backed when
+/// `--cache-dir` is set and `--no-cache` is not, memoizing-only otherwise.
+///
+/// # Errors
+///
+/// Returns [`CliError`] if the cache directory cannot be created.
+pub fn engine_for(opts: &Options) -> Result<CheckEngine, CliError> {
+    match &opts.cache_dir {
+        Some(dir) if !opts.no_cache => {
+            let disk =
+                DiskCache::open(dir).map_err(|e| CliError(format!("{}: {e}", dir.display())))?;
+            Ok(CheckEngine::with_disk(disk))
+        }
+        _ => Ok(CheckEngine::in_memory()),
+    }
+}
+
+/// Executes the parsed options. Returns the reports (empty for
+/// `--emit-corpus` runs) so `main` can set the exit code.
+///
+/// A run with `--cache-dir` goes through the incremental [`CheckEngine`];
+/// reports are byte-identical to an uncached run either way.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for I/O, parse, or metal errors.
+pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
+    if let Some(dir) = &opts.emit_corpus {
+        emit_corpus(dir, opts.seed)?;
+        return Ok(Vec::new());
+    }
+
+    let driver = build_driver(opts)?;
+    let sources = read_sources(&opts.files)?;
+    let mut reports = if opts.cache_dir.is_some() && !opts.no_cache {
+        let mut engine = engine_for(opts)?;
+        engine
+            .check_sources(&driver, &sources)
+            .map_err(|e| CliError(e.to_string()))?
+            .0
+    } else {
+        driver
+            .check_sources(&sources)
+            .map_err(|e| CliError(e.to_string()))?
+    };
     Report::sort_by_confidence(&mut reports);
     Ok(reports)
+}
+
+/// A watched file's last observed state: its stat signature (cheap to
+/// re-read every poll) and a hash of its contents (consulted only when the
+/// stat changed, so a `touch` that rewrites identical bytes does not
+/// trigger a re-check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileSnap {
+    stat: Option<(SystemTime, u64)>,
+    hash: u64,
+}
+
+fn stat_of(path: &Path) -> Option<(SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+fn snap_of(path: &Path) -> FileSnap {
+    let stat = stat_of(path);
+    let hash = std::fs::read(path)
+        .map(|bytes| mc_ast::fnv1a(&bytes))
+        .unwrap_or(0);
+    FileSnap { stat, hash }
+}
+
+/// One watch poll: returns `true` when any file's *content* changed since
+/// the snapshots were taken, updating the snapshots. Transient I/O errors
+/// (a file mid-save, briefly missing) never trigger: the old hash is kept
+/// until the file is readable again with different bytes.
+fn poll_changed(files: &[PathBuf], snaps: &mut [FileSnap]) -> bool {
+    let mut changed = false;
+    for (file, snap) in files.iter().zip(snaps.iter_mut()) {
+        let stat = stat_of(file);
+        if stat == snap.stat {
+            continue;
+        }
+        snap.stat = stat;
+        if let Ok(bytes) = std::fs::read(file) {
+            let hash = mc_ast::fnv1a(&bytes);
+            if hash != snap.hash {
+                snap.hash = hash;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Runs `mcheck --watch`: check, report, then poll the files and re-check
+/// on every content change, reusing the incremental engine so unchanged
+/// files are never re-parsed. Parse and read errors are reported and
+/// watched through — a broken intermediate save does not kill the session.
+///
+/// Output goes to `out` (stdout in `main`; a buffer in tests). Runs until
+/// killed, or after `opts.watch_iterations` check cycles when set.
+///
+/// # Errors
+///
+/// Returns [`CliError`] only for setup failures: unreadable spec/checker
+/// files or an unusable cache directory.
+pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let driver = build_driver(opts)?;
+    let mut engine = engine_for(opts)?;
+    let interval = std::time::Duration::from_millis(opts.watch_interval_ms.max(1));
+    let mut cycles = 0usize;
+    let mut snaps: Vec<FileSnap> = opts.files.iter().map(|f| snap_of(f)).collect();
+    loop {
+        match read_sources(&opts.files) {
+            Ok(sources) => match engine.check_sources(&driver, &sources) {
+                Ok((mut reports, stats)) => {
+                    Report::sort_by_confidence(&mut reports);
+                    let _ = writeln!(
+                        out,
+                        "[watch] checked {} file(s) ({} re-checked, {} replayed): {} report(s)",
+                        stats.units,
+                        stats.units_checked,
+                        stats.units - stats.units_checked,
+                        reports.len()
+                    );
+                    write_reports(&reports, opts.json, out);
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "mcheck: {e}");
+                }
+            },
+            Err(e) => {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        let _ = out.flush();
+        cycles += 1;
+        if opts.watch_iterations.is_some_and(|n| cycles >= n) {
+            return Ok(());
+        }
+        loop {
+            std::thread::sleep(interval);
+            if poll_changed(&opts.files, &mut snaps) {
+                break;
+            }
+        }
+    }
+}
+
+/// Prints reports in the selected format.
+pub fn write_reports(reports: &[Report], json: bool, out: &mut dyn std::io::Write) {
+    if json {
+        let _ = writeln!(out, "{}", mc_json::to_string_pretty(reports));
+    } else {
+        for r in reports {
+            let _ = writeln!(out, "{r}");
+        }
+    }
+}
+
+/// The process exit code for a completed (non-watch) check run: `0` when
+/// no reports were emitted, `1` otherwise. Usage, I/O, and parse errors
+/// exit `2` (set in `main`).
+pub fn exit_code(reports: &[Report]) -> u8 {
+    u8::from(!reports.is_empty())
 }
 
 fn mc_cfg_mode_exhaustive() -> mc_cfg::Mode {
@@ -439,6 +666,147 @@ mod tests {
         let json = mc_json::to_string(&spec);
         let back: FlashSpec = mc_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Result<Options, CliError> {
+        parse_args(s.iter().map(|s| s.to_string()))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcheck_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn cache_and_watch_flags_parse() {
+        let o = args(&[
+            "--builtin",
+            "--cache-dir",
+            "/tmp/c",
+            "--watch",
+            "--watch-interval",
+            "50",
+            "--watch-iterations",
+            "2",
+            "a.c",
+        ])
+        .unwrap();
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/c")));
+        assert!(o.watch);
+        assert_eq!(o.watch_interval_ms, 50);
+        assert_eq!(o.watch_iterations, Some(2));
+        assert!(!o.no_cache);
+
+        let o = args(&["--builtin", "--cache-dir", "/tmp/c", "--no-cache", "a.c"]).unwrap();
+        assert!(o.no_cache);
+        assert!(args(&["--builtin", "--watch-iterations", "0", "a.c"]).is_err());
+        assert!(USAGE.contains("--cache-dir") && USAGE.contains("--watch"));
+    }
+
+    #[test]
+    fn exit_codes_zero_one() {
+        assert_eq!(exit_code(&[]), 0);
+        let r = Report::warning("c", "f.c", "g", mc_ast::Span::new(1, 1), "m");
+        assert_eq!(exit_code(&[r]), 1);
+        assert!(USAGE.contains("exit codes"));
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_and_survives_corruption() {
+        let dir = temp_dir("cache_eq");
+        let src = dir.join("h.c");
+        std::fs::write(
+            &src,
+            "void h(void) { MISCBUS_READ_DB(a, b); DB_FREE(); DB_FREE(); }",
+        )
+        .unwrap();
+        let cache = dir.join("cache");
+        let plain = args(&["--builtin", src.to_str().unwrap()]).unwrap();
+        let cached = args(&[
+            "--builtin",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            src.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let uncached_reports = run(&plain).unwrap();
+        let cold = run(&cached).unwrap();
+        let warm = run(&cached).unwrap();
+        assert_eq!(cold, uncached_reports);
+        assert_eq!(warm, uncached_reports);
+        assert!(
+            cache.read_dir().unwrap().next().is_some(),
+            "records written"
+        );
+
+        // Corrupt every record: the run degrades to cold and still succeeds.
+        for entry in cache.read_dir().unwrap() {
+            std::fs::write(entry.unwrap().path(), "not json {{{").unwrap();
+        }
+        let after_corruption = run(&cached).unwrap();
+        assert_eq!(after_corruption, uncached_reports);
+
+        // --no-cache bypasses the (now re-written) cache entirely.
+        let bypass = args(&[
+            "--builtin",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--no-cache",
+            src.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(run(&bypass).unwrap(), uncached_reports);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_single_cycle_reports_and_returns() {
+        let dir = temp_dir("watch");
+        let src = dir.join("w.c");
+        std::fs::write(&src, "void w(void) { MISCBUS_READ_DB(a, b); }").unwrap();
+        let mut opts = args(&["--builtin", "--watch", src.to_str().unwrap()]).unwrap();
+        opts.watch_iterations = Some(1);
+        let mut out = Vec::new();
+        run_watch(&opts, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("[watch] checked 1 file(s)"), "{text}");
+        assert!(text.contains("wait_for_db"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_poll_detects_content_changes_only() {
+        let dir = temp_dir("poll");
+        let src = dir.join("p.c");
+        std::fs::write(&src, "void p(void) { a(); }").unwrap();
+        let files = vec![src.clone()];
+        let mut snaps = vec![snap_of(&src)];
+
+        assert!(!poll_changed(&files, &mut snaps), "no change yet");
+
+        // Rewrite with identical bytes (a `touch`): stat changes, content
+        // does not — no re-check.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&src, "void p(void) { a(); }").unwrap();
+        assert!(!poll_changed(&files, &mut snaps), "identical bytes");
+
+        // A transiently missing file does not trigger.
+        std::fs::remove_file(&src).unwrap();
+        assert!(!poll_changed(&files, &mut snaps), "missing file");
+
+        // Real content change triggers once.
+        std::fs::write(&src, "void p(void) { b(); }").unwrap();
+        assert!(poll_changed(&files, &mut snaps), "content changed");
+        assert!(!poll_changed(&files, &mut snaps), "already seen");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

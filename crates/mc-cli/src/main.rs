@@ -1,5 +1,9 @@
 //! `mcheck` — check FLASH-style protocol C with metal and built-in
 //! checkers from the command line. See [`mc_cli::USAGE`].
+//!
+//! Exit codes (documented in the README and pinned by tests):
+//! `0` ran clean with no reports, `1` ran and emitted reports,
+//! `2` usage, I/O, or parse error.
 
 use mc_driver::Severity;
 use std::process::ExitCode;
@@ -12,28 +16,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.watch {
+        return match mc_cli::run_watch(&opts, &mut std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match mc_cli::run(&opts) {
         Ok(reports) => {
-            let errors = reports
-                .iter()
-                .filter(|r| r.severity == Severity::Error)
-                .count();
-            if opts.json {
-                println!("{}", mc_json::to_string_pretty(&reports));
-            } else {
-                for r in &reports {
-                    println!("{r}");
-                }
-            }
+            mc_cli::write_reports(&reports, opts.json, &mut std::io::stdout());
             if opts.emit_corpus.is_some() {
                 println!("corpus written");
-                ExitCode::SUCCESS
-            } else if errors > 0 {
-                eprintln!("\n{errors} error(s), {} report(s)", reports.len());
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
+                return ExitCode::SUCCESS;
             }
+            if !reports.is_empty() {
+                let errors = reports
+                    .iter()
+                    .filter(|r| r.severity == Severity::Error)
+                    .count();
+                eprintln!("\n{errors} error(s), {} report(s)", reports.len());
+            }
+            ExitCode::from(mc_cli::exit_code(&reports))
         }
         Err(e) => {
             eprintln!("{e}");

@@ -1,0 +1,319 @@
+//! On-disk cache records for the incremental check engine.
+//!
+//! Every record is one mc-json document in one file under the cache
+//! directory, named after the content-addressed key it answers
+//! (`usrc-<key>.json`, `uast-<key>.json`, `comp-<key>.json`,
+//! `prog-<key>.json`). Keys already fold the driver's
+//! [`suite_key`](crate::Driver::suite_key), so one directory can be shared
+//! by different checker suites, configurations, and crate versions without
+//! cross-talk.
+//!
+//! The cache is *safety-first*: loads validate the record kind, format
+//! version, and embedded key against the file they came from, and **any**
+//! failure — missing file, unreadable file, JSON syntax error, wrong shape,
+//! mismatched key — is a miss, never an error. Stores are best-effort
+//! (write to a temp file, then rename into place; failures are swallowed):
+//! a broken disk degrades a warm run into a cold run, nothing worse.
+
+use crate::report::Report;
+use mc_json::{field, object, FromJson, Json, JsonError, ToJson};
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use crate::driver::CACHE_FORMAT_VERSION;
+
+/// Formats a cache key the way record files and fields spell it.
+///
+/// Keys are 64-bit hashes and routinely exceed `i64::MAX`, which mc-json
+/// integers cannot hold losslessly, so keys are stored as fixed-width hex
+/// strings.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+fn key_from_json(v: &Json, name: &str) -> Result<u64, JsonError> {
+    let s: String = field(v, name)?;
+    if s.len() != 16 {
+        return Err(JsonError::expected("16-digit hex key"));
+    }
+    u64::from_str_radix(&s, 16).map_err(|_| JsonError::expected("hex key"))
+}
+
+fn check_tag(v: &Json, kind: &str) -> Result<(), JsonError> {
+    let k: String = field(v, "kind")?;
+    if k != kind {
+        return Err(JsonError(format!("record kind `{k}`, expected `{kind}`")));
+    }
+    let version: u32 = field(v, "version")?;
+    if version != CACHE_FORMAT_VERSION {
+        return Err(JsonError(format!("cache format version {version}")));
+    }
+    Ok(())
+}
+
+/// The cached local results of one translation unit.
+///
+/// Keyed two ways: by `src_key` (hash of the raw source text — the fast
+/// path, no parsing needed) and by `ast_key` (hash of the parsed AST
+/// including every node span — hit when only layout that displaces no
+/// token changed). `defines`/`calls` are the unit's [`CallInfo`]
+/// (`crate::call_info`), stored so the engine can rebuild the unit-level
+/// call graph without re-parsing clean units.
+///
+/// [`CallInfo`]: crate::CallInfo
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRecord {
+    /// Key of the unit's raw source text (suite-scoped).
+    pub src_key: u64,
+    /// Key of the unit's parsed AST (suite-scoped).
+    pub ast_key: u64,
+    /// Function names the unit defines, in definition order.
+    pub defines: Vec<String>,
+    /// Function names the unit calls, sorted.
+    pub calls: Vec<String>,
+    /// The unit's local diagnostics, in `(function, checker)` order,
+    /// exactly as a cold run produces them.
+    pub reports: Vec<Report>,
+}
+
+impl ToJson for UnitRecord {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("kind", Json::Str("unit".into())),
+            ("version", CACHE_FORMAT_VERSION.to_json()),
+            ("src_key", Json::Str(key_hex(self.src_key))),
+            ("ast_key", Json::Str(key_hex(self.ast_key))),
+            ("defines", self.defines.to_json()),
+            ("calls", self.calls.to_json()),
+            ("reports", self.reports.to_json()),
+        ])
+    }
+}
+
+impl FromJson for UnitRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        check_tag(v, "unit")?;
+        Ok(UnitRecord {
+            src_key: key_from_json(v, "src_key")?,
+            ast_key: key_from_json(v, "ast_key")?,
+            defines: field(v, "defines")?,
+            calls: field(v, "calls")?,
+            reports: field(v, "reports")?,
+        })
+    }
+}
+
+/// The cached reports of one call-graph component's program passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentRecord {
+    /// Key folding the suite key and every member unit's AST key.
+    pub key: u64,
+    /// The component's program-pass diagnostics in checker order.
+    pub reports: Vec<Report>,
+}
+
+impl ToJson for ComponentRecord {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("kind", Json::Str("component".into())),
+            ("version", CACHE_FORMAT_VERSION.to_json()),
+            ("key", Json::Str(key_hex(self.key))),
+            ("reports", self.reports.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ComponentRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        check_tag(v, "component")?;
+        Ok(ComponentRecord {
+            key: key_from_json(v, "key")?,
+            reports: field(v, "reports")?,
+        })
+    }
+}
+
+/// The cached final report vector of one whole program run.
+///
+/// A hit short-circuits everything: when no source changed (and the suite
+/// key matches), the engine returns these reports without parsing a single
+/// file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramRecord {
+    /// Key folding the suite key and every unit's source key, in input
+    /// order.
+    pub key: u64,
+    /// The sorted, deduplicated report vector of the whole run.
+    pub reports: Vec<Report>,
+}
+
+impl ToJson for ProgramRecord {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("kind", Json::Str("program".into())),
+            ("version", CACHE_FORMAT_VERSION.to_json()),
+            ("key", Json::Str(key_hex(self.key))),
+            ("reports", self.reports.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ProgramRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        check_tag(v, "program")?;
+        Ok(ProgramRecord {
+            key: key_from_json(v, "key")?,
+            reports: field(v, "reports")?,
+        })
+    }
+}
+
+/// A directory of cache record files.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created. This is
+    /// the only cache operation that reports failure — a cache dir the
+    /// user asked for but cannot exist is a configuration error, while
+    /// individual record problems later are silently treated as misses.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, prefix: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("{prefix}-{}.json", key_hex(key)))
+    }
+
+    /// Loads and validates one record file; any failure is a miss.
+    fn load<T: FromJson>(&self, prefix: &str, key: u64) -> Option<T> {
+        let text = std::fs::read_to_string(self.path(prefix, key)).ok()?;
+        mc_json::from_str(&text).ok()
+    }
+
+    /// Writes `text` to `path` via a temp file + rename so concurrent
+    /// readers never observe a half-written record. Best-effort: failures
+    /// only cost future hits.
+    fn store(&self, path: PathBuf, text: &str) {
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Looks a unit up by the hash of its raw source text.
+    pub fn load_unit_by_source(&self, src_key: u64) -> Option<UnitRecord> {
+        let rec: UnitRecord = self.load("usrc", src_key)?;
+        (rec.src_key == src_key).then_some(rec)
+    }
+
+    /// Looks a unit up by the hash of its parsed AST (the fallback when
+    /// only layout changed).
+    pub fn load_unit_by_ast(&self, ast_key: u64) -> Option<UnitRecord> {
+        let rec: UnitRecord = self.load("uast", ast_key)?;
+        (rec.ast_key == ast_key).then_some(rec)
+    }
+
+    /// Stores a unit record under both of its keys.
+    pub fn store_unit(&self, rec: &UnitRecord) {
+        let text = mc_json::to_string(rec);
+        self.store(self.path("usrc", rec.src_key), &text);
+        self.store(self.path("uast", rec.ast_key), &text);
+    }
+
+    /// Looks up a component's program-pass reports.
+    pub fn load_component(&self, key: u64) -> Option<ComponentRecord> {
+        let rec: ComponentRecord = self.load("comp", key)?;
+        (rec.key == key).then_some(rec)
+    }
+
+    /// Stores a component record.
+    pub fn store_component(&self, rec: &ComponentRecord) {
+        self.store(self.path("comp", rec.key), &mc_json::to_string(rec));
+    }
+
+    /// Looks up a whole run's final reports.
+    pub fn load_program(&self, key: u64) -> Option<ProgramRecord> {
+        let rec: ProgramRecord = self.load("prog", key)?;
+        (rec.key == key).then_some(rec)
+    }
+
+    /// Stores a program record.
+    pub fn store_program(&self, rec: &ProgramRecord) {
+        self.store(self.path("prog", rec.key), &mc_json::to_string(rec));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::Span;
+
+    fn sample_unit() -> UnitRecord {
+        UnitRecord {
+            src_key: 0xdead_beef_dead_beef,
+            ast_key: 0x1234_5678_9abc_def0,
+            defines: vec!["NILocalGet".into(), "helper".into()],
+            calls: vec!["NI_SEND".into(), "helper".into()],
+            reports: vec![Report::error(
+                "lanes",
+                "p.c",
+                "NILocalGet",
+                Span::new(3, 5),
+                "over quota",
+            )],
+        }
+    }
+
+    #[test]
+    fn unit_record_roundtrip_exact() {
+        let rec = sample_unit();
+        let text = mc_json::to_string(&rec);
+        let back: UnitRecord = mc_json::from_str(&text).unwrap();
+        assert_eq!(rec, back);
+        // Keys above i64::MAX survive (they are hex strings, not numbers).
+        assert!(text.contains("deadbeefdeadbeef"));
+    }
+
+    #[test]
+    fn wrong_kind_or_version_rejected() {
+        let rec = sample_unit();
+        let text = mc_json::to_string(&rec);
+        let as_comp: Result<ComponentRecord, _> = mc_json::from_str(&text);
+        assert!(as_comp.is_err());
+        let bumped = text.replace("\"version\":1", "\"version\":999");
+        let back: Result<UnitRecord, _> = mc_json::from_str(&bumped);
+        assert!(back.is_err());
+    }
+
+    #[test]
+    fn disk_roundtrip_and_key_validation() {
+        let dir = std::env::temp_dir().join(format!("mc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open(&dir).unwrap();
+        let rec = sample_unit();
+        cache.store_unit(&rec);
+        assert_eq!(cache.load_unit_by_source(rec.src_key), Some(rec.clone()));
+        assert_eq!(cache.load_unit_by_ast(rec.ast_key), Some(rec.clone()));
+        assert_eq!(cache.load_unit_by_source(rec.src_key + 1), None);
+
+        // Corrupt the stored file: load degrades to a miss.
+        let path = dir.join(format!("usrc-{}.json", key_hex(rec.src_key)));
+        std::fs::write(&path, "{\"kind\":\"unit\",garbage").unwrap();
+        assert_eq!(cache.load_unit_by_source(rec.src_key), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

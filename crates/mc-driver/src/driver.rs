@@ -2,9 +2,17 @@
 //! once, fan the per-function checks out over a worker pool, and merge the
 //! results in a stable order so parallel and sequential runs are
 //! byte-identical.
+//!
+//! Whole-program ("global") passes run once per *call-graph component*: the
+//! units of a program are partitioned by who-calls-whom (see
+//! [`call_components`]), and each [`Checker::check_program`] invocation sees
+//! one component. Components are the unit of invalidation for the
+//! incremental engine in [`crate::query`] — a global pass only re-runs when
+//! a unit in its component changed — and running the batch driver the same
+//! way keeps cold and warm reports byte-identical.
 
 use crate::report::Report;
-use mc_ast::{parse_translation_unit, Function, ParseError, TranslationUnit};
+use mc_ast::{parse_translation_unit, Fnv1a, Function, ParseError, TranslationUnit};
 use mc_cfg::{feasibility_stats, run_traversal, Cfg, Mode, Traversal};
 use mc_metal::{MetalMachine, MetalParseError, MetalProgram, MetalReport};
 use std::any::Any;
@@ -92,14 +100,21 @@ pub struct FunctionContext<'a> {
 
 /// Everything a whole-program checker may inspect, after all per-function
 /// passes ran.
+///
+/// A program pass sees one *call-graph component* at a time (see
+/// [`call_components`]): `units` holds the member units of that component,
+/// in input order. Code that never calls across a unit boundary therefore
+/// sees one unit per pass; tightly-coupled protocol handlers see all of
+/// their units together.
 #[derive(Debug, Clone, Copy)]
 pub struct ProgramContext<'a> {
-    /// All checked units of the protocol, in input order.
-    pub units: &'a [CheckedUnit],
+    /// The checked units of this call-graph component, in input order.
+    pub units: &'a [&'a CheckedUnit],
 }
 
 impl ProgramContext<'_> {
-    /// Iterates over every function definition in the program with its file.
+    /// Iterates over every function definition in the component with its
+    /// file.
     pub fn functions(&self) -> impl Iterator<Item = (&str, &Function)> {
         self.units
             .iter()
@@ -122,8 +137,8 @@ pub type Fact = Box<dyn Any + Send + Sync>;
 /// parallel runs produce byte-identical reports.
 #[derive(Default)]
 pub struct CheckSink {
-    reports: Vec<Report>,
-    facts: Vec<Fact>,
+    pub(crate) reports: Vec<Report>,
+    pub(crate) facts: Vec<Fact>,
 }
 
 impl fmt::Debug for CheckSink {
@@ -191,11 +206,29 @@ pub trait Checker: Send + Sync {
     /// Checks one function. May run concurrently with other functions.
     fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink);
 
-    /// Checks the whole program after all functions were visited.
+    /// Whether this checker has a meaningful [`check_program`] pass.
+    ///
+    /// Defaults to `true` so external checkers that override
+    /// [`check_program`] are always called. Purely-local checkers should
+    /// return `false`: the driver then skips their program pass entirely,
+    /// and the incremental engine never re-runs them for call-graph
+    /// neighbours of an edited unit. A checker returning `false` never has
+    /// its [`check_program`] invoked.
+    ///
+    /// [`check_program`]: Checker::check_program
+    fn has_program_pass(&self) -> bool {
+        true
+    }
+
+    /// Checks one call-graph component after all of its functions were
+    /// visited.
     ///
     /// `facts` holds everything this checker emitted from its function
-    /// pass, in stable `(unit, function)` order regardless of which worker
-    /// produced each fact.
+    /// passes over the component's units, in stable `(unit, function)`
+    /// order regardless of which worker produced each fact. Only called
+    /// when [`has_program_pass`] returns `true`.
+    ///
+    /// [`has_program_pass`]: Checker::has_program_pass
     fn check_program(&self, ctx: &ProgramContext<'_>, facts: Vec<Fact>, sink: &mut Vec<Report>) {
         let _ = (ctx, facts, sink);
     }
@@ -203,12 +236,27 @@ pub trait Checker: Send + Sync {
 
 /// Per-function results, produced by whichever worker claimed the item and
 /// merged by the driver in item order.
-struct FunctionOutput {
+pub(crate) struct FunctionOutput {
     /// Reports from all metal checkers, in registration order.
-    metal: Vec<Report>,
+    pub(crate) metal: Vec<Report>,
     /// One sink per native checker, in registration order.
-    native: Vec<CheckSink>,
+    pub(crate) native: Vec<CheckSink>,
 }
+
+/// The merged local (per-function) results of one translation unit: its
+/// diagnostics plus, per native checker, the facts destined for that
+/// checker's program pass.
+pub(crate) struct UnitLocal {
+    /// Metal and native diagnostics in `(function, checker)` order.
+    pub(crate) reports: Vec<Report>,
+    /// Facts per native checker (registration order), each in function
+    /// order.
+    pub(crate) facts: Vec<Vec<Fact>>,
+}
+
+/// Version stamp folded into every cache key. Bump whenever the meaning or
+/// layout of cached records changes in a way content addressing cannot see.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
 
 /// The analysis driver: a set of checkers plus traversal settings.
 pub struct Driver {
@@ -218,6 +266,10 @@ pub struct Driver {
     pub mode: Mode,
     prune: bool,
     jobs: Option<usize>,
+    /// Running hash of the registered checker suite, folded at registration
+    /// time; part of [`Driver::suite_key`].
+    suite: Fnv1a,
+    config_epoch: u64,
 }
 
 impl fmt::Debug for Driver {
@@ -254,6 +306,8 @@ impl Driver {
             mode: Mode::StateSet,
             prune: true,
             jobs: None,
+            suite: Fnv1a::new(),
+            config_epoch: 0,
         }
     }
 
@@ -299,7 +353,15 @@ impl Driver {
     }
 
     /// Registers a metal checker.
+    ///
+    /// Only the program *name* is folded into [`Driver::suite_key`] on this
+    /// path — an already-parsed program carries no source text. Callers
+    /// whose metal rules can change under the same name should bump the
+    /// config epoch ([`Driver::set_config_epoch`]) or register via
+    /// [`Driver::add_metal_source`], which folds the full source.
     pub fn add_metal_checker(&mut self, prog: MetalProgram) -> &mut Self {
+        self.suite.write_str("metal-name:");
+        self.suite.write_str(&prog.name);
         self.metal.push(prog);
         self
     }
@@ -310,14 +372,68 @@ impl Driver {
     ///
     /// Returns [`DriverError::Metal`] if the program does not parse.
     pub fn add_metal_source(&mut self, src: &str) -> Result<&mut Self, DriverError> {
-        self.metal.push(MetalProgram::parse(src)?);
+        let prog = MetalProgram::parse(src)?;
+        self.suite.write_str("metal-src:");
+        self.suite.write_str(src);
+        self.metal.push(prog);
         Ok(self)
     }
 
     /// Registers a native checker extension.
+    ///
+    /// Only the checker's *name* can be folded into [`Driver::suite_key`]
+    /// (native code has no inspectable source); if a native checker's
+    /// behaviour changes, the crate version bump covers built-ins and
+    /// [`Driver::set_config_epoch`] covers embedders.
     pub fn add_checker(&mut self, checker: Box<dyn Checker>) -> &mut Self {
+        self.suite.write_str("native:");
+        self.suite.write_str(checker.name());
         self.native.push(checker);
         self
+    }
+
+    /// Sets the checker configuration epoch, folded into every cache key.
+    ///
+    /// Bump this whenever checker *inputs* the suite hash cannot see change
+    /// — external spec files, rule tables, environment-driven settings.
+    /// Runs under different epochs never share cached results.
+    pub fn set_config_epoch(&mut self, epoch: u64) -> &mut Self {
+        self.config_epoch = epoch;
+        self
+    }
+
+    /// The current checker configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.config_epoch
+    }
+
+    /// The key every cached artifact of this driver is scoped under.
+    ///
+    /// Folds the crate version, the cache format version, the registered
+    /// checker suite, the config epoch, and the traversal settings (mode +
+    /// prune flag). Two drivers with equal suite keys produce byte-identical
+    /// reports for identical sources, so their cache entries may alias; any
+    /// configuration difference this key cannot observe must be expressed
+    /// through the config epoch. The worker-pool size is deliberately *not*
+    /// part of the key: report output is independent of `--jobs`.
+    pub fn suite_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(env!("CARGO_PKG_VERSION"));
+        h.write_u64(u64::from(CACHE_FORMAT_VERSION));
+        h.write_u64(self.suite.finish());
+        h.write_u64(self.config_epoch);
+        h.write_str(&self.traversal().cache_token());
+        h.finish()
+    }
+
+    /// Whether any registered native checker has a whole-program pass.
+    pub(crate) fn has_program_checkers(&self) -> bool {
+        self.native.iter().any(|c| c.has_program_pass())
+    }
+
+    /// Number of registered native checkers.
+    pub(crate) fn native_count(&self) -> usize {
+        self.native.len()
     }
 
     /// Number of registered checkers (metal + native).
@@ -348,6 +464,42 @@ impl Driver {
         Ok(self.check_units(&units))
     }
 
+    /// Runs `f(0..n)` over the worker pool and returns the outputs in index
+    /// order, regardless of which worker computed each item.
+    ///
+    /// This is the one scheduling primitive in the crate: batch parsing,
+    /// per-function checking, and the incremental engine's query phases all
+    /// fan out through it, so "parallel output == sequential output" has a
+    /// single point of truth. With one effective worker no threads are
+    /// spawned at all.
+    pub(crate) fn pool_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.effective_jobs().min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let _ = slots[i].set(f(i));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every work item completed"))
+            .collect()
+    }
+
     /// Parses `(source, file-name)` pairs and builds every function's CFG,
     /// fanning the files out over the worker pool.
     ///
@@ -359,33 +511,10 @@ impl Driver {
         &self,
         sources: &[(String, String)],
     ) -> Result<Vec<CheckedUnit>, DriverError> {
-        let parse_one = |i: usize| -> Result<CheckedUnit, ParseError> {
+        let parsed = self.pool_map(sources.len(), |i| {
             let (src, file) = &sources[i];
             parse_translation_unit(src, file).map(CheckedUnit::new)
-        };
-        let workers = self.effective_jobs().min(sources.len());
-        let mut parsed: Vec<Result<CheckedUnit, ParseError>> = Vec::with_capacity(sources.len());
-        if workers <= 1 {
-            parsed.extend((0..sources.len()).map(parse_one));
-        } else {
-            let slots: Vec<OnceLock<Result<CheckedUnit, ParseError>>> =
-                sources.iter().map(|_| OnceLock::new()).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= sources.len() {
-                            break;
-                        }
-                        let _ = slots[i].set(parse_one(i));
-                    });
-                }
-            });
-            for slot in slots {
-                parsed.push(slot.into_inner().expect("every file was parsed"));
-            }
-        }
+        });
         let mut units = Vec::with_capacity(sources.len());
         for result in parsed {
             units.push(result?);
@@ -393,27 +522,93 @@ impl Driver {
         Ok(units)
     }
 
-    /// Checks already-parsed units as one program.
-    ///
-    /// Functions are tagged with their `(unit, function)` index, fanned out
-    /// over the worker pool, and the per-function outputs are merged back
-    /// in index order — so the final report vector does not depend on the
-    /// worker count or on scheduling.
-    pub fn check_units(&self, units: &[CheckedUnit]) -> Vec<Report> {
+    /// Runs every registered checker's function pass over one function.
+    pub(crate) fn check_one_function(
+        &self,
+        unit: &CheckedUnit,
+        function: &Function,
+        cfg: &Cfg,
+    ) -> FunctionOutput {
+        let traversal = self.traversal();
+        let ctx = FunctionContext {
+            file: &unit.unit.file,
+            unit: &unit.unit,
+            function,
+            cfg,
+            traversal,
+        };
+        let mut metal = Vec::new();
+        for prog in &self.metal {
+            let mut machine = MetalMachine::new(prog);
+            let init = machine.start_state();
+            run_traversal(cfg, &mut machine, init, traversal);
+            metal.extend(
+                machine
+                    .reports
+                    .iter()
+                    .map(|r| convert_metal_report(r, &unit.unit.file, &function.name)),
+            );
+        }
+        let mut native: Vec<CheckSink> = self
+            .native
+            .iter()
+            .map(|checker| {
+                let mut sink = CheckSink::new();
+                checker.check_function(&ctx, &mut sink);
+                sink
+            })
+            .collect();
+        rank_function_reports(&mut metal, &mut native, function, cfg, traversal.prune);
+        FunctionOutput { metal, native }
+    }
+
+    /// Runs the local (per-function) passes of every given unit over the
+    /// worker pool and merges the outputs per unit, in `(unit, function)`
+    /// index order — never completion order.
+    pub(crate) fn run_local_passes(&self, units: &[&CheckedUnit]) -> Vec<UnitLocal> {
         // One work item per function definition, in program order.
-        let mut items: Vec<(usize, usize)> = Vec::new();
         let fns: Vec<Vec<&Function>> = units.iter().map(|u| u.unit.functions().collect()).collect();
+        let mut items: Vec<(usize, usize)> = Vec::new();
         for (u, fs) in fns.iter().enumerate() {
             for f in 0..fs.len() {
                 items.push((u, f));
             }
         }
 
+        let outputs = self.pool_map(items.len(), |i| {
+            let (u, f) = items[i];
+            self.check_one_function(units[u], fns[u][f], &units[u].cfgs[f])
+        });
+
+        let mut locals: Vec<UnitLocal> = units
+            .iter()
+            .map(|_| UnitLocal {
+                reports: Vec::new(),
+                facts: self.native.iter().map(|_| Vec::new()).collect(),
+            })
+            .collect();
+        for (&(u, _), out) in items.iter().zip(outputs) {
+            let local = &mut locals[u];
+            local.reports.extend(out.metal);
+            for (i, sink) in out.native.into_iter().enumerate() {
+                local.reports.extend(sink.reports);
+                local.facts[i].extend(sink.facts);
+            }
+        }
+        locals
+    }
+
+    /// Re-runs only the fact-emitting function passes of one unit.
+    ///
+    /// [`Fact`]s are opaque `Any` values and cannot be cached, so when the
+    /// incremental engine replays a unit's *reports* from cache but one of
+    /// its call-graph neighbours changed, the unit's facts are regenerated
+    /// with this cheaper pass: metal machines and purely-local native
+    /// checkers are skipped, and all diagnostics are discarded.
+    pub(crate) fn collect_program_facts(&self, unit: &CheckedUnit) -> Vec<Vec<Fact>> {
         let traversal = self.traversal();
-        let run_item = |&(u, f): &(usize, usize)| -> FunctionOutput {
-            let unit = &units[u];
-            let function = fns[u][f];
-            let cfg = &unit.cfgs[f];
+        let mut facts: Vec<Vec<Fact>> = self.native.iter().map(|_| Vec::new()).collect();
+        for (function, cfg) in unit.functions() {
             let ctx = FunctionContext {
                 file: &unit.unit.file,
                 unit: &unit.unit,
@@ -421,74 +616,174 @@ impl Driver {
                 cfg,
                 traversal,
             };
-            let mut metal = Vec::new();
-            for prog in &self.metal {
-                let mut machine = MetalMachine::new(prog);
-                let init = machine.start_state();
-                run_traversal(cfg, &mut machine, init, traversal);
-                metal.extend(
-                    machine
-                        .reports
-                        .iter()
-                        .map(|r| convert_metal_report(r, &unit.unit.file, &function.name)),
-                );
-            }
-            let mut native: Vec<CheckSink> = self
-                .native
-                .iter()
-                .map(|checker| {
-                    let mut sink = CheckSink::new();
-                    checker.check_function(&ctx, &mut sink);
-                    sink
-                })
-                .collect();
-            rank_function_reports(&mut metal, &mut native, function, cfg, traversal.prune);
-            FunctionOutput { metal, native }
-        };
-
-        let workers = self.effective_jobs().min(items.len());
-        let mut outputs: Vec<FunctionOutput> = Vec::with_capacity(items.len());
-        if workers <= 1 {
-            outputs.extend(items.iter().map(run_item));
-        } else {
-            let slots: Vec<OnceLock<FunctionOutput>> =
-                items.iter().map(|_| OnceLock::new()).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let _ = slots[i].set(run_item(&items[i]));
-                    });
+            for (i, checker) in self.native.iter().enumerate() {
+                if !checker.has_program_pass() {
+                    continue;
                 }
-            });
-            for slot in slots {
-                outputs.push(slot.into_inner().expect("every work item completed"));
-            }
-        }
-
-        // Merge in item order: parallel and sequential runs see the exact
-        // same report and fact sequences.
-        let mut reports = Vec::new();
-        let mut facts: Vec<Vec<Fact>> = self.native.iter().map(|_| Vec::new()).collect();
-        for out in outputs {
-            reports.extend(out.metal);
-            for (i, sink) in out.native.into_iter().enumerate() {
-                reports.extend(sink.reports);
+                let mut sink = CheckSink::new();
+                checker.check_function(&ctx, &mut sink);
                 facts[i].extend(sink.facts);
             }
         }
+        facts
+    }
+
+    /// Runs every program-pass checker over one call-graph component.
+    ///
+    /// `facts` is indexed by native-checker registration order and holds
+    /// each checker's facts from the component's units, in `(unit,
+    /// function)` order.
+    pub(crate) fn run_program_passes(
+        &self,
+        units: &[&CheckedUnit],
+        facts: Vec<Vec<Fact>>,
+    ) -> Vec<Report> {
         let ctx = ProgramContext { units };
+        let mut reports = Vec::new();
         for (checker, checker_facts) in self.native.iter().zip(facts) {
-            checker.check_program(&ctx, checker_facts, &mut reports);
+            if checker.has_program_pass() {
+                checker.check_program(&ctx, checker_facts, &mut reports);
+            }
+        }
+        reports
+    }
+
+    /// Checks already-parsed units as one program.
+    ///
+    /// Functions are tagged with their `(unit, function)` index, fanned out
+    /// over the worker pool, and the per-function outputs are merged back
+    /// in index order — so the final report vector does not depend on the
+    /// worker count or on scheduling. Program passes then run once per
+    /// call-graph component (see [`call_components`]), exactly as the
+    /// incremental engine re-runs them, so batch and cached runs produce
+    /// byte-identical reports.
+    pub fn check_units(&self, units: &[CheckedUnit]) -> Vec<Report> {
+        let refs: Vec<&CheckedUnit> = units.iter().collect();
+        let mut locals = self.run_local_passes(&refs);
+
+        let mut reports = Vec::new();
+        for local in &mut locals {
+            reports.append(&mut local.reports);
+        }
+
+        if self.has_program_checkers() {
+            let infos: Vec<CallInfo> = refs.iter().map(|u| call_info(&u.unit)).collect();
+            for comp in call_components(&infos) {
+                let members: Vec<&CheckedUnit> = comp.iter().map(|&i| refs[i]).collect();
+                let mut facts: Vec<Vec<Fact>> = self.native.iter().map(|_| Vec::new()).collect();
+                for &i in &comp {
+                    for (ci, f) in locals[i].facts.iter_mut().enumerate() {
+                        facts[ci].append(f);
+                    }
+                }
+                reports.extend(self.run_program_passes(&members, facts));
+            }
         }
         reports.sort();
         reports.dedup();
         reports
     }
+}
+
+/// The call-graph signature of one translation unit: which functions it
+/// defines and which names it calls. Cheap to compute, serializable, and
+/// sufficient to rebuild the unit-level call graph without re-parsing —
+/// which is how the incremental engine partitions clean units into
+/// components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallInfo {
+    /// Names of functions the unit defines, in definition order.
+    pub defines: Vec<String>,
+    /// Names the unit's function bodies call, sorted and deduplicated.
+    pub calls: Vec<String>,
+}
+
+/// Extracts the [`CallInfo`] of a parsed unit.
+pub fn call_info(unit: &TranslationUnit) -> CallInfo {
+    struct Calls(std::collections::BTreeSet<String>);
+    impl mc_ast::Visitor for Calls {
+        fn visit_expr(&mut self, expr: &mc_ast::Expr) {
+            if let Some((callee, _)) = expr.as_call() {
+                self.0.insert(callee.to_string());
+            }
+        }
+    }
+    let mut calls = Calls(std::collections::BTreeSet::new());
+    let defines = unit
+        .functions()
+        .map(|f| {
+            mc_ast::walk_function(&mut calls, f);
+            f.name.clone()
+        })
+        .collect();
+    CallInfo {
+        defines,
+        calls: calls.0.into_iter().collect(),
+    }
+}
+
+/// Partitions units into weakly-connected components of the unit-level call
+/// graph: unit A and unit B land in one component when A calls a function B
+/// defines (or vice versa), transitively. Units that define the same name
+/// are also joined — the linker cannot tell which definition a caller
+/// binds to, so any doubt merges them.
+///
+/// This is a conservative over-approximation of the function-level SCCs a
+/// precise engine would use: a component contains every call-graph SCC that
+/// touches its units, so re-running a program pass per *component* re-runs
+/// it for every SCC that could observe a changed unit. Components are
+/// returned with members in input order, ordered by their first member.
+pub fn call_components(infos: &[CallInfo]) -> Vec<Vec<usize>> {
+    let n = infos.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            // Root at the smaller index so iteration stays deterministic.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            parent[hi] = lo;
+        }
+    }
+
+    let mut definers: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for (i, info) in infos.iter().enumerate() {
+        for name in &info.defines {
+            match definers.entry(name.as_str()) {
+                std::collections::hash_map::Entry::Occupied(e) => union(&mut parent, *e.get(), i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    for (i, info) in infos.iter().enumerate() {
+        for name in &info.calls {
+            if let Some(&d) = definers.get(name.as_str()) {
+                union(&mut parent, i, d);
+            }
+        }
+    }
+
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut comp_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        match comp_of.entry(root) {
+            std::collections::hash_map::Entry::Occupied(e) => comps[*e.get()].push(i),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(comps.len());
+                comps.push(vec![i]);
+            }
+        }
+    }
+    comps
 }
 
 fn convert_metal_report(r: &MetalReport, file: &str, function: &str) -> Report {

@@ -46,11 +46,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 mod driver;
 pub mod global;
+mod query;
 mod report;
 
 pub use driver::{
-    CheckSink, CheckedUnit, Checker, Driver, DriverError, Fact, FunctionContext, ProgramContext,
+    call_components, call_info, CallInfo, CheckSink, CheckedUnit, Checker, Driver, DriverError,
+    Fact, FunctionContext, ProgramContext, CACHE_FORMAT_VERSION,
 };
+pub use query::{CheckEngine, Query, RunStats};
 pub use report::{Report, Severity};

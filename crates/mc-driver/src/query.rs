@@ -1,0 +1,782 @@
+//! The demand-driven query layer: an incremental front end over [`Driver`].
+//!
+//! [`CheckEngine::check_sources`] produces byte-identical reports to
+//! [`Driver::check_sources`], but memoizes every intermediate artifact by
+//! content: a warm run re-does only the work whose inputs actually changed.
+//! Work is decomposed into [`Query`] values — parse a file, build its CFGs,
+//! check one function, regenerate one unit's program-pass facts — and each
+//! phase's queries are fanned out over the driver's worker pool, so the
+//! pool schedules *queries*, not units.
+//!
+//! Invalidation is three-tiered, coarse to fine:
+//!
+//! 1. **Program** — a key over the suite key plus every unit's source hash.
+//!    A hit returns the final report vector without parsing anything.
+//! 2. **Unit** — each unit's local reports, keyed by its raw source text
+//!    (fast path) with a parsed-AST fallback that survives edits displacing
+//!    no token (trailing whitespace, comment-only changes).
+//! 3. **Component** — program passes re-run per call-graph component
+//!    whenever any member unit changed (see
+//!    [`call_components`](crate::call_components)); clean components replay
+//!    their cached reports.
+//!
+//! [`Fact`]s are opaque `Any` values and are never cached: when a dirty
+//! component contains clean units, those units' facts are regenerated with
+//! a [`Query::Facts`] pass (cheaper than a full check — metal machines and
+//! purely-local checkers are skipped) while their reports replay from
+//! cache.
+//!
+//! The cache-safety policy is *any doubt ⇒ miss*: keys fold everything
+//! that can influence output (crate version, cache format, checker suite,
+//! config epoch, traversal settings, file names, content hashes), loads
+//! validate records against their keys, and anything unverifiable re-runs.
+
+use crate::cache::{ComponentRecord, DiskCache, ProgramRecord, UnitRecord};
+use crate::driver::{
+    call_components, call_info, CallInfo, CheckedUnit, Driver, DriverError, Fact, UnitLocal,
+};
+use crate::report::Report;
+use mc_ast::{parse_translation_unit, Fingerprint, Fnv1a, ParseError, TranslationUnit};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// One schedulable unit of work. The engine's phases each build a batch of
+/// queries and fan it out over [`Driver::jobs`] workers; outputs are
+/// merged in query order, never completion order, preserving the driver's
+/// determinism guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Parse source file `i` and fingerprint the resulting AST.
+    Parse(usize),
+    /// Build every function CFG of parsed unit `i`.
+    Cfg(usize),
+    /// Run the local (per-function) checks of one function.
+    Check {
+        /// Index of the unit in the run's input order.
+        unit: usize,
+        /// Function index within the unit, in definition order.
+        function: usize,
+    },
+    /// Regenerate the program-pass facts of unit `i` without re-checking.
+    Facts(usize),
+}
+
+/// A parsed unit with its CFGs and AST fingerprint, shared between memo
+/// table entries and the current run.
+#[derive(Debug, Clone)]
+struct ParsedUnit {
+    unit: Arc<CheckedUnit>,
+    ast_fp: u64,
+}
+
+/// What one query produced.
+enum QueryOutput {
+    Parsed(Result<(TranslationUnit, u64), ParseError>),
+    Cfg(Arc<CheckedUnit>),
+    Checked(crate::driver::FunctionOutput),
+    Facts(Vec<Vec<Fact>>),
+}
+
+/// Counters describing how much of a run was served from cache; returned
+/// by [`CheckEngine::check_sources`] alongside the reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of input units.
+    pub units: usize,
+    /// The whole run was answered by the program-level cache; nothing was
+    /// parsed or checked.
+    pub program_hit: bool,
+    /// Units whose local reports replayed via their source-text key.
+    pub source_hits: usize,
+    /// Units whose local reports replayed via the AST fallback after a
+    /// layout-only edit.
+    pub ast_hits: usize,
+    /// Units that ran the full local check pass.
+    pub units_checked: usize,
+    /// Files parsed this run (dirty units plus clean members of dirty
+    /// components).
+    pub parses: usize,
+    /// Call-graph components in the program.
+    pub components: usize,
+    /// Components whose program-pass reports replayed from cache.
+    pub component_hits: usize,
+    /// Clean units that re-ran their fact-emitting passes because a
+    /// component neighbour changed.
+    pub facts_regenerated: usize,
+}
+
+/// The incremental check engine: an in-memory memo table over every query,
+/// optionally backed by an on-disk [`DiskCache`].
+///
+/// An engine is keyed by nothing — all scoping lives in the
+/// content-addressed keys — so one engine (or one cache directory) can
+/// serve different drivers, and runs under a changed configuration simply
+/// miss. Reports returned by [`check_sources`] are byte-identical to what
+/// [`Driver::check_sources`] returns for the same driver and sources,
+/// regardless of cache state and worker count.
+///
+/// [`check_sources`]: CheckEngine::check_sources
+#[derive(Debug, Default)]
+pub struct CheckEngine {
+    disk: Option<DiskCache>,
+    /// Parse/CFG memo, keyed by `(file, source hash)` — suite-independent.
+    checked: HashMap<u64, ParsedUnit>,
+    /// Unit records, each indexed under both its source key and AST key.
+    units: HashMap<u64, Arc<UnitRecord>>,
+    /// Component program-pass reports by component key.
+    components: HashMap<u64, Arc<ComponentRecord>>,
+    /// Final report vectors by program key.
+    programs: HashMap<u64, Arc<ProgramRecord>>,
+}
+
+impl CheckEngine {
+    /// Creates an engine with no on-disk cache (memoization only lives for
+    /// the engine's lifetime — the `--watch` configuration).
+    pub fn in_memory() -> CheckEngine {
+        CheckEngine::default()
+    }
+
+    /// Creates an engine backed by a disk cache.
+    pub fn with_disk(disk: DiskCache) -> CheckEngine {
+        CheckEngine {
+            disk: Some(disk),
+            ..CheckEngine::default()
+        }
+    }
+
+    /// The disk cache, if one is attached.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    fn lookup_unit(&mut self, src_key: u64, by_ast: Option<u64>) -> Option<Arc<UnitRecord>> {
+        if let Some(rec) = self.units.get(&src_key) {
+            return Some(rec.clone());
+        }
+        if let Some(rec) = self
+            .disk
+            .as_ref()
+            .and_then(|d| d.load_unit_by_source(src_key))
+        {
+            let rec = Arc::new(rec);
+            self.insert_unit(&rec);
+            return Some(rec);
+        }
+        let ast_key = by_ast?;
+        let rec = match self.units.get(&ast_key) {
+            Some(rec) => rec.clone(),
+            None => Arc::new(self.disk.as_ref()?.load_unit_by_ast(ast_key)?),
+        };
+        // Layout-only edit: same AST, new source text. Re-index the record
+        // under the new source key so the next run takes the fast path.
+        let rec = Arc::new(UnitRecord {
+            src_key,
+            ..(*rec).clone()
+        });
+        self.insert_unit(&rec);
+        if let Some(d) = &self.disk {
+            d.store_unit(&rec);
+        }
+        Some(rec)
+    }
+
+    fn insert_unit(&mut self, rec: &Arc<UnitRecord>) {
+        self.units.insert(rec.src_key, rec.clone());
+        self.units.insert(rec.ast_key, rec.clone());
+    }
+
+    fn lookup_component(&mut self, key: u64) -> Option<Arc<ComponentRecord>> {
+        if let Some(rec) = self.components.get(&key) {
+            return Some(rec.clone());
+        }
+        let rec = Arc::new(self.disk.as_ref()?.load_component(key)?);
+        self.components.insert(key, rec.clone());
+        Some(rec)
+    }
+
+    fn lookup_program(&mut self, key: u64) -> Option<Arc<ProgramRecord>> {
+        if let Some(rec) = self.programs.get(&key) {
+            return Some(rec.clone());
+        }
+        let rec = Arc::new(self.disk.as_ref()?.load_program(key)?);
+        self.programs.insert(key, rec.clone());
+        Some(rec)
+    }
+
+    /// Checks `(source, file-name)` pairs as one program, reusing every
+    /// cached artifact whose key still matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Parse`] on the first file in input order
+    /// that fails to parse. Only changed files are ever re-parsed: a file
+    /// whose cached record is still valid parsed successfully when the
+    /// record was created, and its bytes have not changed since.
+    pub fn check_sources(
+        &mut self,
+        driver: &Driver,
+        sources: &[(String, String)],
+    ) -> Result<(Vec<Report>, RunStats), DriverError> {
+        let suite = driver.suite_key();
+        let n = sources.len();
+        let mut stats = RunStats {
+            units: n,
+            ..RunStats::default()
+        };
+
+        let src_fps: Vec<u64> = sources
+            .iter()
+            .map(|(src, _)| Fingerprint::of_source(src))
+            .collect();
+        let content_keys: Vec<u64> = sources
+            .iter()
+            .zip(&src_fps)
+            .map(|((_, file), fp)| {
+                let mut h = Fnv1a::new();
+                h.write_str(file).write_u64(*fp);
+                h.finish()
+            })
+            .collect();
+        let src_keys: Vec<u64> = content_keys
+            .iter()
+            .map(|ck| {
+                let mut h = Fnv1a::new();
+                h.write_u64(suite).write_u64(*ck);
+                h.finish()
+            })
+            .collect();
+        let prog_key = {
+            let mut h = Fnv1a::new();
+            h.write_u64(suite);
+            for k in &src_keys {
+                h.write_u64(*k);
+            }
+            h.finish()
+        };
+
+        // Tier 1: nothing changed at all.
+        if let Some(rec) = self.lookup_program(prog_key) {
+            stats.program_hit = true;
+            stats.source_hits = n;
+            return Ok((rec.reports.clone(), stats));
+        }
+
+        // Tier 2: per-unit lookup by source text.
+        let mut recs: Vec<Option<Arc<UnitRecord>>> = src_keys
+            .iter()
+            .map(|k| self.lookup_unit(*k, None))
+            .collect();
+        stats.source_hits = recs.iter().flatten().count();
+
+        // Parse + build CFGs for every unit without a source-key hit.
+        let mut parsed: Vec<Option<ParsedUnit>> = vec![None; n];
+        let need: Vec<usize> = (0..n).filter(|&i| recs[i].is_none()).collect();
+        self.parse_into(
+            driver,
+            sources,
+            &content_keys,
+            &need,
+            &mut parsed,
+            &mut stats,
+        )?;
+
+        // AST fallback: a unit whose source changed but whose AST (spans
+        // included) did not can replay its reports.
+        let mut dirty: Vec<usize> = Vec::new();
+        for &i in &need {
+            let pu = parsed[i].as_ref().expect("parsed above");
+            let ast_key = ast_key_of(suite, &sources[i].1, pu.ast_fp);
+            match self.lookup_unit(src_keys[i], Some(ast_key)) {
+                Some(rec) => {
+                    stats.ast_hits += 1;
+                    recs[i] = Some(rec);
+                }
+                None => dirty.push(i),
+            }
+        }
+
+        // Tier 3: full local pass for genuinely changed units.
+        stats.units_checked = dirty.len();
+        let mut dirty_facts: HashMap<usize, Vec<Vec<Fact>>> = HashMap::new();
+        if !dirty.is_empty() {
+            let locals = self.check_dirty(driver, &parsed, &dirty);
+            for (&i, local) in dirty.iter().zip(locals) {
+                let pu = parsed[i].as_ref().expect("parsed above");
+                let info = call_info(&pu.unit.unit);
+                let rec = Arc::new(UnitRecord {
+                    src_key: src_keys[i],
+                    ast_key: ast_key_of(suite, &sources[i].1, pu.ast_fp),
+                    defines: info.defines,
+                    calls: info.calls,
+                    reports: local.reports,
+                });
+                self.insert_unit(&rec);
+                if let Some(d) = &self.disk {
+                    d.store_unit(&rec);
+                }
+                recs[i] = Some(rec);
+                dirty_facts.insert(i, local.facts);
+            }
+        }
+
+        // Partition into call-graph components from the cached call infos
+        // (no parsing needed for clean units).
+        let infos: Vec<CallInfo> = recs
+            .iter()
+            .map(|r| {
+                let r = r.as_ref().expect("every unit resolved");
+                CallInfo {
+                    defines: r.defines.clone(),
+                    calls: r.calls.clone(),
+                }
+            })
+            .collect();
+        let comps = call_components(&infos);
+        stats.components = comps.len();
+
+        let mut reports: Vec<Report> = Vec::new();
+        for rec in recs.iter().flatten() {
+            reports.extend(rec.reports.iter().cloned());
+        }
+
+        if driver.has_program_checkers() {
+            let dirty_set: HashSet<usize> = dirty.iter().copied().collect();
+            // Decide per component: replay or re-run.
+            let comp_keys: Vec<u64> = comps
+                .iter()
+                .map(|comp| {
+                    let mut keys: Vec<u64> = comp
+                        .iter()
+                        .map(|&i| {
+                            let r = recs[i].as_ref().expect("resolved");
+                            r.ast_key
+                        })
+                        .collect();
+                    keys.sort_unstable();
+                    let mut h = Fnv1a::new();
+                    h.write_u64(suite);
+                    for k in keys {
+                        h.write_u64(k);
+                    }
+                    h.finish()
+                })
+                .collect();
+            let mut rerun: Vec<usize> = Vec::new();
+            let mut comp_reports: Vec<Option<Arc<ComponentRecord>>> = vec![None; comps.len()];
+            for (c, comp) in comps.iter().enumerate() {
+                let is_dirty = comp.iter().any(|i| dirty_set.contains(i));
+                if !is_dirty {
+                    if let Some(rec) = self.lookup_component(comp_keys[c]) {
+                        stats.component_hits += 1;
+                        comp_reports[c] = Some(rec);
+                        continue;
+                    }
+                }
+                rerun.push(c);
+            }
+
+            if !rerun.is_empty() {
+                // Every member of a re-run component needs its parsed unit:
+                // the program pass walks real CFGs. Clean members also
+                // regenerate their facts (facts are never cached).
+                let missing: Vec<usize> = rerun
+                    .iter()
+                    .flat_map(|&c| comps[c].iter().copied())
+                    .filter(|&i| parsed[i].is_none())
+                    .collect();
+                self.parse_into(
+                    driver,
+                    sources,
+                    &content_keys,
+                    &missing,
+                    &mut parsed,
+                    &mut stats,
+                )?;
+
+                let regen: Vec<usize> = rerun
+                    .iter()
+                    .flat_map(|&c| comps[c].iter().copied())
+                    .filter(|i| !dirty_set.contains(i))
+                    .collect();
+                stats.facts_regenerated = regen.len();
+                let queries: Vec<Query> = regen.iter().map(|&i| Query::Facts(i)).collect();
+                let outputs = run_queries(driver, sources, &[], &parsed, &queries);
+                let mut regen_facts: HashMap<usize, Vec<Vec<Fact>>> = HashMap::new();
+                for (&i, out) in regen.iter().zip(outputs) {
+                    match out {
+                        QueryOutput::Facts(f) => {
+                            regen_facts.insert(i, f);
+                        }
+                        _ => unreachable!("facts query returns facts"),
+                    }
+                }
+
+                // Assemble each component's facts in (unit, function) order
+                // and run its program passes; components fan out over the
+                // pool, outputs merge in component order.
+                let work: Vec<Mutex<Option<Vec<Vec<Fact>>>>> = rerun
+                    .iter()
+                    .map(|&c| {
+                        let mut facts: Vec<Vec<Fact>> =
+                            (0..driver.native_count()).map(|_| Vec::new()).collect();
+                        for &i in &comps[c] {
+                            let unit_facts = dirty_facts
+                                .remove(&i)
+                                .or_else(|| regen_facts.remove(&i))
+                                .expect("dirty or regenerated");
+                            for (ci, f) in unit_facts.into_iter().enumerate() {
+                                facts[ci].extend(f);
+                            }
+                        }
+                        Mutex::new(Some(facts))
+                    })
+                    .collect();
+                let outs: Vec<Vec<Report>> = driver.pool_map(rerun.len(), |j| {
+                    let c = rerun[j];
+                    let members: Vec<&CheckedUnit> = comps[c]
+                        .iter()
+                        .map(|&i| parsed[i].as_ref().expect("parsed above").unit.as_ref())
+                        .collect();
+                    let facts = work[j].lock().unwrap().take().expect("taken once");
+                    driver.run_program_passes(&members, facts)
+                });
+                for (&c, out) in rerun.iter().zip(outs) {
+                    let rec = Arc::new(ComponentRecord {
+                        key: comp_keys[c],
+                        reports: out,
+                    });
+                    self.components.insert(rec.key, rec.clone());
+                    if let Some(d) = &self.disk {
+                        d.store_component(&rec);
+                    }
+                    comp_reports[c] = Some(rec);
+                }
+            }
+
+            for rec in comp_reports.into_iter().flatten() {
+                reports.extend(rec.reports.iter().cloned());
+            }
+        }
+
+        reports.sort();
+        reports.dedup();
+
+        let prog = Arc::new(ProgramRecord {
+            key: prog_key,
+            reports: reports.clone(),
+        });
+        self.programs.insert(prog_key, prog.clone());
+        if let Some(d) = &self.disk {
+            d.store_program(&prog);
+        }
+
+        // Bound memo growth across watch iterations: keep only the parse
+        // artifacts of the sources we just saw.
+        let live: HashSet<u64> = content_keys.iter().copied().collect();
+        self.checked.retain(|k, _| live.contains(k));
+
+        Ok((reports, stats))
+    }
+
+    /// Parses (and CFG-builds) the units in `need`, filling `parsed`,
+    /// reusing the parse memo where the content is already known.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error in input order (callers pass `need`
+    /// in ascending order).
+    fn parse_into(
+        &mut self,
+        driver: &Driver,
+        sources: &[(String, String)],
+        content_keys: &[u64],
+        need: &[usize],
+        parsed: &mut [Option<ParsedUnit>],
+        stats: &mut RunStats,
+    ) -> Result<(), DriverError> {
+        let todo: Vec<usize> = need
+            .iter()
+            .copied()
+            .filter(|&i| {
+                if parsed[i].is_some() {
+                    return false;
+                }
+                if let Some(pu) = self.checked.get(&content_keys[i]) {
+                    parsed[i] = Some(pu.clone());
+                    return false;
+                }
+                true
+            })
+            .collect();
+        if todo.is_empty() {
+            return Ok(());
+        }
+        stats.parses += todo.len();
+
+        let queries: Vec<Query> = todo.iter().map(|&i| Query::Parse(i)).collect();
+        let outputs = run_queries(driver, sources, &[], parsed, &queries);
+        let mut fps: Vec<u64> = Vec::with_capacity(todo.len());
+        let tu_slots: Vec<Mutex<Option<TranslationUnit>>> = {
+            let slots: Vec<Mutex<Option<TranslationUnit>>> =
+                sources.iter().map(|_| Mutex::new(None)).collect();
+            for (&i, out) in todo.iter().zip(outputs) {
+                match out {
+                    QueryOutput::Parsed(Ok((tu, fp))) => {
+                        *slots[i].lock().unwrap() = Some(tu);
+                        fps.push(fp);
+                    }
+                    QueryOutput::Parsed(Err(e)) => return Err(DriverError::Parse(e)),
+                    _ => unreachable!("parse query returns parse output"),
+                }
+            }
+            slots
+        };
+
+        let queries: Vec<Query> = todo.iter().map(|&i| Query::Cfg(i)).collect();
+        let outputs = run_queries(driver, sources, &tu_slots, parsed, &queries);
+        for ((&i, out), fp) in todo.iter().zip(outputs).zip(fps) {
+            match out {
+                QueryOutput::Cfg(unit) => {
+                    let pu = ParsedUnit { unit, ast_fp: fp };
+                    self.checked.insert(content_keys[i], pu.clone());
+                    parsed[i] = Some(pu);
+                }
+                _ => unreachable!("cfg query returns cfg output"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the full local pass of every dirty unit as per-function
+    /// [`Query::Check`] items over the pool, merging per unit in
+    /// `(unit, function)` order.
+    fn check_dirty(
+        &self,
+        driver: &Driver,
+        parsed: &[Option<ParsedUnit>],
+        dirty: &[usize],
+    ) -> Vec<UnitLocal> {
+        let mut queries: Vec<Query> = Vec::new();
+        for &i in dirty {
+            let unit = &parsed[i].as_ref().expect("parsed above").unit;
+            for f in 0..unit.cfgs.len() {
+                queries.push(Query::Check {
+                    unit: i,
+                    function: f,
+                });
+            }
+        }
+        let outputs = run_queries(driver, &[], &[], parsed, &queries);
+
+        let mut by_unit: HashMap<usize, UnitLocal> = dirty
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    UnitLocal {
+                        reports: Vec::new(),
+                        facts: (0..driver.native_count()).map(|_| Vec::new()).collect(),
+                    },
+                )
+            })
+            .collect();
+        for (q, out) in queries.iter().zip(outputs) {
+            let (i, fo) = match (q, out) {
+                (Query::Check { unit, .. }, QueryOutput::Checked(fo)) => (*unit, fo),
+                _ => unreachable!("check query returns check output"),
+            };
+            let local = by_unit.get_mut(&i).expect("dirty unit");
+            local.reports.extend(fo.metal);
+            for (ci, sink) in fo.native.into_iter().enumerate() {
+                local.reports.extend(sink.reports);
+                local.facts[ci].extend(sink.facts);
+            }
+        }
+        dirty
+            .iter()
+            .map(|&i| by_unit.remove(&i).expect("dirty unit"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SM: &str = r#"
+        sm wait_for_db {
+            decl { scalar } addr, buf;
+            start:
+                { WAIT_FOR_DB_FULL(addr); } ==> stop
+              | { MISCBUS_READ_DB(addr, buf); } ==> { err("Buffer not synchronized"); }
+            ;
+        }
+    "#;
+
+    fn driver() -> Driver {
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        d
+    }
+
+    fn sources() -> Vec<(String, String)> {
+        (0..6)
+            .map(|i| {
+                (
+                    format!(
+                        "void f{i}(void) {{ MISCBUS_READ_DB(a, b); }}\n\
+                         void g{i}(void) {{ WAIT_FOR_DB_FULL(x); MISCBUS_READ_DB(x, y); }}"
+                    ),
+                    format!("u{i}.c"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_batch_and_memoizes() {
+        let d = driver();
+        let srcs = sources();
+        let batch = d.check_sources(&srcs).unwrap();
+
+        let mut engine = CheckEngine::in_memory();
+        let (cold, s1) = engine.check_sources(&d, &srcs).unwrap();
+        assert_eq!(cold, batch);
+        assert!(!s1.program_hit);
+        assert_eq!(s1.units_checked, srcs.len());
+
+        let (warm, s2) = engine.check_sources(&d, &srcs).unwrap();
+        assert_eq!(warm, batch);
+        assert!(s2.program_hit);
+        assert_eq!(s2.units_checked, 0);
+        assert_eq!(s2.parses, 0);
+    }
+
+    #[test]
+    fn one_dirty_unit_rechecks_only_itself() {
+        let d = driver();
+        let mut srcs = sources();
+        let mut engine = CheckEngine::in_memory();
+        engine.check_sources(&d, &srcs).unwrap();
+
+        srcs[2]
+            .0
+            .push_str("\nvoid extra2(void) { MISCBUS_READ_DB(p, q); }\n");
+        let (reports, stats) = engine.check_sources(&d, &srcs).unwrap();
+        assert_eq!(stats.units_checked, 1);
+        assert_eq!(stats.source_hits, srcs.len() - 1);
+        assert_eq!(reports, d.check_sources(&srcs).unwrap());
+    }
+
+    #[test]
+    fn layout_only_edit_replays_via_ast_key() {
+        let d = driver();
+        let mut srcs = sources();
+        let mut engine = CheckEngine::in_memory();
+        let (cold, _) = engine.check_sources(&d, &srcs).unwrap();
+
+        // Trailing whitespace displaces no token: AST (spans included) is
+        // unchanged, so the unit replays without re-checking.
+        srcs[0].0.push_str("   \n");
+        let (warm, stats) = engine.check_sources(&d, &srcs).unwrap();
+        assert_eq!(stats.ast_hits, 1);
+        assert_eq!(stats.units_checked, 0);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn suite_change_misses_everything() {
+        let srcs = sources();
+        let mut engine = CheckEngine::in_memory();
+        let d1 = driver();
+        engine.check_sources(&d1, &srcs).unwrap();
+
+        let mut d2 = driver();
+        d2.prune(false);
+        assert_ne!(d1.suite_key(), d2.suite_key());
+        let (reports, stats) = engine.check_sources(&d2, &srcs).unwrap();
+        assert!(!stats.program_hit);
+        assert_eq!(stats.units_checked, srcs.len());
+        assert_eq!(reports, d2.check_sources(&srcs).unwrap());
+    }
+
+    #[test]
+    fn config_epoch_invalidates() {
+        let srcs = sources();
+        let mut engine = CheckEngine::in_memory();
+        let d1 = driver();
+        engine.check_sources(&d1, &srcs).unwrap();
+
+        let mut d2 = driver();
+        d2.set_config_epoch(7);
+        let (_, stats) = engine.check_sources(&d2, &srcs).unwrap();
+        assert!(!stats.program_hit);
+        assert_eq!(stats.units_checked, srcs.len());
+    }
+
+    #[test]
+    fn parse_error_only_surfaces_for_dirty_units() {
+        let d = driver();
+        let mut srcs = sources();
+        let mut engine = CheckEngine::in_memory();
+        engine.check_sources(&d, &srcs).unwrap();
+
+        srcs[3].0 = "void broken( {".into();
+        let err = engine.check_sources(&d, &srcs).unwrap_err();
+        assert!(matches!(err, DriverError::Parse(_)));
+        assert!(err.to_string().contains("u3.c"));
+
+        // Fixing the file recovers, and clean units were never re-parsed.
+        srcs[3].0 = "void fixed(void) { a(); }".into();
+        let (_, stats) = engine.check_sources(&d, &srcs).unwrap();
+        assert_eq!(stats.units_checked, 1);
+    }
+}
+
+fn ast_key_of(suite: u64, file: &str, ast_fp: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(suite).write_str(file).write_u64(ast_fp);
+    h.finish()
+}
+
+/// Fans a batch of queries out over the driver's worker pool and returns
+/// their outputs in query order.
+fn run_queries(
+    driver: &Driver,
+    sources: &[(String, String)],
+    tu_slots: &[Mutex<Option<TranslationUnit>>],
+    parsed: &[Option<ParsedUnit>],
+    queries: &[Query],
+) -> Vec<QueryOutput> {
+    driver.pool_map(queries.len(), |qi| match queries[qi] {
+        Query::Parse(i) => {
+            let (src, file) = &sources[i];
+            QueryOutput::Parsed(parse_translation_unit(src, file).map(|tu| {
+                let fp = Fingerprint::of_unit(&tu);
+                (tu, fp)
+            }))
+        }
+        Query::Cfg(i) => {
+            let tu = tu_slots[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("parse ran before cfg");
+            QueryOutput::Cfg(Arc::new(CheckedUnit::new(tu)))
+        }
+        Query::Check { unit, function } => {
+            let cu = parsed[unit].as_ref().expect("cfg ran before check");
+            let f = cu
+                .unit
+                .unit
+                .functions()
+                .nth(function)
+                .expect("function index in range");
+            QueryOutput::Checked(driver.check_one_function(&cu.unit, f, &cu.unit.cfgs[function]))
+        }
+        Query::Facts(i) => {
+            let cu = parsed[i].as_ref().expect("cfg ran before facts");
+            QueryOutput::Facts(driver.collect_program_facts(&cu.unit))
+        }
+    })
+}

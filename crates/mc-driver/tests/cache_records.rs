@@ -1,0 +1,163 @@
+//! Property tests for the incremental engine's cache records: random
+//! reports and records must survive a serialize → parse round trip
+//! exactly, and corrupted or mislabeled record files must degrade to a
+//! cache miss — never a crash, never a wrong answer.
+
+use mc_ast::Span;
+use mc_driver::cache::{key_hex, ComponentRecord, DiskCache, ProgramRecord, UnitRecord};
+use mc_driver::{Report, Severity};
+use proptest::prelude::*;
+
+/// Message-like text: printable ASCII (including `"` and `\`, the JSON
+/// escape stress cases) plus embedded newlines and tabs.
+fn text() -> &'static str {
+    "[ -~\\n\\t]{0,40}"
+}
+
+fn func_name() -> &'static str {
+    "[A-Za-z_][A-Za-z0-9_]{0,10}"
+}
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    (
+        ("[a-z_]{1,12}", any::<bool>(), "[a-z_]{1,10}\\.c"),
+        (func_name(), (1u32..10_000, 1u32..240), text()),
+        (prop::collection::vec(text(), 0..4), 0u8..101, any::<u32>()),
+    )
+        .prop_map(
+            |(
+                (checker, warning, file),
+                (function, (line, col), message),
+                (trace, confidence, pruned_paths),
+            )| Report {
+                checker,
+                severity: if warning {
+                    Severity::Warning
+                } else {
+                    Severity::Error
+                },
+                file,
+                function,
+                span: Span::new(line, col),
+                message,
+                trace,
+                confidence,
+                pruned_paths,
+            },
+        )
+}
+
+fn arb_unit() -> impl Strategy<Value = UnitRecord> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(func_name(), 0..5),
+        prop::collection::vec(func_name(), 0..5),
+        prop::collection::vec(arb_report(), 0..5),
+    )
+        .prop_map(|(src_key, ast_key, defines, calls, reports)| UnitRecord {
+            src_key,
+            ast_key,
+            defines,
+            calls,
+            reports,
+        })
+}
+
+fn arb_component() -> impl Strategy<Value = ComponentRecord> {
+    (any::<u64>(), prop::collection::vec(arb_report(), 0..6))
+        .prop_map(|(key, reports)| ComponentRecord { key, reports })
+}
+
+fn arb_program() -> impl Strategy<Value = ProgramRecord> {
+    (any::<u64>(), prop::collection::vec(arb_report(), 0..6))
+        .prop_map(|(key, reports)| ProgramRecord { key, reports })
+}
+
+/// A scratch cache directory unique to this test binary run.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mc-cache-prop-{tag}-{}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn unit_record_roundtrips_exactly(rec in arb_unit()) {
+        let compact: UnitRecord = mc_json::from_str(&mc_json::to_string(&rec)).unwrap();
+        prop_assert_eq!(&compact, &rec);
+        let pretty: UnitRecord = mc_json::from_str(&mc_json::to_string_pretty(&rec)).unwrap();
+        prop_assert_eq!(&pretty, &rec);
+    }
+
+    #[test]
+    fn component_record_roundtrips_exactly(rec in arb_component()) {
+        let back: ComponentRecord = mc_json::from_str(&mc_json::to_string(&rec)).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn program_record_roundtrips_exactly(rec in arb_program()) {
+        let back: ProgramRecord = mc_json::from_str(&mc_json::to_string(&rec)).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn truncated_record_rejected_never_panics(
+        (rec, cut) in (arb_unit(), any::<usize>())
+    ) {
+        // Every strict prefix of a record document is invalid JSON (the
+        // closing brace is the last byte); parsing must error, not panic.
+        // Generated text is ASCII, so any byte index is a char boundary.
+        let text = mc_json::to_string(&rec);
+        let cut = cut % text.len(); // strictly less than len
+        prop_assert!(mc_json::from_str::<UnitRecord>(&text[..cut]).is_err());
+    }
+
+    #[test]
+    fn record_kinds_do_not_cross_parse(rec in arb_unit()) {
+        // A unit document must not load as a component or program record
+        // even though all three share the key/reports shape.
+        let text = mc_json::to_string(&rec);
+        prop_assert!(mc_json::from_str::<ComponentRecord>(&text).is_err());
+        prop_assert!(mc_json::from_str::<ProgramRecord>(&text).is_err());
+    }
+}
+
+proptest! {
+    // Disk cases touch the filesystem; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn disk_store_then_load_is_identity(rec in arb_unit()) {
+        let dir = scratch_dir("roundtrip");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store_unit(&rec);
+        prop_assert_eq!(cache.load_unit_by_source(rec.src_key).as_ref(), Some(&rec));
+        prop_assert_eq!(cache.load_unit_by_ast(rec.ast_key).as_ref(), Some(&rec));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_or_mislabeled_file_is_a_miss(
+        (rec, cut) in (arb_unit(), any::<usize>())
+    ) {
+        let dir = scratch_dir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        let text = mc_json::to_string(&rec);
+
+        // Truncated on disk: miss.
+        let path = dir.join(format!("usrc-{}.json", key_hex(rec.src_key)));
+        std::fs::write(&path, &text[..cut % text.len()]).unwrap();
+        prop_assert_eq!(cache.load_unit_by_source(rec.src_key), None);
+
+        // Valid record parked under the wrong key's filename: the embedded
+        // key check makes it a miss instead of a wrong answer.
+        let other = rec.src_key.wrapping_add(1);
+        let wrong = dir.join(format!("usrc-{}.json", key_hex(other)));
+        std::fs::write(&wrong, &text).unwrap();
+        prop_assert_eq!(cache.load_unit_by_source(other), None);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

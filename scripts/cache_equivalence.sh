@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Cache equivalence gate: running mcheck twice over the same sources with a
+# shared --cache-dir must produce byte-identical output — the second run is
+# served from the cache, and a cache hit is only correct if it is
+# indistinguishable from a cold check. Runs the whole synthetic corpus,
+# once per protocol, at two worker counts sharing one cache directory
+# (worker count is deliberately not part of the cache key).
+#
+# Usage: scripts/cache_equivalence.sh [path-to-mcheck]
+# (defaults to target/release/mcheck; builds it if missing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MCHECK=${1:-target/release/mcheck}
+if [ ! -x "$MCHECK" ]; then
+    cargo build --release -p mc-cli --bin mcheck
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$MCHECK" --emit-corpus "$work/corpus" >/dev/null
+
+# mcheck exits 1 when it emits reports (the corpus has planted bugs, so it
+# always does); only >= 2 is a real failure. See "Exit codes" in README.md.
+run_mcheck() {
+    local out=$1 jobs=$2 pdir=$3 cache=$4 rc=0
+    "$MCHECK" --builtin --spec "$pdir/spec.json" --format json \
+        --jobs "$jobs" --cache-dir "$cache" "$pdir"/*.c >"$out" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "FAIL: mcheck exited $rc on $pdir" >&2
+        exit "$rc"
+    fi
+}
+
+status=0
+for pdir in "$work"/corpus/*/; do
+    name=$(basename "$pdir")
+    cache="$work/cache-$name"
+    run_mcheck "$work/$name-cold.json" 1 "$pdir" "$cache"
+    run_mcheck "$work/$name-warm.json" 4 "$pdir" "$cache"
+    if diff -u "$work/$name-cold.json" "$work/$name-warm.json"; then
+        echo "cache-equivalence ok: $name"
+    else
+        echo "FAIL: $name warm output differs from cold" >&2
+        status=1
+    fi
+done
+exit "$status"

@@ -1,0 +1,147 @@
+//! Incremental engine equivalence: warm, disk-warm, and touched re-runs
+//! must reproduce the cold report vector exactly — same reports, same
+//! order — at every worker count, and an incremental re-check after an
+//! edit must match a from-scratch run on the edited sources.
+//!
+//! Together with `tests/determinism.rs` this pins the property that makes
+//! caching safe to leave on: output never depends on what happens to be in
+//! the cache or on thread scheduling.
+
+use flash_mc::checkers::all_checkers;
+use flash_mc::corpus::plan::PLANS;
+use flash_mc::corpus::{generate, DEFAULT_SEED};
+use flash_mc::driver::cache::DiskCache;
+use flash_mc::driver::{CheckEngine, Driver, Report};
+
+fn corpus_sources(
+    plan_idx: usize,
+) -> (Vec<(String, String)>, flash_mc::checkers::flash::FlashSpec) {
+    let proto = generate(&PLANS[plan_idx], DEFAULT_SEED.wrapping_add(plan_idx as u64));
+    (proto.sources(), proto.spec.clone())
+}
+
+fn driver_for(spec: &flash_mc::checkers::flash::FlashSpec, jobs: usize) -> Driver {
+    let mut driver = Driver::new();
+    driver.jobs(jobs);
+    all_checkers(&mut driver, spec).expect("suite registers");
+    driver
+}
+
+/// Renders reports the way `mcheck` prints them, so "identical" means
+/// byte-identical user-visible output, not just structural equality.
+fn rendered(reports: &[Report]) -> String {
+    reports
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mc-incr-test-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn cold_warm_disk_and_touch_identical_across_worker_counts() {
+    let (sources, spec) = corpus_sources(0);
+    let baseline = driver_for(&spec, 1)
+        .check_sources(&sources)
+        .expect("corpus parses");
+
+    let dir = scratch_dir("jobs");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // One shared cache directory across every worker count: the first run
+    // is cold and populates it, each later engine replays from disk.
+    let mut first = true;
+    for jobs in [1usize, 4, 8] {
+        let driver = driver_for(&spec, jobs);
+        let disk = DiskCache::open(&dir).expect("cache dir");
+        let mut engine = CheckEngine::with_disk(disk);
+
+        let (cold, stats) = engine.check_sources(&driver, &sources).expect("parses");
+        assert_eq!(cold, baseline, "jobs={jobs} cold run diverged");
+        assert_eq!(rendered(&cold), rendered(&baseline));
+        if first {
+            assert!(!stats.program_hit, "first run cannot be a cache hit");
+            first = false;
+        } else {
+            assert!(
+                stats.program_hit,
+                "jobs={jobs} should replay the program record from the shared dir"
+            );
+        }
+
+        // Warm: same engine, same sources.
+        let (warm, stats) = engine.check_sources(&driver, &sources).expect("parses");
+        assert_eq!(warm, baseline, "jobs={jobs} warm run diverged");
+        assert!(stats.program_hit && stats.parses == 0);
+
+        // "Touch": re-presenting the same bytes (what a watch poll sees
+        // after a timestamp-only change) must also be a pure replay.
+        let touched: Vec<(String, String)> = sources.clone();
+        let (after_touch, stats) = engine.check_sources(&driver, &touched).expect("parses");
+        assert_eq!(after_touch, baseline, "jobs={jobs} touched run diverged");
+        assert!(stats.program_hit && stats.units_checked == 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_dirty_warm_run_equals_fresh_cold_run() {
+    let (sources, spec) = corpus_sources(1);
+    let driver = driver_for(&spec, 4);
+
+    let mut engine = CheckEngine::in_memory();
+    engine.check_sources(&driver, &sources).expect("parses");
+
+    // Edit one file: a new helper the local checkers flag (it reads the
+    // data buffer without the simulator hooks), so the edit changes reports.
+    let mut edited = sources.clone();
+    edited[0]
+        .0
+        .push_str("\nvoid incr_probe(void) { long m; m = MISCBUS_READ_DB(a, b); }\n");
+
+    let (incremental, stats) = engine.check_sources(&driver, &edited).expect("parses");
+    assert!(!stats.program_hit);
+    assert_eq!(
+        stats.units_checked, 1,
+        "exactly the edited unit should re-check, got {stats:?}"
+    );
+    assert_eq!(
+        stats.source_hits,
+        sources.len() - 1,
+        "every other unit should replay, got {stats:?}"
+    );
+
+    let (from_scratch, _) = CheckEngine::in_memory()
+        .check_sources(&driver, &edited)
+        .expect("parses");
+    let batch = driver.check_sources(&edited).expect("parses");
+    assert_eq!(incremental, from_scratch, "incremental diverged from cold");
+    assert_eq!(incremental, batch, "engine diverged from the batch driver");
+    assert_eq!(rendered(&incremental), rendered(&batch));
+}
+
+#[test]
+fn reverting_an_edit_restores_the_original_reports_from_cache() {
+    let (sources, spec) = corpus_sources(2);
+    let driver = driver_for(&spec, 2);
+
+    let dir = scratch_dir("revert");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut engine = CheckEngine::with_disk(DiskCache::open(&dir).expect("cache dir"));
+
+    let (original, _) = engine.check_sources(&driver, &sources).expect("parses");
+
+    let mut edited = sources.clone();
+    edited[0].0.push_str("\nvoid transient(void) { }\n");
+    engine.check_sources(&driver, &edited).expect("parses");
+
+    // Undo: the original program record is still on disk and in memory, so
+    // the revert is a whole-program replay.
+    let (reverted, stats) = engine.check_sources(&driver, &sources).expect("parses");
+    assert!(stats.program_hit, "revert should hit the program cache");
+    assert_eq!(reverted, original);
+    let _ = std::fs::remove_dir_all(&dir);
+}
