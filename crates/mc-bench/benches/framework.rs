@@ -104,6 +104,7 @@ fn bench_checkers(c: &mut Criterion) {
                     function: f,
                     cfg,
                     traversal: mc_cfg::Traversal::default(),
+                    summaries: None,
                 };
                 checker.check_function(&ctx, &mut sink);
             }

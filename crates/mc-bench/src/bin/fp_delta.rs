@@ -1,44 +1,65 @@
-//! False-positive delta: the full suite run twice — with path-feasibility
-//! pruning off (the paper's xg++) and on (the `mcheck` default) — showing
-//! per-protocol and per-checker false-positive counts before/after, that
-//! every planted bug survives pruning, and how confidence ranking
+//! False-positive delta: the full suite run three ways — path-feasibility
+//! pruning off (the paper's xg++), pruning on (the `mcheck` default), and
+//! pruning plus summary-based call-site resolution (`mcheck --interproc`)
+//! — showing per-protocol false-positive counts at each rung, that every
+//! planted bug survives both analyses, and how confidence ranking
 //! separates bugs from the false positives that remain.
+//!
+//! The final `gate:` line is machine-readable and consumed by
+//! `scripts/fp_gate.sh`, the CI regression gate: bug recall and the
+//! false-positive counts must never regress past the committed baseline.
 
-use mc_bench::{jobs_from_args, row, run_all_protocols_with};
+use mc_bench::{jobs_from_args, row, run_all_protocols_full, ProtocolRun};
 use mc_corpus::PlantedKind;
 use mc_driver::Report;
 
+fn bugs(run: &ProtocolRun) -> usize {
+    run.outcome.reports_of("", PlantedKind::Bug) + run.outcome.reports_of("", PlantedKind::Incident)
+}
+
 fn main() {
     let jobs = jobs_from_args();
-    let unpruned = run_all_protocols_with(jobs, false);
-    let pruned = run_all_protocols_with(jobs, true);
+    let unpruned = run_all_protocols_full(jobs, false, false);
+    let pruned = run_all_protocols_full(jobs, true, false);
+    let interproc = run_all_protocols_full(jobs, true, true);
 
-    println!("False-positive delta: pruning off (paper) vs on (default)");
-    let widths = [12, 10, 10, 10, 12, 12];
+    println!("False-positive delta: pruning off (paper) / on (default) / on + --interproc");
+    let widths = [12, 10, 10, 10, 10, 10];
     println!(
         "{}",
         row(
-            &["Protocol", "FP off", "FP on", "removed", "bugs off", "bugs on"].map(String::from),
+            &["Protocol", "FP off", "FP on", "FP ip", "bugs off", "bugs ip"].map(String::from),
             &widths
         )
     );
-    let mut tot = [0usize; 4];
-    for (off, on) in unpruned.iter().zip(&pruned) {
+    let mut tot = [0usize; 5];
+    for ((off, on), ip) in unpruned.iter().zip(&pruned).zip(&interproc) {
         let fp_off = off.outcome.reports_of("", PlantedKind::FalsePositive);
         let fp_on = on.outcome.reports_of("", PlantedKind::FalsePositive);
-        let bugs_off = off.outcome.reports_of("", PlantedKind::Bug)
-            + off.outcome.reports_of("", PlantedKind::Incident);
-        let bugs_on = on.outcome.reports_of("", PlantedKind::Bug)
-            + on.outcome.reports_of("", PlantedKind::Incident);
+        let fp_ip = ip.outcome.reports_of("", PlantedKind::FalsePositive);
+        let bugs_off = bugs(off);
         assert_eq!(
-            bugs_off, bugs_on,
+            bugs_off,
+            bugs(on),
             "{}: pruning dropped a bug",
+            off.plan.name
+        );
+        assert_eq!(
+            bugs_off,
+            bugs(ip),
+            "{}: call-site resolution dropped a bug",
+            off.plan.name
+        );
+        assert!(
+            fp_ip <= fp_on,
+            "{}: call-site resolution added false positives",
             off.plan.name
         );
         tot[0] += fp_off;
         tot[1] += fp_on;
-        tot[2] += bugs_off;
-        tot[3] += bugs_on;
+        tot[2] += fp_ip;
+        tot[3] += bugs_off;
+        tot[4] += bugs(ip);
         println!(
             "{}",
             row(
@@ -46,9 +67,9 @@ fn main() {
                     off.plan.name.to_string(),
                     fp_off.to_string(),
                     fp_on.to_string(),
-                    (fp_off - fp_on).to_string(),
+                    fp_ip.to_string(),
                     bugs_off.to_string(),
-                    bugs_on.to_string(),
+                    bugs(ip).to_string(),
                 ],
                 &widths
             )
@@ -61,9 +82,9 @@ fn main() {
                 "total".into(),
                 tot[0].to_string(),
                 tot[1].to_string(),
-                (tot[0] - tot[1]).to_string(),
                 tot[2].to_string(),
                 tot[3].to_string(),
+                tot[4].to_string(),
             ],
             &widths
         )
@@ -98,5 +119,11 @@ fn main() {
         bug_conf.len(),
         mean(&fp_conf),
         fp_conf.len()
+    );
+
+    // Machine-readable summary for the CI regression gate.
+    println!(
+        "\ngate: bugs={} fp_pruned={} fp_interproc={}",
+        tot[3], tot[1], tot[2]
     );
 }

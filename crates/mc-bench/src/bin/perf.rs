@@ -18,12 +18,18 @@
 //! run from a fresh process (disk records only), and a one-file-dirty run.
 //! The warm and dirty speedups over cold are recorded in the output so the
 //! incremental win is part of the tracked perf trajectory.
+//!
+//! A third section measures the summary engine: the full corpus checked
+//! with call-site resolution off and on (pruning on in both), plus how
+//! many function summaries the bottom-up pass computes and how many call
+//! sites they resolve, so the cost of `--interproc` is tracked next to
+//! the false positives it removes.
 
 use mc_checkers::all_checkers;
 use mc_corpus::plan::PLANS;
 use mc_corpus::{generate, DEFAULT_SEED};
 use mc_driver::cache::DiskCache;
-use mc_driver::{CheckEngine, Driver};
+use mc_driver::{CheckEngine, CheckedUnit, Driver, Summaries};
 use mc_json::Json;
 use std::time::Instant;
 
@@ -42,18 +48,90 @@ fn check_corpus(
     jobs: usize,
     prune: bool,
 ) -> (usize, usize) {
+    check_corpus_full(sources, specs, jobs, prune, false)
+}
+
+fn check_corpus_full(
+    sources: &[Vec<(String, String)>],
+    specs: &[mc_checkers::flash::FlashSpec],
+    jobs: usize,
+    prune: bool,
+    interproc: bool,
+) -> (usize, usize) {
     let mut functions = 0;
     let mut reports = 0;
     for (srcs, spec) in sources.iter().zip(specs) {
         let mut driver = Driver::new();
         driver.jobs(jobs);
         driver.prune(prune);
+        driver.interproc(interproc);
         all_checkers(&mut driver, spec).expect("suite registers");
         let units = driver.parse_units(srcs).expect("corpus parses");
         functions += units.iter().map(|u| u.cfgs.len()).sum::<usize>();
         reports += driver.check_units(&units).len();
     }
     (functions, reports)
+}
+
+/// Timed result of the summary-engine comparison (pruning on in both).
+struct InterprocBench {
+    workers: usize,
+    wall_ms_off: f64,
+    wall_ms_on: f64,
+    reports_off: usize,
+    reports_on: usize,
+    summaries_computed: usize,
+    call_sites_resolved: usize,
+}
+
+/// Measures the corpus with call-site resolution off vs on, and counts
+/// what the bottom-up summary pass produces.
+fn bench_interproc(
+    sources: &[Vec<(String, String)>],
+    specs: &[mc_checkers::flash::FlashSpec],
+    jobs: usize,
+    reps: usize,
+) -> InterprocBench {
+    let mut wall = [f64::INFINITY; 2];
+    let mut reports = [0usize; 2];
+    for (slot, interproc) in [false, true].into_iter().enumerate() {
+        for _ in 0..reps {
+            let start = Instant::now();
+            let (_, r) = check_corpus_full(sources, specs, jobs, true, interproc);
+            wall[slot] = wall[slot].min(start.elapsed().as_secs_f64() * 1e3);
+            reports[slot] = r;
+        }
+    }
+    assert!(
+        reports[1] <= reports[0],
+        "summaries added reports ({} -> {})",
+        reports[0],
+        reports[1]
+    );
+
+    let mut summaries_computed = 0;
+    let mut call_sites_resolved = 0;
+    for (srcs, spec) in sources.iter().zip(specs) {
+        let mut driver = Driver::new();
+        driver.prune(true);
+        driver.interproc(true);
+        all_checkers(&mut driver, spec).expect("suite registers");
+        let units = driver.parse_units(srcs).expect("corpus parses");
+        let refs: Vec<&CheckedUnit> = units.iter().collect();
+        let stats = Summaries::compute(&driver, &refs, true).stats();
+        summaries_computed += stats.computed;
+        call_sites_resolved += stats.call_sites_resolved;
+    }
+
+    InterprocBench {
+        workers: jobs,
+        wall_ms_off: wall[0],
+        wall_ms_on: wall[1],
+        reports_off: reports[0],
+        reports_on: reports[1],
+        summaries_computed,
+        call_sites_resolved,
+    }
 }
 
 /// Timed result of one incremental-engine phase over the whole corpus.
@@ -294,6 +372,17 @@ fn main() {
         "warm re-check is only {warm_speedup:.1}x faster than cold (expected >= 5x)"
     );
 
+    let ip_jobs = jobs_list.iter().copied().max().unwrap_or(1);
+    let ip = bench_interproc(&sources, &specs, ip_jobs, REPS);
+    println!(
+        "interproc off wall={:8.1} ms  {} reports",
+        ip.wall_ms_off, ip.reports_off
+    );
+    println!(
+        "interproc on  wall={:8.1} ms  {} reports  ({} summaries, {} call sites resolved)",
+        ip.wall_ms_on, ip.reports_on, ip.summaries_computed, ip.call_sites_resolved
+    );
+
     let json = Json::Object(vec![
         ("benchmark".into(), Json::Str("driver_throughput".into())),
         ("corpus_seed".into(), Json::Int(DEFAULT_SEED as i64)),
@@ -356,6 +445,34 @@ fn main() {
                 (
                     "one_dirty_speedup".into(),
                     Json::Float((one_dirty_speedup * 10.0).round() / 10.0),
+                ),
+            ]),
+        ),
+        (
+            "interproc".into(),
+            Json::Object(vec![
+                ("workers".into(), Json::Int(ip.workers as i64)),
+                (
+                    "wall_ms_off".into(),
+                    Json::Float((ip.wall_ms_off * 1e3).round() / 1e3),
+                ),
+                (
+                    "wall_ms_on".into(),
+                    Json::Float((ip.wall_ms_on * 1e3).round() / 1e3),
+                ),
+                (
+                    "overhead".into(),
+                    Json::Float(((ip.wall_ms_on / ip.wall_ms_off) * 100.0).round() / 100.0),
+                ),
+                ("reports_off".into(), Json::Int(ip.reports_off as i64)),
+                ("reports_on".into(), Json::Int(ip.reports_on as i64)),
+                (
+                    "summaries_computed".into(),
+                    Json::Int(ip.summaries_computed as i64),
+                ),
+                (
+                    "call_sites_resolved".into(),
+                    Json::Int(ip.call_sites_resolved as i64),
                 ),
             ]),
         ),

@@ -13,7 +13,7 @@
 use mc_ast::Function;
 use mc_cfg::PathStats;
 use mc_checkers::{all_checkers, exec_restrict, flash};
-use mc_corpus::eval::{evaluate_with, tally, Outcome, Tally};
+use mc_corpus::eval::{evaluate_full, tally, Outcome, Tally};
 use mc_corpus::plan::{ProtoPlan, PLANS};
 use mc_corpus::{generate, PlantedKind, Protocol, DEFAULT_SEED};
 use mc_driver::{CheckedUnit, Driver, Report};
@@ -33,6 +33,8 @@ pub struct ProtocolRun {
     pub outcome: Outcome,
     /// Whether the driver ran with path-feasibility pruning.
     pub prune: bool,
+    /// Whether the driver resolved call sites through function summaries.
+    pub interproc: bool,
 }
 
 impl ProtocolRun {
@@ -94,6 +96,14 @@ pub fn run_all_protocols_with_jobs(jobs: usize) -> Vec<ProtocolRun> {
 /// `prune = true` is the driver (and `mcheck`) default; `prune = false`
 /// reproduces the paper's tables.
 pub fn run_all_protocols_with(jobs: usize, prune: bool) -> Vec<ProtocolRun> {
+    run_all_protocols_full(jobs, prune, false)
+}
+
+/// [`run_all_protocols`] with explicit worker count, pruning, and
+/// call-site-resolution settings. `interproc = true` runs the summary
+/// engine (`mcheck --interproc`), which resolves the helper-hidden
+/// false-positive classes the manifest marks interproc-resolvable.
+pub fn run_all_protocols_full(jobs: usize, prune: bool, interproc: bool) -> Vec<ProtocolRun> {
     PLANS
         .iter()
         .enumerate()
@@ -102,12 +112,13 @@ pub fn run_all_protocols_with(jobs: usize, prune: bool) -> Vec<ProtocolRun> {
             let mut driver = Driver::new();
             driver.jobs(jobs);
             driver.prune(prune);
+            driver.interproc(interproc);
             all_checkers(&mut driver, &protocol.spec).expect("suite registers");
             let units = driver
                 .parse_units(&protocol.sources())
                 .expect("corpus parses");
             let reports = driver.check_units(&units);
-            let outcome = evaluate_with(&protocol, &reports, prune);
+            let outcome = evaluate_full(&protocol, &reports, prune, interproc);
             ProtocolRun {
                 protocol,
                 plan,
@@ -115,6 +126,7 @@ pub fn run_all_protocols_with(jobs: usize, prune: bool) -> Vec<ProtocolRun> {
                 reports,
                 outcome,
                 prune,
+                interproc,
             }
         })
         .collect()
@@ -277,6 +289,25 @@ mod tests {
         for run in run_all_protocols_with(default_jobs(), true) {
             assert!(run.outcome.is_exact(), "{} (pruned)", run.plan.name);
         }
+    }
+
+    #[test]
+    fn interproc_run_is_exact_and_resolves_helper_false_positives() {
+        let runs = run_all_protocols_full(default_jobs(), true, true);
+        let mut resolvable = 0;
+        for run in &runs {
+            assert!(run.outcome.is_exact(), "{} (interproc)", run.plan.name);
+            resolvable += run
+                .protocol
+                .manifest
+                .iter()
+                .filter(|p| p.interproc_resolvable())
+                .count();
+        }
+        // Every un-annotated write-back subroutine site plus the two
+        // helper-hidden sites resolves; is_exact above proves the reports
+        // are actually gone (a survivor would be unexpected).
+        assert_eq!(resolvable, 16);
     }
 
     #[test]

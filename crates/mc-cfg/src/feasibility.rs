@@ -110,6 +110,15 @@ impl FactSet {
         });
     }
 
+    /// Drops every fact about `key` (and its member chains). The traversal
+    /// engine calls this with a callee's summarized clobber set when a call
+    /// site resolves — the principled counterpart to
+    /// [`FactSet::invalidate_expr`]'s policy of leaving *unknown* calls
+    /// alone.
+    pub fn invalidate_key(&mut self, key: &str) {
+        self.drop_key(key);
+    }
+
     /// Returns the facts after assuming `cond` evaluated to `taken`, or
     /// `None` if that assumption contradicts facts already on the path
     /// (the edge is infeasible).

@@ -17,6 +17,11 @@
 //!    a predicate-tracking domain that refutes branch edges contradicting
 //!    facts accumulated along the path, killing the paper's dominant
 //!    false-positive class (unpruned correlated branches).
+//! 4. **Function summaries** ([`FnSummary`], [`summarize_counts`],
+//!    [`run_traversal_with`]) — a per-function abstraction of what a call
+//!    can do to checker state (state-machine transfers, counter
+//!    contributions, fact clobbers), generalizing the paper's one-off §7
+//!    emit-and-link lane pass into a layer any checker can opt into.
 //!
 //! # Example
 //!
@@ -37,11 +42,16 @@ mod build;
 pub mod feasibility;
 mod machine;
 mod stats;
+mod summary;
 
 pub use build::{Block, BlockId, Cfg, Node, Terminator};
 pub use feasibility::FactSet;
 pub use machine::{
-    feasibility_stats, run_machine, run_traversal, Mode, PathEvent, PathMachine, Traversal,
-    TraversalStats,
+    feasibility_stats, run_machine, run_traversal, run_traversal_with, Mode, PathEvent,
+    PathMachine, Traversal, TraversalStats,
 };
 pub use stats::PathStats;
+pub use summary::{
+    collect_calls, collect_clobbers, summarize_counts, tarjan_sccs, CountSummary, CycleWarning,
+    FnSummary, Resolved, SummaryLookup,
+};

@@ -18,6 +18,7 @@
 
 use crate::build::{BlockId, Cfg, Terminator};
 use crate::feasibility::{const_of, Const, FactSet};
+use crate::summary::{calls_in_expr, calls_in_stmt, FnSummary, SummaryLookup};
 use mc_ast::{Expr, Span, Stmt};
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -49,6 +50,24 @@ pub enum PathEvent<'a> {
         value: Option<&'a Expr>,
         /// Location of the return.
         span: Span,
+    },
+    /// A call to a function whose summary is known. Fired only when the
+    /// traversal runs with a summary oracle ([`run_traversal_with`]) *and*
+    /// the oracle resolves the callee — without an oracle, calls stay
+    /// invisible and machines behave exactly as before summaries existed.
+    ///
+    /// Call events fire after the [`PathEvent::Stmt`] containing the call
+    /// (in evaluation order for multiple calls in one statement), and for
+    /// calls inside a terminator expression (branch condition, switch
+    /// scrutinee, return value) before the corresponding branch/case/return
+    /// events.
+    Call {
+        /// Callee name.
+        name: &'a str,
+        /// Location of the call expression.
+        span: Span,
+        /// The callee's summary, as resolved by the oracle.
+        summary: &'a FnSummary,
     },
 }
 
@@ -143,6 +162,20 @@ pub fn run_traversal<M: PathMachine>(
     init: M::State,
     traversal: Traversal,
 ) -> TraversalStats {
+    run_traversal_with(cfg, machine, init, traversal, None)
+}
+
+/// Like [`run_traversal`], but consults `oracle` at call sites: a call whose
+/// callee the oracle resolves fires a [`PathEvent::Call`] carrying the
+/// summary (after applying the summary's clobber set to the feasibility
+/// facts). With `oracle` of `None` this is byte-for-byte [`run_traversal`].
+pub fn run_traversal_with<M: PathMachine>(
+    cfg: &Cfg,
+    machine: &mut M,
+    init: M::State,
+    traversal: Traversal,
+    oracle: Option<&dyn SummaryLookup>,
+) -> TraversalStats {
     let mut refuted: HashSet<(BlockId, usize)> = HashSet::new();
     let init_facts = initial_facts(cfg, traversal.prune);
     match traversal.mode {
@@ -153,6 +186,7 @@ pub fn run_traversal<M: PathMachine>(
             init_facts,
             traversal.prune,
             &mut refuted,
+            oracle,
         ),
         Mode::Exhaustive { max_paths } => {
             let mut budget = max_paths;
@@ -167,12 +201,75 @@ pub fn run_traversal<M: PathMachine>(
                 &mut refuted,
                 &mut back_counts,
                 &mut budget,
+                oracle,
             );
         }
     }
     TraversalStats {
         refuted_edges: refuted.len(),
     }
+}
+
+/// Steps every state through the resolved calls of one statement or
+/// terminator expression, in evaluation order. Each resolved call first
+/// drops the facts its summary clobbers, then fires a [`PathEvent::Call`].
+/// Unresolved calls are skipped entirely (no event), so machines written
+/// before summaries existed keep their exact behavior.
+fn fire_calls<M: PathMachine>(
+    machine: &mut M,
+    states: Vec<M::State>,
+    calls: &[(&str, Span)],
+    oracle: &dyn SummaryLookup,
+    mut facts: Option<&mut FactSet>,
+) -> Vec<M::State> {
+    let mut states = states;
+    for (name, span) in calls {
+        let Some(summary) = oracle.lookup(name) else {
+            continue;
+        };
+        if let Some(f) = facts.as_deref_mut() {
+            for key in &summary.clobbers {
+                f.invalidate_key(key);
+            }
+        }
+        let ev = PathEvent::Call {
+            name,
+            span: *span,
+            summary,
+        };
+        let mut next = Vec::new();
+        for s in &states {
+            next.extend(machine.step(s, &ev));
+        }
+        states = dedup(next);
+        if states.is_empty() {
+            break;
+        }
+    }
+    states
+}
+
+/// The calls inside a terminator's expression, in evaluation order —
+/// empty without an oracle so no work happens on the common path.
+fn terminator_calls<'a>(
+    term: &'a Terminator,
+    oracle: Option<&dyn SummaryLookup>,
+) -> Vec<(&'a str, Span)> {
+    let mut calls = Vec::new();
+    if oracle.is_none() {
+        return calls;
+    }
+    match term {
+        Terminator::Jump(_) => {}
+        Terminator::Branch { cond, .. } => calls_in_expr(cond, &mut calls),
+        Terminator::Switch { scrutinee, .. } => calls_in_expr(scrutinee, &mut calls),
+        Terminator::Return { value, .. } => {
+            if let Some(v) = value {
+                calls_in_expr(v, &mut calls);
+            }
+        }
+    }
+    calls
 }
 
 /// Counts how many CFG edges of `cfg` the feasibility analysis refutes,
@@ -201,6 +298,7 @@ fn flow_block<M: PathMachine>(
     block: BlockId,
     states: Vec<M::State>,
     mut facts: Option<&mut FactSet>,
+    oracle: Option<&dyn SummaryLookup>,
 ) -> Vec<M::State> {
     let mut states = states;
     for node in &cfg.block(block).nodes {
@@ -214,6 +312,16 @@ fn flow_block<M: PathMachine>(
         states = dedup(next);
         if states.is_empty() {
             break;
+        }
+        if let Some(oracle) = oracle {
+            let mut calls = Vec::new();
+            calls_in_stmt(&node.stmt, &mut calls);
+            if !calls.is_empty() {
+                states = fire_calls(machine, states, &calls, oracle, facts.as_deref_mut());
+                if states.is_empty() {
+                    break;
+                }
+            }
         }
     }
     states
@@ -279,6 +387,7 @@ fn run_state_set<M: PathMachine>(
     init_facts: FactSet,
     prune: bool,
     refuted: &mut HashSet<(BlockId, usize)>,
+    oracle: Option<&dyn SummaryLookup>,
 ) {
     // The fact set is part of the visited key: identical checker states
     // with incompatible facts stay distinct (the sound join — merging them
@@ -292,15 +401,31 @@ fn run_state_set<M: PathMachine>(
             continue;
         }
         let mut facts = facts;
-        let states = flow_block(
+        let mut states = flow_block(
             cfg,
             machine,
             block,
             vec![state],
             prune.then_some(&mut facts),
+            oracle,
         );
         if states.is_empty() {
             continue;
+        }
+        // Calls inside the terminator's expression run before the branch
+        // outcome / case match / return, so their events fire here.
+        let term_calls = terminator_calls(&cfg.block(block).term, oracle);
+        if !term_calls.is_empty() {
+            states = fire_calls(
+                machine,
+                states,
+                &term_calls,
+                oracle.expect("term_calls nonempty implies oracle"),
+                prune.then_some(&mut facts),
+            );
+            if states.is_empty() {
+                continue;
+            }
         }
         match &cfg.block(block).term {
             Terminator::Jump(t) => {
@@ -445,6 +570,7 @@ fn run_exhaustive<M: PathMachine>(
     refuted: &mut HashSet<(BlockId, usize)>,
     back_counts: &mut [u8],
     budget: &mut usize,
+    oracle: Option<&dyn SummaryLookup>,
 ) {
     let mut stack: Vec<Frame<M::State>> = vec![Frame::Enter {
         block: entry,
@@ -476,10 +602,33 @@ fn run_exhaustive<M: PathMachine>(
         }
         back_counts[block.0] += 1;
 
-        let states = flow_block(cfg, machine, block, states, prune.then_some(&mut facts));
+        let mut states = flow_block(
+            cfg,
+            machine,
+            block,
+            states,
+            prune.then_some(&mut facts),
+            oracle,
+        );
         if states.is_empty() {
             back_counts[block.0] -= 1;
             continue;
+        }
+        // Terminator-expression calls fire before the terminator events,
+        // mirroring run_state_set.
+        let term_calls = terminator_calls(&cfg.block(block).term, oracle);
+        if !term_calls.is_empty() {
+            states = fire_calls(
+                machine,
+                states,
+                &term_calls,
+                oracle.expect("term_calls nonempty implies oracle"),
+                prune.then_some(&mut facts),
+            );
+            if states.is_empty() {
+                back_counts[block.0] -= 1;
+                continue;
+            }
         }
         // The `Exit` frame goes below the children so it pops after the
         // whole subtree; children are pushed in reverse so they pop in

@@ -210,6 +210,9 @@ impl PathMachine for AllocMachine {
             PathEvent::Branch { cond, .. } => vec![self.process_expr(cond, state)],
             PathEvent::Case { .. } => vec![state.clone()],
             PathEvent::Return { .. } => vec![],
+            // Unchecked-handle uses are syntactic (the handle variable is
+            // local), so callee summaries carry nothing for this checker.
+            PathEvent::Call { .. } => vec![state.clone()],
         }
     }
 }
@@ -231,6 +234,7 @@ mod tests {
                 function: f,
                 cfg: &cfg,
                 traversal: mc_cfg::Traversal::default(),
+                summaries: None,
             };
             checker.check_function(&ctx, &mut sink);
         }

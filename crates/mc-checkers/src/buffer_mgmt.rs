@@ -18,8 +18,9 @@
 
 use crate::flash::{self, FlashSpec, RoutineKind};
 use mc_ast::{Expr, ExprKind, Span, Stmt, StmtKind};
-use mc_cfg::{run_traversal, PathEvent, PathMachine};
+use mc_cfg::{FnSummary, PathEvent, PathMachine};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
+use std::collections::{BTreeMap, HashSet};
 
 /// Buffer-possession state along a path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,6 +31,29 @@ enum BufState {
     None,
     /// `no_free_needed()` was asserted: end-of-path checks are waived.
     Exempt,
+}
+
+/// The name of the summary machine this checker publishes transfers under.
+const MACHINE: &str = "buffer_mgmt";
+
+impl BufState {
+    /// Stable name used in summary transfer tables.
+    fn summary_name(self) -> &'static str {
+        match self {
+            BufState::Has => "Has",
+            BufState::None => "None",
+            BufState::Exempt => "Exempt",
+        }
+    }
+
+    fn from_summary_name(name: &str) -> Option<BufState> {
+        match name {
+            "Has" => Some(BufState::Has),
+            "None" => Some(BufState::None),
+            "Exempt" => Some(BufState::Exempt),
+            _ => None,
+        }
+    }
 }
 
 /// What a function must look like when it returns.
@@ -103,8 +127,10 @@ impl Checker for BufferMgmt {
             checker: self,
             end_rule,
             found: Vec::new(),
+            ends: None,
         };
-        run_traversal(ctx.cfg, &mut machine, init, ctx.traversal);
+        let oracle = ctx.summaries.map(|s| s as &dyn mc_cfg::SummaryLookup);
+        mc_cfg::run_traversal_with(ctx.cfg, &mut machine, init, ctx.traversal, oracle);
         machine.found.sort();
         machine.found.dedup();
         for (span, message) in machine.found {
@@ -115,6 +141,54 @@ impl Checker for BufferMgmt {
                 span,
                 message,
             ));
+        }
+    }
+
+    /// Publishes a buffer-state transfer table for helpers the spec does
+    /// not already model, so `--interproc` call sites can see through
+    /// wrappers (a helper that frees on the caller's behalf maps
+    /// `Has -> None` instead of being opaque).
+    fn summarize_function(
+        &self,
+        ctx: &FunctionContext<'_>,
+        summary: &mut FnSummary,
+        transfers: bool,
+    ) {
+        if !transfers || flash::is_unimplemented(ctx.function) {
+            return;
+        }
+        // Functions the spec tables model are applied as ops at the call
+        // site; publishing a transfer too would make them act twice.
+        let name = &ctx.function.name;
+        if self.plan(name).is_some() || self.spec.cond_free_routines.contains(name) {
+            return;
+        }
+        let mut table = BTreeMap::new();
+        for start in [BufState::Has, BufState::None, BufState::Exempt] {
+            let mut machine = BufMachine {
+                checker: self,
+                // Unused: `ends` mode records pre-return states instead of
+                // applying the end rule.
+                end_rule: EndRule::MustBeFree,
+                found: Vec::new(),
+                ends: Some(HashSet::new()),
+            };
+            let oracle = ctx.summaries.map(|s| s as &dyn mc_cfg::SummaryLookup);
+            mc_cfg::run_traversal_with(ctx.cfg, &mut machine, start, ctx.traversal, oracle);
+            let mut ends: Vec<String> = machine
+                .ends
+                .unwrap()
+                .into_iter()
+                .map(|s| s.summary_name().to_string())
+                .collect();
+            ends.sort();
+            if ends.len() == 1 && ends[0] == start.summary_name() {
+                continue; // identity transfers are left implicit
+            }
+            table.insert(start.summary_name().to_string(), ends);
+        }
+        if !table.is_empty() {
+            summary.transfers.insert(MACHINE.to_string(), table);
         }
     }
 }
@@ -134,6 +208,10 @@ struct BufMachine<'c> {
     checker: &'c BufferMgmt,
     end_rule: EndRule,
     found: Vec<(Span, String)>,
+    /// When `Some`, the machine runs in summarization mode: return events
+    /// record the pre-return state here instead of checking the end rule,
+    /// and diagnostics accumulated in `found` are discarded by the caller.
+    ends: Option<std::collections::HashSet<BufState>>,
 }
 
 impl BufMachine<'_> {
@@ -285,6 +363,10 @@ impl PathMachine for BufMachine<'_> {
             }
             PathEvent::Case { .. } => {}
             PathEvent::Return { span, .. } => {
+                if let Some(ends) = &mut self.ends {
+                    ends.insert(*state);
+                    return vec![];
+                }
                 match (self.end_rule, *state) {
                     (_, BufState::Exempt) => {}
                     (EndRule::MustBeFree, BufState::Has) => {
@@ -300,6 +382,23 @@ impl PathMachine for BufMachine<'_> {
                     _ => {}
                 }
                 return vec![];
+            }
+            PathEvent::Call { name, summary, .. } => {
+                // A callee the spec tables already model was handled as an
+                // `Op` when the enclosing statement was stepped; applying
+                // its summary too would act twice.
+                if self.classify_call(name).is_some() {
+                    return vec![*state];
+                }
+                if let Some(per_state) = summary.transfers.get(MACHINE) {
+                    if let Some(ends) = per_state.get(state.summary_name()) {
+                        return ends
+                            .iter()
+                            .filter_map(|n| BufState::from_summary_name(n))
+                            .collect();
+                    }
+                }
+                return vec![*state];
             }
         }
         let mut cur = *state;
@@ -347,6 +446,7 @@ mod tests {
                 function: f,
                 cfg: &cfg,
                 traversal: mc_cfg::Traversal::default(),
+                summaries: None,
             };
             checker.check_function(&ctx, &mut sink);
         }
@@ -466,6 +566,7 @@ mod tests {
                 function: f,
                 cfg: &cfg,
                 traversal,
+                summaries: None,
             };
             checker.check_function(&ctx, &mut sink);
             sink.into_reports()
@@ -508,6 +609,7 @@ mod tests {
             function: f,
             cfg: &cfg,
             traversal: mc_cfg::Traversal::default(),
+            summaries: None,
         };
         checker.check_function(&ctx, &mut sink);
         assert!(!sink.is_empty());

@@ -18,8 +18,9 @@
 
 use crate::flash::{self, FlashSpec, RoutineKind};
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
-use mc_cfg::{run_traversal, PathEvent, PathMachine};
+use mc_cfg::{FnSummary, PathEvent, PathMachine};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
+use std::collections::{BTreeMap, HashSet};
 
 /// The directory-update checker.
 #[derive(Debug, Clone)]
@@ -65,8 +66,10 @@ impl Checker for Directory {
         let mut machine = DirMachine {
             spec: &self.spec,
             found: Vec::new(),
+            ends: None,
         };
-        run_traversal(ctx.cfg, &mut machine, init, ctx.traversal);
+        let oracle = ctx.summaries.map(|s| s as &dyn mc_cfg::SummaryLookup);
+        mc_cfg::run_traversal_with(ctx.cfg, &mut machine, init, ctx.traversal, oracle);
         machine.found.sort();
         machine.found.dedup();
         for (span, msg) in machine.found {
@@ -77,6 +80,58 @@ impl Checker for Directory {
                 span,
                 msg,
             ));
+        }
+    }
+
+    /// Publishes a directory-state transfer table for plain procedures, so
+    /// `--interproc` call sites see through un-annotated helpers that write
+    /// the entry back on the caller's behalf (the paper's main §9
+    /// false-positive class).
+    fn summarize_function(
+        &self,
+        ctx: &FunctionContext<'_>,
+        summary: &mut FnSummary,
+        transfers: bool,
+    ) {
+        if !transfers || flash::is_unimplemented(ctx.function) {
+            return;
+        }
+        // Handlers are roots, and annotated write-back routines are already
+        // modeled at the call site; only plain procedures need transfers.
+        let name = &ctx.function.name;
+        if self.spec.classify(name) != RoutineKind::Procedure
+            || self.spec.writeback_routines.contains(name)
+        {
+            return;
+        }
+        let mut table = BTreeMap::new();
+        for bits in 0..8u8 {
+            let start = DirState {
+                loaded: bits & 1 != 0,
+                modified: bits & 2 != 0,
+                naked: bits & 4 != 0,
+            };
+            let mut machine = DirMachine {
+                spec: &self.spec,
+                found: Vec::new(),
+                ends: Some(HashSet::new()),
+            };
+            let oracle = ctx.summaries.map(|s| s as &dyn mc_cfg::SummaryLookup);
+            mc_cfg::run_traversal_with(ctx.cfg, &mut machine, start, ctx.traversal, oracle);
+            let mut ends: Vec<String> = machine
+                .ends
+                .unwrap()
+                .into_iter()
+                .map(|s| s.summary_name())
+                .collect();
+            ends.sort();
+            if ends.len() == 1 && ends[0] == start.summary_name() {
+                continue; // identity transfers are left implicit
+            }
+            table.insert(start.summary_name(), ends);
+        }
+        if !table.is_empty() {
+            summary.transfers.insert(MACHINE.to_string(), table);
         }
     }
 }
@@ -92,9 +147,57 @@ struct DirState {
     naked: bool,
 }
 
+/// The name of the summary machine this checker publishes transfers under.
+const MACHINE: &str = "directory";
+
+impl DirState {
+    /// Stable encoding used in summary transfer tables: `l{0|1}m{0|1}n{0|1}`.
+    fn summary_name(self) -> String {
+        format!(
+            "l{}m{}n{}",
+            self.loaded as u8, self.modified as u8, self.naked as u8
+        )
+    }
+
+    fn from_summary_name(name: &str) -> Option<DirState> {
+        let b = name.as_bytes();
+        let bit = |i: usize| match b.get(i) {
+            Some(b'0') => Some(false),
+            Some(b'1') => Some(true),
+            _ => None,
+        };
+        if b.len() != 6 || b[0] != b'l' || b[2] != b'm' || b[4] != b'n' {
+            return None;
+        }
+        Some(DirState {
+            loaded: bit(1)?,
+            modified: bit(3)?,
+            naked: bit(5)?,
+        })
+    }
+}
+
+/// Is `name` one of the directory macros (or NAK-carrying send) the machine
+/// models directly? Summaries for these must never be applied on top.
+fn is_modeled_call(name: &str) -> bool {
+    matches!(
+        name,
+        flash::DIR_LOAD
+            | flash::DIR_STATE
+            | flash::DIR_PTR
+            | flash::DIR_SET_STATE
+            | flash::DIR_SET_PTR
+            | flash::DIR_WRITEBACK
+            | flash::NI_SEND
+    )
+}
+
 struct DirMachine<'s> {
     spec: &'s FlashSpec,
     found: Vec<(Span, String)>,
+    /// When `Some`, summarization mode: returns record the pre-return state
+    /// instead of checking the write-back obligation.
+    ends: Option<std::collections::HashSet<DirState>>,
 }
 
 impl DirMachine<'_> {
@@ -204,6 +307,10 @@ impl PathMachine for DirMachine<'_> {
             PathEvent::Branch { cond, .. } => vec![self.process(cond, *state)],
             PathEvent::Case { .. } => vec![*state],
             PathEvent::Return { span, .. } => {
+                if let Some(ends) = &mut self.ends {
+                    ends.insert(*state);
+                    return vec![];
+                }
                 if state.modified && !state.naked {
                     self.found.push((
                         *span,
@@ -211,6 +318,22 @@ impl PathMachine for DirMachine<'_> {
                     ));
                 }
                 vec![]
+            }
+            PathEvent::Call { name, summary, .. } => {
+                // Directory macros and annotated write-back routines were
+                // already modeled by `process` on the enclosing statement.
+                if is_modeled_call(name) || self.spec.writeback_routines.contains(*name) {
+                    return vec![*state];
+                }
+                if let Some(per_state) = summary.transfers.get(MACHINE) {
+                    if let Some(ends) = per_state.get(&state.summary_name()) {
+                        return ends
+                            .iter()
+                            .filter_map(|n| DirState::from_summary_name(n))
+                            .collect();
+                    }
+                }
+                vec![*state]
             }
         }
     }
@@ -258,6 +381,7 @@ mod tests {
                 function: f,
                 cfg: &cfg,
                 traversal: mc_cfg::Traversal::default(),
+                summaries: None,
             };
             checker.check_function(&ctx, &mut sink);
         }

@@ -347,6 +347,7 @@ mod tests {
                 function: f,
                 cfg: &cfg,
                 traversal: mc_cfg::Traversal::default(),
+                summaries: None,
             };
             checker.check_function(&ctx, &mut sink);
         }

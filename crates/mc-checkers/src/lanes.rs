@@ -4,18 +4,19 @@
 //! pre-declared output-queue allowance (per virtual "lane") is available.
 //! A handler that can send more than its allowance on some path can wedge
 //! the whole machine. The check is inherently inter-procedural: sends
-//! happen inside helpers, so it uses the [`mc_driver::global`] emit/link
-//! framework — the local pass annotates each send with its lane, the
-//! global pass links the call graph and computes the maximum sends per
-//! lane over every inter-procedural path, with the fixed-point rule for
-//! cycles (send-free cycles are ignored; cycles containing sends are
-//! flagged).
+//! happen inside helpers, so the checker opts into the driver's shared
+//! summary engine ([`mc_driver::summaries`]) — [`Checker::summarize_function`]
+//! annotates each send with its lane and folds callee summaries in
+//! (bottom-up order guarantees they exist), and the program pass reads the
+//! per-handler lane maxima straight from the store, with the fixed-point
+//! rule for cycles (send-free cycles are ignored; cycles containing sends
+//! are flagged).
 
 use crate::flash::{self, FlashSpec, RoutineKind, NUM_LANES};
 use mc_ast::ExprKind;
-use mc_cfg::Cfg;
-use mc_driver::global::{EmittedGraph, GlobalGraph, GraphEvent};
-use mc_driver::{CheckSink, Checker, Fact, FunctionContext, ProgramContext, Report};
+use mc_cfg::{summarize_counts, FnSummary};
+use mc_driver::{CheckSink, Checker, Fact, FunctionContext, ProgramContext, Report, Summaries};
+use std::collections::HashSet;
 
 /// The lane-quota checker.
 #[derive(Debug)]
@@ -36,7 +37,7 @@ impl Lanes {
         }
     }
 
-    /// The key used for lane `i` in emitted graphs.
+    /// The counter key used for lane `i` in function summaries.
     fn key(i: usize) -> String {
         format!("lane{i}")
     }
@@ -47,37 +48,70 @@ impl Checker for Lanes {
         "lanes"
     }
 
-    /// Inter-procedural: the program pass links the component's call graph,
+    /// Inter-procedural: the program pass reads whole-component summaries,
     /// so it must re-run whenever any unit in the component changes.
     fn has_program_pass(&self) -> bool {
         true
     }
 
-    /// Local pass: emit this function's flow graph with each send
-    /// annotated by the lane it uses. Runs concurrently per function; the
-    /// graph travels to the program pass as a [`Fact`].
-    fn check_function(&self, ctx: &FunctionContext<'_>, sink: &mut CheckSink) {
-        sink.emit(emit_lane_graph(ctx.file, ctx.cfg));
+    /// The quota analysis cannot run without summaries, so the driver
+    /// computes them whenever this checker is registered — with or without
+    /// `--interproc`.
+    fn needs_summaries(&self) -> bool {
+        true
     }
 
-    /// Global pass: link all graphs, traverse from every handler, and flag
-    /// any lane whose maximum send count exceeds the handler's allowance.
-    fn check_program(&self, ctx: &ProgramContext<'_>, facts: Vec<Fact>, sink: &mut Vec<Report>) {
-        let graphs: Vec<EmittedGraph> = facts
-            .into_iter()
-            .filter_map(|f| f.downcast::<EmittedGraph>().ok().map(|g| *g))
-            .collect();
-        let global = GlobalGraph::link(graphs);
+    /// All per-function work happens in [`Checker::summarize_function`];
+    /// nothing is emitted here.
+    fn check_function(&self, _: &FunctionContext<'_>, _: &mut CheckSink) {}
+
+    /// Emit half: count this function's sends per lane along its worst
+    /// path, folding in the already-summarized callees.
+    fn summarize_function(&self, ctx: &FunctionContext<'_>, summary: &mut FnSummary, _: bool) {
+        let store = ctx
+            .summaries
+            .expect("the summary engine always provides the store");
+        let counts = summarize_counts(
+            ctx.file,
+            ctx.cfg,
+            &mut |e| {
+                let (name, args) = e.as_call()?;
+                let first_const = args.first().and_then(|a| match &a.kind {
+                    ExprKind::Ident(n) => Some(n.as_str()),
+                    _ => None,
+                });
+                let lane = flash::lane_of_send(name, first_const)?;
+                Some((Lanes::key(lane), 1))
+            },
+            &|callee| store.resolve(callee),
+        );
+        summary.counters.extend(counts.counters);
+        summary.traces.extend(counts.traces);
+        summary.warnings.extend(counts.warnings);
+    }
+
+    /// Link half: for every handler, compare its per-lane maxima against
+    /// its allowance and surface cycle warnings from every function the
+    /// handler can reach.
+    fn check_program(&self, ctx: &ProgramContext<'_>, _: Vec<Fact>, sink: &mut Vec<Report>) {
+        let Some(store) = ctx.summaries else {
+            return;
+        };
         for (file, func) in ctx.functions() {
             let kind = self.spec.classify(&func.name);
             if kind == RoutineKind::Procedure {
                 continue;
             }
-            let mut cycle_warnings = Vec::new();
-            let summary = global.summarize(&func.name, &mut cycle_warnings);
+            let Some(summary) = store.get(&func.name) else {
+                continue;
+            };
             let quota = self.spec.quota(&func.name);
             for (lane, &allowance) in quota.iter().enumerate().take(NUM_LANES) {
-                let max = summary.max.get(&Lanes::key(lane)).copied().unwrap_or(0);
+                let max = summary
+                    .counters
+                    .get(&Lanes::key(lane))
+                    .copied()
+                    .unwrap_or(0);
                 if max > allowance as i64 {
                     let mut report = Report::error(
                         "lanes",
@@ -89,16 +123,16 @@ impl Checker for Lanes {
                              allowance is {allowance}"
                         ),
                     );
-                    if let Some(trace) = summary.trace.get(&Lanes::key(lane)) {
+                    if let Some(trace) = summary.traces.get(&Lanes::key(lane)) {
                         report.trace = trace.clone();
                     }
                     sink.push(report);
                 }
             }
-            for w in cycle_warnings {
+            for w in reachable_warnings(store, &func.name) {
                 if self.fixed_point_cycles && w.keys.iter().all(|k| k == "<recursion>") {
-                    // Send-free recursion is already filtered by the
-                    // framework; a <recursion> marker here means sends
+                    // Send-free recursion never produces a warning in the
+                    // first place; a <recursion> marker here means sends
                     // exist somewhere in the function, which the per-lane
                     // counting above covers. Skip the duplicate.
                     continue;
@@ -108,28 +142,36 @@ impl Checker for Lanes {
                     file,
                     &func.name,
                     func.span,
-                    w.description,
+                    w.description.clone(),
                 ));
             }
         }
     }
 }
 
-/// Builds the lane-annotated flow graph of one function (the local pass).
-pub fn emit_lane_graph(file: &str, cfg: &Cfg) -> EmittedGraph {
-    EmittedGraph::from_cfg(file, cfg, |e| {
-        let (name, args) = e.as_call()?;
-        let first_const = args.first().and_then(|a| match &a.kind {
-            ExprKind::Ident(n) => Some(n.as_str()),
-            _ => None,
-        });
-        let lane = flash::lane_of_send(name, first_const)?;
-        Some(GraphEvent::Count {
-            key: Lanes::key(lane),
-            amount: 1,
-            line: e.span.line,
-        })
-    })
+/// Collects the cycle warnings of every function reachable from `root`
+/// through summarized calls, in deterministic DFS order (a helper's cycle
+/// is the *handler's* problem — it runs under the handler's allowance).
+fn reachable_warnings<'a>(store: &'a Summaries, root: &str) -> Vec<&'a mc_cfg::CycleWarning> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut stack: Vec<&str> = vec![root];
+    while let Some(name) = stack.pop() {
+        if !seen.insert(name) {
+            continue;
+        }
+        let Some(summary) = store.get(name) else {
+            continue;
+        };
+        out.extend(summary.warnings.iter());
+        // `calls` is sorted; push reversed so DFS visits in sorted order.
+        for callee in summary.calls.iter().rev() {
+            if !seen.contains(callee.as_str()) {
+                stack.push(callee);
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -237,6 +279,20 @@ mod tests {
         );
         assert_eq!(r.len(), 1);
         assert!(r[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn helper_cycle_warns_at_the_handler() {
+        // The cycle lives in a helper, but the report belongs to the
+        // handler whose allowance the helper runs under.
+        let r = check_with(
+            quota_spec("NILocalGet", [4, 4, 4, 4]),
+            r#"void pump(void) { while (more) { NI_SEND(MSG_REQ, F_NODATA, k, w, d, n); } }
+               void NILocalGet(void) { pump(); }"#,
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].function, "NILocalGet");
+        assert!(r[0].message.contains("pump"));
     }
 
     #[test]

@@ -178,6 +178,11 @@ impl PathMachine for WaitMachine {
                 }
                 vec![]
             }
+            // `Pending` carries a `&'static str` interface name that cannot
+            // round-trip through a summary's string encoding, so this
+            // checker stays intraprocedural (the paper's wait obligations
+            // are local to one handler anyway).
+            PathEvent::Call { .. } => vec![*state],
         }
     }
 }
@@ -219,6 +224,7 @@ mod tests {
                 function: f,
                 cfg: &cfg,
                 traversal: mc_cfg::Traversal::default(),
+                summaries: None,
             };
             checker.check_function(&ctx, &mut sink);
         }

@@ -42,6 +42,12 @@ pub struct Options {
     /// Path-feasibility pruning (`--no-prune` turns it off, reproducing
     /// the paper's unpruned xg++ behaviour).
     pub prune: bool,
+    /// Inter-procedural checking: resolve call sites through bottom-up
+    /// function summaries instead of treating calls as opaque
+    /// (`--interproc` turns it on; off reproduces xg++'s per-function
+    /// behaviour, except for the lane checker, which is always summary-
+    /// based).
+    pub interproc: bool,
     /// Write the corpus to this directory instead of checking.
     pub emit_corpus: Option<PathBuf>,
     /// Corpus seed.
@@ -53,6 +59,9 @@ pub struct Options {
     pub cache_dir: Option<PathBuf>,
     /// Ignore `cache_dir` (fully cold run; nothing read or written).
     pub no_cache: bool,
+    /// Bound the on-disk cache to this many bytes; the oldest record files
+    /// are evicted when a store pushes the total over (`None`: unbounded).
+    pub cache_cap_bytes: Option<u64>,
     /// Keep running: poll the input files (mtime + content hash) and
     /// re-check on every change.
     pub watch: bool,
@@ -77,11 +86,13 @@ impl Default for Options {
             exhaustive: false,
             jobs: None,
             prune: true,
+            interproc: false,
             emit_corpus: None,
             seed: mc_corpus::DEFAULT_SEED,
             json: false,
             cache_dir: None,
             no_cache: false,
+            cache_cap_bytes: None,
             watch: false,
             watch_interval_ms: 500,
             watch_iterations: None,
@@ -116,12 +127,20 @@ usage: mcheck [OPTIONS] <file.c>...
   --prune / --no-prune     refute paths whose branch conditions contradict
                            each other (default on; --no-prune reproduces
                            the paper's unpruned behaviour)
+  --interproc / --no-interproc
+                           resolve call sites through bottom-up function
+                           summaries so helpers stop looking opaque
+                           (default off; the lane checker is always
+                           summary-based)
   --format <text|json>     report output format (default text); reports
                            are ordered most-likely-real first (descending
                            confidence)
   --cache-dir <dir>        persist check artifacts between runs; a warm
                            run only re-checks files whose content changed
   --no-cache               ignore --cache-dir for this run (fully cold)
+  --cache-cap-bytes <n>    bound the on-disk cache: evict the oldest
+                           record files when a store pushes the total
+                           size over n bytes (default unbounded)
   --watch                  keep running: poll the input files (mtime +
                            content hash) and re-check on every change
   --watch-interval <ms>    watch poll interval (default 500)
@@ -178,6 +197,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             }
             "--prune" => opts.prune = true,
             "--no-prune" => opts.prune = false,
+            "--interproc" => opts.interproc = true,
+            "--no-interproc" => opts.interproc = false,
             "--format" => {
                 let v = it.next().ok_or(CliError("--format needs a value".into()))?;
                 match v.as_str() {
@@ -195,6 +216,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                 opts.cache_dir = Some(PathBuf::from(v));
             }
             "--no-cache" => opts.no_cache = true,
+            "--cache-cap-bytes" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--cache-cap-bytes needs a byte count".into()))?;
+                match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => opts.cache_cap_bytes = Some(n),
+                    _ => {
+                        return Err(CliError(format!(
+                            "--cache-cap-bytes expects a positive byte count, got `{v}`"
+                        )))
+                    }
+                }
+            }
             "--watch" => opts.watch = true,
             "--watch-interval" => {
                 let v = it
@@ -281,6 +315,7 @@ pub fn build_driver(opts: &Options) -> Result<Driver, CliError> {
         driver.mode = mc_cfg_mode_exhaustive();
     }
     driver.prune(opts.prune);
+    driver.interproc(opts.interproc);
     if let Some(n) = opts.jobs {
         driver.jobs(n);
     }
@@ -319,8 +354,9 @@ fn read_sources(files: &[PathBuf]) -> Result<Vec<(String, String)>, CliError> {
 pub fn engine_for(opts: &Options) -> Result<CheckEngine, CliError> {
     match &opts.cache_dir {
         Some(dir) if !opts.no_cache => {
-            let disk =
+            let mut disk =
                 DiskCache::open(dir).map_err(|e| CliError(format!("{}: {e}", dir.display())))?;
+            disk.set_cap_bytes(opts.cache_cap_bytes);
             Ok(CheckEngine::with_disk(disk))
         }
         _ => Ok(CheckEngine::in_memory()),
@@ -501,13 +537,14 @@ fn emit_corpus(dir: &std::path::Path, seed: u64) -> Result<(), CliError> {
             .iter()
             .map(|p| {
                 format!(
-                    "{}\t{}\t{}\t{:?}\t{}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{:?}\t{}\t{}\t{}\t{}\n",
                     p.checker,
                     p.file,
                     p.function,
                     p.kind,
                     p.expected_reports,
                     p.expected_reports_pruned,
+                    p.expected_reports_interproc,
                     p.note
                 )
             })
@@ -596,6 +633,28 @@ mod tests {
         let o = args(&["--builtin", "--no-prune", "--prune", "a.c"]).unwrap();
         assert!(o.prune, "later flag wins");
         assert!(USAGE.contains("--no-prune"));
+    }
+
+    #[test]
+    fn interproc_flags_parse_and_default_off() {
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert!(!o.interproc, "interproc must default off");
+        let o = args(&["--builtin", "--interproc", "a.c"]).unwrap();
+        assert!(o.interproc);
+        let o = args(&["--builtin", "--interproc", "--no-interproc", "a.c"]).unwrap();
+        assert!(!o.interproc, "later flag wins");
+        assert!(USAGE.contains("--interproc"));
+    }
+
+    #[test]
+    fn cache_cap_bytes_parses() {
+        let o = args(&["--builtin", "--cache-cap-bytes", "65536", "a.c"]).unwrap();
+        assert_eq!(o.cache_cap_bytes, Some(65536));
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert_eq!(o.cache_cap_bytes, None, "unbounded by default");
+        assert!(args(&["--builtin", "--cache-cap-bytes", "0", "a.c"]).is_err());
+        assert!(args(&["--builtin", "--cache-cap-bytes", "big", "a.c"]).is_err());
+        assert!(USAGE.contains("--cache-cap-bytes"));
     }
 
     #[test]

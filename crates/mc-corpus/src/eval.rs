@@ -51,6 +51,21 @@ pub fn evaluate(protocol: &Protocol, reports: &[Report]) -> Outcome {
 /// reports, so prunable false positives are *required absent* when `pruned`
 /// and *required present* when not.
 pub fn evaluate_with(protocol: &Protocol, reports: &[Report], pruned: bool) -> Outcome {
+    evaluate_full(protocol, reports, pruned, false)
+}
+
+/// Evaluates `reports` under explicit pruning *and* call-site resolution
+/// settings: each planted item expects
+/// [`crate::Planted::expected_full`]`(pruned, interproc)` reports, so
+/// summary-resolvable false positives (frees in wrappers, lengths assigned
+/// in helpers, un-annotated write-back subroutines) are *required absent*
+/// when `interproc` and *required present* when not.
+pub fn evaluate_full(
+    protocol: &Protocol,
+    reports: &[Report],
+    pruned: bool,
+    interproc: bool,
+) -> Outcome {
     // Group reports by (checker, function).
     let mut by_slot: BTreeMap<(String, String), Vec<Report>> = BTreeMap::new();
     for r in reports {
@@ -64,7 +79,7 @@ pub fn evaluate_with(protocol: &Protocol, reports: &[Report], pruned: bool) -> O
         let key = (planted.checker.clone(), planted.function.clone());
         let got = by_slot.remove(&key).unwrap_or_default();
         let n = got.len();
-        let expected = planted.expected(pruned);
+        let expected = planted.expected_full(pruned, interproc);
         if n < expected {
             out.missed.push(planted.clone());
         }
@@ -122,6 +137,7 @@ mod tests {
             kind,
             expected_reports: n,
             expected_reports_pruned: n,
+            expected_reports_interproc: n,
             note: String::new(),
         }
     }
@@ -189,6 +205,28 @@ mod tests {
         assert!(out.is_exact());
         let out = evaluate_with(&p, &[], false);
         assert_eq!(out.missed.len(), 1);
+    }
+
+    #[test]
+    fn interproc_resolvable_false_positive_expected_absent_when_resolved() {
+        let mut fp = planted("directory", "NIGet", PlantedKind::FalsePositive, 1);
+        fp.expected_reports_interproc = 0;
+        assert!(fp.interproc_resolvable());
+        assert!(!fp.prunable());
+        let p = proto(vec![fp]);
+        // Local analysis (with or without pruning) must report it...
+        let out = evaluate_full(&p, &[report("directory", "NIGet")], true, false);
+        assert!(out.is_exact());
+        // ...the summary engine must not...
+        let out = evaluate_full(&p, &[], true, true);
+        assert!(out.is_exact());
+        // ...and a surviving report under interproc is unexpected.
+        let out = evaluate_full(&p, &[report("directory", "NIGet")], true, true);
+        assert_eq!(out.unexpected.len(), 1);
+        // Resolution is independent of pruning: interproc removes it even
+        // in an unpruned run.
+        let out = evaluate_full(&p, &[], false, true);
+        assert!(out.is_exact());
     }
 
     #[test]

@@ -178,6 +178,7 @@ impl<'p> Gen<'p> {
             kind,
             expected_reports: expected,
             expected_reports_pruned: expected,
+            expected_reports_interproc: expected,
             note: note.to_string(),
         });
     }
@@ -190,6 +191,16 @@ impl<'p> Gen<'p> {
             .last_mut()
             .expect("plant before prunable")
             .expected_reports_pruned = pruned;
+    }
+
+    /// Marks the most recently planted item as resolved by the summary
+    /// engine: with `--interproc` it must produce `resolved` reports
+    /// instead of `expected_reports`.
+    fn interproc_resolved(&mut self, resolved: usize) {
+        self.manifest
+            .last_mut()
+            .expect("plant before interproc_resolved")
+            .expected_reports_interproc = resolved;
     }
 
     // ---------- reusable segments -----------------------------------------
@@ -435,6 +446,9 @@ impl<'p> Gen<'p> {
         if self.plan.msglen_fps > 0 {
             self.plant_msglen_fp_site(self.plan.msglen_fps);
         }
+        for _ in 0..self.plan.msglen_fp_helper {
+            self.plant_msglen_fp_helper();
+        }
         let doubles = self.plan.buf_bugs - self.plan.buf_bug_leaks;
         for i in 0..doubles {
             self.plant_buf_double_free(i, PlantedKind::Bug, "double free (shared legacy)");
@@ -465,6 +479,9 @@ impl<'p> Gen<'p> {
         }
         for _ in 0..singles {
             self.plant_buf_fp_datadep();
+        }
+        for _ in 0..self.plan.buf_fp_wrapper {
+            self.plant_buf_fp_wrapper();
         }
         for i in 0..self.plan.hook_bugs {
             self.plant_hook_bug(i);
@@ -616,6 +633,63 @@ impl<'p> Gen<'p> {
             "send parameter selected at run time; impossible paths flagged",
         );
         self.prunable(0);
+    }
+
+    /// §5 false positive the summary engine resolves: the length is
+    /// assigned inside a helper, so the per-function machine still sees
+    /// the stale zero length at the send. Under `--interproc` the helper's
+    /// `zero_len -> nonzero_len` transfer is applied at the call site and
+    /// the report disappears.
+    fn plant_msglen_fp_helper(&mut self) {
+        let helper = format!("{}_set_len_word", self.plan.name);
+        let mut h = FuncBuf::new(&helper, FnKind::Procedure);
+        h.line("HANDLER_GLOBALS(header.nh.len) = LEN_WORD;");
+        self.push_fn(&h);
+
+        let name = self.hw_name("IO");
+        let mut f = FuncBuf::new(&name, FnKind::Hardware);
+        f.line("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;");
+        f.line(format!("{helper}();"));
+        f.line("IO_SEND(F_DATA, 1, 0, W_NOWAIT, 1, 0);");
+        f.line("DB_FREE();");
+        self.sends = self.sends.saturating_sub(1);
+        let file = self.push_fn(&f);
+        self.plant(
+            "msglen_check",
+            file,
+            &name,
+            PlantedKind::FalsePositive,
+            1,
+            "length assigned in a helper; the local machine sees a stale zero length",
+        );
+        self.interproc_resolved(0);
+    }
+
+    /// §6 false positive the summary engine resolves: the free happens
+    /// inside an un-annotated wrapper, so the per-function machine thinks
+    /// the handler leaks its buffer. Under `--interproc` the wrapper's
+    /// `Has -> None` transfer is applied at the call site.
+    fn plant_buf_fp_wrapper(&mut self) {
+        let helper = format!("{}_free_raw", self.plan.name);
+        let mut h = FuncBuf::new(&helper, FnKind::Procedure);
+        h.line("DB_FREE();");
+        self.push_fn(&h);
+
+        let name = self.hw_name("PI");
+        let mut f = FuncBuf::new(&name, FnKind::Hardware);
+        f.decl("v0", "0");
+        f.line("v0 = gTick & 511;");
+        f.line(format!("{helper}();"));
+        let file = self.push_fn(&f);
+        self.plant(
+            "buffer_mgmt",
+            file,
+            &name,
+            PlantedKind::FalsePositive,
+            1,
+            "free hidden in an un-annotated wrapper; the handler appears to leak",
+        );
+        self.interproc_resolved(0);
     }
 
     /// §6 bug: double free (optionally buried under rare conditions).
@@ -869,6 +943,10 @@ impl<'p> Gen<'p> {
             1,
             "write-back subroutine not annotated in the checker table",
         );
+        // The summary engine computes the subroutine's directory-state
+        // transfer, so `--interproc` resolves what the annotation table
+        // could not.
+        self.interproc_resolved(0);
     }
 
     /// §9.1 FP: speculative modification backed out on the NAK path.

@@ -89,6 +89,12 @@ pub struct Planted {
     /// (the driver default). Differs from `expected_reports` only for the
     /// correlated-branch false-positive class, which pruning refutes.
     pub expected_reports_pruned: usize,
+    /// Number of reports expected when the summary engine resolves call
+    /// sites (`--interproc`). Differs from `expected_reports` only for
+    /// false positives caused by a helper the local analysis cannot see
+    /// into (un-annotated write-back subroutines, free wrappers, length
+    /// assignments in helpers).
+    pub expected_reports_interproc: usize,
     /// Human-readable description, mirroring the paper's anecdotes.
     pub note: String,
 }
@@ -103,10 +109,28 @@ impl Planted {
         }
     }
 
+    /// The report count expected under the given pruning *and* call-site
+    /// resolution settings. Pruning and summaries remove different
+    /// false-positive classes, so the two caps compose: interprocedural
+    /// resolution can only remove reports, never add them.
+    pub fn expected_full(&self, pruned: bool, interproc: bool) -> usize {
+        let base = self.expected(pruned);
+        if interproc {
+            base.min(self.expected_reports_interproc)
+        } else {
+            base
+        }
+    }
+
     /// Whether this item is a false positive the feasibility analysis
     /// removes.
     pub fn prunable(&self) -> bool {
         self.expected_reports_pruned < self.expected_reports
+    }
+
+    /// Whether this item is a false positive the summary engine removes.
+    pub fn interproc_resolvable(&self) -> bool {
+        self.expected_reports_interproc < self.expected_reports
     }
 }
 

@@ -3,10 +3,15 @@
 //! Every record is one mc-json document in one file under the cache
 //! directory, named after the content-addressed key it answers
 //! (`usrc-<key>.json`, `uast-<key>.json`, `comp-<key>.json`,
-//! `prog-<key>.json`). Keys already fold the driver's
+//! `sumy-<key>.json`, `prog-<key>.json`). Keys already fold the driver's
 //! [`suite_key`](crate::Driver::suite_key), so one directory can be shared
 //! by different checker suites, configurations, and crate versions without
 //! cross-talk.
+//!
+//! The directory can be size-bounded ([`DiskCache::set_cap_bytes`]):
+//! every store then evicts record files oldest-first until the directory
+//! fits. Eviction only costs future hits — a capped cache produces
+//! byte-identical reports to an unbounded one.
 //!
 //! The cache is *safety-first*: loads validate the record kind, format
 //! version, and embedded key against the file they came from, and **any**
@@ -16,6 +21,7 @@
 //! a broken disk degrades a warm run into a cold run, nothing worse.
 
 use crate::report::Report;
+use mc_cfg::{CycleWarning, FnSummary};
 use mc_json::{field, object, FromJson, Json, JsonError, ToJson};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -67,6 +73,14 @@ pub struct UnitRecord {
     pub src_key: u64,
     /// Key of the unit's parsed AST (suite-scoped).
     pub ast_key: u64,
+    /// The component key the unit's local reports were computed under when
+    /// interprocedural call-site resolution was on, `0` otherwise.
+    ///
+    /// With summaries in play a unit's local reports depend on its whole
+    /// call-graph component, not just its own source: the engine compares
+    /// this against the component key of the current run and demotes the
+    /// record to dirty on mismatch.
+    pub summary_key: u64,
     /// Function names the unit defines, in definition order.
     pub defines: Vec<String>,
     /// Function names the unit calls, sorted.
@@ -83,6 +97,7 @@ impl ToJson for UnitRecord {
             ("version", CACHE_FORMAT_VERSION.to_json()),
             ("src_key", Json::Str(key_hex(self.src_key))),
             ("ast_key", Json::Str(key_hex(self.ast_key))),
+            ("summary_key", Json::Str(key_hex(self.summary_key))),
             ("defines", self.defines.to_json()),
             ("calls", self.calls.to_json()),
             ("reports", self.reports.to_json()),
@@ -96,6 +111,7 @@ impl FromJson for UnitRecord {
         Ok(UnitRecord {
             src_key: key_from_json(v, "src_key")?,
             ast_key: key_from_json(v, "ast_key")?,
+            summary_key: key_from_json(v, "summary_key")?,
             defines: field(v, "defines")?,
             calls: field(v, "calls")?,
             reports: field(v, "reports")?,
@@ -129,6 +145,104 @@ impl FromJson for ComponentRecord {
         Ok(ComponentRecord {
             key: key_from_json(v, "key")?,
             reports: field(v, "reports")?,
+        })
+    }
+}
+
+/// The cached function summaries of one call-graph component.
+///
+/// Keyed exactly like [`ComponentRecord`] (suite key + every member
+/// unit's AST key): summaries are a pure function of the component's
+/// sources and the checker suite. Replaying a cached store instead of
+/// recomputing it must be unobservable, so the full [`FnSummary`]
+/// round-trips — counters, traces, transfers, clobbers, warnings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRecord {
+    /// Key folding the suite key and every member unit's AST key.
+    pub key: u64,
+    /// The component's function summaries, in function-name order.
+    pub summaries: Vec<FnSummary>,
+}
+
+fn warning_to_json(w: &CycleWarning) -> Json {
+    object(vec![
+        ("function", Json::Str(w.function.clone())),
+        ("keys", w.keys.to_json()),
+        ("description", Json::Str(w.description.clone())),
+    ])
+}
+
+fn warning_from_json(v: &Json) -> Result<CycleWarning, JsonError> {
+    Ok(CycleWarning {
+        function: field(v, "function")?,
+        keys: field(v, "keys")?,
+        description: field(v, "description")?,
+    })
+}
+
+fn summary_to_json(s: &FnSummary) -> Json {
+    object(vec![
+        ("function", Json::Str(s.function.clone())),
+        ("file", Json::Str(s.file.clone())),
+        ("calls", s.calls.to_json()),
+        ("counters", s.counters.to_json()),
+        ("traces", s.traces.to_json()),
+        ("transfers", s.transfers.to_json()),
+        ("clobbers", s.clobbers.to_json()),
+        (
+            "warnings",
+            Json::Array(s.warnings.iter().map(warning_to_json).collect()),
+        ),
+    ])
+}
+
+fn summary_from_json(v: &Json) -> Result<FnSummary, JsonError> {
+    let warnings = v
+        .get("warnings")
+        .and_then(|w| w.as_array())
+        .ok_or_else(|| JsonError::expected("warnings array"))?
+        .iter()
+        .map(warning_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FnSummary {
+        function: field(v, "function")?,
+        file: field(v, "file")?,
+        calls: field(v, "calls")?,
+        counters: field(v, "counters")?,
+        traces: field(v, "traces")?,
+        transfers: field(v, "transfers")?,
+        clobbers: field(v, "clobbers")?,
+        warnings,
+    })
+}
+
+impl ToJson for SummaryRecord {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("kind", Json::Str("summaries".into())),
+            ("version", CACHE_FORMAT_VERSION.to_json()),
+            ("key", Json::Str(key_hex(self.key))),
+            (
+                "summaries",
+                Json::Array(self.summaries.iter().map(summary_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SummaryRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        check_tag(v, "summaries")?;
+        let summaries = v
+            .get("summaries")
+            .and_then(|s| s.as_array())
+            .ok_or_else(|| JsonError::expected("summaries array"))?
+            .iter()
+            .map(summary_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SummaryRecord {
+            key: key_from_json(v, "key")?,
+            summaries,
         })
     }
 }
@@ -172,6 +286,7 @@ impl FromJson for ProgramRecord {
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
+    cap_bytes: Option<u64>,
 }
 
 impl DiskCache {
@@ -186,12 +301,63 @@ impl DiskCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(DiskCache { dir })
+        Ok(DiskCache {
+            dir,
+            cap_bytes: None,
+        })
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Bounds the total size of record files in the directory.
+    ///
+    /// After every store, record files are evicted oldest-first (by
+    /// modification time, ties broken by file name) until the directory is
+    /// within `cap` bytes. `None` removes the bound. Eviction is invisible
+    /// to correctness — an evicted record is simply a future miss.
+    pub fn set_cap_bytes(&mut self, cap: Option<u64>) -> &mut Self {
+        self.cap_bytes = cap;
+        self
+    }
+
+    /// The configured size bound, if any.
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.cap_bytes
+    }
+
+    /// Evicts record files oldest-first until the directory fits the cap.
+    fn enforce_cap(&self) {
+        let Some(cap) = self.cap_bytes else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= cap {
+            return;
+        }
+        files.sort();
+        for (_, path, len) in files {
+            if total <= cap {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+            }
+        }
     }
 
     fn path(&self, prefix: &str, key: u64) -> PathBuf {
@@ -212,6 +378,7 @@ impl DiskCache {
         if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
+        self.enforce_cap();
     }
 
     /// Looks a unit up by the hash of its raw source text.
@@ -245,6 +412,17 @@ impl DiskCache {
         self.store(self.path("comp", rec.key), &mc_json::to_string(rec));
     }
 
+    /// Looks up a component's cached function summaries.
+    pub fn load_summaries(&self, key: u64) -> Option<SummaryRecord> {
+        let rec: SummaryRecord = self.load("sumy", key)?;
+        (rec.key == key).then_some(rec)
+    }
+
+    /// Stores a component's function summaries.
+    pub fn store_summaries(&self, rec: &SummaryRecord) {
+        self.store(self.path("sumy", rec.key), &mc_json::to_string(rec));
+    }
+
     /// Looks up a whole run's final reports.
     pub fn load_program(&self, key: u64) -> Option<ProgramRecord> {
         let rec: ProgramRecord = self.load("prog", key)?;
@@ -266,6 +444,7 @@ mod tests {
         UnitRecord {
             src_key: 0xdead_beef_dead_beef,
             ast_key: 0x1234_5678_9abc_def0,
+            summary_key: 0,
             defines: vec!["NILocalGet".into(), "helper".into()],
             calls: vec!["NI_SEND".into(), "helper".into()],
             reports: vec![Report::error(
@@ -294,9 +473,69 @@ mod tests {
         let text = mc_json::to_string(&rec);
         let as_comp: Result<ComponentRecord, _> = mc_json::from_str(&text);
         assert!(as_comp.is_err());
-        let bumped = text.replace("\"version\":1", "\"version\":999");
+        let current = format!("\"version\":{CACHE_FORMAT_VERSION}");
+        assert!(text.contains(&current), "{text}");
+        let bumped = text.replace(&current, "\"version\":999");
         let back: Result<UnitRecord, _> = mc_json::from_str(&bumped);
         assert!(back.is_err());
+    }
+
+    #[test]
+    fn summary_record_roundtrip_exact() {
+        let mut s = FnSummary {
+            function: "NIRemoteGet".into(),
+            file: "p.c".into(),
+            calls: vec!["NI_SEND".into(), "helper".into()],
+            clobbers: vec!["gLen".into(), "h->len".into()],
+            ..FnSummary::default()
+        };
+        s.counters.insert("lane2".into(), 2);
+        s.traces
+            .insert("lane2".into(), vec!["p.c:3: lane2 in helper".into()]);
+        let mut per_state = std::collections::BTreeMap::new();
+        per_state.insert("zero_len".into(), vec!["nonzero_len".into()]);
+        per_state.insert("all".into(), Vec::new());
+        s.transfers.insert("msglen".into(), per_state);
+        s.warnings.push(CycleWarning {
+            function: "helper".into(),
+            keys: vec!["lane2".into()],
+            description: "cycle with side effects in `helper`".into(),
+        });
+        let rec = SummaryRecord {
+            key: 0xfeed_face_feed_face,
+            summaries: vec![s],
+        };
+        let text = mc_json::to_string(&rec);
+        let back: SummaryRecord = mc_json::from_str(&text).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn cap_evicts_oldest_record_files_first() {
+        let dir = std::env::temp_dir().join(format!("mc-cache-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = DiskCache::open(&dir).unwrap();
+        let mut rec = sample_unit();
+        cache.store_unit(&rec);
+        let one = mc_json::to_string(&rec).len() as u64;
+        // Each store writes two files (usrc + uast); a cap below three
+        // files' worth forces the older pair out when the new one lands.
+        let cap = one * 3 - 1;
+        cache.set_cap_bytes(Some(cap));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rec.src_key += 1;
+        rec.ast_key += 1;
+        cache.store_unit(&rec);
+        // The newer record survives; the older pair was evicted.
+        assert_eq!(cache.load_unit_by_source(rec.src_key), Some(rec.clone()));
+        assert_eq!(cache.load_unit_by_source(rec.src_key - 1), None);
+        let total: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(total <= cap, "{total}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

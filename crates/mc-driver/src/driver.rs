@@ -12,8 +12,11 @@
 //! way keeps cold and warm reports byte-identical.
 
 use crate::report::Report;
+use crate::summaries::Summaries;
 use mc_ast::{parse_translation_unit, Fnv1a, Function, ParseError, TranslationUnit};
-use mc_cfg::{feasibility_stats, run_traversal, Cfg, Mode, Traversal};
+use mc_cfg::{
+    feasibility_stats, run_traversal_with, Cfg, FnSummary, Mode, SummaryLookup, Traversal,
+};
 use mc_metal::{MetalMachine, MetalParseError, MetalProgram, MetalReport};
 use std::any::Any;
 use std::fmt;
@@ -96,6 +99,15 @@ pub struct FunctionContext<'a> {
     /// configured with; path-sensitive checkers should honor these instead
     /// of hard-coding a mode.
     pub traversal: Traversal,
+    /// The function-summary store, when available.
+    ///
+    /// `Some` in two situations: during a normal check run with
+    /// interprocedural analysis enabled ([`Driver::interproc`]), and while
+    /// the summary engine is summarizing this very function (then it holds
+    /// the partially-built store, with every callee below this function in
+    /// bottom-up order already present). `None` means calls are opaque —
+    /// the pre-summary behavior.
+    pub summaries: Option<&'a Summaries>,
 }
 
 /// Everything a whole-program checker may inspect, after all per-function
@@ -110,6 +122,10 @@ pub struct FunctionContext<'a> {
 pub struct ProgramContext<'a> {
     /// The checked units of this call-graph component, in input order.
     pub units: &'a [&'a CheckedUnit],
+    /// The function-summary store for this component, present whenever any
+    /// registered checker declares [`Checker::needs_summaries`] (the lane
+    /// checker always does) or interprocedural analysis is enabled.
+    pub summaries: Option<&'a Summaries>,
 }
 
 impl ProgramContext<'_> {
@@ -191,7 +207,7 @@ impl CheckSink {
 ///
 /// Implementations get a per-function hook and an optional whole-program
 /// hook that runs after every function has been seen (the paper's two-pass
-/// emit-and-link global framework; see [`crate::global`]).
+/// emit-and-link global framework; see [`crate::summaries`]).
 ///
 /// The per-function hook takes `&self` because the driver fans functions
 /// out across worker threads; per-function state goes into the
@@ -232,6 +248,35 @@ pub trait Checker: Send + Sync {
     fn check_program(&self, ctx: &ProgramContext<'_>, facts: Vec<Fact>, sink: &mut Vec<Report>) {
         let _ = (ctx, facts, sink);
     }
+
+    /// Whether this checker requires function summaries even when
+    /// interprocedural call-site resolution is disabled.
+    ///
+    /// The lane checker returns `true`: §7's quota analysis is inherently
+    /// interprocedural (a handler's sends include its callees' sends), so
+    /// the driver always computes summaries when it is registered. Checkers
+    /// that merely *benefit* from summaries (msglen, buffer management)
+    /// leave this `false` and participate only under `--interproc`.
+    fn needs_summaries(&self) -> bool {
+        false
+    }
+
+    /// Contributes this checker's knowledge about one function to the
+    /// function's summary.
+    ///
+    /// Called by the summary engine bottom-up over the call graph:
+    /// `ctx.summaries` holds every already-summarized callee. `transfers`
+    /// is `true` when the engine wants call-site state transfers computed
+    /// (interprocedural mode, function not part of a call cycle); counter
+    /// contributions (the lane analysis) should be computed regardless.
+    fn summarize_function(
+        &self,
+        ctx: &FunctionContext<'_>,
+        summary: &mut FnSummary,
+        transfers: bool,
+    ) {
+        let _ = (ctx, summary, transfers);
+    }
 }
 
 /// Per-function results, produced by whichever worker claimed the item and
@@ -256,7 +301,7 @@ pub(crate) struct UnitLocal {
 
 /// Version stamp folded into every cache key. Bump whenever the meaning or
 /// layout of cached records changes in a way content addressing cannot see.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// The analysis driver: a set of checkers plus traversal settings.
 pub struct Driver {
@@ -265,6 +310,7 @@ pub struct Driver {
     /// Path traversal mode used for metal machines.
     pub mode: Mode,
     prune: bool,
+    interproc: bool,
     jobs: Option<usize>,
     /// Running hash of the registered checker suite, folded at registration
     /// time; part of [`Driver::suite_key`].
@@ -285,6 +331,7 @@ impl fmt::Debug for Driver {
             )
             .field("mode", &self.mode)
             .field("prune", &self.prune)
+            .field("interproc", &self.interproc)
             .field("jobs", &self.jobs)
             .finish()
     }
@@ -305,6 +352,7 @@ impl Driver {
             native: Vec::new(),
             mode: Mode::StateSet,
             prune: true,
+            interproc: false,
             jobs: None,
             suite: Fnv1a::new(),
             config_epoch: 0,
@@ -323,6 +371,33 @@ impl Driver {
     /// Whether the next check run prunes infeasible paths.
     pub fn prune_enabled(&self) -> bool {
         self.prune
+    }
+
+    /// Enables or disables interprocedural call-site resolution (default:
+    /// disabled).
+    ///
+    /// When on, the driver computes a function summary for every definition
+    /// bottom-up over the call graph and hands the store to every local
+    /// traversal: a state machine sitting at a call to a summarized function
+    /// follows the callee's state *transfer* instead of treating the call as
+    /// opaque. This is how "length assigned in a helper" and "free via a
+    /// wrapper" stop producing false positives.
+    pub fn interproc(&mut self, on: bool) -> &mut Self {
+        self.interproc = on;
+        self
+    }
+
+    /// Whether the next check run resolves call sites through summaries.
+    pub fn interproc_enabled(&self) -> bool {
+        self.interproc
+    }
+
+    /// Whether the next check run computes function summaries at all —
+    /// either because interprocedural resolution is on, or because a
+    /// registered checker (the lane checker) demands them for its program
+    /// pass.
+    pub fn needs_summaries(&self) -> bool {
+        self.interproc || self.native.iter().any(|c| c.needs_summaries())
     }
 
     /// The traversal settings the next check run will use.
@@ -423,7 +498,22 @@ impl Driver {
         h.write_u64(self.suite.finish());
         h.write_u64(self.config_epoch);
         h.write_str(&self.traversal().cache_token());
+        h.write_str(if self.interproc {
+            "interproc"
+        } else {
+            "nointerproc"
+        });
         h.finish()
+    }
+
+    /// The registered metal programs, in registration order.
+    pub(crate) fn metal_programs(&self) -> &[MetalProgram] {
+        &self.metal
+    }
+
+    /// The registered native checkers, in registration order.
+    pub(crate) fn native_checkers(&self) -> &[Box<dyn Checker>] {
+        &self.native
     }
 
     /// Whether any registered native checker has a whole-program pass.
@@ -523,25 +613,31 @@ impl Driver {
     }
 
     /// Runs every registered checker's function pass over one function.
+    ///
+    /// `summaries` is `Some` only under [`Driver::interproc`]: local
+    /// traversals then resolve call sites through the store.
     pub(crate) fn check_one_function(
         &self,
         unit: &CheckedUnit,
         function: &Function,
         cfg: &Cfg,
+        summaries: Option<&Summaries>,
     ) -> FunctionOutput {
         let traversal = self.traversal();
+        let oracle = summaries.map(|s| s as &dyn SummaryLookup);
         let ctx = FunctionContext {
             file: &unit.unit.file,
             unit: &unit.unit,
             function,
             cfg,
             traversal,
+            summaries,
         };
         let mut metal = Vec::new();
         for prog in &self.metal {
             let mut machine = MetalMachine::new(prog);
             let init = machine.start_state();
-            run_traversal(cfg, &mut machine, init, traversal);
+            run_traversal_with(cfg, &mut machine, init, traversal, oracle);
             metal.extend(
                 machine
                     .reports
@@ -565,7 +661,11 @@ impl Driver {
     /// Runs the local (per-function) passes of every given unit over the
     /// worker pool and merges the outputs per unit, in `(unit, function)`
     /// index order — never completion order.
-    pub(crate) fn run_local_passes(&self, units: &[&CheckedUnit]) -> Vec<UnitLocal> {
+    pub(crate) fn run_local_passes(
+        &self,
+        units: &[&CheckedUnit],
+        summaries: Option<&Summaries>,
+    ) -> Vec<UnitLocal> {
         // One work item per function definition, in program order.
         let fns: Vec<Vec<&Function>> = units.iter().map(|u| u.unit.functions().collect()).collect();
         let mut items: Vec<(usize, usize)> = Vec::new();
@@ -577,7 +677,7 @@ impl Driver {
 
         let outputs = self.pool_map(items.len(), |i| {
             let (u, f) = items[i];
-            self.check_one_function(units[u], fns[u][f], &units[u].cfgs[f])
+            self.check_one_function(units[u], fns[u][f], &units[u].cfgs[f], summaries)
         });
 
         let mut locals: Vec<UnitLocal> = units
@@ -605,7 +705,11 @@ impl Driver {
     /// its call-graph neighbours changed, the unit's facts are regenerated
     /// with this cheaper pass: metal machines and purely-local native
     /// checkers are skipped, and all diagnostics are discarded.
-    pub(crate) fn collect_program_facts(&self, unit: &CheckedUnit) -> Vec<Vec<Fact>> {
+    pub(crate) fn collect_program_facts(
+        &self,
+        unit: &CheckedUnit,
+        summaries: Option<&Summaries>,
+    ) -> Vec<Vec<Fact>> {
         let traversal = self.traversal();
         let mut facts: Vec<Vec<Fact>> = self.native.iter().map(|_| Vec::new()).collect();
         for (function, cfg) in unit.functions() {
@@ -615,6 +719,7 @@ impl Driver {
                 function,
                 cfg,
                 traversal,
+                summaries,
             };
             for (i, checker) in self.native.iter().enumerate() {
                 if !checker.has_program_pass() {
@@ -637,8 +742,9 @@ impl Driver {
         &self,
         units: &[&CheckedUnit],
         facts: Vec<Vec<Fact>>,
+        summaries: Option<&Summaries>,
     ) -> Vec<Report> {
-        let ctx = ProgramContext { units };
+        let ctx = ProgramContext { units, summaries };
         let mut reports = Vec::new();
         for (checker, checker_facts) in self.native.iter().zip(facts) {
             if checker.has_program_pass() {
@@ -659,7 +765,22 @@ impl Driver {
     /// byte-identical reports.
     pub fn check_units(&self, units: &[CheckedUnit]) -> Vec<Report> {
         let refs: Vec<&CheckedUnit> = units.iter().collect();
-        let mut locals = self.run_local_passes(&refs);
+        // One store over the whole batch: summaries are per-function and
+        // bottom-up, so this is equivalent to computing them per call-graph
+        // component (no summary ever crosses a component boundary).
+        let summaries = if self.needs_summaries() {
+            Some(Summaries::compute(self, &refs, self.interproc))
+        } else {
+            None
+        };
+        // Local traversals only see the store when call-site resolution is
+        // on; the lane checker's program pass sees it regardless.
+        let local_summaries = if self.interproc {
+            summaries.as_ref()
+        } else {
+            None
+        };
+        let mut locals = self.run_local_passes(&refs, local_summaries);
 
         let mut reports = Vec::new();
         for local in &mut locals {
@@ -676,7 +797,7 @@ impl Driver {
                         facts[ci].append(f);
                     }
                 }
-                reports.extend(self.run_program_passes(&members, facts));
+                reports.extend(self.run_program_passes(&members, facts, summaries.as_ref()));
             }
         }
         reports.sort();

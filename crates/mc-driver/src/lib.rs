@@ -13,11 +13,14 @@
 //!   analyses that need tables, richer state, or the global framework
 //!   (buffer management, lane quotas, execution restrictions).
 //!
-//! The [`global`] module reproduces xg++'s inter-procedural support: local
-//! passes *emit* annotated flow graphs (serializable to files, exactly as
-//! xg++ wrote them to disk), a link step builds a whole-protocol call
-//! graph, and a traversal with fixed-point cycle handling computes
-//! inter-procedural summaries (used by the lane/deadlock checker).
+//! The [`summaries`] module generalizes xg++'s inter-procedural support:
+//! every checker can *emit* what it knows about one function into that
+//! function's [`mc_cfg::FnSummary`] (counters, state transfers, clobbered
+//! facts), and the engine *links* by computing summaries bottom-up over
+//! the call-graph SCCs with the paper's fixed-point cycle handling. The
+//! lane/deadlock checker reads counter summaries in its program pass;
+//! under [`Driver::interproc`] every path-sensitive checker resolves call
+//! sites through the store.
 //!
 //! Checking is parallel: the driver parses files and checks functions
 //! across a worker pool ([`Driver::jobs`]), tagging every work item with
@@ -48,9 +51,9 @@
 
 pub mod cache;
 mod driver;
-pub mod global;
 mod query;
 mod report;
+pub mod summaries;
 
 pub use driver::{
     call_components, call_info, CallInfo, CheckSink, CheckedUnit, Checker, Driver, DriverError,
@@ -58,3 +61,4 @@ pub use driver::{
 };
 pub use query::{CheckEngine, Query, RunStats};
 pub use report::{Report, Severity};
+pub use summaries::{Summaries, SummaryStats};

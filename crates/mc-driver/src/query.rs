@@ -31,11 +31,12 @@
 //! config epoch, traversal settings, file names, content hashes), loads
 //! validate records against their keys, and anything unverifiable re-runs.
 
-use crate::cache::{ComponentRecord, DiskCache, ProgramRecord, UnitRecord};
+use crate::cache::{ComponentRecord, DiskCache, ProgramRecord, SummaryRecord, UnitRecord};
 use crate::driver::{
     call_components, call_info, CallInfo, CheckedUnit, Driver, DriverError, Fact, UnitLocal,
 };
 use crate::report::Report;
+use crate::summaries::Summaries;
 use mc_ast::{parse_translation_unit, Fingerprint, Fnv1a, ParseError, TranslationUnit};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
@@ -125,6 +126,8 @@ pub struct CheckEngine {
     units: HashMap<u64, Arc<UnitRecord>>,
     /// Component program-pass reports by component key.
     components: HashMap<u64, Arc<ComponentRecord>>,
+    /// Component function-summary stores by component key.
+    summaries: HashMap<u64, Arc<Summaries>>,
     /// Final report vectors by program key.
     programs: HashMap<u64, Arc<ProgramRecord>>,
 }
@@ -201,6 +204,43 @@ impl CheckEngine {
         let rec = Arc::new(self.disk.as_ref()?.load_program(key)?);
         self.programs.insert(key, rec.clone());
         Some(rec)
+    }
+
+    /// The summary store of one component: memoized, then disk, then
+    /// computed from the (already parsed) member units. Replaying a cached
+    /// store is unobservable because [`SummaryRecord`] round-trips every
+    /// field of every summary.
+    fn component_summaries(
+        &mut self,
+        driver: &Driver,
+        key: u64,
+        members: &[&CheckedUnit],
+    ) -> Arc<Summaries> {
+        if let Some(s) = self.summaries.get(&key) {
+            return s.clone();
+        }
+        let store = match self.disk.as_ref().and_then(|d| d.load_summaries(key)) {
+            Some(rec) => {
+                let mut s = Summaries::empty();
+                for fs in rec.summaries {
+                    s.insert(fs);
+                }
+                s
+            }
+            None => {
+                let s = Summaries::compute(driver, members, driver.interproc_enabled());
+                if let Some(d) = &self.disk {
+                    d.store_summaries(&SummaryRecord {
+                        key,
+                        summaries: s.iter().cloned().collect(),
+                    });
+                }
+                s
+            }
+        };
+        let store = Arc::new(store);
+        self.summaries.insert(key, store.clone());
+        store
     }
 
     /// Checks `(source, file-name)` pairs as one program, reusing every
@@ -295,17 +335,126 @@ impl CheckEngine {
             }
         }
 
+        // Partition into call-graph components *before* checking anything:
+        // under interprocedural analysis a unit's local reports depend on
+        // its whole component, so component keys participate in unit-record
+        // validation. Call infos come from cached records for clean units
+        // and from the fresh parse for dirty ones — no extra parsing.
+        let ast_keys: Vec<u64> = (0..n)
+            .map(|i| match &recs[i] {
+                Some(r) => r.ast_key,
+                None => {
+                    let pu = parsed[i].as_ref().expect("dirty units are parsed");
+                    ast_key_of(suite, &sources[i].1, pu.ast_fp)
+                }
+            })
+            .collect();
+        let infos: Vec<CallInfo> = (0..n)
+            .map(|i| match &recs[i] {
+                Some(r) => CallInfo {
+                    defines: r.defines.clone(),
+                    calls: r.calls.clone(),
+                },
+                None => call_info(&parsed[i].as_ref().expect("parsed").unit.unit),
+            })
+            .collect();
+        let comps = call_components(&infos);
+        stats.components = comps.len();
+        let mut comp_of = vec![0usize; n];
+        for (c, comp) in comps.iter().enumerate() {
+            for &i in comp {
+                comp_of[i] = c;
+            }
+        }
+        let comp_keys: Vec<u64> = comps
+            .iter()
+            .map(|comp| {
+                let mut keys: Vec<u64> = comp.iter().map(|&i| ast_keys[i]).collect();
+                keys.sort_unstable();
+                let mut h = Fnv1a::new();
+                h.write_u64(suite);
+                for k in keys {
+                    h.write_u64(k);
+                }
+                h.finish()
+            })
+            .collect();
+
+        let interproc = driver.interproc_enabled();
+        if interproc {
+            // Demote records whose reports were computed under a different
+            // component content: a changed neighbour means changed callee
+            // summaries, so the unit's local reports may change even though
+            // its own source did not.
+            let mut demoted: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    recs[i]
+                        .as_ref()
+                        .is_some_and(|r| r.summary_key != comp_keys[comp_of[i]])
+                })
+                .collect();
+            if !demoted.is_empty() {
+                for &i in &demoted {
+                    recs[i] = None;
+                }
+                self.parse_into(
+                    driver,
+                    sources,
+                    &content_keys,
+                    &demoted,
+                    &mut parsed,
+                    &mut stats,
+                )?;
+                dirty.append(&mut demoted);
+                dirty.sort_unstable();
+            }
+        }
+
+        // Build (or replay) the summary store of every component that will
+        // run local checks, parsing any still-clean members it needs.
+        let dirty_set: HashSet<usize> = dirty.iter().copied().collect();
+        let mut unit_summaries: Vec<Option<Arc<Summaries>>> = vec![None; n];
+        if interproc && !dirty.is_empty() {
+            let touched: Vec<usize> = (0..comps.len())
+                .filter(|&c| comps[c].iter().any(|i| dirty_set.contains(i)))
+                .collect();
+            let missing: Vec<usize> = touched
+                .iter()
+                .flat_map(|&c| comps[c].iter().copied())
+                .filter(|&i| parsed[i].is_none())
+                .collect();
+            self.parse_into(
+                driver,
+                sources,
+                &content_keys,
+                &missing,
+                &mut parsed,
+                &mut stats,
+            )?;
+            for &c in &touched {
+                let members: Vec<&CheckedUnit> = comps[c]
+                    .iter()
+                    .map(|&i| parsed[i].as_ref().expect("parsed above").unit.as_ref())
+                    .collect();
+                let store = self.component_summaries(driver, comp_keys[c], &members);
+                for &i in &comps[c] {
+                    unit_summaries[i] = Some(store.clone());
+                }
+            }
+        }
+
         // Tier 3: full local pass for genuinely changed units.
         stats.units_checked = dirty.len();
         let mut dirty_facts: HashMap<usize, Vec<Vec<Fact>>> = HashMap::new();
         if !dirty.is_empty() {
-            let locals = self.check_dirty(driver, &parsed, &dirty);
+            let locals = self.check_dirty(driver, &parsed, &dirty, &unit_summaries);
             for (&i, local) in dirty.iter().zip(locals) {
                 let pu = parsed[i].as_ref().expect("parsed above");
                 let info = call_info(&pu.unit.unit);
                 let rec = Arc::new(UnitRecord {
                     src_key: src_keys[i],
-                    ast_key: ast_key_of(suite, &sources[i].1, pu.ast_fp),
+                    ast_key: ast_keys[i],
+                    summary_key: if interproc { comp_keys[comp_of[i]] } else { 0 },
                     defines: info.defines,
                     calls: info.calls,
                     reports: local.reports,
@@ -319,48 +468,13 @@ impl CheckEngine {
             }
         }
 
-        // Partition into call-graph components from the cached call infos
-        // (no parsing needed for clean units).
-        let infos: Vec<CallInfo> = recs
-            .iter()
-            .map(|r| {
-                let r = r.as_ref().expect("every unit resolved");
-                CallInfo {
-                    defines: r.defines.clone(),
-                    calls: r.calls.clone(),
-                }
-            })
-            .collect();
-        let comps = call_components(&infos);
-        stats.components = comps.len();
-
         let mut reports: Vec<Report> = Vec::new();
         for rec in recs.iter().flatten() {
             reports.extend(rec.reports.iter().cloned());
         }
 
         if driver.has_program_checkers() {
-            let dirty_set: HashSet<usize> = dirty.iter().copied().collect();
             // Decide per component: replay or re-run.
-            let comp_keys: Vec<u64> = comps
-                .iter()
-                .map(|comp| {
-                    let mut keys: Vec<u64> = comp
-                        .iter()
-                        .map(|&i| {
-                            let r = recs[i].as_ref().expect("resolved");
-                            r.ast_key
-                        })
-                        .collect();
-                    keys.sort_unstable();
-                    let mut h = Fnv1a::new();
-                    h.write_u64(suite);
-                    for k in keys {
-                        h.write_u64(k);
-                    }
-                    h.finish()
-                })
-                .collect();
             let mut rerun: Vec<usize> = Vec::new();
             let mut comp_reports: Vec<Option<Arc<ComponentRecord>>> = vec![None; comps.len()];
             for (c, comp) in comps.iter().enumerate() {
@@ -393,6 +507,26 @@ impl CheckEngine {
                     &mut stats,
                 )?;
 
+                // Program passes read summaries (the lane checker always,
+                // every checker under interproc); facts regeneration only
+                // mirrors what the batch local pass would have seen.
+                let mut comp_stores: Vec<Option<Arc<Summaries>>> = vec![None; rerun.len()];
+                if driver.needs_summaries() {
+                    for (j, &c) in rerun.iter().enumerate() {
+                        let members: Vec<&CheckedUnit> = comps[c]
+                            .iter()
+                            .map(|&i| parsed[i].as_ref().expect("parsed above").unit.as_ref())
+                            .collect();
+                        let store = self.component_summaries(driver, comp_keys[c], &members);
+                        if interproc {
+                            for &i in &comps[c] {
+                                unit_summaries[i] = Some(store.clone());
+                            }
+                        }
+                        comp_stores[j] = Some(store);
+                    }
+                }
+
                 let regen: Vec<usize> = rerun
                     .iter()
                     .flat_map(|&c| comps[c].iter().copied())
@@ -400,7 +534,7 @@ impl CheckEngine {
                     .collect();
                 stats.facts_regenerated = regen.len();
                 let queries: Vec<Query> = regen.iter().map(|&i| Query::Facts(i)).collect();
-                let outputs = run_queries(driver, sources, &[], &parsed, &queries);
+                let outputs = run_queries(driver, sources, &[], &parsed, &unit_summaries, &queries);
                 let mut regen_facts: HashMap<usize, Vec<Vec<Fact>>> = HashMap::new();
                 for (&i, out) in regen.iter().zip(outputs) {
                     match out {
@@ -438,7 +572,7 @@ impl CheckEngine {
                         .map(|&i| parsed[i].as_ref().expect("parsed above").unit.as_ref())
                         .collect();
                     let facts = work[j].lock().unwrap().take().expect("taken once");
-                    driver.run_program_passes(&members, facts)
+                    driver.run_program_passes(&members, facts, comp_stores[j].as_deref())
                 });
                 for (&c, out) in rerun.iter().zip(outs) {
                     let rec = Arc::new(ComponentRecord {
@@ -471,9 +605,11 @@ impl CheckEngine {
         }
 
         // Bound memo growth across watch iterations: keep only the parse
-        // artifacts of the sources we just saw.
+        // and summary artifacts of the program we just saw.
         let live: HashSet<u64> = content_keys.iter().copied().collect();
         self.checked.retain(|k, _| live.contains(k));
+        let live_comps: HashSet<u64> = comp_keys.iter().copied().collect();
+        self.summaries.retain(|k, _| live_comps.contains(k));
 
         Ok((reports, stats))
     }
@@ -514,7 +650,7 @@ impl CheckEngine {
         stats.parses += todo.len();
 
         let queries: Vec<Query> = todo.iter().map(|&i| Query::Parse(i)).collect();
-        let outputs = run_queries(driver, sources, &[], parsed, &queries);
+        let outputs = run_queries(driver, sources, &[], parsed, &[], &queries);
         let mut fps: Vec<u64> = Vec::with_capacity(todo.len());
         let tu_slots: Vec<Mutex<Option<TranslationUnit>>> = {
             let slots: Vec<Mutex<Option<TranslationUnit>>> =
@@ -533,7 +669,7 @@ impl CheckEngine {
         };
 
         let queries: Vec<Query> = todo.iter().map(|&i| Query::Cfg(i)).collect();
-        let outputs = run_queries(driver, sources, &tu_slots, parsed, &queries);
+        let outputs = run_queries(driver, sources, &tu_slots, parsed, &[], &queries);
         for ((&i, out), fp) in todo.iter().zip(outputs).zip(fps) {
             match out {
                 QueryOutput::Cfg(unit) => {
@@ -555,6 +691,7 @@ impl CheckEngine {
         driver: &Driver,
         parsed: &[Option<ParsedUnit>],
         dirty: &[usize],
+        unit_summaries: &[Option<Arc<Summaries>>],
     ) -> Vec<UnitLocal> {
         let mut queries: Vec<Query> = Vec::new();
         for &i in dirty {
@@ -566,7 +703,7 @@ impl CheckEngine {
                 });
             }
         }
-        let outputs = run_queries(driver, &[], &[], parsed, &queries);
+        let outputs = run_queries(driver, &[], &[], parsed, unit_summaries, &queries);
 
         let mut by_unit: HashMap<usize, UnitLocal> = dirty
             .iter()
@@ -746,8 +883,11 @@ fn run_queries(
     sources: &[(String, String)],
     tu_slots: &[Mutex<Option<TranslationUnit>>],
     parsed: &[Option<ParsedUnit>],
+    unit_summaries: &[Option<Arc<Summaries>>],
     queries: &[Query],
 ) -> Vec<QueryOutput> {
+    let store_of =
+        |unit: usize| -> Option<&Summaries> { unit_summaries.get(unit).and_then(|s| s.as_deref()) };
     driver.pool_map(queries.len(), |qi| match queries[qi] {
         Query::Parse(i) => {
             let (src, file) = &sources[i];
@@ -772,11 +912,16 @@ fn run_queries(
                 .functions()
                 .nth(function)
                 .expect("function index in range");
-            QueryOutput::Checked(driver.check_one_function(&cu.unit, f, &cu.unit.cfgs[function]))
+            QueryOutput::Checked(driver.check_one_function(
+                &cu.unit,
+                f,
+                &cu.unit.cfgs[function],
+                store_of(unit),
+            ))
         }
         Query::Facts(i) => {
             let cu = parsed[i].as_ref().expect("cfg ran before facts");
-            QueryOutput::Facts(driver.collect_program_facts(&cu.unit))
+            QueryOutput::Facts(driver.collect_program_facts(&cu.unit, store_of(i)))
         }
     })
 }

@@ -104,11 +104,19 @@ impl Report {
         }
     }
 
-    /// Sorts reports most-likely-real first: descending confidence, then
-    /// the derived report order (checker, severity, location) for stable
-    /// tie-breaking.
+    /// Sorts reports most-likely-real first: descending confidence. Equal
+    /// confidence breaks ties by (file, line, checker) — source position
+    /// before checker name, so a reviewer sweeps each file top to bottom —
+    /// with the full derived order as the final tie-break.
     pub fn sort_by_confidence(reports: &mut [Report]) {
-        reports.sort_by(|a, b| b.confidence.cmp(&a.confidence).then_with(|| a.cmp(b)));
+        reports.sort_by(|a, b| {
+            b.confidence
+                .cmp(&a.confidence)
+                .then_with(|| a.file.cmp(&b.file))
+                .then_with(|| a.span.line.cmp(&b.span.line))
+                .then_with(|| a.checker.cmp(&b.checker))
+                .then_with(|| a.cmp(b))
+        });
     }
 }
 
@@ -230,5 +238,25 @@ mod tests {
         let mut v = vec![mid2.clone(), low.clone(), hi.clone(), mid1.clone()];
         Report::sort_by_confidence(&mut v);
         assert_eq!(v, vec![hi, mid1, mid2, low]);
+    }
+
+    #[test]
+    fn equal_confidence_ties_break_by_file_line_checker() {
+        // All four reports share the default confidence; the order must be
+        // (file, line, checker) — NOT checker-first, which would put the
+        // a.c/z checker pair after b.c despite the smaller file name, and
+        // NOT insertion order.
+        let z_late = Report::error("z", "a.c", "g", Span::new(9, 1), "m");
+        let b_early = Report::error("b", "a.c", "g", Span::new(2, 1), "m");
+        let a_same_line = Report::error("a", "a.c", "g", Span::new(9, 1), "m");
+        let a_other_file = Report::error("a", "b.c", "g", Span::new(1, 1), "m");
+        let mut v = vec![
+            a_other_file.clone(),
+            z_late.clone(),
+            b_early.clone(),
+            a_same_line.clone(),
+        ];
+        Report::sort_by_confidence(&mut v);
+        assert_eq!(v, vec![b_early, a_same_line, z_late, a_other_file]);
     }
 }

@@ -49,19 +49,23 @@ fn arb_report() -> impl Strategy<Value = Report> {
 
 fn arb_unit() -> impl Strategy<Value = UnitRecord> {
     (
-        any::<u64>(),
-        any::<u64>(),
-        prop::collection::vec(func_name(), 0..5),
-        prop::collection::vec(func_name(), 0..5),
-        prop::collection::vec(arb_report(), 0..5),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            prop::collection::vec(func_name(), 0..5),
+            prop::collection::vec(func_name(), 0..5),
+            prop::collection::vec(arb_report(), 0..5),
+        ),
     )
-        .prop_map(|(src_key, ast_key, defines, calls, reports)| UnitRecord {
-            src_key,
-            ast_key,
-            defines,
-            calls,
-            reports,
-        })
+        .prop_map(
+            |((src_key, ast_key, summary_key), (defines, calls, reports))| UnitRecord {
+                src_key,
+                ast_key,
+                summary_key,
+                defines,
+                calls,
+                reports,
+            },
+        )
 }
 
 fn arb_component() -> impl Strategy<Value = ComponentRecord> {

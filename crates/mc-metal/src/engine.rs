@@ -341,9 +341,87 @@ impl PathMachine for MetalMachine<'_> {
                     *span,
                 )));
             }
+            PathEvent::Call { summary, .. } => {
+                // Apply the callee's summarized state transfer for this
+                // machine: from the current state, the callee can leave the
+                // machine in any of the recorded end states. A machine or
+                // state with no entry means the callee is opaque (the call
+                // pattern itself was already offered to `scan` as part of
+                // the enclosing statement, so macro-style patterns that
+                // match the call expression keep working). An empty end set
+                // means every path through the callee stops this machine.
+                if let Some(per_state) = summary.transfers.get(&self.prog.name) {
+                    let cur = &self.prog.states[state.0].name;
+                    if let Some(ends) = per_state.get(cur) {
+                        return ends
+                            .iter()
+                            .filter_map(|n| self.prog.state_by_name(n))
+                            .collect();
+                    }
+                }
+                return vec![*state];
+            }
         }
         self.scan(*state, &cands)
     }
+}
+
+/// Computes the state transfer of one function for `prog`: for each start
+/// state, the set of states the machine can be in when the function
+/// returns. This is the `transfers` entry a callee contributes to its
+/// [`mc_cfg::FnSummary`] — the summary engine runs it bottom-up, passing
+/// the already-summarized callees as `oracle` so transfers compose through
+/// call chains.
+///
+/// Reports produced while exploring are discarded: the callee's own errors
+/// are found when the callee itself is checked, and a summary application
+/// at a call site must not duplicate them in the caller's context.
+pub fn compute_transfers(
+    prog: &MetalProgram,
+    cfg: &mc_cfg::Cfg,
+    traversal: mc_cfg::Traversal,
+    oracle: Option<&dyn mc_cfg::SummaryLookup>,
+) -> std::collections::BTreeMap<String, Vec<String>> {
+    /// Wraps a [`MetalMachine`] and records the post-step states at every
+    /// return — the states the machine actually exits the function in.
+    struct EndCollector<'p> {
+        inner: MetalMachine<'p>,
+        ends: HashSet<StateId>,
+    }
+    impl PathMachine for EndCollector<'_> {
+        type State = StateId;
+        fn step(&mut self, state: &StateId, event: &PathEvent<'_>) -> Vec<StateId> {
+            let out = self.inner.step(state, event);
+            if matches!(event, PathEvent::Return { .. }) {
+                self.ends.extend(out.iter().copied());
+            }
+            out
+        }
+    }
+
+    let mut transfers = std::collections::BTreeMap::new();
+    for (si, st) in prog.states.iter().enumerate() {
+        let mut m = EndCollector {
+            inner: MetalMachine::new(prog),
+            ends: HashSet::new(),
+        };
+        mc_cfg::run_traversal_with(cfg, &mut m, StateId(si), traversal, oracle);
+        let mut ends: Vec<String> = m
+            .ends
+            .into_iter()
+            .map(|s| prog.states[s.0].name.clone())
+            .collect();
+        ends.sort();
+        ends.dedup();
+        // Identity transfers are omitted: a missing entry already means
+        // "the call leaves this state alone", and omitting them keeps
+        // summaries small and call-site stepping cheap.
+        if ends.len() == 1 && ends[0] == st.name {
+            continue;
+        }
+        transfers.insert(st.name.clone(), ends);
+    }
+    transfers
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ mod lang;
 mod matcher;
 mod parse;
 
-pub use engine::{MetalMachine, MetalReport};
+pub use engine::{compute_transfers, MetalMachine, MetalReport};
 pub use lang::{
     Action, MetalProgram, Pattern, PatternKind, Rule, RuleTarget, StateDef, StateId, TypeClass,
 };

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# False-positive regression gate: runs the fp_delta binary over the full
+# synthetic corpus and compares its machine-readable `gate:` line against
+# the committed baseline (scripts/fp_baseline.txt). Fails if
+#
+#   * bug recall drops below the baseline (a checker stopped finding a
+#     planted bug — never acceptable), or
+#   * the false-positive count at either rung (pruned, pruned+interproc)
+#     rises above the baseline (an analysis got noisier).
+#
+# Finding *fewer* false positives than the baseline is reported but does
+# not fail: update the baseline in the same change to ratchet it down.
+#
+# Usage: scripts/fp_gate.sh [path-to-fp_delta]
+# (defaults to target/release/fp_delta; builds it if missing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FP_DELTA=${1:-target/release/fp_delta}
+if [ ! -x "$FP_DELTA" ]; then
+    cargo build --release -p mc-bench --bin fp_delta
+fi
+
+baseline=scripts/fp_baseline.txt
+read -r base_bugs base_fp_pruned base_fp_interproc < <(
+    sed -n 's/^gate: bugs=\([0-9]*\) fp_pruned=\([0-9]*\) fp_interproc=\([0-9]*\)$/\1 \2 \3/p' \
+        "$baseline"
+)
+if [ -z "${base_bugs:-}" ]; then
+    echo "FAIL: no gate line in $baseline" >&2
+    exit 2
+fi
+
+out=$("$FP_DELTA")
+echo "$out"
+read -r bugs fp_pruned fp_interproc < <(
+    sed -n 's/^gate: bugs=\([0-9]*\) fp_pruned=\([0-9]*\) fp_interproc=\([0-9]*\)$/\1 \2 \3/p' \
+        <<<"$out"
+)
+if [ -z "${bugs:-}" ]; then
+    echo "FAIL: fp_delta printed no gate line" >&2
+    exit 2
+fi
+
+status=0
+if [ "$bugs" -lt "$base_bugs" ]; then
+    echo "FAIL: bug recall regressed: $bugs < baseline $base_bugs" >&2
+    status=1
+fi
+if [ "$fp_pruned" -gt "$base_fp_pruned" ]; then
+    echo "FAIL: pruned false positives rose: $fp_pruned > baseline $base_fp_pruned" >&2
+    status=1
+fi
+if [ "$fp_interproc" -gt "$base_fp_interproc" ]; then
+    echo "FAIL: interproc false positives rose: $fp_interproc > baseline $base_fp_interproc" >&2
+    status=1
+fi
+if [ "$status" -eq 0 ]; then
+    echo "fp-gate ok: bugs=$bugs (>= $base_bugs), fp_pruned=$fp_pruned (<= $base_fp_pruned), fp_interproc=$fp_interproc (<= $base_fp_interproc)"
+    if [ "$fp_pruned" -lt "$base_fp_pruned" ] || [ "$fp_interproc" -lt "$base_fp_interproc" ]; then
+        echo "note: false positives dropped below baseline — ratchet scripts/fp_baseline.txt down"
+    fi
+fi
+exit "$status"
