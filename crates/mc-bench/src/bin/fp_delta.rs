@@ -17,6 +17,52 @@ fn bugs(run: &ProtocolRun) -> usize {
     run.outcome.reports_of("", PlantedKind::Bug) + run.outcome.reports_of("", PlantedKind::Incident)
 }
 
+/// Names the reports present in `before` but not `after` (and vice versa)
+/// by fingerprint, so a gate failure says exactly *which* reports moved
+/// instead of only that a count changed.
+fn fp_delta_lines(before: &[Report], after: &[Report]) -> String {
+    let describe = |r: &Report| {
+        format!(
+            "  {} [{}] {}:{} {} (in {})",
+            r.fingerprint(),
+            r.checker,
+            r.file,
+            r.span,
+            r.message,
+            r.function
+        )
+    };
+    let fps = |v: &[Report]| -> std::collections::BTreeSet<String> {
+        v.iter().map(Report::fingerprint).collect()
+    };
+    let (before_fps, after_fps) = (fps(before), fps(after));
+    let gone: Vec<String> = before
+        .iter()
+        .filter(|r| !after_fps.contains(&r.fingerprint()))
+        .map(describe)
+        .collect();
+    let new: Vec<String> = after
+        .iter()
+        .filter(|r| !before_fps.contains(&r.fingerprint()))
+        .map(describe)
+        .collect();
+    let mut out = String::new();
+    if !gone.is_empty() {
+        out.push_str(&format!(
+            "disappeared ({}):\n{}\n",
+            gone.len(),
+            gone.join("\n")
+        ));
+    }
+    if !new.is_empty() {
+        out.push_str(&format!("appeared ({}):\n{}\n", new.len(), new.join("\n")));
+    }
+    if out.is_empty() {
+        out.push_str("  (no per-report fingerprint delta: counts moved within matching content)\n");
+    }
+    out
+}
+
 fn main() {
     let jobs = jobs_from_args();
     let unpruned = run_all_protocols_full(jobs, false, false);
@@ -41,19 +87,22 @@ fn main() {
         assert_eq!(
             bugs_off,
             bugs(on),
-            "{}: pruning dropped a bug",
-            off.plan.name
+            "{}: pruning dropped a bug\n{}",
+            off.plan.name,
+            fp_delta_lines(&off.reports, &on.reports)
         );
         assert_eq!(
             bugs_off,
             bugs(ip),
-            "{}: call-site resolution dropped a bug",
-            off.plan.name
+            "{}: call-site resolution dropped a bug\n{}",
+            off.plan.name,
+            fp_delta_lines(&off.reports, &ip.reports)
         );
         assert!(
             fp_ip <= fp_on,
-            "{}: call-site resolution added false positives",
-            off.plan.name
+            "{}: call-site resolution added false positives\n{}",
+            off.plan.name,
+            fp_delta_lines(&on.reports, &ip.reports)
         );
         tot[0] += fp_off;
         tot[1] += fp_on;
@@ -126,4 +175,38 @@ fn main() {
         "\ngate: bugs={} fp_pruned={} fp_interproc={}",
         tot[3], tot[1], tot[2]
     );
+
+    // Per-report inventory keyed by fingerprint: one line per surviving
+    // false-positive report at each gated rung. scripts/fp_gate.sh diffs
+    // these lines against the committed baseline when a count regresses,
+    // so a CI failure names the exact reports that appeared or
+    // disappeared instead of only the count that moved.
+    for (tag, runs) in [("pruned", &pruned), ("interproc", &interproc)] {
+        let mut lines: Vec<String> = Vec::new();
+        for run in runs.iter() {
+            for planted in &run.protocol.manifest {
+                if planted.kind != PlantedKind::FalsePositive {
+                    continue;
+                }
+                for r in run
+                    .reports
+                    .iter()
+                    .filter(|r| r.checker == planted.checker && r.function == planted.function)
+                {
+                    lines.push(format!(
+                        "fp[{tag}] {} [{}] {} (in {}): {}",
+                        r.fingerprint(),
+                        r.checker,
+                        r.file,
+                        r.function,
+                        r.message
+                    ));
+                }
+            }
+        }
+        lines.sort();
+        for line in lines {
+            println!("{line}");
+        }
+    }
 }

@@ -43,6 +43,7 @@ pub mod feasibility;
 mod machine;
 mod stats;
 mod summary;
+mod witness;
 
 pub use build::{Block, BlockId, Cfg, Node, Terminator};
 pub use feasibility::FactSet;
@@ -55,3 +56,4 @@ pub use summary::{
     collect_calls, collect_clobbers, summarize_counts, tarjan_sccs, CountSummary, CycleWarning,
     FnSummary, Resolved, SummaryLookup,
 };
+pub use witness::{PathStep, StepKind, Witness, WitnessArena, WitnessId};

@@ -19,6 +19,7 @@
 use crate::build::{BlockId, Cfg, Terminator};
 use crate::feasibility::{const_of, Const, FactSet};
 use crate::summary::{calls_in_expr, calls_in_stmt, FnSummary, SummaryLookup};
+use crate::witness::{StepKind, Witness, WitnessArena, WitnessId};
 use mc_ast::{Expr, Span, Stmt};
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -81,8 +82,18 @@ pub trait PathMachine {
     /// an empty vector prunes this path (metal's `stop` state). Returning
     /// more than one state forks the path analysis.
     ///
+    /// `witness` is the execution path that led here, ending with the event
+    /// being stepped. Machines that fire a violation materialize it
+    /// ([`Witness::steps`]) into the diagnostic; everyone else ignores it
+    /// for free.
+    ///
     /// Side effects (error reports) are recorded on `&mut self`.
-    fn step(&mut self, state: &Self::State, event: &PathEvent<'_>) -> Vec<Self::State>;
+    fn step(
+        &mut self,
+        state: &Self::State,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+    ) -> Vec<Self::State>;
 }
 
 /// Traversal strategy.
@@ -177,6 +188,7 @@ pub fn run_traversal_with<M: PathMachine>(
     oracle: Option<&dyn SummaryLookup>,
 ) -> TraversalStats {
     let mut refuted: HashSet<(BlockId, usize)> = HashSet::new();
+    let mut arena = WitnessArena::new();
     let init_facts = initial_facts(cfg, traversal.prune);
     match traversal.mode {
         Mode::StateSet => run_state_set(
@@ -186,6 +198,7 @@ pub fn run_traversal_with<M: PathMachine>(
             init_facts,
             traversal.prune,
             &mut refuted,
+            &mut arena,
             oracle,
         ),
         Mode::Exhaustive { max_paths } => {
@@ -201,6 +214,7 @@ pub fn run_traversal_with<M: PathMachine>(
                 &mut refuted,
                 &mut back_counts,
                 &mut budget,
+                &mut arena,
                 oracle,
             );
         }
@@ -221,7 +235,9 @@ fn fire_calls<M: PathMachine>(
     calls: &[(&str, Span)],
     oracle: &dyn SummaryLookup,
     mut facts: Option<&mut FactSet>,
-) -> Vec<M::State> {
+    arena: &mut WitnessArena,
+    mut wid: Option<WitnessId>,
+) -> (Vec<M::State>, Option<WitnessId>) {
     let mut states = states;
     for (name, span) in calls {
         let Some(summary) = oracle.lookup(name) else {
@@ -237,16 +253,18 @@ fn fire_calls<M: PathMachine>(
             span: *span,
             summary,
         };
+        wid = Some(arena.extend(wid, *span, StepKind::Call(name.to_string())));
+        let witness = arena.witness(wid);
         let mut next = Vec::new();
         for s in &states {
-            next.extend(machine.step(s, &ev));
+            next.extend(machine.step(s, &ev, &witness));
         }
         states = dedup(next);
         if states.is_empty() {
             break;
         }
     }
-    states
+    (states, wid)
 }
 
 /// The calls inside a terminator's expression, in evaluation order —
@@ -281,7 +299,7 @@ pub fn feasibility_stats(cfg: &Cfg) -> TraversalStats {
     struct Unit;
     impl PathMachine for Unit {
         type State = ();
-        fn step(&mut self, _: &(), _: &PathEvent<'_>) -> Vec<()> {
+        fn step(&mut self, _: &(), _: &PathEvent<'_>, _: &Witness<'_>) -> Vec<()> {
             vec![()]
         }
     }
@@ -292,22 +310,27 @@ pub fn feasibility_stats(cfg: &Cfg) -> TraversalStats {
 /// Returns the states alive at the terminator. When `facts` is provided,
 /// statements with side effects invalidate the feasibility facts they
 /// clobber.
+#[allow(clippy::too_many_arguments)]
 fn flow_block<M: PathMachine>(
     cfg: &Cfg,
     machine: &mut M,
     block: BlockId,
     states: Vec<M::State>,
     mut facts: Option<&mut FactSet>,
+    arena: &mut WitnessArena,
+    mut wid: Option<WitnessId>,
     oracle: Option<&dyn SummaryLookup>,
-) -> Vec<M::State> {
+) -> (Vec<M::State>, Option<WitnessId>) {
     let mut states = states;
     for node in &cfg.block(block).nodes {
         if let Some(f) = facts.as_deref_mut() {
             f.invalidate_stmt(&node.stmt);
         }
+        wid = Some(arena.extend(wid, node.stmt.span, StepKind::Stmt));
+        let witness = arena.witness(wid);
         let mut next = Vec::new();
         for s in &states {
-            next.extend(machine.step(s, &PathEvent::Stmt(&node.stmt)));
+            next.extend(machine.step(s, &PathEvent::Stmt(&node.stmt), &witness));
         }
         states = dedup(next);
         if states.is_empty() {
@@ -317,14 +340,24 @@ fn flow_block<M: PathMachine>(
             let mut calls = Vec::new();
             calls_in_stmt(&node.stmt, &mut calls);
             if !calls.is_empty() {
-                states = fire_calls(machine, states, &calls, oracle, facts.as_deref_mut());
+                let (next, next_wid) = fire_calls(
+                    machine,
+                    states,
+                    &calls,
+                    oracle,
+                    facts.as_deref_mut(),
+                    arena,
+                    wid,
+                );
+                states = next;
+                wid = next_wid;
                 if states.is_empty() {
                     break;
                 }
             }
         }
     }
-    states
+    (states, wid)
 }
 
 /// The starting fact set for a pruning traversal: empty facts, but with the
@@ -380,6 +413,7 @@ fn dedup<S: Eq + Hash + Clone>(v: Vec<S>) -> Vec<S> {
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_state_set<M: PathMachine>(
     cfg: &Cfg,
     machine: &mut M,
@@ -387,6 +421,7 @@ fn run_state_set<M: PathMachine>(
     init_facts: FactSet,
     prune: bool,
     refuted: &mut HashSet<(BlockId, usize)>,
+    arena: &mut WitnessArena,
     oracle: Option<&dyn SummaryLookup>,
 ) {
     // The fact set is part of the visited key: identical checker states
@@ -394,19 +429,26 @@ fn run_state_set<M: PathMachine>(
     // would let facts from one path suppress the other). Without pruning
     // every item carries the empty set and this degenerates to the classic
     // `(block, state)` worklist.
+    //
+    // The witness id rides along *outside* the key: the first witness to
+    // reach a `(block, state, facts)` key is the one whose extension gets
+    // explored, and later arrivals are dropped with their histories.
     let mut visited: HashSet<(BlockId, M::State, FactSet)> = HashSet::new();
-    let mut worklist: Vec<(BlockId, M::State, FactSet)> = vec![(cfg.entry, init, init_facts)];
-    while let Some((block, state, facts)) = worklist.pop() {
+    type Item<S> = (BlockId, S, FactSet, Option<WitnessId>);
+    let mut worklist: Vec<Item<M::State>> = vec![(cfg.entry, init, init_facts, None)];
+    while let Some((block, state, facts, wid)) = worklist.pop() {
         if !visited.insert((block, state.clone(), facts.clone())) {
             continue;
         }
         let mut facts = facts;
-        let mut states = flow_block(
+        let (mut states, mut wid) = flow_block(
             cfg,
             machine,
             block,
             vec![state],
             prune.then_some(&mut facts),
+            arena,
+            wid,
             oracle,
         );
         if states.is_empty() {
@@ -416,13 +458,17 @@ fn run_state_set<M: PathMachine>(
         // outcome / case match / return, so their events fire here.
         let term_calls = terminator_calls(&cfg.block(block).term, oracle);
         if !term_calls.is_empty() {
-            states = fire_calls(
+            let (next, next_wid) = fire_calls(
                 machine,
                 states,
                 &term_calls,
                 oracle.expect("term_calls nonempty implies oracle"),
                 prune.then_some(&mut facts),
+                arena,
+                wid,
             );
+            states = next;
+            wid = next_wid;
             if states.is_empty() {
                 continue;
             }
@@ -430,7 +476,7 @@ fn run_state_set<M: PathMachine>(
         match &cfg.block(block).term {
             Terminator::Jump(t) => {
                 for s in states {
-                    worklist.push((*t, s, facts.clone()));
+                    worklist.push((*t, s, facts.clone(), wid));
                 }
             }
             Terminator::Branch {
@@ -458,12 +504,17 @@ fn run_state_set<M: PathMachine>(
                         f
                     })
                     .collect();
+                let arm_wids: Vec<Option<WitnessId>> = [true, false]
+                    .iter()
+                    .map(|&taken| Some(arena.extend(wid, cond.span, StepKind::Branch(taken))))
+                    .collect();
                 for s in states {
                     for (arm, &taken) in [true, false].iter().enumerate() {
                         let Some(f) = &arm_facts[arm] else { continue };
                         let target = if taken { then_to } else { else_to };
-                        for ns in machine.step(&s, &PathEvent::Branch { cond, taken }) {
-                            worklist.push((*target, ns, f.clone()));
+                        let witness = arena.witness(arm_wids[arm]);
+                        for ns in machine.step(&s, &PathEvent::Branch { cond, taken }, &witness) {
+                            worklist.push((*target, ns, f.clone(), arm_wids[arm]));
                         }
                     }
                 }
@@ -504,15 +555,30 @@ fn run_state_set<M: PathMachine>(
                 } else {
                     edge_facts(None, targets.len(), refuted)
                 };
+                let case_wids: Vec<Option<WitnessId>> = targets
+                    .iter()
+                    .map(|(value, _)| {
+                        let kind = if value.is_some() {
+                            StepKind::Case
+                        } else {
+                            StepKind::CaseDefault
+                        };
+                        Some(arena.extend(wid, scrutinee.span, kind))
+                    })
+                    .collect();
+                let fall_wid = Some(arena.extend(wid, scrutinee.span, StepKind::CaseDefault));
                 for s in states {
-                    for ((value, target), f) in targets.iter().zip(&case_facts) {
+                    for (((value, target), f), cw) in
+                        targets.iter().zip(&case_facts).zip(&case_wids)
+                    {
                         let Some(f) = f else { continue };
                         let ev = PathEvent::Case {
                             scrutinee,
                             value: value.as_ref(),
                         };
-                        for ns in machine.step(&s, &ev) {
-                            worklist.push((*target, ns, f.clone()));
+                        let witness = arena.witness(*cw);
+                        for ns in machine.step(&s, &ev, &witness) {
+                            worklist.push((*target, ns, f.clone(), *cw));
                         }
                     }
                     if let Some(f) = &fall_facts {
@@ -520,13 +586,16 @@ fn run_state_set<M: PathMachine>(
                             scrutinee,
                             value: None,
                         };
-                        for ns in machine.step(&s, &ev) {
-                            worklist.push((*fallthrough, ns, f.clone()));
+                        let witness = arena.witness(fall_wid);
+                        for ns in machine.step(&s, &ev, &witness) {
+                            worklist.push((*fallthrough, ns, f.clone(), fall_wid));
                         }
                     }
                 }
             }
             Terminator::Return { value, span } => {
+                let ret_wid = Some(arena.extend(wid, *span, StepKind::Return));
+                let witness = arena.witness(ret_wid);
                 for s in states {
                     let _ = machine.step(
                         &s,
@@ -534,6 +603,7 @@ fn run_state_set<M: PathMachine>(
                             value: value.as_ref(),
                             span: *span,
                         },
+                        &witness,
                     );
                 }
             }
@@ -553,6 +623,7 @@ enum Frame<S> {
         block: BlockId,
         states: Vec<S>,
         facts: FactSet,
+        wid: Option<WitnessId>,
     },
     Exit {
         block: BlockId,
@@ -570,15 +641,17 @@ fn run_exhaustive<M: PathMachine>(
     refuted: &mut HashSet<(BlockId, usize)>,
     back_counts: &mut [u8],
     budget: &mut usize,
+    arena: &mut WitnessArena,
     oracle: Option<&dyn SummaryLookup>,
 ) {
     let mut stack: Vec<Frame<M::State>> = vec![Frame::Enter {
         block: entry,
         states: init,
         facts: init_facts,
+        wid: None,
     }];
     while let Some(frame) = stack.pop() {
-        let (block, states, mut facts) = match frame {
+        let (block, states, mut facts, wid) = match frame {
             Frame::Exit { block } => {
                 back_counts[block.0] -= 1;
                 continue;
@@ -587,7 +660,8 @@ fn run_exhaustive<M: PathMachine>(
                 block,
                 states,
                 facts,
-            } => (block, states, facts),
+                wid,
+            } => (block, states, facts, wid),
         };
         if *budget == 0 {
             continue;
@@ -602,12 +676,14 @@ fn run_exhaustive<M: PathMachine>(
         }
         back_counts[block.0] += 1;
 
-        let mut states = flow_block(
+        let (mut states, mut wid) = flow_block(
             cfg,
             machine,
             block,
             states,
             prune.then_some(&mut facts),
+            arena,
+            wid,
             oracle,
         );
         if states.is_empty() {
@@ -618,13 +694,17 @@ fn run_exhaustive<M: PathMachine>(
         // mirroring run_state_set.
         let term_calls = terminator_calls(&cfg.block(block).term, oracle);
         if !term_calls.is_empty() {
-            states = fire_calls(
+            let (next, next_wid) = fire_calls(
                 machine,
                 states,
                 &term_calls,
                 oracle.expect("term_calls nonempty implies oracle"),
                 prune.then_some(&mut facts),
+                arena,
+                wid,
             );
+            states = next;
+            wid = next_wid;
             if states.is_empty() {
                 back_counts[block.0] -= 1;
                 continue;
@@ -640,6 +720,7 @@ fn run_exhaustive<M: PathMachine>(
                     block: *t,
                     states,
                     facts,
+                    wid,
                 });
             }
             Terminator::Branch {
@@ -667,15 +748,18 @@ fn run_exhaustive<M: PathMachine>(
                     } else {
                         facts.clone()
                     };
+                    let arm_wid = Some(arena.extend(wid, cond.span, StepKind::Branch(taken)));
+                    let witness = arena.witness(arm_wid);
                     let mut next = Vec::new();
                     for s in &states {
-                        next.extend(machine.step(s, &PathEvent::Branch { cond, taken }));
+                        next.extend(machine.step(s, &PathEvent::Branch { cond, taken }, &witness));
                     }
                     if !next.is_empty() {
                         children.push(Frame::Enter {
                             block: target,
                             states: dedup(next),
                             facts: next_facts,
+                            wid: arm_wid,
                         });
                     }
                 }
@@ -710,21 +794,35 @@ fn run_exhaustive<M: PathMachine>(
                     } else {
                         facts.clone()
                     };
+                    let kind = if value.is_some() {
+                        StepKind::Case
+                    } else {
+                        StepKind::CaseDefault
+                    };
+                    let case_wid = Some(arena.extend(wid, scrutinee.span, kind));
+                    let witness = arena.witness(case_wid);
                     let mut next = Vec::new();
                     for s in &states {
-                        next.extend(machine.step(s, &PathEvent::Case { scrutinee, value }));
+                        next.extend(machine.step(
+                            s,
+                            &PathEvent::Case { scrutinee, value },
+                            &witness,
+                        ));
                     }
                     if !next.is_empty() {
                         children.push(Frame::Enter {
                             block: target,
                             states: dedup(next),
                             facts: next_facts,
+                            wid: case_wid,
                         });
                     }
                 }
                 stack.extend(children.into_iter().rev());
             }
             Terminator::Return { value, span } => {
+                let ret_wid = Some(arena.extend(wid, *span, StepKind::Return));
+                let witness = arena.witness(ret_wid);
                 for s in &states {
                     let _ = machine.step(
                         s,
@@ -732,6 +830,7 @@ fn run_exhaustive<M: PathMachine>(
                             value: value.as_ref(),
                             span: *span,
                         },
+                        &witness,
                     );
                 }
                 *budget = budget.saturating_sub(1);
@@ -755,7 +854,7 @@ mod tests {
     impl PathMachine for Tracer {
         type State = u32; // depth counter, to exercise state forking
 
-        fn step(&mut self, state: &u32, event: &PathEvent<'_>) -> Vec<u32> {
+        fn step(&mut self, state: &u32, event: &PathEvent<'_>, _: &Witness<'_>) -> Vec<u32> {
             match event {
                 PathEvent::Stmt(s) => {
                     if let mc_ast::StmtKind::Expr(e) = &s.kind {
@@ -833,7 +932,7 @@ mod tests {
         }
         impl PathMachine for Pruner {
             type State = ();
-            fn step(&mut self, _: &(), event: &PathEvent<'_>) -> Vec<()> {
+            fn step(&mut self, _: &(), event: &PathEvent<'_>, _: &Witness<'_>) -> Vec<()> {
                 match event {
                     PathEvent::Stmt(s) => {
                         if let mc_ast::StmtKind::Expr(e) = &s.kind {
@@ -1097,7 +1196,7 @@ mod tests {
         }
         impl PathMachine for CondSpy {
             type State = ();
-            fn step(&mut self, _: &(), event: &PathEvent<'_>) -> Vec<()> {
+            fn step(&mut self, _: &(), event: &PathEvent<'_>, _: &Witness<'_>) -> Vec<()> {
                 if let PathEvent::Branch { cond, taken } = event {
                     self.conds.push((mc_ast::print_expr(cond), *taken));
                 }

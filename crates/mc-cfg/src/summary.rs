@@ -24,6 +24,7 @@
 //!   transfers instead of stepping over the call blindly.
 
 use crate::build::Cfg;
+use crate::witness::PathStep;
 use mc_ast::{Expr, ExprKind, Function, Initializer, Span, Stmt, StmtKind};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
@@ -57,9 +58,11 @@ pub struct FnSummary {
     /// Per key: the maximum summed count along any inter-procedural path
     /// through this function (e.g. `"lane2" -> 1`: one send on lane 2).
     pub counters: BTreeMap<String, i64>,
-    /// Per key: a back trace (one line per contributing event or call) for
-    /// the maximizing path.
-    pub traces: BTreeMap<String, Vec<String>>,
+    /// Per key: the back trace for the maximizing path, as structured
+    /// steps (one per contributing event or call). Steps carry their own
+    /// file, so a caller splicing a callee's trace into a diagnostic keeps
+    /// every location exact.
+    pub traces: BTreeMap<String, Vec<PathStep>>,
     /// Per checker state machine (outer key is the machine name): for each
     /// start state name, the sorted set of state names the machine can be
     /// in when the callee returns. A missing machine or state entry means
@@ -107,8 +110,8 @@ pub struct CountSummary {
     /// Per key: maximum summed count along any path (callee maxima
     /// included).
     pub counters: BTreeMap<String, i64>,
-    /// Per key: back trace for the maximizing path.
-    pub traces: BTreeMap<String, Vec<String>>,
+    /// Per key: back trace for the maximizing path, as structured steps.
+    pub traces: BTreeMap<String, Vec<PathStep>>,
     /// Cycles with counts found in this function (in-function loops and
     /// recursion through this function).
     pub warnings: Vec<CycleWarning>,
@@ -118,10 +121,14 @@ pub struct CountSummary {
 /// order.
 enum CountEvent {
     /// `annotate` matched: `amount` is added to `key`'s per-path total.
-    Count { key: String, amount: i64, line: u32 },
+    Count {
+        key: String,
+        amount: i64,
+        span: Span,
+    },
     /// A call expression (collected automatically when `annotate` declined
     /// the expression).
-    Call { callee: String, line: u32 },
+    Call { callee: String, span: Span },
 }
 
 /// Computes the per-key maximum path counts of one function (the §7 lane
@@ -149,7 +156,7 @@ pub fn summarize_counts<'s>(
     let n = cfg.blocks.len();
     let adj = block_adjacency(cfg);
     let mut weight: Vec<BTreeMap<String, i64>> = vec![BTreeMap::new(); n];
-    let mut block_trace: Vec<BTreeMap<String, Vec<String>>> = vec![BTreeMap::new(); n];
+    let mut block_trace: Vec<BTreeMap<String, Vec<PathStep>>> = vec![BTreeMap::new(); n];
     let mut recursive_callees: Vec<String> = Vec::new();
 
     for (bi, block) in cfg.blocks.iter().enumerate() {
@@ -159,12 +166,16 @@ pub fn summarize_counts<'s>(
         });
         for ev in events {
             match ev {
-                CountEvent::Count { key, amount, line } => {
+                CountEvent::Count { key, amount, span } => {
                     *weight[bi].entry(key.clone()).or_insert(0) += amount;
-                    let line = format!("{file}:{line}: {key} in {}", cfg.name);
-                    block_trace[bi].entry(key).or_default().push(line);
+                    let step = PathStep {
+                        file: file.to_string(),
+                        span,
+                        note: format!("{key} in {}", cfg.name),
+                    };
+                    block_trace[bi].entry(key).or_default().push(step);
                 }
-                CountEvent::Call { callee, line } => match resolve(&callee) {
+                CountEvent::Call { callee, span } => match resolve(&callee) {
                     Resolved::Recursive => recursive_callees.push(callee),
                     Resolved::Unknown => {}
                     Resolved::Summary(sub) => {
@@ -172,7 +183,14 @@ pub fn summarize_counts<'s>(
                             if *amount != 0 {
                                 *weight[bi].entry(key.clone()).or_insert(0) += amount;
                                 let t = block_trace[bi].entry(key.clone()).or_default();
-                                t.push(format!("{file}:{line}: call {callee} from {}", cfg.name));
+                                t.push(PathStep {
+                                    file: file.to_string(),
+                                    span,
+                                    note: format!("call `{callee}` from {}", cfg.name),
+                                });
+                                // Splice the callee's own maximizing trace
+                                // in after the call step: the diagnostic
+                                // path reads straight down the call chain.
                                 if let Some(sub_t) = sub.traces.get(key) {
                                     t.extend(sub_t.iter().cloned());
                                 }
@@ -309,12 +327,12 @@ fn collect_count_events(
         out.push(CountEvent::Count {
             key,
             amount,
-            line: e.span.line,
+            span: e.span,
         });
     } else if let Some((name, _)) = e.as_call() {
         out.push(CountEvent::Call {
             callee: name.to_string(),
-            line: e.span.line,
+            span: e.span,
         });
     }
 }
@@ -553,8 +571,13 @@ mod tests {
         assert_eq!(s.counters["lane3"], 2);
         // Back trace mentions the call and the callee's send.
         let t = &s.traces["lane3"];
-        assert!(t.iter().any(|l| l.contains("call helper")), "{t:?}");
-        assert!(t.iter().any(|l| l.contains("in helper")), "{t:?}");
+        assert!(t.iter().any(|l| l.note.contains("call `helper`")), "{t:?}");
+        assert!(t.iter().any(|l| l.note.contains("in helper")), "{t:?}");
+        // Every step carries an exact location: file plus line:col.
+        assert!(
+            t.iter().all(|l| l.file == "p.c" && l.span.col >= 1),
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -567,8 +590,8 @@ mod tests {
         assert_eq!(s.counters["lane1"], 3);
         // The chained trace reaches all the way down.
         let t = &s.traces["lane1"];
-        assert!(t.iter().any(|l| l.contains("call mid")), "{t:?}");
-        assert!(t.iter().any(|l| l.contains("in leaf")), "{t:?}");
+        assert!(t.iter().any(|l| l.note.contains("call `mid`")), "{t:?}");
+        assert!(t.iter().any(|l| l.note.contains("in leaf")), "{t:?}");
     }
 
     #[test]
@@ -614,12 +637,14 @@ mod tests {
     }
 
     #[test]
-    fn trace_lines_carry_file_and_line() {
+    fn trace_steps_carry_file_line_and_col() {
         let s = &summarize_all("void h(void) {\n  NI_SEND(1, a);\n}")["h"];
         let t = &s.traces["lane1"];
         assert_eq!(t.len(), 1);
-        assert!(t[0].starts_with("p.c:2: "), "{t:?}");
-        assert!(t[0].ends_with("lane1 in h"), "{t:?}");
+        assert_eq!(t[0].file, "p.c");
+        assert_eq!(t[0].span.line, 2);
+        assert!(t[0].span.col >= 1, "{t:?}");
+        assert_eq!(t[0].note, "lane1 in h");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! arbitrary loop-free and loopy statement trees.
 
 use mc_ast::parse_translation_unit;
-use mc_cfg::{run_machine, Cfg, Mode, PathEvent, PathMachine, Terminator};
+use mc_cfg::{run_machine, Cfg, Mode, PathEvent, PathMachine, Terminator, Witness};
 use proptest::prelude::*;
 
 /// Generates a random statement-body source text. `depth` bounds nesting.
@@ -42,7 +42,7 @@ struct EventCounter {
 
 impl PathMachine for EventCounter {
     type State = ();
-    fn step(&mut self, _: &(), event: &PathEvent<'_>) -> Vec<()> {
+    fn step(&mut self, _: &(), event: &PathEvent<'_>, _: &Witness<'_>) -> Vec<()> {
         match event {
             PathEvent::Stmt(_) => self.stmts += 1,
             PathEvent::Return { .. } => {

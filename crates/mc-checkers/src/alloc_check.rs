@@ -10,8 +10,9 @@
 //! positives in the paper.
 
 use crate::flash;
+use crate::{dedup_found, stamp_witness};
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
-use mc_cfg::{run_traversal, PathEvent, PathMachine};
+use mc_cfg::{run_traversal, PathEvent, PathMachine, PathStep, Witness};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 use std::collections::BTreeSet;
 
@@ -43,23 +44,26 @@ impl Checker for AllocCheck {
         }
         let mut machine = AllocMachine { found: Vec::new() };
         run_traversal(ctx.cfg, &mut machine, BTreeSet::new(), ctx.traversal);
-        machine.found.sort();
-        machine.found.dedup();
-        for (span, var) in machine.found {
-            sink.push(Report::error(
+        dedup_found(&mut machine.found);
+        for (span, var, steps) in machine.found {
+            let mut report = Report::error(
                 "alloc_check",
                 ctx.file,
                 &ctx.function.name,
                 span,
                 format!("buffer `{var}` used before checking DB_ALLOC for failure"),
-            ));
+            );
+            report.steps = steps;
+            sink.push(report);
         }
     }
 }
 
 /// State: the set of variables holding unchecked allocations.
 struct AllocMachine {
-    found: Vec<(Span, String)>,
+    /// Violations: location, variable name, and the witness path that
+    /// produced them (stamped by the [`PathMachine::step`] wrapper).
+    found: Vec<(Span, String, Vec<PathStep>)>,
 }
 
 impl AllocMachine {
@@ -143,7 +147,8 @@ impl AllocMachine {
         let mut next = state.clone();
         let mut uses = Vec::new();
         self.find_uses(e, state, &mut uses);
-        self.found.extend(uses);
+        self.found
+            .extend(uses.into_iter().map(|(span, var)| (span, var, Vec::new())));
         // Remove checked variables anywhere inside the expression.
         remove_checked(e, &mut next);
         if let Some(v) = Self::alloc_target(e) {
@@ -184,10 +189,14 @@ fn remove_checked(e: &Expr, state: &mut BTreeSet<String>) {
     }
 }
 
-impl PathMachine for AllocMachine {
-    type State = BTreeSet<String>;
-
-    fn step(&mut self, state: &Self::State, event: &PathEvent<'_>) -> Vec<Self::State> {
+impl AllocMachine {
+    /// The transition function proper; the [`PathMachine::step`] wrapper
+    /// stamps witness paths onto any violation this pushes.
+    fn step_inner(
+        &mut self,
+        state: &BTreeSet<String>,
+        event: &PathEvent<'_>,
+    ) -> Vec<BTreeSet<String>> {
         match event {
             PathEvent::Stmt(s) => {
                 let next = match &s.kind {
@@ -214,6 +223,22 @@ impl PathMachine for AllocMachine {
             // local), so callee summaries carry nothing for this checker.
             PathEvent::Call { .. } => vec![state.clone()],
         }
+    }
+}
+
+impl PathMachine for AllocMachine {
+    type State = BTreeSet<String>;
+
+    fn step(
+        &mut self,
+        state: &Self::State,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+    ) -> Vec<Self::State> {
+        let before = self.found.len();
+        let out = self.step_inner(state, event);
+        stamp_witness(&mut self.found[before..], witness);
+        out
     }
 }
 

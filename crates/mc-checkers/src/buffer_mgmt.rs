@@ -17,8 +17,9 @@
 //! that removed over twenty useless annotations in the paper.
 
 use crate::flash::{self, FlashSpec, RoutineKind};
+use crate::{dedup_found, stamp_witness};
 use mc_ast::{Expr, ExprKind, Span, Stmt, StmtKind};
-use mc_cfg::{FnSummary, PathEvent, PathMachine};
+use mc_cfg::{FnSummary, PathEvent, PathMachine, PathStep, Witness};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 use std::collections::{BTreeMap, HashSet};
 
@@ -131,16 +132,12 @@ impl Checker for BufferMgmt {
         };
         let oracle = ctx.summaries.map(|s| s as &dyn mc_cfg::SummaryLookup);
         mc_cfg::run_traversal_with(ctx.cfg, &mut machine, init, ctx.traversal, oracle);
-        machine.found.sort();
-        machine.found.dedup();
-        for (span, message) in machine.found {
-            sink.push(Report::error(
-                "buffer_mgmt",
-                ctx.file,
-                &ctx.function.name,
-                span,
-                message,
-            ));
+        dedup_found(&mut machine.found);
+        for (span, message, steps) in machine.found {
+            let mut report =
+                Report::error("buffer_mgmt", ctx.file, &ctx.function.name, span, message);
+            report.steps = steps;
+            sink.push(report);
         }
     }
 
@@ -207,7 +204,9 @@ enum Op {
 struct BufMachine<'c> {
     checker: &'c BufferMgmt,
     end_rule: EndRule,
-    found: Vec<(Span, String)>,
+    /// Violations: location, message, and the witness path that produced
+    /// them (stamped by the [`PathMachine::step`] wrapper).
+    found: Vec<(Span, String, Vec<PathStep>)>,
     /// When `Some`, the machine runs in summarization mode: return events
     /// record the pre-return state here instead of checking the end rule,
     /// and diagnostics accumulated in `found` are discarded by the caller.
@@ -289,6 +288,7 @@ impl BufMachine<'_> {
                 self.found.push((
                     span,
                     "buffer freed twice (or freed while none is held)".to_string(),
+                    Vec::new(),
                 ));
                 BufState::None
             }
@@ -298,6 +298,7 @@ impl BufMachine<'_> {
                 self.found.push((
                     span,
                     "allocation overwrites a live buffer (buffer leak)".to_string(),
+                    Vec::new(),
                 ));
                 BufState::Has
             }
@@ -305,6 +306,7 @@ impl BufMachine<'_> {
                 self.found.push((
                     span,
                     "buffer used or message sent with no live buffer".to_string(),
+                    Vec::new(),
                 ));
                 BufState::None
             }
@@ -338,10 +340,10 @@ impl BufMachine<'_> {
     }
 }
 
-impl PathMachine for BufMachine<'_> {
-    type State = BufState;
-
-    fn step(&mut self, state: &BufState, event: &PathEvent<'_>) -> Vec<BufState> {
+impl BufMachine<'_> {
+    /// The transition function proper; the [`PathMachine::step`] wrapper
+    /// stamps witness paths onto any violation this pushes.
+    fn step_inner(&mut self, state: &BufState, event: &PathEvent<'_>) -> Vec<BufState> {
         let mut ops = Vec::new();
         match event {
             PathEvent::Stmt(s) => collect_stmt_ops(self, s, &mut ops),
@@ -373,11 +375,15 @@ impl PathMachine for BufMachine<'_> {
                         self.found.push((
                             *span,
                             "exit path still holds a data buffer (buffer leak)".to_string(),
+                            Vec::new(),
                         ));
                     }
                     (EndRule::MustHold, BufState::None) => {
-                        self.found
-                            .push((*span, "buffer-keeping routine freed its buffer".to_string()));
+                        self.found.push((
+                            *span,
+                            "buffer-keeping routine freed its buffer".to_string(),
+                            Vec::new(),
+                        ));
                     }
                     _ => {}
                 }
@@ -406,6 +412,22 @@ impl PathMachine for BufMachine<'_> {
             cur = self.apply(cur, op, span);
         }
         vec![cur]
+    }
+}
+
+impl PathMachine for BufMachine<'_> {
+    type State = BufState;
+
+    fn step(
+        &mut self,
+        state: &BufState,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+    ) -> Vec<BufState> {
+        let before = self.found.len();
+        let out = self.step_inner(state, event);
+        stamp_witness(&mut self.found[before..], witness);
+        out
     }
 }
 

@@ -17,8 +17,9 @@
 //! abstraction violation.
 
 use crate::flash::{self, FlashSpec, RoutineKind};
+use crate::{dedup_found, stamp_witness};
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
-use mc_cfg::{FnSummary, PathEvent, PathMachine};
+use mc_cfg::{FnSummary, PathEvent, PathMachine, PathStep, Witness};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 use std::collections::{BTreeMap, HashSet};
 
@@ -70,16 +71,11 @@ impl Checker for Directory {
         };
         let oracle = ctx.summaries.map(|s| s as &dyn mc_cfg::SummaryLookup);
         mc_cfg::run_traversal_with(ctx.cfg, &mut machine, init, ctx.traversal, oracle);
-        machine.found.sort();
-        machine.found.dedup();
-        for (span, msg) in machine.found {
-            sink.push(Report::error(
-                "directory",
-                ctx.file,
-                &ctx.function.name,
-                span,
-                msg,
-            ));
+        dedup_found(&mut machine.found);
+        for (span, msg, steps) in machine.found {
+            let mut report = Report::error("directory", ctx.file, &ctx.function.name, span, msg);
+            report.steps = steps;
+            sink.push(report);
         }
     }
 
@@ -194,7 +190,9 @@ fn is_modeled_call(name: &str) -> bool {
 
 struct DirMachine<'s> {
     spec: &'s FlashSpec,
-    found: Vec<(Span, String)>,
+    /// Violations: location, message, and the witness path that produced
+    /// them (stamped by the [`PathMachine::step`] wrapper).
+    found: Vec<(Span, String, Vec<PathStep>)>,
     /// When `Some`, summarization mode: returns record the pre-return state
     /// instead of checking the write-back obligation.
     ends: Option<std::collections::HashSet<DirState>>,
@@ -237,6 +235,7 @@ impl DirMachine<'_> {
                 self.found.push((
                     e.span,
                     "directory address computed explicitly; use DIR_ADDR()".to_string(),
+                    Vec::new(),
                 ));
             }
             _ => {}
@@ -251,8 +250,11 @@ impl DirMachine<'_> {
             }
             flash::DIR_STATE | flash::DIR_PTR => {
                 if !st.loaded {
-                    self.found
-                        .push((e.span, "directory entry read before DIR_LOAD".to_string()));
+                    self.found.push((
+                        e.span,
+                        "directory entry read before DIR_LOAD".to_string(),
+                        Vec::new(),
+                    ));
                 }
             }
             flash::DIR_SET_STATE | flash::DIR_SET_PTR => {
@@ -260,6 +262,7 @@ impl DirMachine<'_> {
                     self.found.push((
                         e.span,
                         "directory entry modified before DIR_LOAD".to_string(),
+                        Vec::new(),
                     ));
                 } else {
                     st.modified = true;
@@ -285,10 +288,10 @@ impl DirMachine<'_> {
     }
 }
 
-impl PathMachine for DirMachine<'_> {
-    type State = DirState;
-
-    fn step(&mut self, state: &DirState, event: &PathEvent<'_>) -> Vec<DirState> {
+impl DirMachine<'_> {
+    /// The transition function proper; the [`PathMachine::step`] wrapper
+    /// stamps witness paths onto any violation this pushes.
+    fn step_inner(&mut self, state: &DirState, event: &PathEvent<'_>) -> Vec<DirState> {
         match event {
             PathEvent::Stmt(s) => {
                 let next = match &s.kind {
@@ -315,6 +318,7 @@ impl PathMachine for DirMachine<'_> {
                     self.found.push((
                         *span,
                         "modified directory entry not written back on exit path".to_string(),
+                        Vec::new(),
                     ));
                 }
                 vec![]
@@ -336,6 +340,22 @@ impl PathMachine for DirMachine<'_> {
                 vec![*state]
             }
         }
+    }
+}
+
+impl PathMachine for DirMachine<'_> {
+    type State = DirState;
+
+    fn step(
+        &mut self,
+        state: &DirState,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+    ) -> Vec<DirState> {
+        let before = self.found.len();
+        let out = self.step_inner(state, event);
+        stamp_witness(&mut self.found[before..], witness);
+        out
     }
 }
 

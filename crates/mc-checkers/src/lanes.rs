@@ -124,7 +124,9 @@ impl Checker for Lanes {
                         ),
                     );
                     if let Some(trace) = summary.traces.get(&Lanes::key(lane)) {
-                        report.trace = trace.clone();
+                        // The summary's maximizing path, spliced through
+                        // callee traces, becomes the report's witness.
+                        report.steps = trace.clone();
                     }
                     sink.push(report);
                 }
@@ -212,7 +214,7 @@ mod tests {
         );
         assert_eq!(r.len(), 1);
         assert!(r[0].message.contains("lane 2"));
-        assert!(!r[0].trace.is_empty());
+        assert!(!r[0].steps.is_empty());
     }
 
     #[test]
@@ -242,7 +244,10 @@ mod tests {
         );
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].function, "NIRemoteGet");
-        assert!(r[0].trace.iter().any(|t| t.contains("workaround_helper")));
+        assert!(r[0]
+            .steps
+            .iter()
+            .any(|t| t.note.contains("workaround_helper")));
     }
 
     #[test]

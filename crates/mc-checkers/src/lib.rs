@@ -49,6 +49,9 @@ pub mod flash;
 pub mod lanes;
 pub mod msglen;
 pub mod send_wait;
+mod violations;
+
+pub(crate) use violations::{dedup_found, stamp_witness};
 
 use mc_driver::{Driver, DriverError};
 

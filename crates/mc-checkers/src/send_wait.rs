@@ -12,8 +12,9 @@
 //! inserted).
 
 use crate::flash;
+use crate::{dedup_found, stamp_witness};
 use mc_ast::{Expr, ExprKind, Span, StmtKind};
-use mc_cfg::{run_traversal, PathEvent, PathMachine};
+use mc_cfg::{run_traversal, PathEvent, PathMachine, PathStep, Witness};
 use mc_driver::{CheckSink, Checker, FunctionContext, Report};
 
 /// The send-wait checker.
@@ -44,16 +45,11 @@ impl Checker for SendWait {
         }
         let mut machine = WaitMachine { found: Vec::new() };
         run_traversal(ctx.cfg, &mut machine, WaitState::Idle, ctx.traversal);
-        machine.found.sort();
-        machine.found.dedup();
-        for (span, msg) in machine.found {
-            sink.push(Report::error(
-                "send_wait",
-                ctx.file,
-                &ctx.function.name,
-                span,
-                msg,
-            ));
+        dedup_found(&mut machine.found);
+        for (span, msg, steps) in machine.found {
+            let mut report = Report::error("send_wait", ctx.file, &ctx.function.name, span, msg);
+            report.steps = steps;
+            sink.push(report);
         }
     }
 }
@@ -68,7 +64,9 @@ enum WaitState {
 }
 
 struct WaitMachine {
-    found: Vec<(Span, String)>,
+    /// Violations: location, message, and the witness path that produced
+    /// them (stamped by the [`PathMachine::step`] wrapper).
+    found: Vec<(Span, String, Vec<PathStep>)>,
 }
 
 impl WaitMachine {
@@ -112,6 +110,7 @@ impl WaitMachine {
                 self.found.push((
                     e.span,
                     format!("send issued before waiting for pending {iface}()"),
+                    Vec::new(),
                 ));
             }
             // `wait` parameter: arg 3 for PI/IO/NI alike.
@@ -136,6 +135,7 @@ impl WaitMachine {
                     self.found.push((
                         e.span,
                         format!("wait on wrong interface: expected {expected}(), found {name}()"),
+                        Vec::new(),
                     ));
                     st = WaitState::Idle;
                 }
@@ -148,10 +148,10 @@ impl WaitMachine {
     }
 }
 
-impl PathMachine for WaitMachine {
-    type State = WaitState;
-
-    fn step(&mut self, state: &WaitState, event: &PathEvent<'_>) -> Vec<WaitState> {
+impl WaitMachine {
+    /// The transition function proper; the [`PathMachine::step`] wrapper
+    /// stamps witness paths onto any violation this pushes.
+    fn step_inner(&mut self, state: &WaitState, event: &PathEvent<'_>) -> Vec<WaitState> {
         match event {
             PathEvent::Stmt(s) => {
                 let next = match &s.kind {
@@ -174,6 +174,7 @@ impl PathMachine for WaitMachine {
                     self.found.push((
                         *span,
                         format!("send with wait bit never followed by {iface}()"),
+                        Vec::new(),
                     ));
                 }
                 vec![]
@@ -184,6 +185,22 @@ impl PathMachine for WaitMachine {
             // are local to one handler anyway).
             PathEvent::Call { .. } => vec![*state],
         }
+    }
+}
+
+impl PathMachine for WaitMachine {
+    type State = WaitState;
+
+    fn step(
+        &mut self,
+        state: &WaitState,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+    ) -> Vec<WaitState> {
+        let before = self.found.len();
+        let out = self.step_inner(state, event);
+        stamp_witness(&mut self.found[before..], witness);
+        out
     }
 }
 

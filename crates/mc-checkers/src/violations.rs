@@ -1,0 +1,54 @@
+//! Shared plumbing for the native state machines' violation lists.
+//!
+//! Each native machine accumulates `(span, message, steps)` triples while
+//! its [`mc_cfg::PathMachine`] runs. The trait `step` wrapper stamps the
+//! current witness onto whatever the inner transition function pushed, and
+//! the checker dedups by `(span, message)` afterwards — keeping the first
+//! witness, which under StateSet traversal is the first path that reached
+//! the deduplicated state.
+
+use mc_ast::Span;
+use mc_cfg::{PathStep, Witness};
+
+/// Stamps `witness` onto the violations pushed during one `step` call.
+///
+/// Materializes the witness chain once per firing step — the common
+/// no-violation step costs nothing.
+pub(crate) fn stamp_witness(fresh: &mut [(Span, String, Vec<PathStep>)], witness: &Witness<'_>) {
+    if fresh.is_empty() {
+        return;
+    }
+    let steps = witness.steps();
+    for f in fresh {
+        f.2 = steps.clone();
+    }
+}
+
+/// Sorts by `(span, message)` and drops duplicate violations, keeping the
+/// first-recorded witness for each. The sort is stable and the key excludes
+/// the steps, so two paths reaching the same violation collapse to one
+/// report whose path is the deterministic first arrival.
+pub(crate) fn dedup_found(found: &mut Vec<(Span, String, Vec<PathStep>)>) {
+    found.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    found.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keeps_first_witness_per_key() {
+        let step = |n: &str| PathStep::new(Span::new(1, 1), n);
+        let mut found = vec![
+            (Span::new(5, 1), "b".to_string(), vec![step("late")]),
+            (Span::new(3, 1), "a".to_string(), vec![step("first")]),
+            (Span::new(3, 1), "a".to_string(), vec![step("second")]),
+        ];
+        dedup_found(&mut found);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].1, "a");
+        assert_eq!(found[0].2[0].note, "first");
+        assert_eq!(found[1].1, "b");
+    }
+}

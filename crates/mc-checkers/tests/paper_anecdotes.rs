@@ -120,9 +120,12 @@ fn lane_workaround_back_trace() {
     assert_eq!(lanes.len(), 1);
     assert_eq!(lanes[0].function, "NIRemoteGet");
     assert!(
-        lanes[0].trace.iter().any(|t| t.contains("hw_workaround")),
-        "back trace must name the helper: {:?}",
-        lanes[0].trace
+        lanes[0]
+            .steps
+            .iter()
+            .any(|t| t.note.contains("hw_workaround")),
+        "witness path must name the helper: {:?}",
+        lanes[0].steps
     );
 }
 

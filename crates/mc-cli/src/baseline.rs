@@ -1,0 +1,268 @@
+//! Fingerprint baselines: accept a known set of reports so CI only fails
+//! on *new* findings.
+//!
+//! `mcheck --baseline known.json …` is two tools in one flag:
+//!
+//! * the file does **not** exist — the run's reports are written to it as
+//!   a baseline and the run exits 0 (nothing was compared, nothing is
+//!   "new");
+//! * the file exists — reports whose [`Report::fingerprint`] appears in
+//!   the baseline are filtered out before rendering, and the run exits 0
+//!   exactly when no new report remains. Baseline entries that no longer
+//!   match any report are counted as *resolved* so a stale baseline is
+//!   visible.
+//!
+//! The file format is a small JSON document; alongside each fingerprint
+//! it stores the checker/file/message it stood for, so a baseline diff in
+//! review is readable without running the tool:
+//!
+//! ```json
+//! {
+//!   "schema": "mcheck-baseline",
+//!   "version": 1,
+//!   "reports": [
+//!     {"fingerprint": "9f86d081884c7d65", "checker": "buffer_mgmt",
+//!      "file": "sci/sci_main.c", "message": "len used after DB_FREE"}
+//!   ]
+//! }
+//! ```
+
+use crate::CliError;
+use mc_driver::Report;
+use mc_json::{FromJson, Json, JsonError, ToJson};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// One remembered report in a baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The report's stable content fingerprint (the comparison key).
+    pub fingerprint: String,
+    /// Checker that produced it (context for human readers only).
+    pub checker: String,
+    /// File it was in (context only).
+    pub file: String,
+    /// Its message (context only).
+    pub message: String,
+}
+
+impl ToJson for BaselineEntry {
+    fn to_json(&self) -> Json {
+        mc_json::object(vec![
+            ("fingerprint", self.fingerprint.to_json()),
+            ("checker", self.checker.to_json()),
+            ("file", self.file.to_json()),
+            ("message", self.message.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BaselineEntry {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(BaselineEntry {
+            fingerprint: mc_json::field(v, "fingerprint")?,
+            checker: mc_json::field_or_default(v, "checker")?,
+            file: mc_json::field_or_default(v, "file")?,
+            message: mc_json::field_or_default(v, "message")?,
+        })
+    }
+}
+
+/// A loaded (or freshly built) baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// The remembered reports, in report order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a baseline from the current run's reports.
+    pub fn from_reports(reports: &[Report]) -> Baseline {
+        Baseline {
+            entries: reports
+                .iter()
+                .map(|r| BaselineEntry {
+                    fingerprint: r.fingerprint(),
+                    checker: r.checker.clone(),
+                    file: r.file.clone(),
+                    message: r.message.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The set of remembered fingerprints.
+    pub fn fingerprints(&self) -> BTreeSet<&str> {
+        self.entries
+            .iter()
+            .map(|e| e.fingerprint.as_str())
+            .collect()
+    }
+}
+
+impl ToJson for Baseline {
+    fn to_json(&self) -> Json {
+        mc_json::object(vec![
+            ("schema", Json::Str("mcheck-baseline".into())),
+            ("version", Json::Int(1)),
+            ("reports", self.entries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Baseline {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.get("schema").and_then(Json::as_str) != Some("mcheck-baseline") {
+            return Err(JsonError::expected("schema \"mcheck-baseline\""));
+        }
+        Ok(Baseline {
+            entries: mc_json::field(v, "reports")?,
+        })
+    }
+}
+
+/// What a `--baseline` run did, for the caller to report and turn into an
+/// exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineOutcome {
+    /// The file did not exist; it was written with this many entries.
+    Written(usize),
+    /// The file existed and was compared against the run.
+    Compared {
+        /// Reports filtered out because their fingerprint was remembered.
+        known: usize,
+        /// Baseline entries that matched no current report.
+        resolved: usize,
+    },
+}
+
+/// Applies `--baseline <path>` to a run's reports: writes the file when it
+/// is missing, filters known fingerprints out of `reports` when it exists.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the file cannot be read, parsed, or written —
+/// a corrupt baseline must fail loudly, never silently accept everything.
+pub fn apply_baseline(path: &Path, reports: &mut Vec<Report>) -> Result<BaselineOutcome, CliError> {
+    if !path.exists() {
+        let baseline = Baseline::from_reports(reports);
+        let n = baseline.entries.len();
+        std::fs::write(path, baseline.to_json().to_pretty())
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        return Ok(BaselineOutcome::Written(n));
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    let baseline: Baseline = mc_json::from_str(&text)
+        .map_err(|e| CliError(format!("{}: bad baseline: {e}", path.display())))?;
+    let known_fps = baseline.fingerprints();
+    let current: BTreeSet<String> = reports.iter().map(Report::fingerprint).collect();
+    let resolved = known_fps
+        .iter()
+        .filter(|fp| !current.contains(**fp))
+        .count();
+    let before = reports.len();
+    reports.retain(|r| !known_fps.contains(r.fingerprint().as_str()));
+    Ok(BaselineOutcome::Compared {
+        known: before - reports.len(),
+        resolved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::Span;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mcheck_baseline_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("baseline.json")
+    }
+
+    fn reports() -> Vec<Report> {
+        vec![
+            Report::error("a", "f.c", "g", Span::new(1, 1), "first"),
+            Report::error("b", "f.c", "g", Span::new(2, 1), "second"),
+        ]
+    }
+
+    #[test]
+    fn missing_file_writes_then_next_run_is_clean() {
+        let path = temp_path("roundtrip");
+        let mut first = reports();
+        let outcome = apply_baseline(&path, &mut first).unwrap();
+        assert_eq!(outcome, BaselineOutcome::Written(2));
+        assert_eq!(first.len(), 2, "writing must not drop the run's reports");
+
+        // Unchanged second run: everything is known, nothing resolved.
+        let mut second = reports();
+        let outcome = apply_baseline(&path, &mut second).unwrap();
+        assert_eq!(
+            outcome,
+            BaselineOutcome::Compared {
+                known: 2,
+                resolved: 0
+            }
+        );
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn new_and_resolved_reports_are_counted() {
+        let path = temp_path("delta");
+        let mut first = reports();
+        apply_baseline(&path, &mut first).unwrap();
+
+        // Second run: "first" is gone (resolved), "third" is new.
+        let mut second = vec![
+            Report::error("b", "f.c", "g", Span::new(2, 1), "second"),
+            Report::error("c", "f.c", "g", Span::new(3, 1), "third"),
+        ];
+        let outcome = apply_baseline(&path, &mut second).unwrap();
+        assert_eq!(
+            outcome,
+            BaselineOutcome::Compared {
+                known: 1,
+                resolved: 1
+            }
+        );
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].message, "third");
+    }
+
+    #[test]
+    fn fingerprint_survives_line_drift_in_comparison() {
+        let path = temp_path("drift");
+        let mut first = reports();
+        apply_baseline(&path, &mut first).unwrap();
+        // Same reports, shifted down the file: still known.
+        let mut shifted: Vec<Report> = reports()
+            .into_iter()
+            .map(|mut r| {
+                r.span = Span::new(r.span.line + 40, r.span.col);
+                r
+            })
+            .collect();
+        let outcome = apply_baseline(&path, &mut shifted).unwrap();
+        assert_eq!(
+            outcome,
+            BaselineOutcome::Compared {
+                known: 2,
+                resolved: 0
+            }
+        );
+        assert!(shifted.is_empty());
+    }
+
+    #[test]
+    fn corrupt_baseline_is_a_loud_error() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(apply_baseline(&path, &mut reports()).is_err());
+        std::fs::write(&path, r#"{"schema":"other","version":1,"reports":[]}"#).unwrap();
+        assert!(apply_baseline(&path, &mut reports()).is_err());
+    }
+}

@@ -20,10 +20,16 @@
 
 use mc_checkers::flash::FlashSpec;
 use mc_driver::cache::DiskCache;
-use mc_driver::{CheckEngine, Driver, Report};
+use mc_driver::{CheckEngine, Driver, Report, Severity};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::SystemTime;
+
+mod baseline;
+mod render;
+
+pub use baseline::{apply_baseline, Baseline, BaselineEntry, BaselineOutcome};
+pub use render::{partition_suppressed, render, Format};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,8 +58,12 @@ pub struct Options {
     pub emit_corpus: Option<PathBuf>,
     /// Corpus seed.
     pub seed: u64,
-    /// Emit reports as a JSON array instead of text.
-    pub json: bool,
+    /// Report output format (`--format text|json|sarif`).
+    pub format: Format,
+    /// Baseline file: written when missing, compared (by fingerprint)
+    /// when present; known reports are filtered and the run exits 0 when
+    /// nothing new remains.
+    pub baseline: Option<PathBuf>,
     /// Persist check artifacts here; warm runs only re-check changed
     /// files.
     pub cache_dir: Option<PathBuf>,
@@ -89,7 +99,8 @@ impl Default for Options {
             interproc: false,
             emit_corpus: None,
             seed: mc_corpus::DEFAULT_SEED,
-            json: false,
+            format: Format::Text,
+            baseline: None,
             cache_dir: None,
             no_cache: false,
             cache_cap_bytes: None,
@@ -132,9 +143,17 @@ usage: mcheck [OPTIONS] <file.c>...
                            summaries so helpers stop looking opaque
                            (default off; the lane checker is always
                            summary-based)
-  --format <text|json>     report output format (default text); reports
+  --format <text|json|sarif>
+                           report output format (default text); reports
                            are ordered most-likely-real first (descending
-                           confidence)
+                           confidence). text shows source excerpts and the
+                           numbered witness path; json is the documented
+                           mcheck-reports envelope; sarif is SARIF 2.1.0
+                           with the witness path as codeFlows
+  --baseline <file>        if <file> is missing, write the run's report
+                           fingerprints to it and exit 0; if it exists,
+                           hide reports whose fingerprint it contains and
+                           exit 0 exactly when no new report remains
   --cache-dir <dir>        persist check artifacts between runs; a warm
                            run only re-checks files whose content changed
   --no-cache               ignore --cache-dir for this run (fully cold)
@@ -201,13 +220,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             "--no-interproc" => opts.interproc = false,
             "--format" => {
                 let v = it.next().ok_or(CliError("--format needs a value".into()))?;
-                match v.as_str() {
-                    "text" => opts.json = false,
-                    "json" => opts.json = true,
-                    other => {
-                        return Err(CliError(format!("unknown format `{other}` (text | json)")))
-                    }
-                }
+                opts.format = Format::parse(&v).ok_or_else(|| {
+                    CliError(format!("unknown format `{v}` (text | json | sarif)"))
+                })?;
+            }
+            "--baseline" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--baseline needs a file".into()))?;
+                opts.baseline = Some(PathBuf::from(v));
             }
             "--cache-dir" => {
                 let v = it
@@ -464,6 +485,7 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
             Ok(sources) => match engine.check_sources(&driver, &sources) {
                 Ok((mut reports, stats)) => {
                     Report::sort_by_confidence(&mut reports);
+                    let (reports, suppressed) = partition_suppressed(reports, &sources);
                     let _ = writeln!(
                         out,
                         "[watch] checked {} file(s) ({} re-checked, {} replayed): {} report(s)",
@@ -472,7 +494,7 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
                         stats.units - stats.units_checked,
                         reports.len()
                     );
-                    write_reports(&reports, opts.json, out);
+                    render(opts.format, &reports, &sources, suppressed, out);
                 }
                 Err(e) => {
                     let _ = writeln!(out, "mcheck: {e}");
@@ -496,15 +518,60 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
     }
 }
 
-/// Prints reports in the selected format.
-pub fn write_reports(reports: &[Report], json: bool, out: &mut dyn std::io::Write) {
-    if json {
-        let _ = writeln!(out, "{}", mc_json::to_string_pretty(reports));
-    } else {
-        for r in reports {
-            let _ = writeln!(out, "{r}");
+/// Executes the parsed options end-to-end: check, apply `// mc-suppress:`
+/// comments, apply `--baseline`, render in the selected format, and return
+/// the process exit code.
+///
+/// Report output goes to `out`; human-facing notes (the baseline summary
+/// and the error-count footer) go to `err`, so `--format json|sarif`
+/// output on stdout stays machine-parseable.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for I/O, parse, metal, or baseline-file errors.
+pub fn run_full(
+    opts: &Options,
+    out: &mut dyn std::io::Write,
+    err: &mut dyn std::io::Write,
+) -> Result<u8, CliError> {
+    if let Some(dir) = &opts.emit_corpus {
+        emit_corpus(dir, opts.seed)?;
+        let _ = writeln!(out, "corpus written");
+        return Ok(0);
+    }
+    let reports = run(opts)?;
+    let sources = read_sources(&opts.files)?;
+    let (mut reports, suppressed) = partition_suppressed(reports, &sources);
+    let mut exit = u8::from(!reports.is_empty());
+    if let Some(path) = &opts.baseline {
+        match apply_baseline(path, &mut reports)? {
+            BaselineOutcome::Written(n) => {
+                let _ = writeln!(
+                    err,
+                    "baseline: wrote {n} fingerprint(s) to {}",
+                    path.display()
+                );
+                exit = 0;
+            }
+            BaselineOutcome::Compared { known, resolved } => {
+                let _ = writeln!(
+                    err,
+                    "baseline: {known} known report(s) hidden, {} new, {resolved} resolved",
+                    reports.len()
+                );
+                exit = u8::from(!reports.is_empty());
+            }
         }
     }
+    render(opts.format, &reports, &sources, suppressed, out);
+    if !reports.is_empty() && opts.format == Format::Text {
+        let errors = reports
+            .iter()
+            .filter(|r| r.severity == Severity::Error)
+            .count();
+        let _ = writeln!(err, "\n{errors} error(s), {} report(s)", reports.len());
+    }
+    Ok(exit)
 }
 
 /// The process exit code for a completed (non-watch) check run: `0` when
@@ -876,10 +943,103 @@ mod format_tests {
     #[test]
     fn format_flag_parses() {
         let o = parse_args(["--builtin", "--format", "json", "a.c"].map(String::from)).unwrap();
-        assert!(o.json);
+        assert_eq!(o.format, Format::Json);
         let o = parse_args(["--builtin", "--format", "text", "a.c"].map(String::from)).unwrap();
-        assert!(!o.json);
+        assert_eq!(o.format, Format::Text);
+        let o = parse_args(["--builtin", "--format", "sarif", "a.c"].map(String::from)).unwrap();
+        assert_eq!(o.format, Format::Sarif);
         assert!(parse_args(["--builtin", "--format", "xml", "a.c"].map(String::from)).is_err());
+        assert!(USAGE.contains("sarif"));
+    }
+
+    #[test]
+    fn baseline_flag_parses() {
+        let o = parse_args(["--builtin", "--baseline", "b.json", "a.c"].map(String::from)).unwrap();
+        assert_eq!(o.baseline, Some(PathBuf::from("b.json")));
+        let o = parse_args(["--builtin", "a.c"].map(String::from)).unwrap();
+        assert_eq!(o.baseline, None);
+        assert!(parse_args(["--builtin", "--baseline"].map(String::from)).is_err());
+        assert!(USAGE.contains("--baseline"));
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcheck_full_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn run_full_baseline_roundtrip_exits_zero() {
+        let dir = temp_dir("baseline");
+        let src = dir.join("h.c");
+        std::fs::write(&src, "void h(void) { MISCBUS_READ_DB(a, b); }").unwrap();
+        let baseline = dir.join("baseline.json");
+        let opts = parse_args(
+            [
+                "--builtin",
+                "--baseline",
+                baseline.to_str().unwrap(),
+                src.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+
+        // First run writes the baseline and exits 0 despite reports.
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 0);
+        assert!(baseline.exists());
+        assert!(String::from_utf8(err).unwrap().contains("baseline: wrote"));
+        assert!(String::from_utf8(out).unwrap().contains("wait_for_db"));
+
+        // Unchanged second run: every report is known, exit 0, no output.
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 0, "baseline round-trip must exit 0");
+        let err = String::from_utf8(err).unwrap();
+        assert!(err.contains("0 new"), "{err}");
+        assert!(String::from_utf8(out).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_full_counts_suppressions_and_keeps_exit_zero() {
+        let dir = temp_dir("suppress");
+        let src = dir.join("s.c");
+        std::fs::write(
+            &src,
+            "void s(void) { // mc-suppress: exec_restrict\n  \
+             MISCBUS_READ_DB(a, b); // mc-suppress: wait_for_db\n}\n",
+        )
+        .unwrap();
+        let opts = parse_args(["--builtin", src.to_str().unwrap()].map(String::from)).unwrap();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 0, "every report is suppressed");
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("2 report(s) suppressed"), "{out}");
+        assert!(!out.contains("wait_for_db"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_full_text_shows_excerpt_and_witness() {
+        let dir = temp_dir("excerpt");
+        let src = dir.join("e.c");
+        std::fs::write(&src, "void e(void) {\n  MISCBUS_READ_DB(a, b);\n}\n").unwrap();
+        let opts = parse_args(["--builtin", src.to_str().unwrap()].map(String::from)).unwrap();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 1);
+        let out = String::from_utf8(out).unwrap();
+        assert!(
+            out.contains("| MISCBUS_READ_DB") || out.contains("|   MISCBUS_READ_DB"),
+            "{out}"
+        );
+        assert!(out.contains("    1. "), "witness path rendered: {out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! checkers from the command line. See [`mc_cli::USAGE`].
 //!
 //! Exit codes (documented in the README and pinned by tests):
-//! `0` ran clean with no reports, `1` ran and emitted reports,
-//! `2` usage, I/O, or parse error.
+//! `0` ran clean with no (new) reports, `1` ran and emitted reports,
+//! `2` usage, I/O, or parse error. With `--baseline`, reports whose
+//! fingerprint the baseline remembers do not count toward the exit code.
 
-use mc_driver::Severity;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,22 +25,8 @@ fn main() -> ExitCode {
             }
         };
     }
-    match mc_cli::run(&opts) {
-        Ok(reports) => {
-            mc_cli::write_reports(&reports, opts.json, &mut std::io::stdout());
-            if opts.emit_corpus.is_some() {
-                println!("corpus written");
-                return ExitCode::SUCCESS;
-            }
-            if !reports.is_empty() {
-                let errors = reports
-                    .iter()
-                    .filter(|r| r.severity == Severity::Error)
-                    .count();
-                eprintln!("\n{errors} error(s), {} report(s)", reports.len());
-            }
-            ExitCode::from(mc_cli::exit_code(&reports))
-        }
+    match mc_cli::run_full(&opts, &mut std::io::stdout(), &mut std::io::stderr()) {
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("{e}");
             ExitCode::from(2)

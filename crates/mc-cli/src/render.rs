@@ -1,0 +1,540 @@
+//! Report renderers: text (with source excerpts), JSON, and SARIF 2.1.0.
+//!
+//! All three renderers consume the same inputs — the final report list,
+//! the checked sources (for text excerpts), and the count of reports
+//! hidden by `// mc-suppress:` comments — so every output format agrees
+//! on what was found and what was suppressed.
+//!
+//! ## JSON schema (`--format json`)
+//!
+//! ```json
+//! {
+//!   "schema": "mcheck-reports",
+//!   "version": 1,
+//!   "suppressed": 0,
+//!   "reports": [
+//!     {
+//!       "checker": "buffer_mgmt",
+//!       "severity": "error",
+//!       "file": "sci/sci_main.c",
+//!       "function": "PIRemoteGet",
+//!       "span": {"line": 41, "col": 5},
+//!       "message": "len used after DB_FREE",
+//!       "steps": [
+//!         {"file": "", "span": {"line": 38, "col": 5}, "note": "branch taken"}
+//!       ],
+//!       "confidence": 75,
+//!       "pruned_paths": 0,
+//!       "fingerprint": "9f86d081884c7d65"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `schema`/`version` identify the envelope. `suppressed` counts reports
+//! dropped by inline suppressions. Each report is the [`Report`] JSON
+//! shape plus its stable content `fingerprint` (the baseline key). A step
+//! with an empty `file` is in the report's own file. All locations carry
+//! both `line` and `col` (1-based).
+//!
+//! ## SARIF (`--format sarif`)
+//!
+//! A SARIF 2.1.0 log: one run, one `tool.driver` named `mcheck` with one
+//! rule per distinct checker, one `result` per report. The witness path is
+//! emitted as `codeFlows[0].threadFlows[0].locations`, the fingerprint as
+//! `partialFingerprints["mcheckFingerprint/v1"]`, and confidence /
+//! function / pruned-path counts under `properties`.
+
+use mc_driver::{Report, Severity};
+use mc_json::Json;
+use std::collections::HashMap;
+use std::io::Write;
+
+/// Output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable text with source excerpts and numbered path steps.
+    #[default]
+    Text,
+    /// The documented JSON envelope (see module docs).
+    Json,
+    /// SARIF 2.1.0 with `codeFlows` for the witness path.
+    Sarif,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "sarif" => Some(Format::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// Renders `reports` in `format` to `out`. `sources` are `(text, name)`
+/// pairs as produced by reading the input files; they feed the text
+/// renderer's source excerpts (a report whose file is not among the
+/// sources simply renders without an excerpt). `suppressed` is the number
+/// of reports already removed by `// mc-suppress:` comments; every format
+/// states it so a clean run is distinguishable from a silenced one.
+pub fn render(
+    format: Format,
+    reports: &[Report],
+    sources: &[(String, String)],
+    suppressed: usize,
+    out: &mut dyn Write,
+) {
+    match format {
+        Format::Text => render_text(reports, sources, suppressed, out),
+        Format::Json => {
+            let _ = writeln!(out, "{}", json_envelope(reports, suppressed).to_pretty());
+        }
+        Format::Sarif => {
+            let _ = writeln!(out, "{}", sarif_log(reports, suppressed).to_pretty());
+        }
+    }
+}
+
+/// Text renderer: one block per report —
+///
+/// ```text
+/// sci/sci_main.c:41:5: error: [buffer_mgmt] len used after DB_FREE (in PIRemoteGet)
+///    41 |     DB_SEND(hdr, len);
+///       |     ^
+///     1. sci/sci_main.c:38:5: branch taken
+///     2. sci/sci_main.c:41:5: statement
+/// ```
+fn render_text(
+    reports: &[Report],
+    sources: &[(String, String)],
+    suppressed: usize,
+    out: &mut dyn Write,
+) {
+    let by_name: HashMap<&str, &str> = sources
+        .iter()
+        .map(|(text, name)| (name.as_str(), text.as_str()))
+        .collect();
+    for r in reports {
+        let _ = write!(
+            out,
+            "{}:{}: {}: [{}] {}",
+            r.file, r.span, r.severity, r.checker, r.message
+        );
+        if !r.function.is_empty() {
+            let _ = write!(out, " (in {})", r.function);
+        }
+        let _ = writeln!(out);
+        if let Some(text) = by_name.get(r.file.as_str()) {
+            write_excerpt(text, r.span.line, r.span.col, out);
+        }
+        for (i, step) in r.steps.iter().enumerate() {
+            let file = if step.file.is_empty() {
+                &r.file
+            } else {
+                &step.file
+            };
+            let _ = writeln!(out, "    {}. {}:{}: {}", i + 1, file, step.span, step.note);
+        }
+    }
+    if suppressed > 0 {
+        let _ = writeln!(
+            out,
+            "note: {suppressed} report(s) suppressed by // mc-suppress comments"
+        );
+    }
+}
+
+/// Writes the `   41 | <source>` / `      |  ^` excerpt pair for one
+/// location. Out-of-range lines (a report against generated or shifted
+/// code) write nothing.
+fn write_excerpt(text: &str, line: u32, col: u32, out: &mut dyn Write) {
+    let Some(src_line) = text.lines().nth(line.saturating_sub(1) as usize) else {
+        return;
+    };
+    let src_line = src_line.trim_end();
+    let _ = writeln!(out, "{line:>5} | {src_line}");
+    // The caret lands under the report column, clamped into the line so a
+    // stale column can never push it off the excerpt.
+    let caret_at = (col.max(1) as usize - 1).min(src_line.chars().count());
+    let pad: String = src_line
+        .chars()
+        .take(caret_at)
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    let _ = writeln!(out, "      | {pad}^");
+}
+
+/// Builds the documented JSON envelope.
+fn json_envelope(reports: &[Report], suppressed: usize) -> Json {
+    let reports_json: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let mut fields = match mc_json::ToJson::to_json(r) {
+                Json::Object(fields) => fields,
+                other => return other,
+            };
+            fields.push(("fingerprint".to_string(), Json::Str(r.fingerprint())));
+            Json::Object(fields)
+        })
+        .collect();
+    mc_json::object(vec![
+        ("schema", Json::Str("mcheck-reports".into())),
+        ("version", Json::Int(1)),
+        ("suppressed", Json::Int(suppressed as i64)),
+        ("reports", Json::Array(reports_json)),
+    ])
+}
+
+/// Builds the SARIF 2.1.0 log value.
+fn sarif_log(reports: &[Report], suppressed: usize) -> Json {
+    // One rule per distinct checker, in order of first appearance.
+    let mut rule_index: Vec<&str> = Vec::new();
+    for r in reports {
+        if !rule_index.contains(&r.checker.as_str()) {
+            rule_index.push(&r.checker);
+        }
+    }
+    let rules: Vec<Json> = rule_index
+        .iter()
+        .map(|id| {
+            mc_json::object(vec![
+                ("id", Json::Str((*id).to_string())),
+                (
+                    "shortDescription",
+                    mc_json::object(vec![("text", Json::Str(format!("mcheck `{id}` checker")))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let results: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let level = match r.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let mut fields = vec![
+                ("ruleId", Json::Str(r.checker.clone())),
+                (
+                    "ruleIndex",
+                    Json::Int(
+                        rule_index
+                            .iter()
+                            .position(|id| *id == r.checker)
+                            .unwrap_or(0) as i64,
+                    ),
+                ),
+                ("level", Json::Str(level.into())),
+                (
+                    "message",
+                    mc_json::object(vec![("text", Json::Str(r.message.clone()))]),
+                ),
+                (
+                    "locations",
+                    Json::Array(vec![sarif_location(&r.file, r.span, None)]),
+                ),
+                (
+                    "partialFingerprints",
+                    mc_json::object(vec![("mcheckFingerprint/v1", Json::Str(r.fingerprint()))]),
+                ),
+                (
+                    "properties",
+                    mc_json::object(vec![
+                        ("function", Json::Str(r.function.clone())),
+                        ("confidence", Json::Int(i64::from(r.confidence))),
+                        ("prunedPaths", Json::Int(i64::from(r.pruned_paths))),
+                    ]),
+                ),
+            ];
+            if !r.steps.is_empty() {
+                let flow_locations: Vec<Json> = r
+                    .steps
+                    .iter()
+                    .map(|s| {
+                        let file = if s.file.is_empty() { &r.file } else { &s.file };
+                        mc_json::object(vec![(
+                            "location",
+                            sarif_location(file, s.span, Some(&s.note)),
+                        )])
+                    })
+                    .collect();
+                fields.push((
+                    "codeFlows",
+                    Json::Array(vec![mc_json::object(vec![(
+                        "threadFlows",
+                        Json::Array(vec![mc_json::object(vec![(
+                            "locations",
+                            Json::Array(flow_locations),
+                        )])]),
+                    )])]),
+                ));
+            }
+            mc_json::object(fields)
+        })
+        .collect();
+
+    mc_json::object(vec![
+        (
+            "$schema",
+            Json::Str("https://json.schemastore.org/sarif-2.1.0.json".into()),
+        ),
+        ("version", Json::Str("2.1.0".into())),
+        (
+            "runs",
+            Json::Array(vec![mc_json::object(vec![
+                (
+                    "tool",
+                    mc_json::object(vec![(
+                        "driver",
+                        mc_json::object(vec![
+                            ("name", Json::Str("mcheck".into())),
+                            ("version", Json::Str(env!("CARGO_PKG_VERSION").into())),
+                            ("rules", Json::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Array(results)),
+                (
+                    "properties",
+                    mc_json::object(vec![("suppressedReports", Json::Int(suppressed as i64))]),
+                ),
+            ])]),
+        ),
+    ])
+}
+
+/// One SARIF `location` (physical location + optional message).
+fn sarif_location(file: &str, span: mc_ast::Span, message: Option<&str>) -> Json {
+    let mut fields = vec![(
+        "physicalLocation",
+        mc_json::object(vec![
+            (
+                "artifactLocation",
+                mc_json::object(vec![("uri", Json::Str(file.to_string()))]),
+            ),
+            (
+                "region",
+                mc_json::object(vec![
+                    ("startLine", Json::Int(i64::from(span.line))),
+                    ("startColumn", Json::Int(i64::from(span.col))),
+                ]),
+            ),
+        ]),
+    )];
+    if let Some(text) = message {
+        fields.push((
+            "message",
+            mc_json::object(vec![("text", Json::Str(text.to_string()))]),
+        ));
+    }
+    mc_json::object(fields)
+}
+
+/// Splits `reports` into kept reports and the count suppressed by inline
+/// `// mc-suppress: <checker>` comments.
+///
+/// A suppression names one or more checkers (comma- or space-separated)
+/// and silences matching reports on its own line or the line directly
+/// below (so it works both as a trailing comment and as a comment above
+/// the flagged statement):
+///
+/// ```c
+/// DB_FREE();  // mc-suppress: buffer_mgmt
+/// // mc-suppress: lanes, send_wait
+/// CONTROL_SEND(hdr);
+/// ```
+///
+/// Checker names must match exactly — there is deliberately no wildcard,
+/// so a suppression can never hide a report from a checker added later.
+pub fn partition_suppressed(
+    reports: Vec<Report>,
+    sources: &[(String, String)],
+) -> (Vec<Report>, usize) {
+    // file -> list of (comment line, suppressed checker names)
+    let mut map: HashMap<&str, Vec<(u32, Vec<&str>)>> = HashMap::new();
+    for (text, name) in sources {
+        for (idx, line) in text.lines().enumerate() {
+            let Some(at) = line.find("// mc-suppress:") else {
+                continue;
+            };
+            let names: Vec<&str> = line[at + "// mc-suppress:".len()..]
+                .split([',', ' ', '\t'])
+                .filter(|s| !s.is_empty())
+                .collect();
+            if !names.is_empty() {
+                map.entry(name.as_str())
+                    .or_default()
+                    .push((idx as u32 + 1, names));
+            }
+        }
+    }
+    let total = reports.len();
+    let kept: Vec<Report> = reports
+        .into_iter()
+        .filter(|r| {
+            let Some(entries) = map.get(r.file.as_str()) else {
+                return true;
+            };
+            !entries.iter().any(|(line, names)| {
+                (*line == r.span.line || *line + 1 == r.span.line)
+                    && names.iter().any(|n| *n == r.checker)
+            })
+        })
+        .collect();
+    let suppressed = total - kept.len();
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::Span;
+
+    fn sample_report() -> Report {
+        let mut r = Report::error(
+            "buffer_mgmt",
+            "f.c",
+            "PIHandler",
+            Span::new(2, 3),
+            "double free",
+        );
+        r.steps = vec![
+            mc_cfg::PathStep::new(Span::new(1, 1), "statement"),
+            mc_cfg::PathStep::new(Span::new(2, 3), "branch taken"),
+        ];
+        r
+    }
+
+    fn sample_source() -> Vec<(String, String)> {
+        vec![(
+            "void PIHandler(void) {\n  DB_FREE();\n}\n".to_string(),
+            "f.c".to_string(),
+        )]
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(Format::parse("text"), Some(Format::Text));
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("sarif"), Some(Format::Sarif));
+        assert_eq!(Format::parse("xml"), None);
+    }
+
+    #[test]
+    fn text_renders_excerpt_caret_and_steps() {
+        let mut out = Vec::new();
+        render_text(&[sample_report()], &sample_source(), 0, &mut out);
+        let s = String::from_utf8(out).unwrap();
+        assert!(
+            s.contains("f.c:2:3: error: [buffer_mgmt] double free (in PIHandler)"),
+            "{s}"
+        );
+        assert!(s.contains("    2 |   DB_FREE();"), "{s}");
+        assert!(s.contains("      |   ^"), "{s}");
+        assert!(s.contains("    1. f.c:1:1: statement"), "{s}");
+        assert!(s.contains("    2. f.c:2:3: branch taken"), "{s}");
+    }
+
+    #[test]
+    fn text_counts_suppressed() {
+        let mut out = Vec::new();
+        render_text(&[], &[], 2, &mut out);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("2 report(s) suppressed"), "{s}");
+    }
+
+    #[test]
+    fn json_envelope_carries_schema_and_fingerprints() {
+        let r = sample_report();
+        let v = json_envelope(&[r.clone()], 1);
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("mcheck-reports")
+        );
+        assert_eq!(v.get("version").and_then(Json::as_i64), Some(1));
+        assert_eq!(v.get("suppressed").and_then(Json::as_i64), Some(1));
+        let reports = v.get("reports").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            reports[0].get("fingerprint").and_then(Json::as_str),
+            Some(r.fingerprint().as_str())
+        );
+        // Locations keep both line and col.
+        let span = reports[0].get("span").unwrap();
+        assert_eq!(span.get("line").and_then(Json::as_i64), Some(2));
+        assert_eq!(span.get("col").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn sarif_has_required_shape() {
+        let v = sarif_log(&[sample_report()], 0);
+        assert_eq!(v.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = v.get("runs").and_then(Json::as_array).unwrap();
+        let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").and_then(Json::as_str), Some("mcheck"));
+        let results = runs[0].get("results").and_then(Json::as_array).unwrap();
+        let result = &results[0];
+        assert_eq!(
+            result.get("ruleId").and_then(Json::as_str),
+            Some("buffer_mgmt")
+        );
+        let flows = result.get("codeFlows").and_then(Json::as_array).unwrap();
+        let locations = flows[0]
+            .get("threadFlows")
+            .and_then(Json::as_array)
+            .unwrap()[0]
+            .get("locations")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(locations.len(), 2);
+        let region = locations[1]
+            .get("location")
+            .unwrap()
+            .get("physicalLocation")
+            .unwrap()
+            .get("region")
+            .unwrap();
+        assert_eq!(region.get("startLine").and_then(Json::as_i64), Some(2));
+        assert_eq!(region.get("startColumn").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn suppression_matches_same_line_and_line_above() {
+        let src = "\
+// mc-suppress: buffer_mgmt
+DB_FREE();
+CONTROL_SEND(); // mc-suppress: send_wait, lanes
+"
+        .to_string();
+        let sources = vec![(src, "f.c".to_string())];
+        let mk =
+            |checker: &str, line: u32| Report::error(checker, "f.c", "h", Span::new(line, 1), "m");
+        let reports = vec![
+            mk("buffer_mgmt", 2), // line below the comment: suppressed
+            mk("send_wait", 3),   // trailing comment: suppressed
+            mk("lanes", 3),       // second name in the list: suppressed
+            mk("buffer_mgmt", 3), // not named on line 3: kept
+            mk("send_wait", 2),   // wrong checker for line 1 comment: kept
+        ];
+        let (kept, suppressed) = partition_suppressed(reports, &sources);
+        assert_eq!(suppressed, 3);
+        assert_eq!(kept.len(), 2);
+        assert!(kept
+            .iter()
+            .all(|r| r.span.line != 2 || r.checker != "buffer_mgmt"));
+    }
+
+    #[test]
+    fn suppression_ignores_other_files() {
+        let sources = vec![(
+            "// mc-suppress: lanes\nx();\n".to_string(),
+            "a.c".to_string(),
+        )];
+        let reports = vec![Report::error("lanes", "b.c", "h", Span::new(2, 1), "m")];
+        let (kept, suppressed) = partition_suppressed(reports, &sources);
+        assert_eq!((kept.len(), suppressed), (1, 0));
+    }
+}

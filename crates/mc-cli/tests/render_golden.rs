@@ -1,0 +1,195 @@
+//! Golden-file tests for the three renderers over a pinned corpus slice.
+//!
+//! The slice is the `bitvector` protocol at the stock seed, checked with
+//! the full built-in suite at the driver defaults (pruning on, interproc
+//! off) — deterministic by construction, so the rendered text/JSON/SARIF
+//! bytes are pinned under `tests/golden/`. Run with
+//! `MC_UPDATE_GOLDEN=1` to regenerate after an intentional output change.
+
+use mc_driver::{Driver, Report};
+use mc_json::Json;
+use std::path::PathBuf;
+
+/// Checks the pinned slice and returns (reports, sources).
+fn corpus_slice() -> (Vec<Report>, Vec<(String, String)>) {
+    let protocol = mc_corpus::generate_all(mc_corpus::DEFAULT_SEED)
+        .into_iter()
+        .find(|p| p.name == "bitvector")
+        .expect("bitvector protocol exists");
+    let sources: Vec<(String, String)> = protocol
+        .files
+        .iter()
+        .map(|f| (f.source.clone(), format!("bitvector/{}", f.name)))
+        .collect();
+    let mut driver = Driver::new();
+    driver.jobs(1);
+    mc_checkers::all_checkers(&mut driver, &protocol.spec).expect("suite registers");
+    let mut reports = driver.check_sources(&sources).expect("slice checks");
+    Report::sort_by_confidence(&mut reports);
+    (reports, sources)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MC_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run with MC_UPDATE_GOLDEN=1)", path.display()));
+    assert_eq!(
+        rendered, expected,
+        "{name} drifted from its golden file; if intentional, regenerate with MC_UPDATE_GOLDEN=1"
+    );
+}
+
+fn rendered(format: mc_cli::Format) -> String {
+    let (reports, sources) = corpus_slice();
+    assert!(!reports.is_empty(), "the slice must produce reports");
+    let mut out = Vec::new();
+    mc_cli::render(format, &reports, &sources, 0, &mut out);
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn text_renderer_matches_golden() {
+    check_golden("corpus_slice.txt", &rendered(mc_cli::Format::Text));
+}
+
+#[test]
+fn json_renderer_matches_golden() {
+    check_golden("corpus_slice.json", &rendered(mc_cli::Format::Json));
+}
+
+#[test]
+fn sarif_renderer_matches_golden() {
+    check_golden("corpus_slice.sarif", &rendered(mc_cli::Format::Sarif));
+}
+
+/// SARIF 2.1.0 structural validity over the real corpus slice: required
+/// top-level keys, the run/tool/driver/rules shape, and for every result
+/// with a codeFlow the codeFlows -> threadFlows -> locations nesting with
+/// line+column regions.
+#[test]
+fn sarif_output_is_structurally_valid() {
+    let log = Json::parse(&rendered(mc_cli::Format::Sarif)).expect("SARIF parses as JSON");
+
+    assert_eq!(log.get("version").and_then(Json::as_str), Some("2.1.0"));
+    assert!(log.get("$schema").and_then(Json::as_str).is_some());
+    let runs = log
+        .get("runs")
+        .and_then(Json::as_array)
+        .expect("runs array");
+    assert_eq!(runs.len(), 1);
+
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(driver.get("name").and_then(Json::as_str), Some("mcheck"));
+    let rules = driver.get("rules").and_then(Json::as_array).expect("rules");
+    assert!(!rules.is_empty());
+    for rule in rules {
+        assert!(rule.get("id").and_then(Json::as_str).is_some());
+    }
+
+    let results = runs[0]
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results");
+    assert!(!results.is_empty());
+    let mut with_flows = 0usize;
+    for result in results {
+        let rule_id = result.get("ruleId").and_then(Json::as_str).expect("ruleId");
+        let idx = result
+            .get("ruleIndex")
+            .and_then(Json::as_i64)
+            .expect("ruleIndex") as usize;
+        assert_eq!(rules[idx].get("id").and_then(Json::as_str), Some(rule_id));
+        let level = result.get("level").and_then(Json::as_str).expect("level");
+        assert!(level == "error" || level == "warning");
+        assert!(result
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Json::as_str)
+            .is_some());
+        let locations = result
+            .get("locations")
+            .and_then(Json::as_array)
+            .expect("locations");
+        assert_region(&locations[0]);
+        assert!(result
+            .get("partialFingerprints")
+            .and_then(|f| f.get("mcheckFingerprint/v1"))
+            .and_then(Json::as_str)
+            .is_some_and(|fp| fp.len() == 16));
+
+        if let Some(flows) = result.get("codeFlows").and_then(Json::as_array) {
+            with_flows += 1;
+            let thread_flows = flows[0]
+                .get("threadFlows")
+                .and_then(Json::as_array)
+                .expect("threadFlows");
+            let steps = thread_flows[0]
+                .get("locations")
+                .and_then(Json::as_array)
+                .expect("threadFlow locations");
+            assert!(!steps.is_empty());
+            for step in steps {
+                assert_region(step.get("location").expect("location wrapper"));
+            }
+        }
+    }
+    assert!(with_flows > 0, "some result must carry a witness codeFlow");
+}
+
+/// Every path-traversal (metal + path-machine) report on the slice carries
+/// a non-empty witness path.
+#[test]
+fn path_checker_reports_carry_witness_steps() {
+    let (reports, _) = corpus_slice();
+    // Structural checkers report at function granularity without walking
+    // paths; everything else must explain itself with a witness.
+    let structural = ["exec_restrict", "interrupt"];
+    for r in &reports {
+        if structural.contains(&r.checker.as_str()) {
+            continue;
+        }
+        assert!(
+            !r.steps.is_empty(),
+            "[{}] {}:{} `{}` has no witness path",
+            r.checker,
+            r.file,
+            r.span,
+            r.message
+        );
+    }
+}
+
+fn assert_region(location: &Json) {
+    let region = location
+        .get("physicalLocation")
+        .and_then(|p| p.get("region"))
+        .expect("physicalLocation.region");
+    assert!(region
+        .get("startLine")
+        .and_then(Json::as_i64)
+        .is_some_and(|l| l >= 1));
+    assert!(region
+        .get("startColumn")
+        .and_then(Json::as_i64)
+        .is_some_and(|c| c >= 1));
+    assert!(location
+        .get("physicalLocation")
+        .and_then(|p| p.get("artifactLocation"))
+        .and_then(|a| a.get("uri"))
+        .and_then(Json::as_str)
+        .is_some());
+}

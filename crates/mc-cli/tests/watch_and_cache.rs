@@ -4,7 +4,7 @@
 //! a size-capped cache, and `--interproc` resolving a helper that a
 //! per-function run flags.
 
-use mc_cli::{parse_args, run, run_watch, Options};
+use mc_cli::{parse_args, run, run_full, run_watch, Options};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -183,6 +183,68 @@ fn capped_cache_output_identical_to_uncached() {
         .map(|e| e.metadata().unwrap().len())
         .sum();
     assert!(total <= 700, "cap enforced on disk, found {total} bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cache format migration: records written by an older crate version (a
+/// lower `"version"` tag) are silent misses — the run re-checks, never
+/// errors — and after that one re-fill the next warm run is byte-identical
+/// to the re-filled one.
+#[test]
+fn old_format_cache_records_are_silent_misses() {
+    let dir = temp_dir("migrate");
+    let src = dir.join("m.c");
+    std::fs::write(
+        &src,
+        "void h(void) { PROC_DEFS(); PROC_PROLOGUE(); MISCBUS_READ_DB(a, b); }",
+    )
+    .unwrap();
+    let cache = dir.join("cache");
+    let opts = args(&[
+        "--builtin",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        src.to_str().unwrap(),
+    ]);
+    let render_run = || {
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        (code, String::from_utf8(out).unwrap())
+    };
+
+    let (code, cold) = render_run();
+    assert_eq!(code, 1, "the bug is reported");
+    assert!(
+        cache.read_dir().unwrap().next().is_some(),
+        "records written"
+    );
+
+    // Downgrade every record to the previous format version, as if left
+    // behind by an older release sharing the cache directory.
+    let mut downgraded = 0usize;
+    for entry in cache.read_dir().unwrap().flatten() {
+        let path = entry.path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let old = text
+            .replace("\"version\": 3", "\"version\": 2")
+            .replace("\"version\":3", "\"version\":2");
+        if old != text {
+            downgraded += 1;
+        }
+        std::fs::write(&path, old).unwrap();
+    }
+    assert!(downgraded > 0, "version tags found and rewritten");
+
+    // The run over old records must succeed (miss, not error) and agree
+    // byte-for-byte with the cold run; it re-fills the cache.
+    let (code, refill) = render_run();
+    assert_eq!(code, 1);
+    assert_eq!(refill, cold, "old records degrade to a cold run");
+
+    // Second warm run after the re-fill: byte-identical again.
+    let (code, warm) = render_run();
+    assert_eq!(code, 1);
+    assert_eq!(warm, refill, "warm output byte-identical after re-fill");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -490,8 +490,14 @@ mod tests {
             ..FnSummary::default()
         };
         s.counters.insert("lane2".into(), 2);
-        s.traces
-            .insert("lane2".into(), vec!["p.c:3: lane2 in helper".into()]);
+        s.traces.insert(
+            "lane2".into(),
+            vec![mc_cfg::PathStep {
+                file: "p.c".into(),
+                span: mc_ast::Span::new(3, 5),
+                note: "lane2 in helper".into(),
+            }],
+        );
         let mut per_state = std::collections::BTreeMap::new();
         per_state.insert("zero_len".into(), vec!["nonzero_len".into()]);
         per_state.insert("all".into(), Vec::new());

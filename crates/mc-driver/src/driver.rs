@@ -301,7 +301,13 @@ pub(crate) struct UnitLocal {
 
 /// Version stamp folded into every cache key. Bump whenever the meaning or
 /// layout of cached records changes in a way content addressing cannot see.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// Old-version records are treated as plain cache misses (never errors), so
+/// a bumped binary refills the cache on its first run and is byte-identical
+/// warm-vs-cold from then on.
+///
+/// v3: reports carry structured witness `steps` (and summary traces became
+/// structured), replacing the prose `trace` lines of v2.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// The analysis driver: a set of checkers plus traversal settings.
 pub struct Driver {
@@ -908,11 +914,13 @@ pub fn call_components(infos: &[CallInfo]) -> Vec<Vec<usize>> {
 }
 
 fn convert_metal_report(r: &MetalReport, file: &str, function: &str) -> Report {
-    if r.is_error {
+    let mut report = if r.is_error {
         Report::error(&r.sm_name, file, function, r.span, &r.message)
     } else {
         Report::warning(&r.sm_name, file, function, r.span, &r.message)
-    }
+    };
+    report.steps = r.steps.clone();
+    report
 }
 
 /// Ranking evidence gathered from one function's AST: the paper's manual

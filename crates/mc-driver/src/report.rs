@@ -1,6 +1,7 @@
 //! Checker diagnostics.
 
 use mc_ast::Span;
+use mc_cfg::PathStep;
 use mc_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
@@ -53,9 +54,12 @@ pub struct Report {
     pub span: Span,
     /// Human-readable description.
     pub message: String,
-    /// For inter-procedural checkers: the call path that leads to the
-    /// violation, innermost last ("back trace" in the paper's terms).
-    pub trace: Vec<String>,
+    /// The witness path: the execution steps that drive the checker's state
+    /// machine into the violation, entry first. For inter-procedural
+    /// reports the callee's summary steps are spliced in after the call
+    /// step ("back trace" in the paper's terms). A step with an empty
+    /// `file` is in the report's own file.
+    pub steps: Vec<PathStep>,
     /// How likely the report is real, 0–100. Computed by the driver from
     /// pruned-path evidence and the paper's NAK-style ranking heuristics;
     /// reports built directly start at [`Report::DEFAULT_CONFIDENCE`].
@@ -84,7 +88,7 @@ impl Report {
             function: function.into(),
             span,
             message: message.into(),
-            trace: Vec::new(),
+            steps: Vec::new(),
             confidence: Report::DEFAULT_CONFIDENCE,
             pruned_paths: 0,
         }
@@ -104,6 +108,41 @@ impl Report {
         }
     }
 
+    /// A stable content fingerprint for baselines and run diffing.
+    ///
+    /// Hashes what the report *means* — checker, normalized file path,
+    /// function, message, and the sequence of witness step notes — and
+    /// deliberately excludes line/column numbers and confidence, so a
+    /// report keeps its fingerprint when unrelated edits shift it down the
+    /// file or re-rank it. Path normalization: backslashes become slashes
+    /// and a leading `./` is dropped, so the same tree checked from
+    /// different invocation styles agrees.
+    pub fn fingerprint(&self) -> String {
+        // FNV-1a, 64-bit: stable across platforms and releases, unlike
+        // `DefaultHasher`, which documents no such guarantee.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            // Field separator, so ("ab","c") never collides with ("a","bc").
+            h ^= 0x1f;
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(self.checker.as_bytes());
+        eat(normalize_path(&self.file).as_bytes());
+        eat(self.function.as_bytes());
+        eat(self.message.as_bytes());
+        for step in &self.steps {
+            eat(normalize_path(&step.file).as_bytes());
+            eat(step.note.as_bytes());
+        }
+        format!("{h:016x}")
+    }
+
     /// Sorts reports most-likely-real first: descending confidence. Equal
     /// confidence breaks ties by (file, line, checker) — source position
     /// before checker name, so a reviewer sweeps each file top to bottom —
@@ -120,6 +159,12 @@ impl Report {
     }
 }
 
+/// Slash-normalizes `p` and strips a leading `./`.
+fn normalize_path(p: &str) -> String {
+    let p = p.replace('\\', "/");
+    p.strip_prefix("./").unwrap_or(&p).to_string()
+}
+
 impl ToJson for Report {
     fn to_json(&self) -> Json {
         mc_json::object(vec![
@@ -129,7 +174,7 @@ impl ToJson for Report {
             ("function", self.function.to_json()),
             ("span", self.span.to_json()),
             ("message", self.message.to_json()),
-            ("trace", self.trace.to_json()),
+            ("steps", self.steps.to_json()),
             ("confidence", self.confidence.to_json()),
             ("pruned_paths", self.pruned_paths.to_json()),
         ])
@@ -138,6 +183,17 @@ impl ToJson for Report {
 
 impl FromJson for Report {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // 101..=255 fits in a u8, so without this check an out-of-domain
+        // value would load silently and corrupt ranking downstream.
+        let confidence: u8 = match v.get("confidence") {
+            // Absent in pre-pruning JSON; old reports carry no evidence
+            // either way, so they keep the neutral default.
+            None => Report::DEFAULT_CONFIDENCE,
+            Some(_) => mc_json::field(v, "confidence")?,
+        };
+        if confidence > 100 {
+            return Err(JsonError::expected("confidence in 0..=100"));
+        }
         Ok(Report {
             checker: mc_json::field(v, "checker")?,
             severity: mc_json::field(v, "severity")?,
@@ -145,13 +201,10 @@ impl FromJson for Report {
             function: mc_json::field(v, "function")?,
             span: mc_json::field(v, "span")?,
             message: mc_json::field(v, "message")?,
-            trace: mc_json::field(v, "trace")?,
-            // Absent in pre-pruning JSON; old reports carry no evidence
-            // either way, so they keep the neutral default.
-            confidence: match v.get("confidence") {
-                None => Report::DEFAULT_CONFIDENCE,
-                Some(_) => mc_json::field(v, "confidence")?,
-            },
+            // Absent in pre-witness JSON (which had prose `trace` lines
+            // instead); those reports simply load without a path.
+            steps: mc_json::field_or_default(v, "steps")?,
+            confidence,
             pruned_paths: mc_json::field_or_default(v, "pruned_paths")?,
         })
     }
@@ -167,8 +220,13 @@ impl fmt::Display for Report {
         if !self.function.is_empty() {
             write!(f, " (in {})", self.function)?;
         }
-        for line in &self.trace {
-            write!(f, "\n    via {line}")?;
+        for (i, step) in self.steps.iter().enumerate() {
+            let file = if step.file.is_empty() {
+                &self.file
+            } else {
+                &step.file
+            };
+            write!(f, "\n    {}. {}:{}: {}", i + 1, file, step.span, step.note)?;
         }
         Ok(())
     }
@@ -194,11 +252,21 @@ mod tests {
     }
 
     #[test]
-    fn trace_lines_rendered() {
-        let mut r = Report::error("lanes", "f.c", "h", Span::new(1, 1), "quota exceeded");
-        r.trace = vec!["h -> helper".into(), "helper: NI_SEND lane 2".into()];
+    fn steps_rendered_numbered_with_full_locations() {
+        let mut r = Report::error("lanes", "f.c", "h", Span::new(9, 1), "quota exceeded");
+        r.steps = vec![
+            PathStep::new(Span::new(2, 5), "branch taken"),
+            PathStep {
+                file: "helper.c".into(),
+                span: Span::new(7, 3),
+                note: "lane2 in helper".into(),
+            },
+        ];
         let s = r.to_string();
-        assert!(s.contains("via h -> helper"));
+        // Steps with no file inherit the report's; all locations render
+        // uniformly as file:line:col.
+        assert!(s.contains("\n    1. f.c:2:5: branch taken"), "{s}");
+        assert!(s.contains("\n    2. helper.c:7:3: lane2 in helper"), "{s}");
     }
 
     #[test]
@@ -212,19 +280,69 @@ mod tests {
         let mut r = Report::error("buffer_mgmt", "f.c", "h", Span::new(3, 1), "leak");
         r.confidence = 40;
         r.pruned_paths = 2;
+        r.steps = vec![PathStep::new(Span::new(2, 2), "statement")];
         let back = Report::from_json(&Json::parse(&r.to_json().to_compact()).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 
     #[test]
-    fn legacy_json_defaults_confidence() {
+    fn legacy_json_defaults_confidence_and_steps() {
         use mc_json::{FromJson, Json};
-        // Pre-pruning report JSON has no confidence/pruned_paths fields.
+        // Pre-pruning report JSON has no confidence/pruned_paths/steps.
         let src = r#"{"checker":"c","severity":"error","file":"f.c","function":"g",
-                      "span":{"line":1,"col":1},"message":"m","trace":[]}"#;
+                      "span":{"line":1,"col":1},"message":"m"}"#;
         let r = Report::from_json(&Json::parse(src).unwrap()).unwrap();
         assert_eq!(r.confidence, Report::DEFAULT_CONFIDENCE);
         assert_eq!(r.pruned_paths, 0);
+        assert!(r.steps.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_confidence_rejected_on_load() {
+        use mc_json::{FromJson, Json};
+        // 101..=255 still fits in a u8; loading must fail loudly instead of
+        // accepting a value outside the 0..=100 domain.
+        let src = r#"{"checker":"c","severity":"error","file":"f.c","function":"g",
+                      "span":{"line":1,"col":1},"message":"m","confidence":120}"#;
+        assert!(Report::from_json(&Json::parse(src).unwrap()).is_err());
+        // Values that overflow the u8 entirely are also errors, not wraps.
+        let src = r#"{"checker":"c","severity":"error","file":"f.c","function":"g",
+                      "span":{"line":1,"col":1},"message":"m","confidence":300}"#;
+        assert!(Report::from_json(&Json::parse(src).unwrap()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_stable_under_line_drift() {
+        let mut a = Report::error("msglen", "f.c", "h", Span::new(10, 5), "bad send");
+        a.steps = vec![PathStep::new(Span::new(3, 1), "branch taken")];
+        let mut b = a.clone();
+        // The construct moved down the file (and so did its witness), but
+        // nothing semantic changed.
+        b.span = Span::new(42, 9);
+        b.steps = vec![PathStep::new(Span::new(35, 2), "branch taken")];
+        b.confidence = 10;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content() {
+        let a = Report::error("msglen", "f.c", "h", Span::new(1, 1), "bad send");
+        let mut b = a.clone();
+        b.message = "other".into();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.checker = "lanes".into();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = a.clone();
+        d.steps = vec![PathStep::new(Span::new(1, 1), "branch taken")];
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_normalizes_path_styles() {
+        let a = Report::error("c", "./dir/f.c", "h", Span::new(1, 1), "m");
+        let b = Report::error("c", "dir\\f.c", "h", Span::new(1, 1), "m");
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! cache miss — never a crash, never a wrong answer.
 
 use mc_ast::Span;
+use mc_cfg::PathStep;
 use mc_driver::cache::{key_hex, ComponentRecord, DiskCache, ProgramRecord, UnitRecord};
 use mc_driver::{Report, Severity};
 use proptest::prelude::*;
@@ -18,17 +19,31 @@ fn func_name() -> &'static str {
     "[A-Za-z_][A-Za-z0-9_]{0,10}"
 }
 
+fn arb_step() -> impl Strategy<Value = PathStep> {
+    ("[a-z_.]{0,10}", (1u32..10_000, 1u32..240), text()).prop_map(|(file, (line, col), note)| {
+        PathStep {
+            file,
+            span: Span::new(line, col),
+            note,
+        }
+    })
+}
+
 fn arb_report() -> impl Strategy<Value = Report> {
     (
         ("[a-z_]{1,12}", any::<bool>(), "[a-z_]{1,10}\\.c"),
         (func_name(), (1u32..10_000, 1u32..240), text()),
-        (prop::collection::vec(text(), 0..4), 0u8..101, any::<u32>()),
+        (
+            prop::collection::vec(arb_step(), 0..4),
+            0u8..101,
+            any::<u32>(),
+        ),
     )
         .prop_map(
             |(
                 (checker, warning, file),
                 (function, (line, col), message),
-                (trace, confidence, pruned_paths),
+                (steps, confidence, pruned_paths),
             )| Report {
                 checker,
                 severity: if warning {
@@ -40,7 +55,7 @@ fn arb_report() -> impl Strategy<Value = Report> {
                 function,
                 span: Span::new(line, col),
                 message,
-                trace,
+                steps,
                 confidence,
                 pruned_paths,
             },

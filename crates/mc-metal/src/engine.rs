@@ -7,7 +7,7 @@
 use crate::lang::*;
 use crate::matcher::{match_expr, match_stmt, Bindings};
 use mc_ast::{Expr, ExprKind, Initializer, Span, Stmt, StmtKind};
-use mc_cfg::{PathEvent, PathMachine};
+use mc_cfg::{PathEvent, PathMachine, PathStep, Witness};
 use std::collections::HashSet;
 
 /// An error or warning produced by a metal `err()`/`warn()` action.
@@ -23,6 +23,10 @@ pub struct MetalReport {
     pub is_error: bool,
     /// Name of the state the machine was in when the rule fired.
     pub state: String,
+    /// The execution path that drove the machine here, entry-to-violation.
+    /// The path of the *first* firing is kept when several paths reach the
+    /// same `(message, span)` (dedup ignores the steps).
+    pub steps: Vec<PathStep>,
 }
 
 /// A metal program bound to a report sink, ready to run over CFGs.
@@ -72,7 +76,14 @@ impl<'p> MetalMachine<'p> {
         self.reports.iter().filter(|r| r.is_error)
     }
 
-    fn fire(&mut self, rule: &Rule, state: StateId, bindings: &Bindings, span: Span) {
+    fn fire(
+        &mut self,
+        rule: &Rule,
+        state: StateId,
+        bindings: &Bindings,
+        span: Span,
+        witness: &Witness<'_>,
+    ) {
         self.applications += 1;
         for action in &rule.actions {
             let (msg, is_error) = match action {
@@ -81,12 +92,15 @@ impl<'p> MetalMachine<'p> {
             };
             let message = interpolate(msg, bindings);
             if self.seen.insert((message.clone(), span)) {
+                // Materialize only when a report is actually born — the
+                // common no-violation step never walks the chain.
                 self.reports.push(MetalReport {
                     sm_name: self.prog.name.clone(),
                     message,
                     span,
                     is_error,
                     state: self.prog.states[state.0].name.clone(),
+                    steps: witness.steps(),
                 });
             }
         }
@@ -128,7 +142,12 @@ impl<'p> MetalMachine<'p> {
 
     /// Scans the candidates of one event, firing rules and following
     /// transitions. Returns the successor states (empty = path pruned).
-    fn scan(&mut self, state: StateId, cands: &[Candidate<'_>]) -> Vec<StateId> {
+    fn scan(
+        &mut self,
+        state: StateId,
+        cands: &[Candidate<'_>],
+        witness: &Witness<'_>,
+    ) -> Vec<StateId> {
         let mut cur = state;
         for cand in cands {
             let idents = cand_idents(cand);
@@ -136,7 +155,7 @@ impl<'p> MetalMachine<'p> {
                 let span = cand.span();
                 // `find_rule` returned a rule borrowed from `self.prog`
                 // (same lifetime as `'p`), so mutation here is fine.
-                self.fire(rule, cur, &bindings, span);
+                self.fire(rule, cur, &bindings, span, witness);
                 match rule.target {
                     RuleTarget::Stay => {}
                     RuleTarget::Goto(s) => cur = s,
@@ -322,7 +341,12 @@ fn interpolate(msg: &str, bindings: &Bindings) -> String {
 impl PathMachine for MetalMachine<'_> {
     type State = StateId;
 
-    fn step(&mut self, state: &StateId, event: &PathEvent<'_>) -> Vec<StateId> {
+    fn step(
+        &mut self,
+        state: &StateId,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+    ) -> Vec<StateId> {
         let mut cands = Vec::new();
         match event {
             PathEvent::Stmt(s) => stmt_candidates(s, &mut cands),
@@ -362,7 +386,7 @@ impl PathMachine for MetalMachine<'_> {
                 return vec![*state];
             }
         }
-        self.scan(*state, &cands)
+        self.scan(*state, &cands, witness)
     }
 }
 
@@ -390,8 +414,13 @@ pub fn compute_transfers(
     }
     impl PathMachine for EndCollector<'_> {
         type State = StateId;
-        fn step(&mut self, state: &StateId, event: &PathEvent<'_>) -> Vec<StateId> {
-            let out = self.inner.step(state, event);
+        fn step(
+            &mut self,
+            state: &StateId,
+            event: &PathEvent<'_>,
+            witness: &Witness<'_>,
+        ) -> Vec<StateId> {
+            let out = self.inner.step(state, event, witness);
             if matches!(event, PathEvent::Return { .. }) {
                 self.ends.extend(out.iter().copied());
             }

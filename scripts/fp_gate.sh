@@ -42,6 +42,26 @@ if [ -z "${bugs:-}" ]; then
     exit 2
 fi
 
+# Names the exact reports that differ from the baseline inventory at one
+# rung, by fingerprint, so a count failure is actionable without rerunning.
+name_fp_delta() {
+    local rung=$1
+    local base_fps cur_fps
+    base_fps=$(grep "^fp\[$rung\]" "$baseline" | sort || true)
+    cur_fps=$(grep "^fp\[$rung\]" <<<"$out" | sort || true)
+    local appeared disappeared
+    appeared=$(comm -13 <(echo "$base_fps") <(echo "$cur_fps"))
+    disappeared=$(comm -23 <(echo "$base_fps") <(echo "$cur_fps"))
+    if [ -n "$appeared" ]; then
+        echo "  appeared at rung $rung (not in baseline):" >&2
+        sed 's/^/    /' <<<"$appeared" >&2
+    fi
+    if [ -n "$disappeared" ]; then
+        echo "  disappeared at rung $rung (baseline report no longer emitted):" >&2
+        sed 's/^/    /' <<<"$disappeared" >&2
+    fi
+}
+
 status=0
 if [ "$bugs" -lt "$base_bugs" ]; then
     echo "FAIL: bug recall regressed: $bugs < baseline $base_bugs" >&2
@@ -49,10 +69,12 @@ if [ "$bugs" -lt "$base_bugs" ]; then
 fi
 if [ "$fp_pruned" -gt "$base_fp_pruned" ]; then
     echo "FAIL: pruned false positives rose: $fp_pruned > baseline $base_fp_pruned" >&2
+    name_fp_delta pruned
     status=1
 fi
 if [ "$fp_interproc" -gt "$base_fp_interproc" ]; then
     echo "FAIL: interproc false positives rose: $fp_interproc > baseline $base_fp_interproc" >&2
+    name_fp_delta interproc
     status=1
 fi
 if [ "$status" -eq 0 ]; then
