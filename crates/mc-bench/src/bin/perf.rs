@@ -24,13 +24,27 @@
 //! many function summaries the bottom-up pass computes and how many call
 //! sites they resolve, so the cost of `--interproc` is tracked next to
 //! the false positives it removes.
+//!
+//! A fourth section races the two metal engines head-to-head: the three
+//! built-in metal checkers over every corpus function, interpreted vs
+//! compiled, with identical reports asserted and the match-attempt counts
+//! recorded so the dispatch index's pruning is visible, not just its
+//! wall-clock effect.
+//!
+//! Worker counts above the machine's available parallelism are skipped
+//! (and recorded in the output): timing an oversubscribed pool measures
+//! scheduler churn, not the driver.
 
+use mc_cfg::{run_traversal, Mode, Traversal};
 use mc_checkers::all_checkers;
 use mc_corpus::plan::PLANS;
 use mc_corpus::{generate, DEFAULT_SEED};
 use mc_driver::cache::DiskCache;
 use mc_driver::{CheckEngine, CheckedUnit, Driver, Summaries};
 use mc_json::Json;
+use mc_metal::{
+    CandidatePlan, CompiledMachine, CompiledProgram, MetalMachine, MetalProgram, MetalReport,
+};
 use std::time::Instant;
 
 /// Timed result of one full-corpus check at a fixed worker count.
@@ -131,6 +145,122 @@ fn bench_interproc(
         reports_on: reports[1],
         summaries_computed,
         call_sites_resolved,
+    }
+}
+
+/// Timed head-to-head of the two metal engines over the corpus functions.
+struct MetalDispatchBench {
+    functions: usize,
+    wall_ms_interp: f64,
+    wall_ms_compiled: f64,
+    attempts_interp: u64,
+    attempts_compiled: u64,
+    candidates: u64,
+    reports: usize,
+    speedup: f64,
+}
+
+/// Runs the three built-in metal checkers over every corpus function with
+/// each engine, timing only traversal + matching (the corpus is parsed
+/// once, outside the clock). Reports must be identical; the compiled
+/// engine must be at least 5x faster single-threaded.
+fn bench_metal_dispatch(sources: &[Vec<(String, String)>], reps: usize) -> MetalDispatchBench {
+    let progs: Vec<MetalProgram> = [
+        mc_checkers::WAIT_FOR_DB_METAL,
+        mc_checkers::MSGLEN_METAL,
+        mc_checkers::REFCOUNT_BUMP_METAL,
+    ]
+    .iter()
+    .map(|src| MetalProgram::parse(src).expect("builtin metal parses"))
+    .collect();
+    let compiled: Vec<CompiledProgram> = progs
+        .iter()
+        .map(|p| CompiledProgram::compile(p).expect("builtin metal compiles"))
+        .collect();
+
+    let driver = Driver::new();
+    let units: Vec<CheckedUnit> = sources
+        .iter()
+        .flat_map(|srcs| driver.parse_units(srcs).expect("corpus parses"))
+        .collect();
+    let functions: usize = units.iter().map(|u| u.cfgs.len()).sum();
+    let traversal = Traversal::new(Mode::StateSet);
+
+    let mut wall_interp = f64::INFINITY;
+    let mut interp_reports: Vec<MetalReport> = Vec::new();
+    let mut attempts_interp = 0u64;
+    let mut candidates = 0u64;
+    for _ in 0..reps {
+        let mut reports = Vec::new();
+        let mut attempts = 0u64;
+        let mut cands = 0u64;
+        let start = Instant::now();
+        for unit in &units {
+            for cfg in &unit.cfgs {
+                for prog in &progs {
+                    let mut m = MetalMachine::new(prog);
+                    let init = m.start_state();
+                    run_traversal(cfg, &mut m, init, traversal);
+                    attempts += m.attempts;
+                    cands += m.candidates;
+                    reports.append(&mut m.reports);
+                }
+            }
+        }
+        wall_interp = wall_interp.min(start.elapsed().as_secs_f64() * 1e3);
+        interp_reports = reports;
+        attempts_interp = attempts;
+        candidates = cands;
+    }
+
+    let mut wall_compiled = f64::INFINITY;
+    let mut compiled_reports: Vec<MetalReport> = Vec::new();
+    let mut attempts_compiled = 0u64;
+    let refs: Vec<&CompiledProgram> = compiled.iter().collect();
+    for _ in 0..reps {
+        let mut reports = Vec::new();
+        let mut attempts = 0u64;
+        let start = Instant::now();
+        for unit in &units {
+            for cfg in &unit.cfgs {
+                // The driver's compiled path: one plan per program over a
+                // shared extraction walk, then plan-replaying traversals.
+                let plans = CandidatePlan::build_many(&refs, cfg);
+                for (cp, plan) in compiled.iter().zip(&plans) {
+                    let mut m = CompiledMachine::with_plan(cp, plan);
+                    let init = m.start_state();
+                    run_traversal(cfg, &mut m, init, traversal);
+                    attempts += m.attempts + plan.attempts;
+                    reports.append(&mut m.reports);
+                }
+            }
+        }
+        wall_compiled = wall_compiled.min(start.elapsed().as_secs_f64() * 1e3);
+        compiled_reports = reports;
+        attempts_compiled = attempts;
+    }
+
+    assert_eq!(
+        interp_reports, compiled_reports,
+        "engines disagree on the corpus"
+    );
+    let speedup = wall_interp / wall_compiled;
+    assert!(
+        speedup >= 5.0,
+        "compiled metal engine is only {speedup:.2}x faster than the \
+         interpreter (expected >= 5x; interp {wall_interp:.1} ms, \
+         compiled {wall_compiled:.1} ms)"
+    );
+
+    MetalDispatchBench {
+        functions,
+        wall_ms_interp: wall_interp,
+        wall_ms_compiled: wall_compiled,
+        attempts_interp,
+        attempts_compiled,
+        candidates,
+        reports: compiled_reports.len(),
+        speedup,
     }
 }
 
@@ -306,6 +436,21 @@ fn main() {
         }
     }
 
+    // Timing a pool of more workers than the machine has cores measures
+    // scheduler churn, not the driver: skip those counts (the earlier
+    // workers=4 row regressing on a 1-core runner was exactly this).
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let skipped_workers: Vec<usize> = jobs_list.iter().copied().filter(|&j| j > avail).collect();
+    jobs_list.retain(|&j| j <= avail);
+    if jobs_list.is_empty() {
+        jobs_list.push(avail);
+    }
+    if !skipped_workers.is_empty() {
+        println!("skipping worker counts {skipped_workers:?}: only {avail} core(s) available");
+    }
+
     let protocols: Vec<_> = PLANS
         .iter()
         .enumerate()
@@ -383,16 +528,28 @@ fn main() {
         ip.wall_ms_on, ip.reports_on, ip.summaries_computed, ip.call_sites_resolved
     );
 
+    let md = bench_metal_dispatch(&sources, REPS);
+    println!(
+        "metal interp   wall={:8.1} ms  {:10} match attempts over {} candidates",
+        md.wall_ms_interp, md.attempts_interp, md.candidates
+    );
+    println!(
+        "metal compiled wall={:8.1} ms  {:10} match attempts  ({:.1}x faster, {} reports both ways)",
+        md.wall_ms_compiled, md.attempts_compiled, md.speedup, md.reports
+    );
+
     let json = Json::Object(vec![
         ("benchmark".into(), Json::Str("driver_throughput".into())),
         ("corpus_seed".into(), Json::Int(DEFAULT_SEED as i64)),
         ("protocols".into(), Json::Int(protocols.len() as i64)),
+        ("available_parallelism".into(), Json::Int(avail as i64)),
         (
-            "available_parallelism".into(),
-            Json::Int(
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1) as i64,
+            "skipped_workers".into(),
+            Json::Array(
+                skipped_workers
+                    .iter()
+                    .map(|&w| Json::Int(w as i64))
+                    .collect(),
             ),
         ),
         (
@@ -473,6 +630,34 @@ fn main() {
                 (
                     "call_sites_resolved".into(),
                     Json::Int(ip.call_sites_resolved as i64),
+                ),
+            ]),
+        ),
+        (
+            "metal_dispatch".into(),
+            Json::Object(vec![
+                ("functions".into(), Json::Int(md.functions as i64)),
+                (
+                    "wall_ms_interp".into(),
+                    Json::Float((md.wall_ms_interp * 1e3).round() / 1e3),
+                ),
+                (
+                    "wall_ms_compiled".into(),
+                    Json::Float((md.wall_ms_compiled * 1e3).round() / 1e3),
+                ),
+                (
+                    "attempts_interp".into(),
+                    Json::Int(md.attempts_interp as i64),
+                ),
+                (
+                    "attempts_compiled".into(),
+                    Json::Int(md.attempts_compiled as i64),
+                ),
+                ("candidates".into(), Json::Int(md.candidates as i64)),
+                ("reports".into(), Json::Int(md.reports as i64)),
+                (
+                    "speedup".into(),
+                    Json::Float((md.speedup * 100.0).round() / 100.0),
                 ),
             ]),
         ),

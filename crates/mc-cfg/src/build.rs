@@ -93,6 +93,9 @@ pub struct Cfg {
     pub blocks: Vec<Block>,
     /// Entry block id (always `BlockId(0)`).
     pub entry: BlockId,
+    /// Keys of every address-taken lvalue in the function, scanned once at
+    /// build time; pruning traversals seed their escape set from it.
+    pub(crate) escapes: std::sync::Arc<std::collections::BTreeSet<String>>,
 }
 
 impl Cfg {
@@ -458,11 +461,33 @@ impl Builder {
                 BlockState::Open(_) => unreachable!("all blocks closed above"),
             })
             .collect();
-        Cfg {
+        let mut cfg = Cfg {
             name: self.name,
             blocks,
             entry: BlockId(0),
+            escapes: Default::default(),
+        };
+        // One function-wide scan for address-taken lvalues; every pruning
+        // traversal starts from this set (see `FactSet::seed_escapes_stmt`
+        // for why the seed covers the whole function, not just a path).
+        let mut seed = crate::FactSet::new();
+        for block in &cfg.blocks {
+            for node in &block.nodes {
+                seed.seed_escapes_stmt(&node.stmt);
+            }
+            match &block.term {
+                Terminator::Jump(_) => {}
+                Terminator::Branch { cond, .. } => seed.seed_escapes_expr(cond),
+                Terminator::Switch { scrutinee, .. } => seed.seed_escapes_expr(scrutinee),
+                Terminator::Return { value, .. } => {
+                    if let Some(v) = value {
+                        seed.seed_escapes_expr(v);
+                    }
+                }
+            }
         }
+        cfg.escapes = seed.into_escapes();
+        cfg
     }
 }
 

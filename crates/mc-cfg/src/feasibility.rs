@@ -20,6 +20,8 @@ use mc_ast::{
     walk_expr, walk_stmt, BinaryOp, Expr, ExprKind, Initializer, Stmt, StmtKind, UnaryOp, Visitor,
 };
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A constant a tracked lvalue may be compared against: an integer literal
 /// or a manifest-constant identifier (`OPC_UPGRADE`, `LEN_NODATA`, …).
@@ -62,7 +64,7 @@ impl VarFacts {
 /// key: two paths with the same checker state but incompatible facts hash
 /// differently and are explored separately (the "sound join" of state-set
 /// mode — states are only merged when their fact sets are identical).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Default)]
 pub struct FactSet {
     facts: Vec<(String, VarFacts)>,
     /// Keys whose address is taken somewhere in the function (seeded by
@@ -70,7 +72,32 @@ pub struct FactSet {
     /// the traversal starts, and extended at `&x` sites along the path). A
     /// store through an lvalue we cannot track (`*p = …`, `buf[i] = …`) may
     /// alias any of these, so it clobbers their facts.
-    escaped: BTreeSet<String>,
+    ///
+    /// Behind an [`Arc`] because the seed covers the whole function up
+    /// front, so in practice every fact set cloned along a traversal shares
+    /// one escape set; copy-on-write keeps the per-path clone O(facts)
+    /// instead of O(function).
+    escaped: Arc<BTreeSet<String>>,
+}
+
+impl PartialEq for FactSet {
+    fn eq(&self, other: &FactSet) -> bool {
+        self.facts == other.facts
+            && (Arc::ptr_eq(&self.escaped, &other.escaped) || self.escaped == other.escaped)
+    }
+}
+
+impl Eq for FactSet {}
+
+/// Hashes the per-path facts only. The escape set is deliberately left out:
+/// it is (nearly always) shared by every path of one traversal, so hashing
+/// it would cost O(function) per visited-set insert while discriminating
+/// nothing. Equal fact sets have equal `facts`, so the `Hash`/`Eq` contract
+/// holds.
+impl Hash for FactSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.facts.hash(state);
+    }
 }
 
 impl FactSet {
@@ -375,7 +402,9 @@ impl FactSet {
                 // or later on this path.
                 if let Some(key) = key_of(operand) {
                     self.drop_key(&key);
-                    self.escaped.insert(key);
+                    if !self.escaped.contains(&key) {
+                        Arc::make_mut(&mut self.escaped).insert(key);
+                    }
                 }
                 self.invalidate_expr(operand);
             }
@@ -416,8 +445,8 @@ impl FactSet {
         if self.escaped.is_empty() {
             return;
         }
-        let keys: Vec<String> = self.escaped.iter().cloned().collect();
-        for key in &keys {
+        let escaped = Arc::clone(&self.escaped);
+        for key in escaped.iter() {
             self.drop_key(key);
         }
     }
@@ -428,15 +457,30 @@ impl FactSet {
     /// taken on an earlier path segment, in a sibling branch, or before a
     /// fact about the aliased variable was established.
     pub fn seed_escapes_stmt(&mut self, stmt: &Stmt) {
-        walk_stmt(&mut EscapeScan(&mut self.escaped), stmt);
+        walk_stmt(&mut EscapeScan(Arc::make_mut(&mut self.escaped)), stmt);
     }
 
     /// Expression form of [`FactSet::seed_escapes_stmt`], for branch
     /// conditions, switch scrutinees, and return values.
     pub fn seed_escapes_expr(&mut self, e: &Expr) {
-        let mut scan = EscapeScan(&mut self.escaped);
+        let mut scan = EscapeScan(Arc::make_mut(&mut self.escaped));
         scan.visit_expr(e);
         walk_expr(&mut scan, e);
+    }
+
+    /// Hands the accumulated escape set to `Cfg::build`, which scans a
+    /// function once and shares the result with every traversal over it.
+    pub(crate) fn into_escapes(self) -> Arc<BTreeSet<String>> {
+        self.escaped
+    }
+
+    /// The starting fact set of a pruning traversal: no facts yet, escape
+    /// set shared with the CFG's one-time scan.
+    pub(crate) fn from_escapes(escaped: Arc<BTreeSet<String>>) -> FactSet {
+        FactSet {
+            escaped,
+            ..FactSet::default()
+        }
     }
 }
 

@@ -94,6 +94,22 @@ pub trait PathMachine {
         event: &PathEvent<'_>,
         witness: &Witness<'_>,
     ) -> Vec<Self::State>;
+
+    /// Buffer-reusing form of [`PathMachine::step`]: pushes the successor
+    /// states onto `out` instead of returning a fresh vector. The state-set
+    /// traversal calls this from its hot loop with a reused buffer; the
+    /// default forwards to [`PathMachine::step`], so existing machines keep
+    /// their exact behavior, while allocation-sensitive machines (the
+    /// compiled metal engine) override it to step without allocating.
+    fn step_into(
+        &mut self,
+        state: &Self::State,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+        out: &mut Vec<Self::State>,
+    ) {
+        out.extend(self.step(state, event, witness));
+    }
 }
 
 /// Traversal strategy.
@@ -151,6 +167,63 @@ impl Default for Traversal {
     }
 }
 
+/// Wraps a [`PathMachine`] and records the post-step states at every
+/// [`PathEvent::Return`] — the states the wrapped machine actually exits the
+/// function in.
+///
+/// This is the collection half of summary-transfer computation: both the
+/// interpreted and the compiled metal engines run one `EndCollector` per
+/// start state to learn what a function does to checker state, so the
+/// summary layer stays agnostic of which engine dispatched the steps.
+#[derive(Debug)]
+pub struct EndCollector<M: PathMachine> {
+    /// The machine being observed.
+    pub inner: M,
+    /// Every state observed immediately after stepping a return event.
+    pub ends: std::collections::HashSet<M::State>,
+}
+
+impl<M: PathMachine> EndCollector<M> {
+    /// Wraps `inner` with an empty end-state set.
+    pub fn new(inner: M) -> EndCollector<M> {
+        EndCollector {
+            inner,
+            ends: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl<M: PathMachine> PathMachine for EndCollector<M> {
+    type State = M::State;
+
+    fn step(
+        &mut self,
+        state: &Self::State,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+    ) -> Vec<Self::State> {
+        let out = self.inner.step(state, event, witness);
+        if matches!(event, PathEvent::Return { .. }) {
+            self.ends.extend(out.iter().cloned());
+        }
+        out
+    }
+
+    fn step_into(
+        &mut self,
+        state: &Self::State,
+        event: &PathEvent<'_>,
+        witness: &Witness<'_>,
+        out: &mut Vec<Self::State>,
+    ) {
+        let before = out.len();
+        self.inner.step_into(state, event, witness, out);
+        if matches!(event, PathEvent::Return { .. }) {
+            self.ends.extend(out[before..].iter().cloned());
+        }
+    }
+}
+
 /// What a traversal observed about path feasibility.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraversalStats {
@@ -187,9 +260,33 @@ pub fn run_traversal_with<M: PathMachine>(
     traversal: Traversal,
     oracle: Option<&dyn SummaryLookup>,
 ) -> TraversalStats {
-    let mut refuted: HashSet<(BlockId, usize)> = HashSet::new();
-    let mut arena = WitnessArena::new();
     let init_facts = initial_facts(cfg, traversal.prune);
+    run_traversal_seeded(cfg, machine, init, traversal, oracle, init_facts)
+}
+
+/// Like [`run_traversal_with`], but starts from a precomputed [`seed_facts`]
+/// result instead of re-walking the function. Callers running several
+/// machines over the same CFG compute the seed once and pass clones — with
+/// no facts established yet a clone only bumps the escape set's refcount.
+pub fn run_traversal_seeded<M: PathMachine>(
+    cfg: &Cfg,
+    machine: &mut M,
+    init: M::State,
+    traversal: Traversal,
+    oracle: Option<&dyn SummaryLookup>,
+    init_facts: FactSet,
+) -> TraversalStats {
+    let mut refuted: FastSet<(BlockId, usize)> = FastSet::default();
+    // A single-state machine visits each event about once, so the node
+    // count is the right order of magnitude for the arena; wide state sets
+    // merely grow it once more. StateSet visits each key once and never
+    // re-extends, so it skips the interning table entirely; Exhaustive
+    // re-walks shared suffixes and needs interning to stay linear.
+    let events: usize = cfg.blocks.iter().map(|b| b.nodes.len() + 1).sum();
+    let mut arena = match traversal.mode {
+        Mode::StateSet => WitnessArena::append_only(events),
+        Mode::Exhaustive { .. } => WitnessArena::with_capacity(events),
+    };
     match traversal.mode {
         Mode::StateSet => run_state_set(
             cfg,
@@ -239,6 +336,7 @@ fn fire_calls<M: PathMachine>(
     mut wid: Option<WitnessId>,
 ) -> (Vec<M::State>, Option<WitnessId>) {
     let mut states = states;
+    let mut next: Vec<M::State> = Vec::new();
     for (name, span) in calls {
         let Some(summary) = oracle.lookup(name) else {
             continue;
@@ -255,11 +353,12 @@ fn fire_calls<M: PathMachine>(
         };
         wid = Some(arena.extend(wid, *span, StepKind::Call(name.to_string())));
         let witness = arena.witness(wid);
-        let mut next = Vec::new();
+        next.clear();
         for s in &states {
-            next.extend(machine.step(s, &ev, &witness));
+            machine.step_into(s, &ev, &witness, &mut next);
         }
-        states = dedup(next);
+        std::mem::swap(&mut states, &mut next);
+        dedup_in_place(&mut states);
         if states.is_empty() {
             break;
         }
@@ -315,24 +414,30 @@ fn flow_block<M: PathMachine>(
     cfg: &Cfg,
     machine: &mut M,
     block: BlockId,
-    states: Vec<M::State>,
+    states: &mut Vec<M::State>,
+    scratch: &mut Vec<M::State>,
     mut facts: Option<&mut FactSet>,
     arena: &mut WitnessArena,
     mut wid: Option<WitnessId>,
     oracle: Option<&dyn SummaryLookup>,
-) -> (Vec<M::State>, Option<WitnessId>) {
-    let mut states = states;
+) -> Option<WitnessId> {
     for node in &cfg.block(block).nodes {
+        // With no facts on the path, invalidation cannot drop anything, and
+        // the escape registration it would perform is already covered by the
+        // function-wide seed in `initial_facts` — so the AST walk is skipped.
         if let Some(f) = facts.as_deref_mut() {
-            f.invalidate_stmt(&node.stmt);
+            if !f.is_empty() {
+                f.invalidate_stmt(&node.stmt);
+            }
         }
         wid = Some(arena.extend(wid, node.stmt.span, StepKind::Stmt));
         let witness = arena.witness(wid);
-        let mut next = Vec::new();
-        for s in &states {
-            next.extend(machine.step(s, &PathEvent::Stmt(&node.stmt), &witness));
+        scratch.clear();
+        for s in states.iter() {
+            machine.step_into(s, &PathEvent::Stmt(&node.stmt), &witness, scratch);
         }
-        states = dedup(next);
+        std::mem::swap(states, scratch);
+        dedup_in_place(states);
         if states.is_empty() {
             break;
         }
@@ -342,14 +447,14 @@ fn flow_block<M: PathMachine>(
             if !calls.is_empty() {
                 let (next, next_wid) = fire_calls(
                     machine,
-                    states,
+                    std::mem::take(states),
                     &calls,
                     oracle,
                     facts.as_deref_mut(),
                     arena,
                     wid,
                 );
-                states = next;
+                *states = next;
                 wid = next_wid;
                 if states.is_empty() {
                     break;
@@ -357,7 +462,7 @@ fn flow_block<M: PathMachine>(
             }
         }
     }
-    (states, wid)
+    wid
 }
 
 /// The starting fact set for a pruning traversal: empty facts, but with the
@@ -365,27 +470,18 @@ fn flow_block<M: PathMachine>(
 /// an untracked lvalue (`*p = …`) must clobber a variable's facts even when
 /// its address was taken before the fact was established or in a sibling
 /// branch, so the seed covers the whole function, not just the current path.
+/// See [`run_traversal_seeded`] for why a caller would precompute it.
+pub fn seed_facts(cfg: &Cfg, prune: bool) -> FactSet {
+    initial_facts(cfg, prune)
+}
+
 fn initial_facts(cfg: &Cfg, prune: bool) -> FactSet {
-    let mut facts = FactSet::new();
     if !prune {
-        return facts;
+        return FactSet::new();
     }
-    for block in &cfg.blocks {
-        for node in &block.nodes {
-            facts.seed_escapes_stmt(&node.stmt);
-        }
-        match &block.term {
-            Terminator::Jump(_) => {}
-            Terminator::Branch { cond, .. } => facts.seed_escapes_expr(cond),
-            Terminator::Switch { scrutinee, .. } => facts.seed_escapes_expr(scrutinee),
-            Terminator::Return { value, .. } => {
-                if let Some(v) = value {
-                    facts.seed_escapes_expr(v);
-                }
-            }
-        }
-    }
-    facts
+    // The scan happened once in `Cfg::build`; starting a traversal only
+    // bumps the shared escape set's refcount.
+    FactSet::from_escapes(cfg.escapes.clone())
 }
 
 /// The labelled constants of a switch, for default-edge exclusion facts.
@@ -394,6 +490,33 @@ fn switch_consts(targets: &[(Option<Expr>, BlockId)]) -> Vec<Const> {
         .iter()
         .filter_map(|(v, _)| v.as_ref().and_then(const_of))
         .collect()
+}
+
+use crate::hash::FastSet;
+
+/// In-place form of [`dedup`]: keeps the first occurrence of every state, in
+/// order, like `dedup`, but without consuming the vector. State sets of zero
+/// or one element (the overwhelmingly common case — most statements carry a
+/// single checker state) return immediately, and small sets use a linear
+/// scan, so the per-statement hash-set allocation of `dedup` is only paid on
+/// genuinely wide state sets.
+fn dedup_in_place<S: Eq + Hash + Clone>(v: &mut Vec<S>) {
+    if v.len() <= 1 {
+        return;
+    }
+    if v.len() <= 8 {
+        let mut i = 1;
+        while i < v.len() {
+            if v[..i].contains(&v[i]) {
+                v.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        return;
+    }
+    let mut seen = FastSet::with_capacity_and_hasher(v.len(), Default::default());
+    v.retain(|s| seen.insert(s.clone()));
 }
 
 fn dedup<S: Eq + Hash + Clone>(v: Vec<S>) -> Vec<S> {
@@ -420,7 +543,7 @@ fn run_state_set<M: PathMachine>(
     init: M::State,
     init_facts: FactSet,
     prune: bool,
-    refuted: &mut HashSet<(BlockId, usize)>,
+    refuted: &mut FastSet<(BlockId, usize)>,
     arena: &mut WitnessArena,
     oracle: Option<&dyn SummaryLookup>,
 ) {
@@ -433,19 +556,29 @@ fn run_state_set<M: PathMachine>(
     // The witness id rides along *outside* the key: the first witness to
     // reach a `(block, state, facts)` key is the one whose extension gets
     // explored, and later arrivals are dropped with their histories.
-    let mut visited: HashSet<(BlockId, M::State, FactSet)> = HashSet::new();
+    // Sized for the common one-key-per-block shape so the table doesn't
+    // rehash while a single-state machine walks a large function.
+    let mut visited: FastSet<(BlockId, M::State, FactSet)> =
+        FastSet::with_capacity_and_hasher(cfg.blocks.len(), Default::default());
     type Item<S> = (BlockId, S, FactSet, Option<WitnessId>);
     let mut worklist: Vec<Item<M::State>> = vec![(cfg.entry, init, init_facts, None)];
+    // Live-state and successor scratch buffers, reused across all items.
+    let mut states: Vec<M::State> = Vec::new();
+    let mut scratch: Vec<M::State> = Vec::new();
+    let mut succ: Vec<M::State> = Vec::new();
     while let Some((block, state, facts, wid)) = worklist.pop() {
         if !visited.insert((block, state.clone(), facts.clone())) {
             continue;
         }
         let mut facts = facts;
-        let (mut states, mut wid) = flow_block(
+        states.clear();
+        states.push(state);
+        let mut wid = flow_block(
             cfg,
             machine,
             block,
-            vec![state],
+            &mut states,
+            &mut scratch,
             prune.then_some(&mut facts),
             arena,
             wid,
@@ -460,7 +593,7 @@ fn run_state_set<M: PathMachine>(
         if !term_calls.is_empty() {
             let (next, next_wid) = fire_calls(
                 machine,
-                states,
+                std::mem::take(&mut states),
                 &term_calls,
                 oracle.expect("term_calls nonempty implies oracle"),
                 prune.then_some(&mut facts),
@@ -475,7 +608,7 @@ fn run_state_set<M: PathMachine>(
         }
         match &cfg.block(block).term {
             Terminator::Jump(t) => {
-                for s in states {
+                for s in states.drain(..) {
                     worklist.push((*t, s, facts.clone(), wid));
                 }
             }
@@ -487,33 +620,38 @@ fn run_state_set<M: PathMachine>(
                 // The condition is evaluated on every path through this
                 // block; its side effects (`n--`, embedded assignments)
                 // clobber facts before the branch outcome is assumed.
-                if prune {
+                if prune && !facts.is_empty() {
                     facts.invalidate_expr(cond);
                 }
-                let arm_facts: Vec<Option<FactSet>> = [true, false]
-                    .iter()
-                    .enumerate()
-                    .map(|(arm, &taken)| {
-                        if !prune {
-                            return Some(facts.clone());
-                        }
+                let mut arm_facts: [Option<FactSet>; 2] = [None, None];
+                for (arm, taken) in [true, false].into_iter().enumerate() {
+                    arm_facts[arm] = if !prune {
+                        Some(facts.clone())
+                    } else {
                         let f = facts.assume(cond, taken);
                         if f.is_none() {
                             refuted.insert((block, arm));
                         }
                         f
-                    })
-                    .collect();
-                let arm_wids: Vec<Option<WitnessId>> = [true, false]
-                    .iter()
-                    .map(|&taken| Some(arena.extend(wid, cond.span, StepKind::Branch(taken))))
-                    .collect();
-                for s in states {
+                    };
+                }
+                let arm_wids: [Option<WitnessId>; 2] = [
+                    Some(arena.extend(wid, cond.span, StepKind::Branch(true))),
+                    Some(arena.extend(wid, cond.span, StepKind::Branch(false))),
+                ];
+                for s in states.drain(..) {
                     for (arm, &taken) in [true, false].iter().enumerate() {
                         let Some(f) = &arm_facts[arm] else { continue };
                         let target = if taken { then_to } else { else_to };
                         let witness = arena.witness(arm_wids[arm]);
-                        for ns in machine.step(&s, &PathEvent::Branch { cond, taken }, &witness) {
+                        succ.clear();
+                        machine.step_into(
+                            &s,
+                            &PathEvent::Branch { cond, taken },
+                            &witness,
+                            &mut succ,
+                        );
+                        for ns in succ.drain(..) {
                             worklist.push((*target, ns, f.clone(), arm_wids[arm]));
                         }
                     }
@@ -525,14 +663,14 @@ fn run_state_set<M: PathMachine>(
                 fallthrough,
             } => {
                 // Scrutinee side effects apply before any case is matched.
-                if prune {
+                if prune && !facts.is_empty() {
                     facts.invalidate_expr(scrutinee);
                 }
                 let has_default = targets.iter().any(|(v, _)| v.is_none());
                 let consts = switch_consts(targets);
                 let edge_facts = |value: Option<&Expr>,
                                   arm: usize,
-                                  refuted: &mut HashSet<(BlockId, usize)>|
+                                  refuted: &mut FastSet<(BlockId, usize)>|
                  -> Option<FactSet> {
                     if !prune {
                         return Some(facts.clone());
@@ -567,7 +705,7 @@ fn run_state_set<M: PathMachine>(
                     })
                     .collect();
                 let fall_wid = Some(arena.extend(wid, scrutinee.span, StepKind::CaseDefault));
-                for s in states {
+                for s in states.drain(..) {
                     for (((value, target), f), cw) in
                         targets.iter().zip(&case_facts).zip(&case_wids)
                     {
@@ -577,7 +715,9 @@ fn run_state_set<M: PathMachine>(
                             value: value.as_ref(),
                         };
                         let witness = arena.witness(*cw);
-                        for ns in machine.step(&s, &ev, &witness) {
+                        succ.clear();
+                        machine.step_into(&s, &ev, &witness, &mut succ);
+                        for ns in succ.drain(..) {
                             worklist.push((*target, ns, f.clone(), *cw));
                         }
                     }
@@ -587,7 +727,9 @@ fn run_state_set<M: PathMachine>(
                             value: None,
                         };
                         let witness = arena.witness(fall_wid);
-                        for ns in machine.step(&s, &ev, &witness) {
+                        succ.clear();
+                        machine.step_into(&s, &ev, &witness, &mut succ);
+                        for ns in succ.drain(..) {
                             worklist.push((*fallthrough, ns, f.clone(), fall_wid));
                         }
                     }
@@ -596,14 +738,17 @@ fn run_state_set<M: PathMachine>(
             Terminator::Return { value, span } => {
                 let ret_wid = Some(arena.extend(wid, *span, StepKind::Return));
                 let witness = arena.witness(ret_wid);
-                for s in states {
-                    let _ = machine.step(
+                for s in states.drain(..) {
+                    // Return ends the path: successor states are discarded.
+                    succ.clear();
+                    machine.step_into(
                         &s,
                         &PathEvent::Return {
                             value: value.as_ref(),
                             span: *span,
                         },
                         &witness,
+                        &mut succ,
                     );
                 }
             }
@@ -638,7 +783,7 @@ fn run_exhaustive<M: PathMachine>(
     init: Vec<M::State>,
     init_facts: FactSet,
     prune: bool,
-    refuted: &mut HashSet<(BlockId, usize)>,
+    refuted: &mut FastSet<(BlockId, usize)>,
     back_counts: &mut [u8],
     budget: &mut usize,
     arena: &mut WitnessArena,
@@ -650,6 +795,8 @@ fn run_exhaustive<M: PathMachine>(
         facts: init_facts,
         wid: None,
     }];
+    // Stepping scratch buffer, reused across every block.
+    let mut scratch: Vec<M::State> = Vec::new();
     while let Some(frame) = stack.pop() {
         let (block, states, mut facts, wid) = match frame {
             Frame::Exit { block } => {
@@ -676,11 +823,13 @@ fn run_exhaustive<M: PathMachine>(
         }
         back_counts[block.0] += 1;
 
-        let (mut states, mut wid) = flow_block(
+        let mut states = states;
+        let mut wid = flow_block(
             cfg,
             machine,
             block,
-            states,
+            &mut states,
+            &mut scratch,
             prune.then_some(&mut facts),
             arena,
             wid,
@@ -729,7 +878,7 @@ fn run_exhaustive<M: PathMachine>(
                 else_to,
             } => {
                 // Condition side effects clobber facts on every arm.
-                if prune {
+                if prune && !facts.is_empty() {
                     facts.invalidate_expr(cond);
                 }
                 let mut children = Vec::new();
@@ -771,7 +920,7 @@ fn run_exhaustive<M: PathMachine>(
                 fallthrough,
             } => {
                 // Scrutinee side effects apply before any case is matched.
-                if prune {
+                if prune && !facts.is_empty() {
                     facts.invalidate_expr(scrutinee);
                 }
                 let has_default = targets.iter().any(|(v, _)| v.is_none());

@@ -16,9 +16,9 @@
 //! [`Witness::steps`] walks the parent chain once and reverses it into
 //! entry-to-violation order.
 
+use crate::hash::FastMap;
 use mc_ast::Span;
 use mc_json::{FromJson, Json, JsonError, ToJson};
-use std::collections::HashMap;
 
 /// One step of a diagnostic's witness path, in execution order.
 ///
@@ -113,11 +113,32 @@ pub struct WitnessId(u32);
 /// with visited keys; Exhaustive traversal re-walks shared suffixes but the
 /// interning table collapses identical re-extensions (the 50k-conditional
 /// stress function stays linear instead of quadratic).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WitnessArena {
     /// `(parent, span, kind)` per node, indexed by [`WitnessId`].
     nodes: Vec<(Option<WitnessId>, Span, StepKind)>,
-    interned: HashMap<(Option<WitnessId>, Span, StepKind), WitnessId>,
+    interned: FastMap<(Option<WitnessId>, Span, StepKind), WitnessId>,
+    /// Whether [`WitnessArena::extend`] dedups identical extensions.
+    ///
+    /// Interning is what keeps the Exhaustive traversal linear (it re-walks
+    /// shared path suffixes, and the table collapses the re-extensions).
+    /// The StateSet traversal visits each `(block, state, facts)` key once,
+    /// so every extension is new with high probability and the interning
+    /// probe is a pure per-event hash tax: an append-only arena produces
+    /// witnesses with byte-identical *contents* (materialization walks
+    /// parent chains, never compares ids) while growing at most linearly
+    /// with events — which is exactly what the probe table cost anyway.
+    intern: bool,
+}
+
+impl Default for WitnessArena {
+    fn default() -> WitnessArena {
+        WitnessArena {
+            nodes: Vec::new(),
+            interned: FastMap::default(),
+            intern: true,
+        }
+    }
 }
 
 impl WitnessArena {
@@ -126,16 +147,48 @@ impl WitnessArena {
         WitnessArena::default()
     }
 
-    /// Extends `parent` by one step, reusing an existing node when the same
-    /// extension was recorded before.
-    pub fn extend(&mut self, parent: Option<WitnessId>, span: Span, kind: StepKind) -> WitnessId {
-        if let Some(&id) = self.interned.get(&(parent, span, kind.clone())) {
-            return id;
+    /// Creates an empty interning arena sized for roughly `nodes`
+    /// extensions, so the hot per-event interning probe doesn't pay the
+    /// doubling rehashes while a traversal warms up.
+    pub fn with_capacity(nodes: usize) -> WitnessArena {
+        WitnessArena {
+            nodes: Vec::with_capacity(nodes),
+            interned: FastMap::with_capacity_and_hasher(nodes, Default::default()),
+            intern: true,
         }
-        let id = WitnessId(u32::try_from(self.nodes.len()).expect("witness arena overflow"));
-        self.nodes.push((parent, span, kind.clone()));
-        self.interned.insert((parent, span, kind), id);
-        id
+    }
+
+    /// Creates an append-only arena sized for roughly `nodes` extensions:
+    /// no interning table, every extension is a fresh node. For traversals
+    /// that never re-extend the same parent (StateSet), this trades nothing
+    /// for one hash-map probe per event.
+    pub fn append_only(nodes: usize) -> WitnessArena {
+        WitnessArena {
+            nodes: Vec::with_capacity(nodes),
+            interned: FastMap::default(),
+            intern: false,
+        }
+    }
+
+    /// Extends `parent` by one step, reusing an existing node when the same
+    /// extension was recorded before (interning arenas only; append-only
+    /// arenas always record a fresh node with identical contents).
+    pub fn extend(&mut self, parent: Option<WitnessId>, span: Span, kind: StepKind) -> WitnessId {
+        let next = WitnessId(u32::try_from(self.nodes.len()).expect("witness arena overflow"));
+        if !self.intern {
+            self.nodes.push((parent, span, kind));
+            return next;
+        }
+        // Most extensions are new nodes, so the map is probed through the
+        // entry API: one hash covers both the lookup and the insert.
+        match self.interned.entry((parent, span, kind)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.nodes.push(e.key().clone());
+                e.insert(next);
+                next
+            }
+        }
     }
 
     /// Number of distinct nodes recorded so far.

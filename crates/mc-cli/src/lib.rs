@@ -20,7 +20,7 @@
 
 use mc_checkers::flash::FlashSpec;
 use mc_driver::cache::DiskCache;
-use mc_driver::{CheckEngine, Driver, Report, Severity};
+use mc_driver::{CheckEngine, Driver, MetalEngine, Report, Severity};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::SystemTime;
@@ -54,6 +54,11 @@ pub struct Options {
     /// behaviour, except for the lane checker, which is always summary-
     /// based).
     pub interproc: bool,
+    /// Metal execution engine (`--metal-engine compiled|interp`). The
+    /// compiled engine lowers each state machine to an indexed decision
+    /// program; the interpreter is kept as a differential oracle. Reports
+    /// are byte-identical either way.
+    pub metal_engine: MetalEngine,
     /// Write the corpus to this directory instead of checking.
     pub emit_corpus: Option<PathBuf>,
     /// Corpus seed.
@@ -97,6 +102,7 @@ impl Default for Options {
             jobs: None,
             prune: true,
             interproc: false,
+            metal_engine: MetalEngine::default(),
             emit_corpus: None,
             seed: mc_corpus::DEFAULT_SEED,
             format: Format::Text,
@@ -143,6 +149,12 @@ usage: mcheck [OPTIONS] <file.c>...
                            summaries so helpers stop looking opaque
                            (default off; the lane checker is always
                            summary-based)
+  --metal-engine <compiled|interp>
+                           how metal state machines execute (default
+                           compiled: each sm is lowered to an indexed
+                           decision program; interp keeps the reference
+                           interpreter as a differential oracle — reports
+                           are byte-identical either way)
   --format <text|json|sarif>
                            report output format (default text); reports
                            are ordered most-likely-real first (descending
@@ -218,6 +230,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             "--no-prune" => opts.prune = false,
             "--interproc" => opts.interproc = true,
             "--no-interproc" => opts.interproc = false,
+            "--metal-engine" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--metal-engine needs a value".into()))?;
+                opts.metal_engine = MetalEngine::parse(&v).ok_or_else(|| {
+                    CliError(format!("unknown metal engine `{v}` (compiled | interp)"))
+                })?;
+            }
             "--format" => {
                 let v = it.next().ok_or(CliError("--format needs a value".into()))?;
                 opts.format = Format::parse(&v).ok_or_else(|| {
@@ -337,6 +357,7 @@ pub fn build_driver(opts: &Options) -> Result<Driver, CliError> {
     }
     driver.prune(opts.prune);
     driver.interproc(opts.interproc);
+    driver.set_metal_engine(opts.metal_engine);
     if let Some(n) = opts.jobs {
         driver.jobs(n);
     }
@@ -348,7 +369,7 @@ pub fn build_driver(opts: &Options) -> Result<Driver, CliError> {
         let text = std::fs::read_to_string(checker)
             .map_err(|e| CliError(format!("{}: {e}", checker.display())))?;
         driver
-            .add_metal_source(&text)
+            .add_metal_source_from(&text, &checker.display().to_string())
             .map_err(|e| CliError(format!("{}: {e}", checker.display())))?;
     }
     driver.set_config_epoch(epoch.finish());
@@ -412,6 +433,9 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
             .check_sources(&sources)
             .map_err(|e| CliError(e.to_string()))?
     };
+    // Load-time diagnostics from compiling the metal programs (unreachable
+    // states, shadowed rules, ...) ride along as ordinary warning reports.
+    reports.extend(driver.metal_load_diagnostics());
     Report::sort_by_confidence(&mut reports);
     Ok(reports)
 }
@@ -484,6 +508,7 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
         match read_sources(&opts.files) {
             Ok(sources) => match engine.check_sources(&driver, &sources) {
                 Ok((mut reports, stats)) => {
+                    reports.extend(driver.metal_load_diagnostics());
                     Report::sort_by_confidence(&mut reports);
                     let (reports, suppressed) = partition_suppressed(reports, &sources);
                     let _ = writeln!(
@@ -1050,5 +1075,139 @@ mod format_tests {
         assert!(json.contains("\"line\":3"));
         let back: mc_driver::Report = mc_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+}
+
+#[cfg(test)]
+mod metal_engine_tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Result<Options, CliError> {
+        parse_args(s.iter().map(|s| s.to_string()))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mcheck_engine_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn metal_engine_flag_parses() {
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert_eq!(
+            o.metal_engine,
+            MetalEngine::Compiled,
+            "compiled is the default"
+        );
+        let o = args(&["--builtin", "--metal-engine", "interp", "a.c"]).unwrap();
+        assert_eq!(o.metal_engine, MetalEngine::Interp);
+        let o = args(&["--builtin", "--metal-engine", "compiled", "a.c"]).unwrap();
+        assert_eq!(o.metal_engine, MetalEngine::Compiled);
+        assert!(args(&["--builtin", "--metal-engine", "jit", "a.c"]).is_err());
+        assert!(args(&["--builtin", "--metal-engine"]).is_err());
+        assert!(USAGE.contains("--metal-engine"));
+    }
+
+    #[test]
+    fn both_engines_produce_identical_reports() {
+        let dir = temp_dir("parity");
+        let src = dir.join("h.c");
+        std::fs::write(
+            &src,
+            "void h(void) { MISCBUS_READ_DB(a, b); DB_FREE(); DB_FREE(); }",
+        )
+        .unwrap();
+        let compiled = run(&args(&["--builtin", src.to_str().unwrap()]).unwrap()).unwrap();
+        let interp = run(&args(&[
+            "--builtin",
+            "--metal-engine",
+            "interp",
+            src.to_str().unwrap(),
+        ])
+        .unwrap())
+        .unwrap();
+        assert_eq!(compiled, interp);
+        assert!(!compiled.is_empty(), "the planted bugs are found");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A checker whose `limbo` state no rule ever reaches: loading it must
+    /// warn, pointing at the offending `sm` rule's file and line.
+    const DEAD_STATE_SM: &str = "\
+sm dead {
+    decl { scalar } x;
+    start: { f(x) } ==> { err(\"f\"); } ;
+    limbo: { g(x) } ==> { err(\"g\"); } ;
+}
+";
+
+    #[test]
+    fn load_diagnostics_render_as_text_with_file_and_line() {
+        let dir = temp_dir("diag_text");
+        let src = dir.join("h.c");
+        std::fs::write(&src, "void h(void) { f(y); }").unwrap();
+        let sm = dir.join("dead.metal");
+        std::fs::write(&sm, DEAD_STATE_SM).unwrap();
+        let opts = args(&["--checker", sm.to_str().unwrap(), src.to_str().unwrap()]).unwrap();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        run_full(&opts, &mut out, &mut err).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("[unreachable-state]"), "{out}");
+        assert!(
+            out.contains(&format!("{}:4:", sm.display())),
+            "diagnostic points at the `limbo:` rule's file:line — {out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_diagnostics_render_as_json() {
+        let dir = temp_dir("diag_json");
+        let src = dir.join("h.c");
+        std::fs::write(&src, "void h(void) { g(y); }").unwrap();
+        let sm = dir.join("dead.metal");
+        std::fs::write(&sm, DEAD_STATE_SM).unwrap();
+        let opts = args(&[
+            "--checker",
+            sm.to_str().unwrap(),
+            "--format",
+            "json",
+            src.to_str().unwrap(),
+        ])
+        .unwrap();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        run_full(&opts, &mut out, &mut err).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("unreachable-state"), "{out}");
+        assert!(out.contains("metal-load"), "{out}");
+        assert!(
+            out.contains("\"line\": 4") || out.contains("\"line\":4"),
+            "{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_surfaces_load_diagnostics() {
+        let dir = temp_dir("diag_watch");
+        let src = dir.join("h.c");
+        std::fs::write(&src, "void h(void) { f(y); }").unwrap();
+        let sm = dir.join("dead.metal");
+        std::fs::write(&sm, DEAD_STATE_SM).unwrap();
+        let mut opts = args(&[
+            "--checker",
+            sm.to_str().unwrap(),
+            "--watch",
+            src.to_str().unwrap(),
+        ])
+        .unwrap();
+        opts.watch_iterations = Some(1);
+        let mut out = Vec::new();
+        run_watch(&opts, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("[unreachable-state]"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -221,13 +221,21 @@ fn old_format_cache_records_are_silent_misses() {
 
     // Downgrade every record to the previous format version, as if left
     // behind by an older release sharing the cache directory.
+    let cur = mc_driver::CACHE_FORMAT_VERSION;
+    let prev = cur - 1;
     let mut downgraded = 0usize;
     for entry in cache.read_dir().unwrap().flatten() {
         let path = entry.path();
         let text = std::fs::read_to_string(&path).unwrap();
         let old = text
-            .replace("\"version\": 3", "\"version\": 2")
-            .replace("\"version\":3", "\"version\":2");
+            .replace(
+                &format!("\"version\": {cur}"),
+                &format!("\"version\": {prev}"),
+            )
+            .replace(
+                &format!("\"version\":{cur}"),
+                &format!("\"version\":{prev}"),
+            );
         if old != text {
             downgraded += 1;
         }

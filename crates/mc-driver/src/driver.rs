@@ -17,7 +17,10 @@ use mc_ast::{parse_translation_unit, Fnv1a, Function, ParseError, TranslationUni
 use mc_cfg::{
     feasibility_stats, run_traversal_with, Cfg, FnSummary, Mode, SummaryLookup, Traversal,
 };
-use mc_metal::{MetalMachine, MetalParseError, MetalProgram, MetalReport};
+use mc_metal::{
+    CompileError, CompiledMachine, CompiledProgram, MetalEngine, MetalMachine, MetalParseError,
+    MetalProgram, MetalReport,
+};
 use std::any::Any;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,6 +33,9 @@ pub enum DriverError {
     Parse(ParseError),
     /// A metal program failed to parse.
     Metal(MetalParseError),
+    /// A metal program parsed but could not be lowered to a decision
+    /// program (structurally impossible patterns, e.g. too many wildcards).
+    MetalCompile(CompileError),
 }
 
 impl fmt::Display for DriverError {
@@ -37,6 +43,7 @@ impl fmt::Display for DriverError {
         match self {
             DriverError::Parse(e) => write!(f, "{e}"),
             DriverError::Metal(e) => write!(f, "{e}"),
+            DriverError::MetalCompile(e) => write!(f, "{e}"),
         }
     }
 }
@@ -52,6 +59,12 @@ impl From<ParseError> for DriverError {
 impl From<MetalParseError> for DriverError {
     fn from(e: MetalParseError) -> Self {
         DriverError::Metal(e)
+    }
+}
+
+impl From<CompileError> for DriverError {
+    fn from(e: CompileError) -> Self {
+        DriverError::MetalCompile(e)
     }
 }
 
@@ -307,11 +320,21 @@ pub(crate) struct UnitLocal {
 ///
 /// v3: reports carry structured witness `steps` (and summary traces became
 /// structured), replacing the prose `trace` lines of v2.
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+///
+/// v4: the metal engine choice joined the suite key and metal programs gain
+/// load-time diagnostics, so records written by a v3 binary must not be
+/// replayed as if they covered the same output.
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// The analysis driver: a set of checkers plus traversal settings.
 pub struct Driver {
     metal: Vec<MetalProgram>,
+    /// Decision-program lowering of each entry of `metal`, index-aligned.
+    compiled: Vec<CompiledProgram>,
+    /// Where each metal program came from (a `--checker` file path), when
+    /// known; used to locate load-time diagnostics.
+    metal_origins: Vec<Option<String>>,
+    metal_engine: MetalEngine,
     native: Vec<Box<dyn Checker>>,
     /// Path traversal mode used for metal machines.
     pub mode: Mode,
@@ -355,6 +378,9 @@ impl Driver {
     pub fn new() -> Driver {
         Driver {
             metal: Vec::new(),
+            compiled: Vec::new(),
+            metal_origins: Vec::new(),
+            metal_engine: MetalEngine::default(),
             native: Vec::new(),
             mode: Mode::StateSet,
             prune: true,
@@ -433,31 +459,108 @@ impl Driver {
         })
     }
 
-    /// Registers a metal checker.
+    /// Registers a metal checker, lowering it to a decision program.
     ///
     /// Only the program *name* is folded into [`Driver::suite_key`] on this
     /// path — an already-parsed program carries no source text. Callers
     /// whose metal rules can change under the same name should bump the
     /// config epoch ([`Driver::set_config_epoch`]) or register via
     /// [`Driver::add_metal_source`], which folds the full source.
-    pub fn add_metal_checker(&mut self, prog: MetalProgram) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::MetalCompile`] if the program cannot be
+    /// lowered (see [`mc_metal::CompileError`]; validation findings are
+    /// warnings, not errors, and never reject a program).
+    pub fn add_metal_checker(&mut self, prog: MetalProgram) -> Result<&mut Self, DriverError> {
         self.suite.write_str("metal-name:");
         self.suite.write_str(&prog.name);
+        self.compiled.push(CompiledProgram::compile(&prog)?);
         self.metal.push(prog);
-        self
+        self.metal_origins.push(None);
+        Ok(self)
     }
 
     /// Parses and registers a metal checker from source text.
     ///
     /// # Errors
     ///
-    /// Returns [`DriverError::Metal`] if the program does not parse.
+    /// Returns [`DriverError::Metal`] if the program does not parse, or
+    /// [`DriverError::MetalCompile`] if it cannot be lowered.
     pub fn add_metal_source(&mut self, src: &str) -> Result<&mut Self, DriverError> {
+        self.add_metal_source_impl(src, None)
+    }
+
+    /// Like [`Driver::add_metal_source`], also recording where the source
+    /// came from (a checker file path). Load-time diagnostics
+    /// ([`Driver::metal_load_diagnostics`]) are reported against the
+    /// origin, so renderers can point at the offending `sm` rule's
+    /// file:line.
+    pub fn add_metal_source_from(
+        &mut self,
+        src: &str,
+        origin: &str,
+    ) -> Result<&mut Self, DriverError> {
+        self.add_metal_source_impl(src, Some(origin.to_string()))
+    }
+
+    fn add_metal_source_impl(
+        &mut self,
+        src: &str,
+        origin: Option<String>,
+    ) -> Result<&mut Self, DriverError> {
         let prog = MetalProgram::parse(src)?;
         self.suite.write_str("metal-src:");
         self.suite.write_str(src);
+        self.compiled.push(CompiledProgram::compile(&prog)?);
         self.metal.push(prog);
+        self.metal_origins.push(origin);
         Ok(self)
+    }
+
+    /// Selects the metal execution engine (default:
+    /// [`MetalEngine::Compiled`]).
+    ///
+    /// Both engines produce byte-identical reports; the interpreter is kept
+    /// as a differential oracle and for the dispatch benchmark.
+    pub fn set_metal_engine(&mut self, engine: MetalEngine) -> &mut Self {
+        self.metal_engine = engine;
+        self
+    }
+
+    /// The metal engine the next check run will use.
+    pub fn metal_engine(&self) -> MetalEngine {
+        self.metal_engine
+    }
+
+    /// Load-time diagnostics from lowering the registered metal programs:
+    /// unreachable states, shadowed rules, unbound `%wildcard`
+    /// interpolations, and unmatchable patterns, rendered as
+    /// warning-severity reports against the checker source itself (the
+    /// origin path when registered via [`Driver::add_metal_source_from`],
+    /// a `<metal:NAME>` placeholder otherwise).
+    pub fn metal_load_diagnostics(&self) -> Vec<Report> {
+        let mut reports = Vec::new();
+        for (i, cp) in self.compiled.iter().enumerate() {
+            let file = match &self.metal_origins[i] {
+                Some(origin) => origin.clone(),
+                None => format!("<metal:{}>", cp.name()),
+            };
+            for diag in cp.diagnostics() {
+                let mut r = Report::warning(
+                    "metal-load",
+                    file.clone(),
+                    cp.name(),
+                    diag.span,
+                    format!("[{}] {}", diag.kind.code(), diag.message),
+                );
+                // Load problems are definite (the program text proves
+                // them), but they are style findings, not violations.
+                r.confidence = Report::DEFAULT_CONFIDENCE;
+                reports.push(r);
+            }
+        }
+        reports
     }
 
     /// Registers a native checker extension.
@@ -509,12 +612,23 @@ impl Driver {
         } else {
             "nointerproc"
         });
+        // The engines are differentially tested to produce identical
+        // reports, but cached results must still never alias across them:
+        // an engine bug would otherwise be masked (or unmasked) by whichever
+        // engine happened to fill the cache first.
+        h.write_str(self.metal_engine.as_str());
         h.finish()
     }
 
     /// The registered metal programs, in registration order.
     pub(crate) fn metal_programs(&self) -> &[MetalProgram] {
         &self.metal
+    }
+
+    /// The compiled form of the registered metal programs, index-aligned
+    /// with [`Driver::metal_programs`].
+    pub(crate) fn compiled_programs(&self) -> &[CompiledProgram] {
+        &self.compiled
     }
 
     /// The registered native checkers, in registration order.
@@ -640,16 +754,36 @@ impl Driver {
             summaries,
         };
         let mut metal = Vec::new();
-        for prog in &self.metal {
-            let mut machine = MetalMachine::new(prog);
-            let init = machine.start_state();
-            run_traversal_with(cfg, &mut machine, init, traversal, oracle);
-            metal.extend(
-                machine
-                    .reports
-                    .iter()
-                    .map(|r| convert_metal_report(r, &unit.unit.file, &function.name)),
-            );
+        match self.metal_engine {
+            MetalEngine::Compiled => {
+                // One extraction walk serves every compiled program's plan.
+                let refs: Vec<&mc_metal::CompiledProgram> = self.compiled.iter().collect();
+                let plans = mc_metal::CandidatePlan::build_many(&refs, cfg);
+                for (cp, plan) in self.compiled.iter().zip(&plans) {
+                    let mut machine = CompiledMachine::with_plan(cp, plan);
+                    let init = machine.start_state();
+                    run_traversal_with(cfg, &mut machine, init, traversal, oracle);
+                    metal.extend(
+                        machine
+                            .reports
+                            .iter()
+                            .map(|r| convert_metal_report(r, &unit.unit.file, &function.name)),
+                    );
+                }
+            }
+            MetalEngine::Interp => {
+                for prog in &self.metal {
+                    let mut machine = MetalMachine::new(prog);
+                    let init = machine.start_state();
+                    run_traversal_with(cfg, &mut machine, init, traversal, oracle);
+                    metal.extend(
+                        machine
+                            .reports
+                            .iter()
+                            .map(|r| convert_metal_report(r, &unit.unit.file, &function.name)),
+                    );
+                }
+            }
         }
         let mut native: Vec<CheckSink> = self
             .native

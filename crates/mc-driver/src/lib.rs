@@ -40,7 +40,7 @@
 //!     }
 //! "#)?;
 //! let mut driver = Driver::new();
-//! driver.add_metal_checker(sm);
+//! driver.add_metal_checker(sm)?;
 //! let reports = driver.check_source(
 //!     "void h(void) { MISCBUS_READ_DB(x, y); }", "h.c")?;
 //! assert_eq!(reports.len(), 1);
@@ -59,6 +59,7 @@ pub use driver::{
     call_components, call_info, CallInfo, CheckSink, CheckedUnit, Checker, Driver, DriverError,
     Fact, FunctionContext, ProgramContext, CACHE_FORMAT_VERSION,
 };
+pub use mc_metal::MetalEngine;
 pub use query::{CheckEngine, Query, RunStats};
 pub use report::{Report, Severity};
 pub use summaries::{Summaries, SummaryStats};

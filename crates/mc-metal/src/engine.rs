@@ -47,6 +47,12 @@ pub struct MetalMachine<'p> {
     /// pattern is structurally compared at every node (the "no pattern
     /// indexing" ablation arm).
     pub use_index: bool,
+    /// Number of candidate nodes scanned (instrumentation for the dispatch
+    /// benchmark; comparable with [`crate::CompiledMachine::candidates`]).
+    pub candidates: u64,
+    /// Number of full structural match attempts (pattern comparisons that
+    /// survived the required-identifier pre-filter).
+    pub attempts: u64,
 }
 
 impl<'p> MetalMachine<'p> {
@@ -58,6 +64,8 @@ impl<'p> MetalMachine<'p> {
             seen: HashSet::new(),
             applications: 0,
             use_index: true,
+            candidates: 0,
+            attempts: 0,
         }
     }
 
@@ -109,19 +117,20 @@ impl<'p> MetalMachine<'p> {
     /// Finds the first rule of `state` (then of `all`) whose pattern matches
     /// the candidate. Returns the rule and the bindings.
     fn find_rule(
-        &self,
+        &mut self,
         state: StateId,
         cand: &Candidate<'_>,
         cand_idents: &HashSet<&str>,
     ) -> Option<(&'p Rule, Bindings)> {
+        let prog = self.prog;
         let mut try_states: Vec<StateId> = vec![state];
-        if let Some(all) = self.prog.all_state {
+        if let Some(all) = prog.all_state {
             if all != state {
                 try_states.push(all);
             }
         }
         for sid in try_states {
-            for rule in &self.prog.states[sid.0].rules {
+            for rule in &prog.states[sid.0].rules {
                 for pattern in &rule.patterns {
                     if self.use_index
                         && !pattern
@@ -131,7 +140,8 @@ impl<'p> MetalMachine<'p> {
                     {
                         continue;
                     }
-                    if let Some(b) = match_candidate(pattern, cand, self.prog) {
+                    self.attempts += 1;
+                    if let Some(b) = match_candidate(pattern, cand, prog) {
                         return Some((rule, b));
                     }
                 }
@@ -150,6 +160,7 @@ impl<'p> MetalMachine<'p> {
     ) -> Vec<StateId> {
         let mut cur = state;
         for cand in cands {
+            self.candidates += 1;
             let idents = cand_idents(cand);
             if let Some((rule, bindings)) = self.find_rule(cur, cand, &idents) {
                 let span = cand.span();
@@ -168,7 +179,7 @@ impl<'p> MetalMachine<'p> {
 }
 
 /// A matchable unit extracted from a path event.
-enum Candidate<'a> {
+pub(crate) enum Candidate<'a> {
     /// A whole statement (declarations, returns).
     Stmt(&'a Stmt),
     /// A subexpression, in evaluation (post) order.
@@ -178,7 +189,7 @@ enum Candidate<'a> {
 }
 
 impl Candidate<'_> {
-    fn span(&self) -> Span {
+    pub(crate) fn span(&self) -> Span {
         match self {
             Candidate::Stmt(s) => s.span,
             Candidate::Expr(e) => e.span,
@@ -272,7 +283,7 @@ fn match_candidate(
 
 /// Collects candidates for a statement event: post-order subexpressions,
 /// plus the whole statement for declaration forms.
-fn stmt_candidates<'a>(s: &'a Stmt, out: &mut Vec<Candidate<'a>>) {
+pub(crate) fn stmt_candidates<'a>(s: &'a Stmt, out: &mut Vec<Candidate<'a>>) {
     match &s.kind {
         StmtKind::Expr(e) => postorder(e, out),
         StmtKind::Decl(d) => {
@@ -287,7 +298,7 @@ fn stmt_candidates<'a>(s: &'a Stmt, out: &mut Vec<Candidate<'a>>) {
 
 /// Post-order (operands before operators) subexpression enumeration:
 /// matches evaluation order, so a checker sees `g()` before `f(g())`.
-fn postorder<'a>(e: &'a Expr, out: &mut Vec<Candidate<'a>>) {
+pub(crate) fn postorder<'a>(e: &'a Expr, out: &mut Vec<Candidate<'a>>) {
     match &e.kind {
         ExprKind::Call { callee, args } => {
             postorder(callee, out);
@@ -327,7 +338,7 @@ fn postorder<'a>(e: &'a Expr, out: &mut Vec<Candidate<'a>>) {
     out.push(Candidate::Expr(e));
 }
 
-fn interpolate(msg: &str, bindings: &Bindings) -> String {
+pub(crate) fn interpolate(msg: &str, bindings: &Bindings) -> String {
     let mut out = msg.to_string();
     for (name, expr) in bindings {
         let needle = format!("%{name}");
@@ -406,34 +417,9 @@ pub fn compute_transfers(
     traversal: mc_cfg::Traversal,
     oracle: Option<&dyn mc_cfg::SummaryLookup>,
 ) -> std::collections::BTreeMap<String, Vec<String>> {
-    /// Wraps a [`MetalMachine`] and records the post-step states at every
-    /// return — the states the machine actually exits the function in.
-    struct EndCollector<'p> {
-        inner: MetalMachine<'p>,
-        ends: HashSet<StateId>,
-    }
-    impl PathMachine for EndCollector<'_> {
-        type State = StateId;
-        fn step(
-            &mut self,
-            state: &StateId,
-            event: &PathEvent<'_>,
-            witness: &Witness<'_>,
-        ) -> Vec<StateId> {
-            let out = self.inner.step(state, event, witness);
-            if matches!(event, PathEvent::Return { .. }) {
-                self.ends.extend(out.iter().copied());
-            }
-            out
-        }
-    }
-
     let mut transfers = std::collections::BTreeMap::new();
     for (si, st) in prog.states.iter().enumerate() {
-        let mut m = EndCollector {
-            inner: MetalMachine::new(prog),
-            ends: HashSet::new(),
-        };
+        let mut m = mc_cfg::EndCollector::new(MetalMachine::new(prog));
         mc_cfg::run_traversal_with(cfg, &mut m, StateId(si), traversal, oracle);
         let mut ends: Vec<String> = m
             .ends

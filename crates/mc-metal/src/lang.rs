@@ -1,6 +1,6 @@
 //! The metal program representation.
 
-use mc_ast::{Expr, ExprKind, Stmt, StmtKind};
+use mc_ast::{Expr, ExprKind, Span, Stmt, StmtKind};
 use std::collections::{BTreeMap, HashSet};
 
 /// The type class of a wildcard variable, from `decl { class } name;`.
@@ -138,6 +138,9 @@ pub struct Rule {
     pub target: RuleTarget,
     /// Actions to run on a match.
     pub actions: Vec<Action>,
+    /// Location of the rule's first token in the metal source, for
+    /// load-time diagnostics (shadowed rules, unbound interpolations).
+    pub span: Span,
 }
 
 /// A named state and its rules.
@@ -147,6 +150,9 @@ pub struct StateDef {
     pub name: String,
     /// Rules, in source order (first match wins).
     pub rules: Vec<Rule>,
+    /// Location of the state's name token in the metal source, for the
+    /// unreachable-state diagnostic.
+    pub span: Span,
 }
 
 /// A parsed metal program.

@@ -52,11 +52,16 @@
 
 #![warn(missing_docs)]
 
+mod compile;
 mod engine;
 mod lang;
 mod matcher;
 mod parse;
 
+pub use compile::{
+    compute_transfers_compiled, CandidatePlan, CompileDiag, CompileDiagKind, CompileError,
+    CompiledMachine, CompiledProgram, MetalEngine,
+};
 pub use engine::{compute_transfers, MetalMachine, MetalReport};
 pub use lang::{
     Action, MetalProgram, Pattern, PatternKind, Rule, RuleTarget, StateDef, StateId, TypeClass,

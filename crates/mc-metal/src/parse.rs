@@ -75,8 +75,9 @@ struct MetalParser {
     named: HashMap<String, Vec<Pattern>>,
 }
 
-/// Rules as collected by the first pass, before state-name resolution.
-type RawRules = Vec<(Vec<Pattern>, RawTarget, Vec<Action>)>;
+/// Rules as collected by the first pass, before state-name resolution:
+/// the rule's source span, its pattern alternatives, target, and actions.
+type RawRules = Vec<(Span, Vec<Pattern>, RawTarget, Vec<Action>)>;
 
 /// An unresolved rule target (states may be referenced before definition).
 enum RawTarget {
@@ -147,7 +148,7 @@ impl MetalParser {
         self.expect_punct("{")?;
 
         // First pass collects raw items so states can forward-reference.
-        let mut raw_states: Vec<(String, RawRules)> = Vec::new();
+        let mut raw_states: Vec<(String, Span, RawRules)> = Vec::new();
         while !self.eat_punct("}") {
             match self.peek() {
                 TokenKind::Eof => return self.err("unexpected end of metal program"),
@@ -164,11 +165,12 @@ impl MetalParser {
                     self.named.insert(pname, pats);
                 }
                 TokenKind::Ident(_) => {
+                    let sspan = self.peek_span();
                     let sname = self.expect_ident()?;
                     self.expect_punct(":")?;
                     let rules = self.parse_rules()?;
                     self.expect_punct(";")?;
-                    raw_states.push((sname, rules));
+                    raw_states.push((sname, sspan, rules));
                 }
                 other => return self.err(format!("unexpected token `{other}` in sm body")),
             }
@@ -181,12 +183,12 @@ impl MetalParser {
         let ids: HashMap<String, StateId> = raw_states
             .iter()
             .enumerate()
-            .map(|(i, (n, _))| (n.clone(), StateId(i)))
+            .map(|(i, (n, _, _))| (n.clone(), StateId(i)))
             .collect();
         let mut states = Vec::new();
-        for (sname, rules) in raw_states {
+        for (sname, sspan, rules) in raw_states {
             let mut resolved = Vec::new();
-            for (patterns, raw_target, actions) in rules {
+            for (rspan, patterns, raw_target, actions) in rules {
                 let target = match raw_target {
                     RawTarget::Stay => RuleTarget::Stay,
                     RawTarget::Stop => RuleTarget::Stop,
@@ -204,11 +206,13 @@ impl MetalParser {
                     patterns,
                     target,
                     actions,
+                    span: rspan,
                 });
             }
             states.push(StateDef {
                 name: sname,
                 rules: resolved,
+                span: sspan,
             });
         }
         let all_state = states.iter().position(|s| s.name == "all").map(StateId);
@@ -339,6 +343,7 @@ impl MetalParser {
     fn parse_rules(&mut self) -> Result<RawRules, MetalParseError> {
         let mut rules = Vec::new();
         loop {
+            let rspan = self.peek_span();
             let patterns = self.parse_rule_atom()?;
             let (target, actions) = if self.peek().is_punct("==>") {
                 self.bump();
@@ -346,7 +351,7 @@ impl MetalParser {
             } else {
                 (RawTarget::Stay, Vec::new())
             };
-            rules.push((patterns, target, actions));
+            rules.push((rspan, patterns, target, actions));
             if !self.eat_punct("|") {
                 break;
             }

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Register it with the driver and check the source.
     let mut driver = Driver::new();
-    driver.add_metal_checker(sm);
+    driver.add_metal_checker(sm)?;
     let reports = driver.check_source(protocol_code, "nilocalget.c")?;
 
     // 3. Report.

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Engine equivalence gate: checking the same sources with
+# `--metal-engine compiled` (the default) and `--metal-engine interp`
+# (the reference interpreter) must produce byte-identical output. The
+# compiled dispatcher is an optimization, never a behavior change — any
+# diff here means the compiler lowered a metal program incorrectly.
+# Runs the whole synthetic corpus, once per protocol, with each engine.
+#
+# Usage: scripts/engine_equivalence.sh [path-to-mcheck]
+# (defaults to target/release/mcheck; builds it if missing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MCHECK=${1:-target/release/mcheck}
+if [ ! -x "$MCHECK" ]; then
+    cargo build --release -p mc-cli --bin mcheck
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$MCHECK" --emit-corpus "$work/corpus" >/dev/null
+
+# mcheck exits 1 when it emits reports (the corpus has planted bugs, so it
+# always does); only >= 2 is a real failure. See "Exit codes" in README.md.
+run_mcheck() {
+    local out=$1 engine=$2 pdir=$3 rc=0
+    "$MCHECK" --builtin --spec "$pdir/spec.json" --format json \
+        --metal-engine "$engine" "$pdir"/*.c >"$out" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "FAIL: mcheck --metal-engine $engine exited $rc on $pdir" >&2
+        exit "$rc"
+    fi
+}
+
+status=0
+for pdir in "$work"/corpus/*/; do
+    name=$(basename "$pdir")
+    run_mcheck "$work/$name-interp.json" interp "$pdir"
+    run_mcheck "$work/$name-compiled.json" compiled "$pdir"
+    if diff -u "$work/$name-interp.json" "$work/$name-compiled.json"; then
+        echo "engine-equivalence ok: $name"
+    else
+        echo "FAIL: $name compiled output differs from interp" >&2
+        status=1
+    fi
+done
+exit "$status"

@@ -38,7 +38,7 @@
 //! // 2. Load the buffer-race checker (Figure 2 of the paper) and run it.
 //! let sm = MetalProgram::parse(flash_mc::checkers::WAIT_FOR_DB_METAL)?;
 //! let mut driver = Driver::new();
-//! driver.add_metal_checker(sm);
+//! driver.add_metal_checker(sm)?;
 //! let reports = driver.check_source(src, "example.c")?;
 //! assert_eq!(reports.len(), 1);
 //! assert!(reports[0].message.contains("Buffer not synchronized"));
