@@ -1,17 +1,21 @@
-//! False-positive delta: the full suite run three ways — path-feasibility
-//! pruning off (the paper's xg++), pruning on (the `mcheck` default), and
-//! pruning plus summary-based call-site resolution (`mcheck --interproc`)
+//! False-positive delta: the full suite run four ways — path-feasibility
+//! pruning off (the paper's xg++), pruning on (the `mcheck` default),
+//! pruning plus summary-based call-site resolution (`mcheck --interproc`),
+//! and all of that plus the symbolic refutation pass (`mcheck --refute`)
 //! — showing per-protocol false-positive counts at each rung, that every
-//! planted bug survives both analyses, and how confidence ranking
+//! planted bug survives all three analyses, and how confidence ranking
 //! separates bugs from the false positives that remain.
 //!
 //! The final `gate:` line is machine-readable and consumed by
 //! `scripts/fp_gate.sh`, the CI regression gate: bug recall and the
 //! false-positive counts must never regress past the committed baseline.
 
-use mc_bench::{jobs_from_args, row, run_all_protocols_full, ProtocolRun};
+use mc_bench::{
+    jobs_from_args, row, run_all_protocols_full, run_all_protocols_refuted, ProtocolRun,
+};
 use mc_corpus::PlantedKind;
 use mc_driver::Report;
+use std::collections::BTreeMap;
 
 fn bugs(run: &ProtocolRun) -> usize {
     run.outcome.reports_of("", PlantedKind::Bug) + run.outcome.reports_of("", PlantedKind::Incident)
@@ -68,21 +72,27 @@ fn main() {
     let unpruned = run_all_protocols_full(jobs, false, false);
     let pruned = run_all_protocols_full(jobs, true, false);
     let interproc = run_all_protocols_full(jobs, true, true);
+    let refuted = run_all_protocols_refuted(jobs, true, true, true);
 
-    println!("False-positive delta: pruning off (paper) / on (default) / on + --interproc");
-    let widths = [12, 10, 10, 10, 10, 10];
+    println!(
+        "False-positive delta: pruning off (paper) / on (default) / \
+         on + --interproc / on + --interproc --refute"
+    );
+    let widths = [12, 10, 10, 10, 10, 10, 10];
     println!(
         "{}",
         row(
-            &["Protocol", "FP off", "FP on", "FP ip", "bugs off", "bugs ip"].map(String::from),
+            &["Protocol", "FP off", "FP on", "FP ip", "FP rf", "bugs off", "bugs rf"]
+                .map(String::from),
             &widths
         )
     );
-    let mut tot = [0usize; 5];
-    for ((off, on), ip) in unpruned.iter().zip(&pruned).zip(&interproc) {
+    let mut tot = [0usize; 6];
+    for (((off, on), ip), rf) in unpruned.iter().zip(&pruned).zip(&interproc).zip(&refuted) {
         let fp_off = off.outcome.reports_of("", PlantedKind::FalsePositive);
         let fp_on = on.outcome.reports_of("", PlantedKind::FalsePositive);
         let fp_ip = ip.outcome.reports_of("", PlantedKind::FalsePositive);
+        let fp_rf = rf.outcome.reports_of("", PlantedKind::FalsePositive);
         let bugs_off = bugs(off);
         assert_eq!(
             bugs_off,
@@ -98,17 +108,32 @@ fn main() {
             off.plan.name,
             fp_delta_lines(&off.reports, &ip.reports)
         );
+        let rf_kept: Vec<Report> = rf.kept_reports().cloned().collect();
+        assert_eq!(
+            bugs_off,
+            bugs(rf),
+            "{}: symbolic refutation dropped a bug\n{}",
+            off.plan.name,
+            fp_delta_lines(&off.reports, &rf_kept)
+        );
         assert!(
             fp_ip <= fp_on,
             "{}: call-site resolution added false positives\n{}",
             off.plan.name,
             fp_delta_lines(&on.reports, &ip.reports)
         );
+        assert!(
+            fp_rf <= fp_ip,
+            "{}: symbolic refutation added false positives\n{}",
+            off.plan.name,
+            fp_delta_lines(&ip.reports, &rf_kept)
+        );
         tot[0] += fp_off;
         tot[1] += fp_on;
         tot[2] += fp_ip;
-        tot[3] += bugs_off;
-        tot[4] += bugs(ip);
+        tot[3] += fp_rf;
+        tot[4] += bugs_off;
+        tot[5] += bugs(rf);
         println!(
             "{}",
             row(
@@ -117,8 +142,9 @@ fn main() {
                     fp_off.to_string(),
                     fp_on.to_string(),
                     fp_ip.to_string(),
+                    fp_rf.to_string(),
                     bugs_off.to_string(),
-                    bugs(ip).to_string(),
+                    bugs(rf).to_string(),
                 ],
                 &widths
             )
@@ -134,10 +160,52 @@ fn main() {
                 tot[2].to_string(),
                 tot[3].to_string(),
                 tot[4].to_string(),
+                tot[5].to_string(),
             ],
             &widths
         )
     );
+
+    // Per-checker × per-rung inventory: which checker's false positives
+    // each analysis removes. Rows are checkers with at least one planted
+    // false positive; columns are the four gated rungs.
+    println!("\nFalse positives by checker and rung:");
+    let cw = [14, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["Checker", "FP off", "FP on", "FP ip", "FP rf"].map(String::from),
+            &cw
+        )
+    );
+    let mut by_checker: BTreeMap<String, [usize; 4]> = BTreeMap::new();
+    for (slot, runs) in [&unpruned, &pruned, &interproc, &refuted]
+        .into_iter()
+        .enumerate()
+    {
+        for run in runs.iter() {
+            for (planted, n) in &run.outcome.matched {
+                if planted.kind == PlantedKind::FalsePositive {
+                    by_checker.entry(planted.checker.clone()).or_insert([0; 4])[slot] += n;
+                }
+            }
+        }
+    }
+    for (checker, counts) in &by_checker {
+        println!(
+            "{}",
+            row(
+                &[
+                    checker.to_string(),
+                    counts[0].to_string(),
+                    counts[1].to_string(),
+                    counts[2].to_string(),
+                    counts[3].to_string(),
+                ],
+                &cw
+            )
+        );
+    }
 
     // Confidence separation in the pruned (default) run: reports that
     // match planted bugs should rank above reports that match planted
@@ -172,16 +240,21 @@ fn main() {
 
     // Machine-readable summary for the CI regression gate.
     println!(
-        "\ngate: bugs={} fp_pruned={} fp_interproc={}",
-        tot[3], tot[1], tot[2]
+        "\ngate: bugs={} fp_pruned={} fp_interproc={} fp_refute={}",
+        tot[4], tot[1], tot[2], tot[3]
     );
 
     // Per-report inventory keyed by fingerprint: one line per surviving
     // false-positive report at each gated rung. scripts/fp_gate.sh diffs
     // these lines against the committed baseline when a count regresses,
     // so a CI failure names the exact reports that appeared or
-    // disappeared instead of only the count that moved.
-    for (tag, runs) in [("pruned", &pruned), ("interproc", &interproc)] {
+    // disappeared instead of only the count that moved. At the refute
+    // rung only the reports the pass could not demote are listed.
+    for (tag, runs) in [
+        ("pruned", &pruned),
+        ("interproc", &interproc),
+        ("refute", &refuted),
+    ] {
         let mut lines: Vec<String> = Vec::new();
         for run in runs.iter() {
             for planted in &run.protocol.manifest {
@@ -189,8 +262,7 @@ fn main() {
                     continue;
                 }
                 for r in run
-                    .reports
-                    .iter()
+                    .kept_reports()
                     .filter(|r| r.checker == planted.checker && r.function == planted.function)
                 {
                     lines.push(format!(

@@ -31,6 +31,11 @@
 //! recorded so the dispatch index's pruning is visible, not just its
 //! wall-clock effect.
 //!
+//! A fifth section measures the symbolic refutation pass: the full corpus
+//! checked with `--refute` off and on (pruning on in both), plus how many
+//! reports the pass demoted, so the cost of slicing and solving every
+//! witness is tracked next to the false positives it removes.
+//!
 //! Worker counts above the machine's available parallelism are skipped
 //! (and recorded in the output): timing an oversubscribed pool measures
 //! scheduler churn, not the driver.
@@ -40,7 +45,7 @@ use mc_checkers::all_checkers;
 use mc_corpus::plan::PLANS;
 use mc_corpus::{generate, DEFAULT_SEED};
 use mc_driver::cache::DiskCache;
-use mc_driver::{CheckEngine, CheckedUnit, Driver, Summaries};
+use mc_driver::{CheckEngine, CheckedUnit, Driver, Summaries, Verdict};
 use mc_json::Json;
 use mc_metal::{
     CandidatePlan, CompiledMachine, CompiledProgram, MetalMachine, MetalProgram, MetalReport,
@@ -145,6 +150,67 @@ fn bench_interproc(
         reports_on: reports[1],
         summaries_computed,
         call_sites_resolved,
+    }
+}
+
+/// Timed result of the refutation comparison (pruning on in both).
+struct RefuteBench {
+    workers: usize,
+    wall_ms_off: f64,
+    wall_ms_on: f64,
+    reports_total: usize,
+    reports_refuted: usize,
+}
+
+/// Measures the corpus with the symbolic refutation pass off vs on, and
+/// counts the reports it demotes.
+fn bench_refute(
+    sources: &[Vec<(String, String)>],
+    specs: &[mc_checkers::flash::FlashSpec],
+    jobs: usize,
+    reps: usize,
+) -> RefuteBench {
+    let mut wall = [f64::INFINITY; 2];
+    let mut totals = [0usize; 2];
+    let mut refuted = 0usize;
+    for (slot, refute) in [false, true].into_iter().enumerate() {
+        for _ in 0..reps {
+            let mut total = 0;
+            let mut demoted = 0;
+            let start = Instant::now();
+            for (srcs, spec) in sources.iter().zip(specs) {
+                let mut driver = Driver::new();
+                driver.jobs(jobs);
+                driver.prune(true);
+                driver.refute(refute);
+                all_checkers(&mut driver, spec).expect("suite registers");
+                let units = driver.parse_units(srcs).expect("corpus parses");
+                let reports = driver.check_units(&units);
+                total += reports.len();
+                demoted += reports
+                    .iter()
+                    .filter(|r| r.verdict == Verdict::Refuted)
+                    .count();
+            }
+            wall[slot] = wall[slot].min(start.elapsed().as_secs_f64() * 1e3);
+            totals[slot] = total;
+            if refute {
+                refuted = demoted;
+            }
+        }
+    }
+    // The pass only demotes: the report set itself is unchanged.
+    assert_eq!(
+        totals[0], totals[1],
+        "refutation changed the report count ({} -> {})",
+        totals[0], totals[1]
+    );
+    RefuteBench {
+        workers: jobs,
+        wall_ms_off: wall[0],
+        wall_ms_on: wall[1],
+        reports_total: totals[1],
+        reports_refuted: refuted,
     }
 }
 
@@ -528,6 +594,16 @@ fn main() {
         ip.wall_ms_on, ip.reports_on, ip.summaries_computed, ip.call_sites_resolved
     );
 
+    let rb = bench_refute(&sources, &specs, ip_jobs, REPS);
+    println!(
+        "refute off wall={:8.1} ms  {} reports",
+        rb.wall_ms_off, rb.reports_total
+    );
+    println!(
+        "refute on  wall={:8.1} ms  {} reports  ({} demoted to refuted)",
+        rb.wall_ms_on, rb.reports_total, rb.reports_refuted
+    );
+
     let md = bench_metal_dispatch(&sources, REPS);
     println!(
         "metal interp   wall={:8.1} ms  {:10} match attempts over {} candidates",
@@ -630,6 +706,29 @@ fn main() {
                 (
                     "call_sites_resolved".into(),
                     Json::Int(ip.call_sites_resolved as i64),
+                ),
+            ]),
+        ),
+        (
+            "refutation".into(),
+            Json::Object(vec![
+                ("workers".into(), Json::Int(rb.workers as i64)),
+                (
+                    "wall_ms_off".into(),
+                    Json::Float((rb.wall_ms_off * 1e3).round() / 1e3),
+                ),
+                (
+                    "wall_ms_on".into(),
+                    Json::Float((rb.wall_ms_on * 1e3).round() / 1e3),
+                ),
+                (
+                    "overhead".into(),
+                    Json::Float(((rb.wall_ms_on / rb.wall_ms_off) * 100.0).round() / 100.0),
+                ),
+                ("reports_total".into(), Json::Int(rb.reports_total as i64)),
+                (
+                    "reports_refuted".into(),
+                    Json::Int(rb.reports_refuted as i64),
                 ),
             ]),
         ),

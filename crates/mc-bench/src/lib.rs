@@ -16,7 +16,7 @@ use mc_checkers::{all_checkers, exec_restrict, flash};
 use mc_corpus::eval::{evaluate_full, tally, Outcome, Tally};
 use mc_corpus::plan::{ProtoPlan, PLANS};
 use mc_corpus::{generate, PlantedKind, Protocol, DEFAULT_SEED};
-use mc_driver::{CheckedUnit, Driver, Report};
+use mc_driver::{CheckedUnit, Driver, Report, Verdict};
 
 /// Everything measured about one protocol, shared by the table binaries.
 pub struct ProtocolRun {
@@ -35,6 +35,8 @@ pub struct ProtocolRun {
     pub prune: bool,
     /// Whether the driver resolved call sites through function summaries.
     pub interproc: bool,
+    /// Whether the driver ran the symbolic refutation pass.
+    pub refute: bool,
 }
 
 impl ProtocolRun {
@@ -77,6 +79,14 @@ impl ProtocolRun {
     pub fn count(&self, f: impl Fn(&Function) -> usize) -> usize {
         self.functions().map(f).sum()
     }
+
+    /// The reports that survived the refutation pass (all of them when the
+    /// pass was off). These are what the tables and the FP ladder count.
+    pub fn kept_reports(&self) -> impl Iterator<Item = &Report> {
+        self.reports
+            .iter()
+            .filter(|r| r.verdict != Verdict::Refuted)
+    }
 }
 
 /// Generates, checks, and evaluates all six protocols at the canonical
@@ -104,6 +114,20 @@ pub fn run_all_protocols_with(jobs: usize, prune: bool) -> Vec<ProtocolRun> {
 /// engine (`mcheck --interproc`), which resolves the helper-hidden
 /// false-positive classes the manifest marks interproc-resolvable.
 pub fn run_all_protocols_full(jobs: usize, prune: bool, interproc: bool) -> Vec<ProtocolRun> {
+    run_all_protocols_refuted(jobs, prune, interproc, false)
+}
+
+/// [`run_all_protocols`] with every analysis setting explicit. `refute =
+/// true` runs the symbolic refutation pass (`mcheck --refute`); refuted
+/// reports stay in [`ProtocolRun::reports`] with their demoted verdict but
+/// are excluded from the manifest join, matching what `mcheck` prints by
+/// default.
+pub fn run_all_protocols_refuted(
+    jobs: usize,
+    prune: bool,
+    interproc: bool,
+    refute: bool,
+) -> Vec<ProtocolRun> {
     PLANS
         .iter()
         .enumerate()
@@ -113,12 +137,18 @@ pub fn run_all_protocols_full(jobs: usize, prune: bool, interproc: bool) -> Vec<
             driver.jobs(jobs);
             driver.prune(prune);
             driver.interproc(interproc);
+            driver.refute(refute);
             all_checkers(&mut driver, &protocol.spec).expect("suite registers");
             let units = driver
                 .parse_units(&protocol.sources())
                 .expect("corpus parses");
             let reports = driver.check_units(&units);
-            let outcome = evaluate_full(&protocol, &reports, prune, interproc);
+            let kept: Vec<Report> = reports
+                .iter()
+                .filter(|r| r.verdict != Verdict::Refuted)
+                .cloned()
+                .collect();
+            let outcome = evaluate_full(&protocol, &kept, prune, interproc, refute);
             ProtocolRun {
                 protocol,
                 plan,
@@ -127,6 +157,7 @@ pub fn run_all_protocols_full(jobs: usize, prune: bool, interproc: bool) -> Vec<
                 outcome,
                 prune,
                 interproc,
+                refute,
             }
         })
         .collect()
@@ -308,6 +339,38 @@ mod tests {
         // helper-hidden sites resolves; is_exact above proves the reports
         // are actually gone (a survivor would be unexpected).
         assert_eq!(resolvable, 16);
+    }
+
+    #[test]
+    fn refuted_run_is_exact_and_demotes_refutable_false_positives() {
+        let runs = run_all_protocols_refuted(default_jobs(), true, true, true);
+        let mut refutable = 0;
+        for run in &runs {
+            assert!(run.outcome.is_exact(), "{} (refuted)", run.plan.name);
+            refutable += run
+                .protocol
+                .manifest
+                .iter()
+                .filter(|p| p.refutable())
+                .count();
+            // Soundness spot-check: every report the pass demoted sits in
+            // a planted false-positive slot — never on a bug.
+            for r in run.reports.iter().filter(|r| r.verdict == Verdict::Refuted) {
+                assert!(
+                    run.protocol.manifest.iter().any(|p| {
+                        p.kind == PlantedKind::FalsePositive
+                            && p.checker == r.checker
+                            && p.function == r.function
+                    }),
+                    "{}: refuted a report outside any planted FP slot: {}",
+                    run.plan.name,
+                    r
+                );
+            }
+        }
+        // 14 directory-abstraction + 3 directory-speculative + 8 send-wait
+        // sites carry the linearly infeasible guard correlation.
+        assert_eq!(refutable, 25);
     }
 
     #[test]

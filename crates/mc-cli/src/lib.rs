@@ -12,6 +12,7 @@
 //!   --mode <state-set|exhaustive>
 //!   --jobs <n>               worker threads (default: available parallelism)
 //!   --prune / --no-prune     path-feasibility pruning (default on)
+//!   --refute / --no-refute   symbolic witness refutation (default on)
 //!   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
 //!   --seed <n>               corpus seed (default 0xF1A5)
 //! ```
@@ -20,7 +21,7 @@
 
 use mc_checkers::flash::FlashSpec;
 use mc_driver::cache::DiskCache;
-use mc_driver::{CheckEngine, Driver, MetalEngine, Report, Severity};
+use mc_driver::{CheckEngine, Driver, MetalEngine, Report, Severity, Verdict};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::SystemTime;
@@ -29,7 +30,7 @@ mod baseline;
 mod render;
 
 pub use baseline::{apply_baseline, Baseline, BaselineEntry, BaselineOutcome};
-pub use render::{partition_suppressed, render, Format};
+pub use render::{partition_refuted, partition_suppressed, render, Format};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +55,12 @@ pub struct Options {
     /// behaviour, except for the lane checker, which is always summary-
     /// based).
     pub interproc: bool,
+    /// Symbolic witness refutation (`--no-refute` turns it off): each
+    /// report's witness path is sliced and solved; reports whose path
+    /// condition is infeasible are demoted to `refuted` and dropped from
+    /// the output, and satisfiable witnesses whose solver model reproduces
+    /// the violation in concrete replay are promoted to `confirmed`.
+    pub refute: bool,
     /// Metal execution engine (`--metal-engine compiled|interp`). The
     /// compiled engine lowers each state machine to an indexed decision
     /// program; the interpreter is kept as a differential oracle. Reports
@@ -102,6 +109,7 @@ impl Default for Options {
             jobs: None,
             prune: true,
             interproc: false,
+            refute: true,
             metal_engine: MetalEngine::default(),
             emit_corpus: None,
             seed: mc_corpus::DEFAULT_SEED,
@@ -149,6 +157,12 @@ usage: mcheck [OPTIONS] <file.c>...
                            summaries so helpers stop looking opaque
                            (default off; the lane checker is always
                            summary-based)
+  --refute / --no-refute   slice each report's witness path and solve its
+                           branch conditions symbolically (default on):
+                           infeasible witnesses are demoted to `refuted`
+                           and hidden; satisfiable ones whose solver model
+                           reproduces the violation in concrete replay are
+                           promoted to `confirmed` with the input attached
   --metal-engine <compiled|interp>
                            how metal state machines execute (default
                            compiled: each sm is lowered to an indexed
@@ -230,6 +244,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             "--no-prune" => opts.prune = false,
             "--interproc" => opts.interproc = true,
             "--no-interproc" => opts.interproc = false,
+            "--refute" => opts.refute = true,
+            "--no-refute" => opts.refute = false,
             "--metal-engine" => {
                 let v = it
                     .next()
@@ -357,6 +373,7 @@ pub fn build_driver(opts: &Options) -> Result<Driver, CliError> {
     }
     driver.prune(opts.prune);
     driver.interproc(opts.interproc);
+    driver.refute(opts.refute);
     driver.set_metal_engine(opts.metal_engine);
     if let Some(n) = opts.jobs {
         driver.jobs(n);
@@ -436,8 +453,39 @@ pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
     // Load-time diagnostics from compiling the metal programs (unreachable
     // states, shadowed rules, ...) ride along as ordinary warning reports.
     reports.extend(driver.metal_load_diagnostics());
+    if opts.refute {
+        promote_confirmed(&mut reports, &sources);
+    }
     Report::sort_by_confidence(&mut reports);
     Ok(reports)
+}
+
+/// Promotes `sat` reports to `confirmed` by replaying each one's solver
+/// model concretely in the simulator ([`mc_sim::replay`]). Promotion nudges
+/// confidence up rather than pinning it, so the paper's ranking heuristics
+/// (NAK paths, debug-guarded code) still order confirmed reports among
+/// themselves.
+///
+/// Replay needs the checked sources as an executable program; files the
+/// simulator's handler subset cannot parse (or checkers with no dynamic
+/// manifestation) simply leave their reports at `sat` — promotion is
+/// strictly best-effort and never demotes.
+fn promote_confirmed(reports: &mut [Report], sources: &[(String, String)]) {
+    if !reports.iter().any(|r| r.verdict == Verdict::Sat) {
+        return;
+    }
+    let Ok(program) = mc_sim::Program::from_sources(sources) else {
+        return;
+    };
+    for r in reports.iter_mut() {
+        if r.verdict != Verdict::Sat || !mc_sim::replayable_checker(&r.checker) {
+            continue;
+        }
+        if mc_sim::replay(program.clone(), &r.checker, &r.function, &r.model) {
+            r.verdict = Verdict::Confirmed;
+            r.confidence = r.confidence.saturating_add(10).min(100);
+        }
+    }
 }
 
 /// A watched file's last observed state: its stat signature (cheap to
@@ -504,13 +552,24 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
     let interval = std::time::Duration::from_millis(opts.watch_interval_ms.max(1));
     let mut cycles = 0usize;
     let mut snaps: Vec<FileSnap> = opts.files.iter().map(|f| snap_of(f)).collect();
+    // Suppression comments are honored wherever a report can point,
+    // including the metal checker files themselves (load-time validation
+    // warnings are reported against the checker's own source). The checker
+    // files are read once, like build_driver does.
+    let checker_sources = read_sources(&opts.checkers)?;
     loop {
         match read_sources(&opts.files) {
             Ok(sources) => match engine.check_sources(&driver, &sources) {
                 Ok((mut reports, stats)) => {
                     reports.extend(driver.metal_load_diagnostics());
+                    if opts.refute {
+                        promote_confirmed(&mut reports, &sources);
+                    }
                     Report::sort_by_confidence(&mut reports);
-                    let (reports, suppressed) = partition_suppressed(reports, &sources);
+                    let (reports, refuted) = partition_refuted(reports);
+                    let mut supp_sources = sources.clone();
+                    supp_sources.extend(checker_sources.iter().cloned());
+                    let (reports, suppressed) = partition_suppressed(reports, &supp_sources);
                     let _ = writeln!(
                         out,
                         "[watch] checked {} file(s) ({} re-checked, {} replayed): {} report(s)",
@@ -519,7 +578,14 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
                         stats.units - stats.units_checked,
                         reports.len()
                     );
-                    render(opts.format, &reports, &sources, suppressed, out);
+                    render(
+                        opts.format,
+                        &reports,
+                        &supp_sources,
+                        suppressed,
+                        refuted,
+                        out,
+                    );
                 }
                 Err(e) => {
                     let _ = writeln!(out, "mcheck: {e}");
@@ -543,9 +609,10 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
     }
 }
 
-/// Executes the parsed options end-to-end: check, apply `// mc-suppress:`
-/// comments, apply `--baseline`, render in the selected format, and return
-/// the process exit code.
+/// Executes the parsed options end-to-end: check, drop reports the
+/// refutation pass demoted, apply `// mc-suppress:` comments, apply
+/// `--baseline`, render in the selected format, and return the process
+/// exit code.
 ///
 /// Report output goes to `out`; human-facing notes (the baseline summary
 /// and the error-count footer) go to `err`, so `--format json|sarif`
@@ -566,7 +633,13 @@ pub fn run_full(
     }
     let reports = run(opts)?;
     let sources = read_sources(&opts.files)?;
-    let (mut reports, suppressed) = partition_suppressed(reports, &sources);
+    let (reports, refuted) = partition_refuted(reports);
+    // Suppression comments are honored wherever a report can point,
+    // including the metal checker files themselves (load-time validation
+    // warnings are reported against the checker's own source).
+    let mut supp_sources = sources.clone();
+    supp_sources.extend(read_sources(&opts.checkers)?);
+    let (mut reports, suppressed) = partition_suppressed(reports, &supp_sources);
     let mut exit = u8::from(!reports.is_empty());
     if let Some(path) = &opts.baseline {
         match apply_baseline(path, &mut reports)? {
@@ -588,7 +661,14 @@ pub fn run_full(
             }
         }
     }
-    render(opts.format, &reports, &sources, suppressed, out);
+    render(
+        opts.format,
+        &reports,
+        &supp_sources,
+        suppressed,
+        refuted,
+        out,
+    );
     if !reports.is_empty() && opts.format == Format::Text {
         let errors = reports
             .iter()
@@ -629,7 +709,7 @@ fn emit_corpus(dir: &std::path::Path, seed: u64) -> Result<(), CliError> {
             .iter()
             .map(|p| {
                 format!(
-                    "{}\t{}\t{}\t{:?}\t{}\t{}\t{}\t{}\n",
+                    "{}\t{}\t{}\t{:?}\t{}\t{}\t{}\t{}\t{}\n",
                     p.checker,
                     p.file,
                     p.function,
@@ -637,6 +717,7 @@ fn emit_corpus(dir: &std::path::Path, seed: u64) -> Result<(), CliError> {
                     p.expected_reports,
                     p.expected_reports_pruned,
                     p.expected_reports_interproc,
+                    p.expected_reports_refute,
                     p.note
                 )
             })
@@ -660,6 +741,7 @@ mod tests {
         // they must get pruning on and the stock seed, same as the CLI.
         let o = Options::default();
         assert!(o.prune);
+        assert!(o.refute, "refutation must default on");
         assert_eq!(o.seed, mc_corpus::DEFAULT_SEED);
     }
 
@@ -736,6 +818,48 @@ mod tests {
         let o = args(&["--builtin", "--interproc", "--no-interproc", "a.c"]).unwrap();
         assert!(!o.interproc, "later flag wins");
         assert!(USAGE.contains("--interproc"));
+    }
+
+    #[test]
+    fn refute_flags_parse_and_default_on() {
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert!(o.refute, "refutation must default on");
+        let o = args(&["--builtin", "--no-refute", "a.c"]).unwrap();
+        assert!(!o.refute);
+        let o = args(&["--builtin", "--no-refute", "--refute", "a.c"]).unwrap();
+        assert!(o.refute, "later flag wins");
+        assert!(USAGE.contains("--no-refute"));
+    }
+
+    // End-to-end: the default `--refute` pass demotes a report whose
+    // witness rides the classic infeasible credit/debit guard, and
+    // `--no-refute` leaves it unchecked.
+    #[test]
+    fn refutation_demotes_infeasible_guard_report() {
+        let dir = std::env::temp_dir().join(format!("mcheck_refute_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("h.c");
+        std::fs::write(
+            &src,
+            "void h(void)\n{\n    int nak = 0;\n    nak = gNakCredit - gNakDebit;\n    \
+             if (gNakCredit == gNakDebit) {\n        if (nak > 0) {\n            \
+             MISCBUS_READ_DB(a, b);\n        }\n    }\n}\n",
+        )
+        .unwrap();
+        let sm = dir.join("race.metal");
+        std::fs::write(
+            &sm,
+            "sm race { decl { scalar } a, b; start: { MISCBUS_READ_DB(a, b); } ==> { err(\"raw read\"); } ; }",
+        )
+        .unwrap();
+        let mut opts = args(&["--checker", sm.to_str().unwrap(), src.to_str().unwrap()]).unwrap();
+        let reports = run(&opts).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].verdict, Verdict::Refuted);
+        opts.refute = false;
+        let reports = run(&opts).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].verdict, Verdict::Unchecked);
     }
 
     #[test]
@@ -1046,6 +1170,81 @@ mod format_tests {
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("2 report(s) suppressed"), "{out}");
         assert!(!out.contains("wait_for_db"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Regression: `// mc-suppress: metal-load` comments inside a checker
+    // (.metal) file must silence that file's load-time validation warnings.
+    // The suppression matcher only saw the checked C sources, so metal-load
+    // reports — whose file is the checker path — could never be suppressed.
+    #[test]
+    fn run_full_honors_suppress_comments_in_metal_checker_files() {
+        let dir = temp_dir("metal_suppress");
+        let src = dir.join("h.c");
+        std::fs::write(&src, "void h(void) { f(a); }\n").unwrap();
+        let sm = dir.join("u.metal");
+        let orphan = "    orphan: { g(x); } ==> { err(\"never\"); } ;\n}\n";
+        let head = "sm u {\n    decl { scalar } x;\n    start: { f(x); } ==> stop ;\n";
+        std::fs::write(&sm, format!("{head}{orphan}")).unwrap();
+        let opts = parse_args(
+            ["--checker", sm.to_str().unwrap(), src.to_str().unwrap()].map(String::from),
+        )
+        .unwrap();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 1, "the unreachable-state warning must surface");
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("unreachable"), "{shown}");
+
+        std::fs::write(
+            &sm,
+            format!("{head}    // mc-suppress: metal-load\n{orphan}"),
+        )
+        .unwrap();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 0, "suppressed warning must not drive the exit code");
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("1 report(s) suppressed"), "{shown}");
+        assert!(!shown.contains("unreachable"), "{shown}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // End-to-end refutation through run_full: the refuted report vanishes
+    // from the text output, a note states the count, and `--no-refute`
+    // restores the report.
+    #[test]
+    fn run_full_drops_refuted_reports_and_notes_the_count() {
+        let dir = temp_dir("refuted");
+        let src = dir.join("r.c");
+        std::fs::write(
+            &src,
+            "void r(void)\n{\n    PROC_DEFS();\n    PROC_PROLOGUE();\n    int nak = 0;\n    \
+             nak = gNakCredit - gNakDebit;\n    \
+             if (gNakCredit == gNakDebit) {\n        if (nak > 0) {\n            \
+             MISCBUS_READ_DB(a, b);\n        }\n    }\n}\n",
+        )
+        .unwrap();
+        let base = ["--builtin", src.to_str().unwrap()];
+        let opts = parse_args(base.map(String::from)).unwrap();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 0, "the only report is refuted");
+        let shown = String::from_utf8(out).unwrap();
+        assert!(
+            shown.contains("1 report(s) refuted by symbolic witness analysis"),
+            "{shown}"
+        );
+        assert!(!shown.contains("wait_for_db"), "{shown}");
+
+        let mut opts = parse_args(base.map(String::from)).unwrap();
+        opts.refute = false;
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_full(&opts, &mut out, &mut err).unwrap();
+        assert_eq!(code, 1, "--no-refute keeps the report");
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("wait_for_db"), "{shown}");
+        assert!(!shown.contains("report(s) refuted"), "{shown}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

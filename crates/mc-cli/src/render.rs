@@ -1,9 +1,10 @@
 //! Report renderers: text (with source excerpts), JSON, and SARIF 2.1.0.
 //!
 //! All three renderers consume the same inputs — the final report list,
-//! the checked sources (for text excerpts), and the count of reports
-//! hidden by `// mc-suppress:` comments — so every output format agrees
-//! on what was found and what was suppressed.
+//! the checked sources (for text excerpts), the count of reports hidden
+//! by `// mc-suppress:` comments, and the count demoted by the symbolic
+//! refutation pass — so every output format agrees on what was found,
+//! what was suppressed, and what was refuted.
 //!
 //! ## JSON schema (`--format json`)
 //!
@@ -12,6 +13,7 @@
 //!   "schema": "mcheck-reports",
 //!   "version": 1,
 //!   "suppressed": 0,
+//!   "refuted": 3,
 //!   "reports": [
 //!     {
 //!       "checker": "buffer_mgmt",
@@ -25,6 +27,8 @@
 //!       ],
 //!       "confidence": 75,
 //!       "pruned_paths": 0,
+//!       "verdict": "confirmed",
+//!       "model": {"gLen": 5},
 //!       "fingerprint": "9f86d081884c7d65"
 //!     }
 //!   ]
@@ -32,10 +36,14 @@
 //! ```
 //!
 //! `schema`/`version` identify the envelope. `suppressed` counts reports
-//! dropped by inline suppressions. Each report is the [`Report`] JSON
-//! shape plus its stable content `fingerprint` (the baseline key). A step
-//! with an empty `file` is in the report's own file. All locations carry
-//! both `line` and `col` (1-based).
+//! dropped by inline suppressions; `refuted` counts reports demoted (and
+//! dropped from `reports`) by the `--refute` symbolic witness pass. Each
+//! report is the [`Report`] JSON shape plus its stable content
+//! `fingerprint` (the baseline key): `verdict` is one of `unchecked` /
+//! `sat` / `confirmed` (`refuted` reports are not emitted) and `model` is
+//! the concrete global assignment that realizes the witness, present for
+//! `sat`/`confirmed` reports. A step with an empty `file` is in the
+//! report's own file. All locations carry both `line` and `col` (1-based).
 //!
 //! ## SARIF (`--format sarif`)
 //!
@@ -43,9 +51,11 @@
 //! rule per distinct checker, one `result` per report. The witness path is
 //! emitted as `codeFlows[0].threadFlows[0].locations`, the fingerprint as
 //! `partialFingerprints["mcheckFingerprint/v1"]`, and confidence /
-//! function / pruned-path counts under `properties`.
+//! function / pruned-path counts / verdict (plus `concreteInput` when a
+//! solver model exists) under `properties`. The run-level `properties`
+//! carry both `suppressedReports` and `refutedReports`.
 
-use mc_driver::{Report, Severity};
+use mc_driver::{Report, Severity, Verdict};
 use mc_json::Json;
 use std::collections::HashMap;
 use std::io::Write;
@@ -78,24 +88,48 @@ impl Format {
 /// pairs as produced by reading the input files; they feed the text
 /// renderer's source excerpts (a report whose file is not among the
 /// sources simply renders without an excerpt). `suppressed` is the number
-/// of reports already removed by `// mc-suppress:` comments; every format
-/// states it so a clean run is distinguishable from a silenced one.
+/// of reports already removed by `// mc-suppress:` comments and `refuted`
+/// the number demoted by the symbolic refutation pass; every format states
+/// both so a clean run is distinguishable from a silenced one.
 pub fn render(
     format: Format,
     reports: &[Report],
     sources: &[(String, String)],
     suppressed: usize,
+    refuted: usize,
     out: &mut dyn Write,
 ) {
     match format {
-        Format::Text => render_text(reports, sources, suppressed, out),
+        Format::Text => render_text(reports, sources, suppressed, refuted, out),
         Format::Json => {
-            let _ = writeln!(out, "{}", json_envelope(reports, suppressed).to_pretty());
+            let _ = writeln!(
+                out,
+                "{}",
+                json_envelope(reports, suppressed, refuted).to_pretty()
+            );
         }
         Format::Sarif => {
-            let _ = writeln!(out, "{}", sarif_log(reports, suppressed).to_pretty());
+            let _ = writeln!(
+                out,
+                "{}",
+                sarif_log(reports, suppressed, refuted).to_pretty()
+            );
         }
     }
+}
+
+/// Splits `reports` into the ones to show and the count the symbolic
+/// refutation pass demoted to [`Verdict::Refuted`] (their witness path
+/// cannot execute). Refuted reports are dropped from every output format;
+/// the count is rendered so a quieter run is visibly the refuter's doing.
+pub fn partition_refuted(reports: Vec<Report>) -> (Vec<Report>, usize) {
+    let total = reports.len();
+    let kept: Vec<Report> = reports
+        .into_iter()
+        .filter(|r| r.verdict != Verdict::Refuted)
+        .collect();
+    let refuted = total - kept.len();
+    (kept, refuted)
 }
 
 /// Text renderer: one block per report —
@@ -111,6 +145,7 @@ fn render_text(
     reports: &[Report],
     sources: &[(String, String)],
     suppressed: usize,
+    refuted: usize,
     out: &mut dyn Write,
 ) {
     let by_name: HashMap<&str, &str> = sources
@@ -138,11 +173,29 @@ fn render_text(
             };
             let _ = writeln!(out, "    {}. {}:{}: {}", i + 1, file, step.span, step.note);
         }
+        if r.verdict != Verdict::Unchecked {
+            let _ = write!(out, "    verdict: {}", r.verdict.as_str());
+            if !r.model.is_empty() {
+                let binds: Vec<String> = r
+                    .model
+                    .iter()
+                    .map(|(name, v)| format!("{name}={v}"))
+                    .collect();
+                let _ = write!(out, " (input: {})", binds.join(", "));
+            }
+            let _ = writeln!(out);
+        }
     }
     if suppressed > 0 {
         let _ = writeln!(
             out,
             "note: {suppressed} report(s) suppressed by // mc-suppress comments"
+        );
+    }
+    if refuted > 0 {
+        let _ = writeln!(
+            out,
+            "note: {refuted} report(s) refuted by symbolic witness analysis"
         );
     }
 }
@@ -168,7 +221,7 @@ fn write_excerpt(text: &str, line: u32, col: u32, out: &mut dyn Write) {
 }
 
 /// Builds the documented JSON envelope.
-fn json_envelope(reports: &[Report], suppressed: usize) -> Json {
+fn json_envelope(reports: &[Report], suppressed: usize, refuted: usize) -> Json {
     let reports_json: Vec<Json> = reports
         .iter()
         .map(|r| {
@@ -184,12 +237,13 @@ fn json_envelope(reports: &[Report], suppressed: usize) -> Json {
         ("schema", Json::Str("mcheck-reports".into())),
         ("version", Json::Int(1)),
         ("suppressed", Json::Int(suppressed as i64)),
+        ("refuted", Json::Int(refuted as i64)),
         ("reports", Json::Array(reports_json)),
     ])
 }
 
 /// Builds the SARIF 2.1.0 log value.
-fn sarif_log(reports: &[Report], suppressed: usize) -> Json {
+fn sarif_log(reports: &[Report], suppressed: usize, refuted: usize) -> Json {
     // One rule per distinct checker, in order of first appearance.
     let mut rule_index: Vec<&str> = Vec::new();
     for r in reports {
@@ -241,14 +295,26 @@ fn sarif_log(reports: &[Report], suppressed: usize) -> Json {
                     "partialFingerprints",
                     mc_json::object(vec![("mcheckFingerprint/v1", Json::Str(r.fingerprint()))]),
                 ),
-                (
-                    "properties",
-                    mc_json::object(vec![
+                ("properties", {
+                    let mut props = vec![
                         ("function", Json::Str(r.function.clone())),
                         ("confidence", Json::Int(i64::from(r.confidence))),
                         ("prunedPaths", Json::Int(i64::from(r.pruned_paths))),
-                    ]),
-                ),
+                        ("verdict", Json::Str(r.verdict.as_str().into())),
+                    ];
+                    if !r.model.is_empty() {
+                        props.push((
+                            "concreteInput",
+                            Json::Object(
+                                r.model
+                                    .iter()
+                                    .map(|(name, v)| (name.clone(), Json::Int(*v)))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    mc_json::object(props)
+                }),
             ];
             if !r.steps.is_empty() {
                 let flow_locations: Vec<Json> = r
@@ -300,7 +366,10 @@ fn sarif_log(reports: &[Report], suppressed: usize) -> Json {
                 ("results", Json::Array(results)),
                 (
                     "properties",
-                    mc_json::object(vec![("suppressedReports", Json::Int(suppressed as i64))]),
+                    mc_json::object(vec![
+                        ("suppressedReports", Json::Int(suppressed as i64)),
+                        ("refutedReports", Json::Int(refuted as i64)),
+                    ]),
                 ),
             ])]),
         ),
@@ -427,7 +496,7 @@ mod tests {
     #[test]
     fn text_renders_excerpt_caret_and_steps() {
         let mut out = Vec::new();
-        render_text(&[sample_report()], &sample_source(), 0, &mut out);
+        render_text(&[sample_report()], &sample_source(), 0, 0, &mut out);
         let s = String::from_utf8(out).unwrap();
         assert!(
             s.contains("f.c:2:3: error: [buffer_mgmt] double free (in PIHandler)"),
@@ -440,23 +509,59 @@ mod tests {
     }
 
     #[test]
-    fn text_counts_suppressed() {
+    fn text_counts_suppressed_and_refuted() {
         let mut out = Vec::new();
-        render_text(&[], &[], 2, &mut out);
+        render_text(&[], &[], 2, 3, &mut out);
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("2 report(s) suppressed"), "{s}");
+        assert!(
+            s.contains("3 report(s) refuted by symbolic witness analysis"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn text_renders_verdict_with_concrete_input() {
+        let mut confirmed = sample_report();
+        confirmed.verdict = Verdict::Confirmed;
+        confirmed.model = vec![("gLen".to_string(), 5), ("gNak".to_string(), -1)];
+        let mut out = Vec::new();
+        render_text(&[confirmed], &sample_source(), 0, 0, &mut out);
+        let s = String::from_utf8(out).unwrap();
+        assert!(
+            s.contains("verdict: confirmed (input: gLen=5, gNak=-1)"),
+            "{s}"
+        );
+        // An unchecked report prints no verdict line at all.
+        let mut out = Vec::new();
+        render_text(&[sample_report()], &sample_source(), 0, 0, &mut out);
+        let s = String::from_utf8(out).unwrap();
+        assert!(!s.contains("verdict:"), "{s}");
+    }
+
+    #[test]
+    fn partition_refuted_drops_only_refuted_reports() {
+        let mut refuted = sample_report();
+        refuted.verdict = Verdict::Refuted;
+        let mut sat = sample_report();
+        sat.verdict = Verdict::Sat;
+        let (kept, n) = partition_refuted(vec![sample_report(), refuted, sat]);
+        assert_eq!(n, 1);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|r| r.verdict != Verdict::Refuted));
     }
 
     #[test]
     fn json_envelope_carries_schema_and_fingerprints() {
         let r = sample_report();
-        let v = json_envelope(&[r.clone()], 1);
+        let v = json_envelope(&[r.clone()], 1, 4);
         assert_eq!(
             v.get("schema").and_then(Json::as_str),
             Some("mcheck-reports")
         );
         assert_eq!(v.get("version").and_then(Json::as_i64), Some(1));
         assert_eq!(v.get("suppressed").and_then(Json::as_i64), Some(1));
+        assert_eq!(v.get("refuted").and_then(Json::as_i64), Some(4));
         let reports = v.get("reports").and_then(Json::as_array).unwrap();
         assert_eq!(
             reports[0].get("fingerprint").and_then(Json::as_str),
@@ -470,7 +575,7 @@ mod tests {
 
     #[test]
     fn sarif_has_required_shape() {
-        let v = sarif_log(&[sample_report()], 0);
+        let v = sarif_log(&[sample_report()], 0, 0);
         assert_eq!(v.get("version").and_then(Json::as_str), Some("2.1.0"));
         let runs = v.get("runs").and_then(Json::as_array).unwrap();
         let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
@@ -499,6 +604,59 @@ mod tests {
             .unwrap();
         assert_eq!(region.get("startLine").and_then(Json::as_i64), Some(2));
         assert_eq!(region.get("startColumn").and_then(Json::as_i64), Some(3));
+        let props = result.get("properties").unwrap();
+        assert_eq!(
+            props.get("verdict").and_then(Json::as_str),
+            Some("unchecked")
+        );
+        assert!(props.get("concreteInput").is_none());
+        let run_props = runs[0].get("properties").unwrap();
+        assert_eq!(
+            run_props.get("refutedReports").and_then(Json::as_i64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn sarif_confirmed_report_carries_concrete_input() {
+        let mut r = sample_report();
+        r.verdict = Verdict::Confirmed;
+        r.model = vec![("gLen".to_string(), 7)];
+        let v = sarif_log(&[r], 0, 2);
+        let runs = v.get("runs").and_then(Json::as_array).unwrap();
+        let results = runs[0].get("results").and_then(Json::as_array).unwrap();
+        let props = results[0].get("properties").unwrap();
+        assert_eq!(
+            props.get("verdict").and_then(Json::as_str),
+            Some("confirmed")
+        );
+        let input = props.get("concreteInput").unwrap();
+        assert_eq!(input.get("gLen").and_then(Json::as_i64), Some(7));
+        let run_props = runs[0].get("properties").unwrap();
+        assert_eq!(
+            run_props.get("refutedReports").and_then(Json::as_i64),
+            Some(2)
+        );
+    }
+
+    // Regression (metal load-time warnings): suppressions must also match
+    // when the report's file is a checker (.metal) file whose text the CLI
+    // folds into the suppression sources — not one of the checked C files.
+    #[test]
+    fn suppression_matches_metal_checker_file_reports() {
+        let sources = vec![(
+            "state gLen { valid }\n// mc-suppress: metal-load\nevent bogus;\n".to_string(),
+            "checkers/buf.metal".to_string(),
+        )];
+        let reports = vec![Report::warning(
+            "metal-load",
+            "checkers/buf.metal",
+            "buffer_mgmt",
+            Span::new(3, 1),
+            "[W01] unreachable state",
+        )];
+        let (kept, suppressed) = partition_suppressed(reports, &sources);
+        assert_eq!((kept.len(), suppressed), (0, 1));
     }
 
     #[test]

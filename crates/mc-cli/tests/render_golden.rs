@@ -54,7 +54,7 @@ fn rendered(format: mc_cli::Format) -> String {
     let (reports, sources) = corpus_slice();
     assert!(!reports.is_empty(), "the slice must produce reports");
     let mut out = Vec::new();
-    mc_cli::render(format, &reports, &sources, 0, &mut out);
+    mc_cli::render(format, &reports, &sources, 0, 0, &mut out);
     String::from_utf8(out).unwrap()
 }
 

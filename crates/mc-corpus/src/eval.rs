@@ -51,20 +51,24 @@ pub fn evaluate(protocol: &Protocol, reports: &[Report]) -> Outcome {
 /// reports, so prunable false positives are *required absent* when `pruned`
 /// and *required present* when not.
 pub fn evaluate_with(protocol: &Protocol, reports: &[Report], pruned: bool) -> Outcome {
-    evaluate_full(protocol, reports, pruned, false)
+    evaluate_full(protocol, reports, pruned, false, false)
 }
 
-/// Evaluates `reports` under explicit pruning *and* call-site resolution
-/// settings: each planted item expects
-/// [`crate::Planted::expected_full`]`(pruned, interproc)` reports, so
-/// summary-resolvable false positives (frees in wrappers, lengths assigned
+/// Evaluates `reports` under explicit pruning, call-site resolution, and
+/// symbolic refutation settings: each planted item expects
+/// [`crate::Planted::expected_full`]`(pruned, interproc, refute)` reports.
+/// Summary-resolvable false positives (frees in wrappers, lengths assigned
 /// in helpers, un-annotated write-back subroutines) are *required absent*
-/// when `interproc` and *required present* when not.
+/// when `interproc`; refutable false positives (infeasible guard
+/// correlations) are *required absent* when `refute` — the caller passes
+/// the reports that survived the refutation pass, i.e. with `refuted`
+/// verdicts already dropped.
 pub fn evaluate_full(
     protocol: &Protocol,
     reports: &[Report],
     pruned: bool,
     interproc: bool,
+    refute: bool,
 ) -> Outcome {
     // Group reports by (checker, function).
     let mut by_slot: BTreeMap<(String, String), Vec<Report>> = BTreeMap::new();
@@ -79,7 +83,7 @@ pub fn evaluate_full(
         let key = (planted.checker.clone(), planted.function.clone());
         let got = by_slot.remove(&key).unwrap_or_default();
         let n = got.len();
-        let expected = planted.expected_full(pruned, interproc);
+        let expected = planted.expected_full(pruned, interproc, refute);
         if n < expected {
             out.missed.push(planted.clone());
         }
@@ -138,6 +142,7 @@ mod tests {
             expected_reports: n,
             expected_reports_pruned: n,
             expected_reports_interproc: n,
+            expected_reports_refute: n,
             note: String::new(),
         }
     }
@@ -215,17 +220,41 @@ mod tests {
         assert!(!fp.prunable());
         let p = proto(vec![fp]);
         // Local analysis (with or without pruning) must report it...
-        let out = evaluate_full(&p, &[report("directory", "NIGet")], true, false);
+        let out = evaluate_full(&p, &[report("directory", "NIGet")], true, false, false);
         assert!(out.is_exact());
         // ...the summary engine must not...
-        let out = evaluate_full(&p, &[], true, true);
+        let out = evaluate_full(&p, &[], true, true, false);
         assert!(out.is_exact());
         // ...and a surviving report under interproc is unexpected.
-        let out = evaluate_full(&p, &[report("directory", "NIGet")], true, true);
+        let out = evaluate_full(&p, &[report("directory", "NIGet")], true, true, false);
         assert_eq!(out.unexpected.len(), 1);
         // Resolution is independent of pruning: interproc removes it even
         // in an unpruned run.
-        let out = evaluate_full(&p, &[], false, true);
+        let out = evaluate_full(&p, &[], false, true, false);
+        assert!(out.is_exact());
+    }
+
+    #[test]
+    fn refutable_false_positive_expected_absent_when_refuted() {
+        let mut fp = planted("send_wait", "PISpin", PlantedKind::FalsePositive, 1);
+        fp.expected_reports_refute = 0;
+        assert!(fp.refutable());
+        assert!(!fp.prunable());
+        assert!(!fp.interproc_resolvable());
+        let p = proto(vec![fp]);
+        // Without the refutation pass the report is required...
+        let out = evaluate_full(&p, &[report("send_wait", "PISpin")], true, true, false);
+        assert!(out.is_exact());
+        // ...with it, the slot must be empty (the caller drops refuted
+        // reports before evaluating)...
+        let out = evaluate_full(&p, &[], true, true, true);
+        assert!(out.is_exact());
+        // ...and a survivor is unexpected.
+        let out = evaluate_full(&p, &[report("send_wait", "PISpin")], true, true, true);
+        assert_eq!(out.unexpected.len(), 1);
+        // Refutation composes with the other passes but does not require
+        // them.
+        let out = evaluate_full(&p, &[], false, false, true);
         assert!(out.is_exact());
     }
 

@@ -179,6 +179,7 @@ impl<'p> Gen<'p> {
             expected_reports: expected,
             expected_reports_pruned: expected,
             expected_reports_interproc: expected,
+            expected_reports_refute: expected,
             note: note.to_string(),
         });
     }
@@ -201,6 +202,24 @@ impl<'p> Gen<'p> {
             .last_mut()
             .expect("plant before interproc_resolved")
             .expected_reports_interproc = resolved;
+    }
+
+    /// Marks the most recently planted item as refuted by the symbolic
+    /// refutation pass: with `--refute` it must keep only `kept` reports,
+    /// the rest demoted to a `refuted` verdict.
+    fn refuted(&mut self, kept: usize) {
+        self.manifest
+            .last_mut()
+            .expect("plant before refuted")
+            .expected_reports_refute = kept;
+    }
+
+    /// Re-aims the round-robin so the *next* function lands in the same
+    /// file as the one just pushed. The refutation pass resolves callees
+    /// per translation unit, so a helper the symbolic executor must inline
+    /// has to live next to its caller.
+    fn same_file_next(&mut self) {
+        self.next_file += self.file_bodies.len() - 1;
     }
 
     // ---------- reusable segments -----------------------------------------
@@ -504,8 +523,8 @@ impl<'p> Gen<'p> {
         for _ in 0..self.plan.dir_fp_speculative {
             self.plant_dir_fp_speculative();
         }
-        for _ in 0..self.plan.dir_fp_abstraction {
-            self.plant_dir_fp_abstraction();
+        for i in 0..self.plan.dir_fp_abstraction {
+            self.plant_dir_fp_abstraction(i);
         }
         for _ in 0..self.plan.sw_fps {
             self.plant_send_wait_fp();
@@ -949,16 +968,23 @@ impl<'p> Gen<'p> {
         self.interproc_resolved(0);
     }
 
-    /// §9.1 FP: speculative modification backed out on the NAK path.
+    /// §9.1 FP: speculative modification backed out on the NAK path. The
+    /// back-out is doubly guarded by a credit/debit correlation the
+    /// FactSet pruner cannot relate but the refutation pass proves UNSAT:
+    /// `nak = credit - debit` forces `nak == 0` under `credit == debit`.
     fn plant_dir_fp_speculative(&mut self) {
         let name = self.hw_name("PI");
         let mut f = FuncBuf::new(&name, FnKind::Hardware);
+        f.decl("nak", "0");
         f.line("DIR_LOAD();");
         f.line("DIR_SET_STATE(DIR_PENDING);");
-        f.open("if (gSpecialCircumstance)");
+        f.line("nak = gNakCredit - gNakDebit;");
+        f.open("if (gNakCredit == gNakDebit)");
+        f.open("if (nak > 0)");
         f.line("gReply = MSG_NAK;");
         f.line("DB_FREE();");
         f.line("return;");
+        f.close();
         f.close();
         f.line("DIR_WRITEBACK();");
         f.line("DB_FREE();");
@@ -972,18 +998,47 @@ impl<'p> Gen<'p> {
             1,
             "speculative back-out on the NAK reply path",
         );
+        self.refuted(0);
     }
 
     /// §9.1 FP: entry address computed by hand instead of DIR_ADDR().
     /// The hand computation is traced with a debug print, which the
-    /// ranking heuristic reads as benign-by-construction evidence.
-    fn plant_dir_fp_abstraction(&mut self) {
+    /// ranking heuristic reads as benign-by-construction evidence. The
+    /// computation sits behind an infeasible credit/debit guard pair, so
+    /// the refutation pass demotes the report; for the second site per
+    /// protocol the correlated assignment lives in a straight-line helper
+    /// in the same file — refutable only because the symbolic executor
+    /// inlines the callee (the interprocedural witness splice).
+    fn plant_dir_fp_abstraction(&mut self, i: usize) {
+        let helper = (i == 1).then(|| {
+            let helper = self.proc_name("credit_probe");
+            let mut h = FuncBuf::new(&helper, FnKind::Procedure);
+            h.line("gNakPending = gNakCredit - gNakDebit;");
+            self.push_fn(&h);
+            self.same_file_next();
+            helper
+        });
         let name = self.hw_name("IO");
         let mut f = FuncBuf::new(&name, FnKind::Hardware);
         f.decl("entry", "0");
         f.line("DIR_LOAD();");
+        let pending: &str = match &helper {
+            Some(h) => {
+                f.line(format!("{h}();"));
+                "gNakPending"
+            }
+            None => {
+                f.decl("nak", "0");
+                f.line("nak = gNakCredit - gNakDebit;");
+                "nak"
+            }
+        };
+        f.open("if (gNakCredit == gNakDebit)");
+        f.open(&format!("if ({pending} > 0)"));
         f.line("entry = DIR_ADDR_BASE + gLine * 8;");
         f.line("debug_print(\"dir entry\", entry);");
+        f.close();
+        f.close();
         f.line("DIR_WRITEBACK();");
         f.line("DB_FREE();");
         self.dir_ops = self.dir_ops.saturating_sub(2);
@@ -994,17 +1049,30 @@ impl<'p> Gen<'p> {
             &name,
             PlantedKind::FalsePositive,
             1,
-            "abstraction error: explicit directory address computation",
+            if helper.is_some() {
+                "abstraction error behind a helper-correlated guard (interproc splice)"
+            } else {
+                "abstraction error: explicit directory address computation"
+            },
         );
+        self.refuted(0);
     }
 
-    /// §9 FP: manual status-register spin instead of the wait macro.
+    /// §9 FP: manual status-register spin instead of the wait macro. The
+    /// waited send (and its spin) sits on an infeasible credit/debit path,
+    /// so the dangling-wait report at the exit is refutable.
     fn plant_send_wait_fp(&mut self) {
         let name = self.hw_name("PI");
         let mut f = FuncBuf::new(&name, FnKind::Hardware);
+        f.decl("nak", "0");
+        f.line("nak = gNakCredit - gNakDebit;");
+        f.open("if (gNakCredit == gNakDebit)");
+        f.open("if (nak > 0)");
         self.emit_send(&mut f, 0, false, true);
         f.open("while (!MAGIC_PI_STATUS())");
         f.line("gSpin = gSpin + 1;");
+        f.close();
+        f.close();
         f.close();
         f.line("DB_FREE();");
         let file = self.push_fn(&f);
@@ -1016,6 +1084,7 @@ impl<'p> Gen<'p> {
             1,
             "abstraction barrier broken: manual wait on status registers",
         );
+        self.refuted(0);
     }
 
     /// §11: the single manual refcount bump in all of the protocol code.

@@ -95,6 +95,11 @@ pub struct Planted {
     /// into (un-annotated write-back subroutines, free wrappers, length
     /// assignments in helpers).
     pub expected_reports_interproc: usize,
+    /// Number of reports expected to survive the symbolic refutation pass
+    /// (`--refute`). Differs from `expected_reports` only for false
+    /// positives whose witness path carries a linearly infeasible guard
+    /// correlation the FactSet pruner cannot express.
+    pub expected_reports_refute: usize,
     /// Human-readable description, mirroring the paper's anecdotes.
     pub note: String,
 }
@@ -109,17 +114,19 @@ impl Planted {
         }
     }
 
-    /// The report count expected under the given pruning *and* call-site
-    /// resolution settings. Pruning and summaries remove different
-    /// false-positive classes, so the two caps compose: interprocedural
-    /// resolution can only remove reports, never add them.
-    pub fn expected_full(&self, pruned: bool, interproc: bool) -> usize {
-        let base = self.expected(pruned);
+    /// The report count expected under the given pruning, call-site
+    /// resolution, and symbolic refutation settings. The three passes
+    /// remove different false-positive classes, so the caps compose: each
+    /// analysis can only remove reports, never add them.
+    pub fn expected_full(&self, pruned: bool, interproc: bool, refute: bool) -> usize {
+        let mut n = self.expected(pruned);
         if interproc {
-            base.min(self.expected_reports_interproc)
-        } else {
-            base
+            n = n.min(self.expected_reports_interproc);
         }
+        if refute {
+            n = n.min(self.expected_reports_refute);
+        }
+        n
     }
 
     /// Whether this item is a false positive the feasibility analysis
@@ -131,6 +138,12 @@ impl Planted {
     /// Whether this item is a false positive the summary engine removes.
     pub fn interproc_resolvable(&self) -> bool {
         self.expected_reports_interproc < self.expected_reports
+    }
+
+    /// Whether this item is a false positive the symbolic refutation pass
+    /// removes.
+    pub fn refutable(&self) -> bool {
+        self.expected_reports_refute < self.expected_reports
     }
 }
 

@@ -324,7 +324,11 @@ pub(crate) struct UnitLocal {
 /// v4: the metal engine choice joined the suite key and metal programs gain
 /// load-time diagnostics, so records written by a v3 binary must not be
 /// replayed as if they covered the same output.
-pub const CACHE_FORMAT_VERSION: u32 = 4;
+///
+/// v5: reports carry a refutation `verdict` and solver `model`, and the
+/// refute flag joined the suite key; v4 records would replay without
+/// verdicts and break warm/cold byte-identity under `--refute`.
+pub const CACHE_FORMAT_VERSION: u32 = 5;
 
 /// The analysis driver: a set of checkers plus traversal settings.
 pub struct Driver {
@@ -340,6 +344,7 @@ pub struct Driver {
     pub mode: Mode,
     prune: bool,
     interproc: bool,
+    refute: bool,
     jobs: Option<usize>,
     /// Running hash of the registered checker suite, folded at registration
     /// time; part of [`Driver::suite_key`].
@@ -361,6 +366,7 @@ impl fmt::Debug for Driver {
             .field("mode", &self.mode)
             .field("prune", &self.prune)
             .field("interproc", &self.interproc)
+            .field("refute", &self.refute)
             .field("jobs", &self.jobs)
             .finish()
     }
@@ -385,6 +391,7 @@ impl Driver {
             mode: Mode::StateSet,
             prune: true,
             interproc: false,
+            refute: false,
             jobs: None,
             suite: Fnv1a::new(),
             config_epoch: 0,
@@ -422,6 +429,25 @@ impl Driver {
     /// Whether the next check run resolves call sites through summaries.
     pub fn interproc_enabled(&self) -> bool {
         self.interproc
+    }
+
+    /// Enables or disables the symbolic refutation pass (default: disabled
+    /// at the library level; the CLI turns it on).
+    ///
+    /// When on, every report's witness path is backward-sliced and run
+    /// through the `mc-symx` SMT-lite executor: reports whose path
+    /// condition is UNSAT are demoted to [`crate::Verdict::Refuted`]
+    /// (confidence 0), satisfiable witnesses record a replayable solver
+    /// model. Unknown constraints never refute — a report only drops when
+    /// its path provably cannot execute.
+    pub fn refute(&mut self, on: bool) -> &mut Self {
+        self.refute = on;
+        self
+    }
+
+    /// Whether the next check run decides reports symbolically.
+    pub fn refute_enabled(&self) -> bool {
+        self.refute
     }
 
     /// Whether the next check run computes function summaries at all —
@@ -612,6 +638,9 @@ impl Driver {
         } else {
             "nointerproc"
         });
+        // Refutation rewrites verdicts and confidences in place, so cached
+        // records from a refuting and a non-refuting run must never alias.
+        h.write_str(if self.refute { "refute" } else { "norefute" });
         // The engines are differentially tested to produce identical
         // reports, but cached results must still never alias across them:
         // an engine bug would otherwise be masked (or unmasked) by whichever
@@ -795,6 +824,20 @@ impl Driver {
             })
             .collect();
         rank_function_reports(&mut metal, &mut native, function, cfg, traversal.prune);
+        if self.refute {
+            let has_witness = |r: &Report| !r.steps.is_empty();
+            if metal.iter().any(has_witness)
+                || native.iter().any(|s| s.reports.iter().any(has_witness))
+            {
+                let world = crate::refute::UnitWorld::new(&unit.unit);
+                for r in metal
+                    .iter_mut()
+                    .chain(native.iter_mut().flat_map(|s| s.reports.iter_mut()))
+                {
+                    crate::refute::decide(r, function, &world);
+                }
+            }
+        }
         FunctionOutput { metal, native }
     }
 
@@ -890,6 +933,10 @@ impl Driver {
             if checker.has_program_pass() {
                 checker.check_program(&ctx, checker_facts, &mut reports);
             }
+        }
+        if self.refute && !reports.is_empty() {
+            let tus: Vec<&TranslationUnit> = units.iter().map(|u| &u.unit).collect();
+            crate::refute::decide_program_reports(&tus, &mut reports);
         }
         reports
     }
@@ -1396,6 +1443,100 @@ mod tests {
             .unwrap();
         assert!(nak[0].confidence < plain[0].confidence);
         assert!(debug[0].confidence < nak[0].confidence);
+    }
+
+    #[test]
+    fn refutation_demotes_infeasible_witnesses() {
+        // The read is guarded by `nak > 0` where `nak = credit - debit`
+        // was just computed, under `credit == debit`: the path condition
+        // is UNSAT. Feasibility pruning cannot see the arithmetic (it
+        // correlates only identical conditions), so without refutation the
+        // report survives.
+        let src = "void h(void) {\n\
+                   nak = gCredit - gDebit;\n\
+                   if (gCredit == gDebit) {\n\
+                   if (nak > 0) { MISCBUS_READ_DB(a, b); }\n\
+                   }\n\
+                   }";
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        let plain = d.check_source(src, "h.c").unwrap();
+        assert_eq!(plain.len(), 1);
+        assert_eq!(plain[0].verdict, crate::Verdict::Unchecked);
+
+        d.refute(true);
+        let decided = d.check_source(src, "h.c").unwrap();
+        assert_eq!(decided.len(), 1);
+        assert_eq!(decided[0].verdict, crate::Verdict::Refuted);
+        assert_eq!(decided[0].confidence, 0);
+    }
+
+    #[test]
+    fn refutation_records_model_for_feasible_witnesses() {
+        let src = "void h(void) {\n\
+                   if (gLen > 4) { MISCBUS_READ_DB(a, b); }\n\
+                   }";
+        let mut d = Driver::new();
+        d.add_metal_source(SM).unwrap();
+        d.refute(true);
+        let reports = d.check_source(src, "h.c").unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].verdict, crate::Verdict::Sat);
+        let gl = reports[0]
+            .model
+            .iter()
+            .find(|(k, _)| k == "gLen")
+            .expect("gLen bound");
+        assert!(
+            gl.1 > 4,
+            "model must satisfy the guard: {:?}",
+            reports[0].model
+        );
+    }
+
+    #[test]
+    fn refutation_is_deterministic_across_jobs() {
+        let many: Vec<(String, String)> = (0..12)
+            .map(|i| {
+                (
+                    format!(
+                        "void f{i}(void) {{\n\
+                         nak = gCredit - gDebit;\n\
+                         if (gCredit == gDebit) {{\n\
+                         if (nak > 0) {{ MISCBUS_READ_DB(a, b); }}\n\
+                         }}\n\
+                         }}\n\
+                         void g{i}(void) {{ if (gLen > {i}) {{ MISCBUS_READ_DB(x, y); }} }}"
+                    ),
+                    format!("u{i}.c"),
+                )
+            })
+            .collect();
+        let run = |jobs: usize| {
+            let mut d = Driver::new();
+            d.add_metal_source(SM).unwrap();
+            d.refute(true);
+            d.jobs(jobs);
+            d.check_sources(&many).unwrap()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential.len(), 24);
+        assert!(sequential
+            .iter()
+            .any(|r| r.verdict == crate::Verdict::Refuted));
+        assert!(sequential.iter().any(|r| r.verdict == crate::Verdict::Sat));
+        for jobs in [4, 8] {
+            assert_eq!(run(jobs), sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn refute_flag_changes_suite_key() {
+        let mut a = Driver::new();
+        let mut b = Driver::new();
+        a.refute(true);
+        b.refute(false);
+        assert_ne!(a.suite_key(), b.suite_key());
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod cache;
 mod driver;
 mod query;
+mod refute;
 mod report;
 pub mod summaries;
 
@@ -61,5 +62,5 @@ pub use driver::{
 };
 pub use mc_metal::MetalEngine;
 pub use query::{CheckEngine, Query, RunStats};
-pub use report::{Report, Severity};
+pub use report::{Report, Severity, Verdict};
 pub use summaries::{Summaries, SummaryStats};

@@ -852,6 +852,46 @@ mod tests {
     }
 
     #[test]
+    fn refuted_and_sat_verdicts_survive_the_cache() {
+        // Verdicts are decided inside the local pass, so cached unit
+        // records carry them: warm runs must replay refuted/sat reports
+        // byte-identically, without re-running the solver.
+        let mut d = driver();
+        d.refute(true);
+        let srcs: Vec<(String, String)> = vec![
+            (
+                "void inf(void) {\n\
+                 nak = gCredit - gDebit;\n\
+                 if (gCredit == gDebit) {\n\
+                 if (nak > 0) { MISCBUS_READ_DB(a, b); }\n\
+                 }\n\
+                 }"
+                .into(),
+                "inf.c".into(),
+            ),
+            (
+                "void sat(void) { if (gLen > 4) { MISCBUS_READ_DB(x, y); } }".into(),
+                "sat.c".into(),
+            ),
+        ];
+        let batch = d.check_sources(&srcs).unwrap();
+        assert!(batch
+            .iter()
+            .any(|r| r.verdict == crate::report::Verdict::Refuted));
+        assert!(batch
+            .iter()
+            .any(|r| r.verdict == crate::report::Verdict::Sat && !r.model.is_empty()));
+
+        let mut engine = CheckEngine::in_memory();
+        let (cold, s1) = engine.check_sources(&d, &srcs).unwrap();
+        assert_eq!(cold, batch);
+        assert_eq!(s1.units_checked, srcs.len());
+        let (warm, s2) = engine.check_sources(&d, &srcs).unwrap();
+        assert!(s2.program_hit);
+        assert_eq!(warm, batch);
+    }
+
+    #[test]
     fn parse_error_only_surfaces_for_dirty_units() {
         let d = driver();
         let mut srcs = sources();

@@ -1,0 +1,135 @@
+//! The symbolic refutation pass: every report's witness path is replayed
+//! through the `mc-symx` slice + SMT-lite executor, and the decision lands
+//! on the report as a [`Verdict`].
+//!
+//! The pass runs inside the per-function check (and once more over
+//! program-pass reports), so the incremental engine caches *decided*
+//! reports: warm and cold runs carry byte-identical verdicts. Soundness
+//! policy is inherited from `mc-symx` — only a proven-UNSAT path condition
+//! refutes; anything the executor cannot decide leaves the report
+//! [`Verdict::Unchecked`].
+
+use crate::report::{Report, Verdict};
+use mc_ast::{ExprKind, ExternalDecl, Function, Initializer, Item, TranslationUnit};
+use mc_symx::World;
+use std::collections::HashMap;
+
+/// A [`World`] over one translation unit: callee bodies by definition,
+/// constants from enum variants and integer-initialized globals — the same
+/// view `mc-sim` builds for the interpreter, so the symbolic executor and
+/// concrete replay agree on what a manifest constant means.
+pub(crate) struct UnitWorld<'a> {
+    unit: &'a TranslationUnit,
+    constants: HashMap<&'a str, i64>,
+}
+
+impl<'a> UnitWorld<'a> {
+    pub(crate) fn new(unit: &'a TranslationUnit) -> UnitWorld<'a> {
+        let mut constants = HashMap::new();
+        for item in &unit.items {
+            match item {
+                Item::Decl(ExternalDecl::EnumDef { variants, .. }) => {
+                    // C enum semantics: implicit values continue from the
+                    // last explicit one.
+                    let mut next = 0i64;
+                    for (name, value) in variants {
+                        let v = value.unwrap_or(next);
+                        constants.insert(name.as_str(), v);
+                        next = v + 1;
+                    }
+                }
+                Item::Decl(ExternalDecl::Var(d)) => {
+                    if let Some(Initializer::Expr(e)) = &d.init {
+                        if let ExprKind::IntLit(v, _) = e.kind {
+                            constants.insert(d.name.as_str(), v);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        UnitWorld { unit, constants }
+    }
+}
+
+impl World for UnitWorld<'_> {
+    fn function(&self, name: &str) -> Option<&Function> {
+        self.unit.function(name)
+    }
+
+    fn constant(&self, name: &str) -> Option<i64> {
+        self.constants.get(name).copied()
+    }
+}
+
+/// Decides one report against the function its witness walks.
+///
+/// Reports with no witness, or reports about a different function (a
+/// native checker may attribute a finding elsewhere), stay
+/// [`Verdict::Unchecked`]. A refuted report keeps its text but drops to
+/// confidence 0 — the path cannot execute, and renderers hide it by
+/// default. A satisfiable report records the solver's replayable model so
+/// concrete replay (`mc-sim`) can later promote it to
+/// [`Verdict::Confirmed`].
+pub(crate) fn decide(r: &mut Report, function: &Function, world: &UnitWorld<'_>) {
+    if r.verdict != Verdict::Unchecked || r.steps.is_empty() || r.function != function.name {
+        return;
+    }
+    match mc_symx::analyze_witness(function, &r.steps, world).verdict {
+        mc_symx::Verdict::Refuted => {
+            r.verdict = Verdict::Refuted;
+            r.confidence = 0;
+        }
+        mc_symx::Verdict::Sat { model } => {
+            r.verdict = Verdict::Sat;
+            r.model = model;
+        }
+        mc_symx::Verdict::Unknown => {}
+    }
+}
+
+/// Runs [`decide`] over program-pass reports, resolving each report's
+/// function in the component's units by (file, name). Lane-quota traces
+/// are not reconstructible (their steps are summary notes, not path
+/// steps), so in practice these stay `Unchecked` — the walk is cheap and
+/// keeps the policy uniform across report classes.
+pub(crate) fn decide_program_reports(units: &[&TranslationUnit], reports: &mut [Report]) {
+    for r in reports.iter_mut() {
+        if r.steps.is_empty() {
+            continue;
+        }
+        let Some(unit) = units.iter().find(|u| u.file == r.file) else {
+            continue;
+        };
+        let Some(function) = unit.function(&r.function) else {
+            continue;
+        };
+        let world = UnitWorld::new(unit);
+        decide(r, function, &world);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_ast::parse_translation_unit;
+
+    #[test]
+    fn unit_world_resolves_enum_and_const_globals() {
+        let unit = parse_translation_unit(
+            "enum Len { LEN_NODATA, LEN_WORD = 4, LEN_CACHELINE };\n\
+             int G_LIMIT = 9;\n\
+             void helper(void) { a(); }\n",
+            "w.c",
+        )
+        .unwrap();
+        let w = UnitWorld::new(&unit);
+        assert_eq!(w.constant("LEN_NODATA"), Some(0));
+        assert_eq!(w.constant("LEN_WORD"), Some(4));
+        assert_eq!(w.constant("LEN_CACHELINE"), Some(5));
+        assert_eq!(w.constant("G_LIMIT"), Some(9));
+        assert_eq!(w.constant("UNKNOWN"), None);
+        assert!(w.function("helper").is_some());
+        assert!(w.function("missing").is_none());
+    }
+}

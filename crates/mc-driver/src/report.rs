@@ -39,6 +39,64 @@ impl fmt::Display for Severity {
     }
 }
 
+/// What the symbolic refutation pass decided about a report's witness path
+/// (`--refute`; see the `mc-symx` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Verdict {
+    /// The pass did not run, or the witness could not be decided (lane
+    /// traces, non-linear conditions, solver budget). Never evidence in
+    /// either direction.
+    #[default]
+    Unchecked,
+    /// The witness path condition is UNSAT: this path cannot execute.
+    /// Dropped from default output.
+    Refuted,
+    /// The path condition is satisfiable; the solver produced a model but
+    /// concrete replay did not (or could not) reproduce the violation.
+    Sat,
+    /// The solver model was replayed concretely in `mc-sim` and the
+    /// violation reproduced: the report is evidence-backed.
+    Confirmed,
+}
+
+impl Verdict {
+    /// The JSON/SARIF/text rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Unchecked => "unchecked",
+            Verdict::Refuted => "refuted",
+            Verdict::Sat => "sat",
+            Verdict::Confirmed => "confirmed",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl ToJson for Verdict {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_string())
+    }
+}
+
+impl FromJson for Verdict {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("unchecked") => Ok(Verdict::Unchecked),
+            Some("refuted") => Ok(Verdict::Refuted),
+            Some("sat") => Ok(Verdict::Sat),
+            Some("confirmed") => Ok(Verdict::Confirmed),
+            _ => Err(JsonError::expected(
+                "\"unchecked\", \"refuted\", \"sat\" or \"confirmed\"",
+            )),
+        }
+    }
+}
+
 /// One diagnostic produced by a checker.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Report {
@@ -67,6 +125,14 @@ pub struct Report {
     /// Number of infeasible CFG edges the feasibility analysis refuted in
     /// the surrounding function (0 when pruning was disabled).
     pub pruned_paths: u32,
+    /// What the symbolic refutation pass decided about the witness path
+    /// ([`Verdict::Unchecked`] when the pass was off or undecided).
+    pub verdict: Verdict,
+    /// The concrete input that realizes the witness, as (global, value)
+    /// pairs sorted by name. Non-empty only for [`Verdict::Sat`] /
+    /// [`Verdict::Confirmed`] reports whose solver model bound replayable
+    /// globals.
+    pub model: Vec<(String, i64)>,
 }
 
 impl Report {
@@ -91,6 +157,8 @@ impl Report {
             steps: Vec::new(),
             confidence: Report::DEFAULT_CONFIDENCE,
             pruned_paths: 0,
+            verdict: Verdict::default(),
+            model: Vec::new(),
         }
     }
 
@@ -112,9 +180,11 @@ impl Report {
     ///
     /// Hashes what the report *means* — checker, normalized file path,
     /// function, message, and the sequence of witness step notes — and
-    /// deliberately excludes line/column numbers and confidence, so a
-    /// report keeps its fingerprint when unrelated edits shift it down the
-    /// file or re-rank it. Path normalization: backslashes become slashes
+    /// deliberately excludes line/column numbers, confidence, and the
+    /// refutation verdict/model, so a report keeps its fingerprint when
+    /// unrelated edits shift it down the file, re-rank it, or change what
+    /// the solver can decide about it (baselines match across `--refute`
+    /// settings). Path normalization: backslashes become slashes
     /// and a leading `./` is dropped, so the same tree checked from
     /// different invocation styles agrees.
     pub fn fingerprint(&self) -> String {
@@ -177,6 +247,18 @@ impl ToJson for Report {
             ("steps", self.steps.to_json()),
             ("confidence", self.confidence.to_json()),
             ("pruned_paths", self.pruned_paths.to_json()),
+            ("verdict", self.verdict.to_json()),
+            // An object keyed by global name; `model` is sorted by name, so
+            // the rendering is deterministic.
+            (
+                "model",
+                Json::Object(
+                    self.model
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -206,8 +288,32 @@ impl FromJson for Report {
             steps: mc_json::field_or_default(v, "steps")?,
             confidence,
             pruned_paths: mc_json::field_or_default(v, "pruned_paths")?,
+            // Absent in pre-refutation JSON; such reports were never
+            // decided, which is exactly what `Unchecked` means.
+            verdict: mc_json::field_or_default(v, "verdict")?,
+            model: model_from_json(v)?,
         })
     }
+}
+
+/// Parses the `model` object back into sorted (global, value) pairs.
+/// `mc-json` has no tuple impls, so this is spelled out by hand.
+fn model_from_json(v: &Json) -> Result<Vec<(String, i64)>, JsonError> {
+    let Some(m) = v.get("model") else {
+        return Ok(Vec::new());
+    };
+    let fields = m
+        .as_object()
+        .ok_or_else(|| JsonError::expected("`model` to be an object"))?;
+    let mut out = Vec::with_capacity(fields.len());
+    for (k, val) in fields {
+        match val {
+            Json::Int(i) => out.push((k.clone(), *i)),
+            _ => return Err(JsonError::expected("integer model values")),
+        }
+    }
+    out.sort();
+    Ok(out)
 }
 
 impl fmt::Display for Report {
@@ -309,6 +415,40 @@ mod tests {
         let src = r#"{"checker":"c","severity":"error","file":"f.c","function":"g",
                       "span":{"line":1,"col":1},"message":"m","confidence":300}"#;
         assert!(Report::from_json(&Json::parse(src).unwrap()).is_err());
+    }
+
+    #[test]
+    fn verdict_and_model_json_roundtrip() {
+        use mc_json::{FromJson, Json, ToJson};
+        let mut r = Report::error("send_wait", "f.c", "h", Span::new(3, 1), "missed wait");
+        r.verdict = Verdict::Confirmed;
+        r.model = vec![("gLen".into(), 5), ("gMode".into(), -1)];
+        let js = r.to_json().to_compact();
+        assert!(js.contains(r#""verdict":"confirmed""#), "{js}");
+        assert!(js.contains(r#""gLen":5"#), "{js}");
+        let back = Report::from_json(&Json::parse(&js).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn legacy_json_defaults_verdict_unchecked() {
+        use mc_json::{FromJson, Json};
+        let src = r#"{"checker":"c","severity":"error","file":"f.c","function":"g",
+                      "span":{"line":1,"col":1},"message":"m"}"#;
+        let r = Report::from_json(&Json::parse(src).unwrap()).unwrap();
+        assert_eq!(r.verdict, Verdict::Unchecked);
+        assert!(r.model.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_ignores_verdict_and_model() {
+        // Baselines recorded without --refute must keep matching once the
+        // solver starts deciding reports.
+        let a = Report::error("msglen", "f.c", "h", Span::new(1, 1), "bad send");
+        let mut b = a.clone();
+        b.verdict = Verdict::Sat;
+        b.model = vec![("gLen".into(), 9)];
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

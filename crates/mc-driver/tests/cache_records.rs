@@ -6,7 +6,7 @@
 use mc_ast::Span;
 use mc_cfg::PathStep;
 use mc_driver::cache::{key_hex, ComponentRecord, DiskCache, ProgramRecord, UnitRecord};
-use mc_driver::{Report, Severity};
+use mc_driver::{Report, Severity, Verdict};
 use proptest::prelude::*;
 
 /// Message-like text: printable ASCII (including `"` and `\`, the JSON
@@ -38,26 +38,44 @@ fn arb_report() -> impl Strategy<Value = Report> {
             0u8..101,
             any::<u32>(),
         ),
+        (
+            0u8..4,
+            prop::collection::vec(("g[A-Za-z]{1,8}", any::<i64>()), 0..3),
+        ),
     )
         .prop_map(
             |(
                 (checker, warning, file),
                 (function, (line, col), message),
                 (steps, confidence, pruned_paths),
-            )| Report {
-                checker,
-                severity: if warning {
-                    Severity::Warning
-                } else {
-                    Severity::Error
-                },
-                file,
-                function,
-                span: Span::new(line, col),
-                message,
-                steps,
-                confidence,
-                pruned_paths,
+                (verdict, mut model),
+            )| {
+                // The model is (name → value): sorted, unique keys, like
+                // the solver produces.
+                model.sort();
+                model.dedup_by(|a, b| a.0 == b.0);
+                Report {
+                    checker,
+                    severity: if warning {
+                        Severity::Warning
+                    } else {
+                        Severity::Error
+                    },
+                    file,
+                    function,
+                    span: Span::new(line, col),
+                    message,
+                    steps,
+                    confidence,
+                    pruned_paths,
+                    verdict: match verdict {
+                        0 => Verdict::Unchecked,
+                        1 => Verdict::Refuted,
+                        2 => Verdict::Sat,
+                        _ => Verdict::Confirmed,
+                    },
+                    model,
+                }
             },
         )
 }

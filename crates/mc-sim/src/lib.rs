@@ -43,6 +43,8 @@
 
 mod interp;
 mod machine;
+mod replay;
 
 pub use interp::{InterpError, Outcome, MAX_CALL_DEPTH, MAX_STEPS_PER_HANDLER};
 pub use machine::{BufferPool, DirEntry, Machine, Message, Node, Program, SimConfig, SimEvent};
+pub use replay::{replay, replayable_checker};

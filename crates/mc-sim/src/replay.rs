@@ -1,0 +1,124 @@
+//! Concrete witness replay: run a handler under a solver model and watch
+//! for the dynamic event that corresponds to a static checker's bug class.
+//!
+//! This is the confirmation half of the refutation pipeline. The symbolic
+//! executor (`mc-symx`) decides whether a report's witness path *can*
+//! execute; when it can, its model — initial values for the plain globals
+//! the path reads — is injected here and the handler actually runs. A
+//! report whose violation reproduces dynamically is promoted to
+//! `confirmed`: the reviewer gets a concrete input, not just a path.
+
+use crate::machine::{Machine, Program, SimConfig, SimEvent};
+
+/// The dynamic event classes one static checker's reports correspond to.
+///
+/// Returns `None` for checkers whose violations have no dynamic
+/// manifestation the simulator observes (`alloc_check` guards a
+/// compile-time allocation discipline; `exec_restrict` a static layering
+/// rule) — their reports are never promoted.
+fn event_matches(checker: &str, handler: &str, ev: &SimEvent) -> Option<bool> {
+    let hit = match checker {
+        "wait_for_db" => {
+            matches!(ev, SimEvent::UnsynchronizedRead { handler: h, .. } if h == handler)
+        }
+        "msglen_check" => {
+            matches!(ev, SimEvent::InconsistentLength { handler: h, .. } if h == handler)
+        }
+        "buffer_mgmt" | "refcount_bump" => matches!(
+            ev,
+            SimEvent::DoubleFree { handler: h, .. } | SimEvent::BufferLeaked { handler: h, .. }
+                if h == handler
+        ),
+        "directory" => matches!(ev, SimEvent::StaleDirectory { handler: h, .. } if h == handler),
+        "send_wait" => matches!(ev, SimEvent::MissedWait { handler: h, .. } if h == handler),
+        "lanes" => matches!(ev, SimEvent::LaneOverflow { .. }),
+        _ => return None,
+    };
+    Some(hit)
+}
+
+/// Whether `checker`'s reports have a dynamic manifestation [`replay`] can
+/// observe at all.
+pub fn replayable_checker(checker: &str) -> bool {
+    event_matches(checker, "", &SimEvent::LaneOverflow { node: 0, lane: 0 }).is_some()
+}
+
+/// Runs `handler` on a one-shot machine with the model's globals injected,
+/// and reports whether the dynamic event matching `checker` fired.
+///
+/// The run is deterministic: a fixed default machine, one injection, and
+/// an interpreter with no randomness — so promotion decisions are stable
+/// across runs, worker counts, and cache state. A `false` return is *not*
+/// evidence the report is wrong (the model may bind too few globals, or
+/// the violation may need cross-handler state); it only means the report
+/// stays at its symbolic verdict.
+pub fn replay(program: Program, checker: &str, handler: &str, model: &[(String, i64)]) -> bool {
+    if program.function(handler).is_none() || !replayable_checker(checker) {
+        return false;
+    }
+    let mut machine = Machine::new(program, SimConfig::default());
+    for (name, value) in model {
+        machine.set_global(0, name, *value);
+    }
+    machine.inject(0, handler);
+    machine.run();
+    machine
+        .events()
+        .iter()
+        .any(|ev| event_matches(checker, handler, ev).unwrap_or(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirms_a_real_unsynchronized_read() {
+        let program = Program::parse(
+            "void Racy(void) {\n\
+             HANDLER_DEFS();\n\
+             HANDLER_PROLOGUE();\n\
+             if (gLen > 4) { MISCBUS_READ_DB(addr, buf); }\n\
+             DB_FREE();\n\
+             }",
+        )
+        .unwrap();
+        // The guard needs the model: without gLen the branch stays cold
+        // and nothing reproduces.
+        assert!(replay(
+            program.clone(),
+            "wait_for_db",
+            "Racy",
+            &[("gLen".into(), 5)]
+        ));
+        assert!(!replay(program, "wait_for_db", "Racy", &[]));
+    }
+
+    #[test]
+    fn wrong_checker_or_handler_never_confirms() {
+        let program = Program::parse(
+            "void Racy(void) {\n\
+             HANDLER_DEFS();\n\
+             HANDLER_PROLOGUE();\n\
+             MISCBUS_READ_DB(addr, buf);\n\
+             DB_FREE();\n\
+             }",
+        )
+        .unwrap();
+        assert!(!replay(program.clone(), "send_wait", "Racy", &[]));
+        assert!(!replay(program.clone(), "alloc_check", "Racy", &[]));
+        assert!(!replay(program, "wait_for_db", "Missing", &[]));
+    }
+
+    #[test]
+    fn static_discipline_checkers_are_not_replayable() {
+        assert!(replayable_checker("wait_for_db"));
+        assert!(replayable_checker("msglen_check"));
+        assert!(replayable_checker("buffer_mgmt"));
+        assert!(replayable_checker("directory"));
+        assert!(replayable_checker("send_wait"));
+        assert!(replayable_checker("lanes"));
+        assert!(!replayable_checker("alloc_check"));
+        assert!(!replayable_checker("exec_restrict"));
+    }
+}

@@ -1,0 +1,567 @@
+//! An SMT-lite solver for the witness-refutation fragment: conjunctions of
+//! linear integer constraints (equalities, disequalities, and inequalities
+//! over symbolic values) decided by substitution plus Fourier–Motzkin
+//! elimination — no external SMT dependency.
+//!
+//! The solver is *refutation-sound*: [`SolveResult::Unsat`] is only returned
+//! when the conjunction provably has no integer solution. Satisfiable (or
+//! too-hard) systems come back as `Sat`/`Unknown`, never `Unsat`:
+//!
+//! - equalities are eliminated by exact substitution, with the gcd test
+//!   (`2x == 1` has no integer solution) applied first;
+//! - inequalities go through Fourier–Motzkin elimination, which is complete
+//!   over the rationals — a rational-infeasible system is integer-infeasible,
+//!   so `Unsat` is sound, while rational-feasible systems are reported `Sat`
+//!   even when integer-tightening could in principle refute them;
+//! - disequalities only refute when they collapse to a constant
+//!   contradiction (`0 != 0`); otherwise they are checked against the model.
+//!
+//! Every arithmetic step is `i128`-checked and the system size is capped;
+//! any overflow or cap hit yields [`SolveResult::Unknown`] — the caller's
+//! soundness policy ("unknown never refutes") maps that to *keep the
+//! report*.
+
+use std::collections::BTreeMap;
+
+/// Identifier of one symbolic value (an unknown integer input).
+pub type SymId = u32;
+
+/// A linear expression `constant + Σ coeff·sym` over `i128`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    /// The constant term.
+    pub constant: i128,
+    /// Non-zero coefficients per symbol.
+    pub terms: BTreeMap<SymId, i128>,
+}
+
+impl LinExpr {
+    /// The constant expression `v`.
+    pub fn constant(v: i128) -> LinExpr {
+        LinExpr {
+            constant: v,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The expression `1·sym`.
+    pub fn sym(s: SymId) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(s, 1);
+        LinExpr { constant: 0, terms }
+    }
+
+    /// Whether the expression has no symbolic part.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Checked sum. `None` on `i128` overflow.
+    pub fn add(&self, other: &LinExpr) -> Option<LinExpr> {
+        let mut out = self.clone();
+        out.constant = out.constant.checked_add(other.constant)?;
+        for (&s, &c) in &other.terms {
+            let e = out.terms.entry(s).or_insert(0);
+            *e = e.checked_add(c)?;
+            if *e == 0 {
+                out.terms.remove(&s);
+            }
+        }
+        Some(out)
+    }
+
+    /// Checked difference. `None` on `i128` overflow.
+    pub fn sub(&self, other: &LinExpr) -> Option<LinExpr> {
+        self.add(&other.mul_const(-1)?)
+    }
+
+    /// Checked scaling. `None` on `i128` overflow.
+    pub fn mul_const(&self, k: i128) -> Option<LinExpr> {
+        if k == 0 {
+            return Some(LinExpr::constant(0));
+        }
+        let mut out = LinExpr {
+            constant: self.constant.checked_mul(k)?,
+            terms: BTreeMap::new(),
+        };
+        for (&s, &c) in &self.terms {
+            out.terms.insert(s, c.checked_mul(k)?);
+        }
+        Some(out)
+    }
+
+    /// Evaluates under `model` (missing symbols read as 0).
+    pub fn eval(&self, model: &BTreeMap<SymId, i128>) -> Option<i128> {
+        let mut v = self.constant;
+        for (&s, &c) in &self.terms {
+            let x = model.get(&s).copied().unwrap_or(0);
+            v = v.checked_add(c.checked_mul(x)?)?;
+        }
+        Some(v)
+    }
+}
+
+/// One constraint over a [`LinExpr`] `e`, in normalized `e ⋈ 0` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// `e == 0`.
+    Eq(LinExpr),
+    /// `e <= 0`.
+    Le(LinExpr),
+    /// `e != 0`.
+    Ne(LinExpr),
+}
+
+/// The outcome of deciding a constraint conjunction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// No integer solution exists (proven).
+    Unsat,
+    /// A solution exists; the model assigns every mentioned symbol. `None`
+    /// when the system is rationally feasible but no integer witness was
+    /// found within the search budget (still *not* refuted).
+    Sat(Option<BTreeMap<SymId, i128>>),
+    /// The system exceeded the solver's size/arithmetic budget.
+    Unknown,
+}
+
+/// Solver size caps: beyond these the result is `Unknown`, never a wrong
+/// verdict. Generous for witness paths (tens of constraints over a handful
+/// of correlated variables).
+const MAX_SYMS: usize = 64;
+const MAX_CONSTRAINTS: usize = 512;
+const MAX_FM_ROWS: usize = 4096;
+const MAX_COEFF: i128 = 1 << 96;
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Divides out the gcd of an inequality `e <= 0`, tightening the constant
+/// toward the integer lattice: `g·(a·x) + c <= 0` becomes
+/// `a·x <= floor(-c / g)`.
+fn tighten_le(e: &LinExpr) -> LinExpr {
+    let g = e.terms.values().fold(0, |acc, &c| gcd(acc, c));
+    if g <= 1 {
+        return e.clone();
+    }
+    let mut out = LinExpr::default();
+    for (&s, &c) in &e.terms {
+        out.terms.insert(s, c / g);
+    }
+    // a·x <= -c/g, rounded down: a·x + ceil(c/g) <= 0.
+    out.constant = ceil_div(e.constant, g);
+    out
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let d = a / b;
+    if a % b > 0 {
+        d + 1
+    } else {
+        d
+    }
+}
+
+fn floor_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let d = a / b;
+    if a % b < 0 {
+        d - 1
+    } else {
+        d
+    }
+}
+
+/// Decides the conjunction of `constraints` over the integers.
+pub fn solve(constraints: &[Constraint]) -> SolveResult {
+    if constraints.len() > MAX_CONSTRAINTS {
+        return SolveResult::Unknown;
+    }
+    let mut eqs: Vec<LinExpr> = Vec::new();
+    let mut les: Vec<LinExpr> = Vec::new();
+    let mut nes: Vec<LinExpr> = Vec::new();
+    for c in constraints {
+        match c {
+            Constraint::Eq(e) => eqs.push(e.clone()),
+            Constraint::Le(e) => les.push(e.clone()),
+            Constraint::Ne(e) => nes.push(e.clone()),
+        }
+    }
+    let n_syms = constraints
+        .iter()
+        .flat_map(|c| match c {
+            Constraint::Eq(e) | Constraint::Le(e) | Constraint::Ne(e) => e.terms.keys(),
+        })
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    if n_syms > MAX_SYMS {
+        return SolveResult::Unknown;
+    }
+
+    // Phase 1: eliminate equalities by substitution. Each round picks an
+    // equality with a ±1-coefficient symbol, solves for it, and substitutes
+    // everywhere. Equalities without a unit coefficient first take the gcd
+    // test, then fall through to the inequality phase as a `<=`/`>=` pair.
+    let mut solved: Vec<(SymId, LinExpr)> = Vec::new(); // sym = expr, in order
+    loop {
+        // Constant equalities are decided immediately.
+        let mut progress = false;
+        let mut i = 0;
+        while i < eqs.len() {
+            if eqs[i].is_const() {
+                if eqs[i].constant != 0 {
+                    return SolveResult::Unsat;
+                }
+                eqs.swap_remove(i);
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        // The gcd (integrality) test: a·x + c == 0 needs gcd(a) | c.
+        for e in &eqs {
+            let g = e.terms.values().fold(0, |acc, &c| gcd(acc, c));
+            if g > 1 && e.constant % g != 0 {
+                return SolveResult::Unsat;
+            }
+        }
+        let pick = eqs
+            .iter()
+            .position(|e| e.terms.values().any(|&c| c == 1 || c == -1));
+        let Some(idx) = pick else {
+            if progress {
+                continue;
+            }
+            break;
+        };
+        let eq = eqs.swap_remove(idx);
+        let (&sym, &coef) = eq
+            .terms
+            .iter()
+            .find(|(_, &c)| c == 1 || c == -1)
+            .expect("picked by position");
+        // coef·sym + rest == 0  =>  sym = -rest/coef = rest·(-1/coef).
+        let mut rest = eq.clone();
+        rest.terms.remove(&sym);
+        let Some(replacement) = rest.mul_const(-coef) else {
+            return SolveResult::Unknown;
+        };
+        let subst = |e: &LinExpr| -> Option<LinExpr> {
+            let Some(&c) = e.terms.get(&sym) else {
+                return Some(e.clone());
+            };
+            let mut out = e.clone();
+            out.terms.remove(&sym);
+            out.add(&replacement.mul_const(c)?)
+        };
+        let apply_all = |v: &mut Vec<LinExpr>| -> Option<()> {
+            for e in v.iter_mut() {
+                *e = subst(e)?;
+            }
+            Some(())
+        };
+        if apply_all(&mut eqs).is_none()
+            || apply_all(&mut les).is_none()
+            || apply_all(&mut nes).is_none()
+        {
+            return SolveResult::Unknown;
+        }
+        for (_, e) in solved.iter_mut() {
+            match subst(e) {
+                Some(ne) => *e = ne,
+                None => return SolveResult::Unknown,
+            }
+        }
+        solved.push((sym, replacement));
+    }
+    // Residual (non-unit) equalities become inequality pairs.
+    for e in eqs {
+        match e.mul_const(-1) {
+            Some(neg) => {
+                les.push(e);
+                les.push(neg);
+            }
+            None => return SolveResult::Unknown,
+        }
+    }
+
+    // Constant disequalities decide immediately; symbolic ones wait for the
+    // model check.
+    for e in &nes {
+        if e.is_const() && e.constant == 0 {
+            return SolveResult::Unsat;
+        }
+    }
+
+    // Phase 2: Fourier–Motzkin elimination over the inequalities.
+    les.retain(|e| !e.terms.is_empty() || e.constant > 0);
+    let mut rows = les;
+    for e in &rows {
+        if e.is_const() && e.constant > 0 {
+            return SolveResult::Unsat;
+        }
+    }
+    let mut order: Vec<SymId> = Vec::new();
+    let mut bounds_per_sym: Vec<(SymId, Vec<LinExpr>)> = Vec::new();
+    loop {
+        let syms: std::collections::BTreeSet<SymId> =
+            rows.iter().flat_map(|e| e.terms.keys().copied()).collect();
+        let Some(&sym) = syms.iter().next() else {
+            break;
+        };
+        // Pick the symbol minimizing uppers·lowers to curb row growth.
+        let mut best = (usize::MAX, sym);
+        for &s in &syms {
+            let ups = rows
+                .iter()
+                .filter(|e| e.terms.get(&s).copied().unwrap_or(0) > 0)
+                .count();
+            let los = rows
+                .iter()
+                .filter(|e| e.terms.get(&s).copied().unwrap_or(0) < 0)
+                .count();
+            let cost = ups * los;
+            if cost < best.0 {
+                best = (cost, s);
+            }
+        }
+        let sym = best.1;
+        let (with, rest): (Vec<LinExpr>, Vec<LinExpr>) =
+            rows.into_iter().partition(|e| e.terms.contains_key(&sym));
+        rows = rest;
+        let uppers: Vec<&LinExpr> = with.iter().filter(|e| e.terms[&sym] > 0).collect();
+        let lowers: Vec<&LinExpr> = with.iter().filter(|e| e.terms[&sym] < 0).collect();
+        for u in &uppers {
+            for l in &lowers {
+                let p = u.terms[&sym]; // > 0
+                let q = -l.terms[&sym]; // > 0
+                                        // q·u + p·l eliminates sym.
+                let combined = match (u.mul_const(q), l.mul_const(p)) {
+                    (Some(a), Some(b)) => match a.add(&b) {
+                        Some(c) => c,
+                        None => return SolveResult::Unknown,
+                    },
+                    _ => return SolveResult::Unknown,
+                };
+                let t = tighten_le(&combined);
+                if t.terms.values().any(|c| c.abs() > MAX_COEFF) || t.constant.abs() > MAX_COEFF {
+                    return SolveResult::Unknown;
+                }
+                if t.is_const() {
+                    if t.constant > 0 {
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    rows.push(t);
+                }
+            }
+        }
+        if rows.len() > MAX_FM_ROWS {
+            return SolveResult::Unknown;
+        }
+        order.push(sym);
+        bounds_per_sym.push((sym, with));
+    }
+    for e in &rows {
+        if e.constant > 0 {
+            return SolveResult::Unsat;
+        }
+    }
+
+    // Rationally satisfiable. Phase 3: search for an integer model by
+    // back-substitution in reverse elimination order, trying a few value
+    // choices per symbol to dodge disequalities.
+    let all_syms: std::collections::BTreeSet<SymId> = constraints
+        .iter()
+        .flat_map(|c| match c {
+            Constraint::Eq(e) | Constraint::Le(e) | Constraint::Ne(e) => {
+                e.terms.keys().copied().collect::<Vec<_>>()
+            }
+        })
+        .collect();
+    'strategy: for strategy in 0..4u8 {
+        let mut model: BTreeMap<SymId, i128> = BTreeMap::new();
+        for (sym, bounds) in bounds_per_sym.iter().rev() {
+            let mut lo: Option<i128> = None;
+            let mut hi: Option<i128> = None;
+            for b in bounds {
+                let a = b.terms[sym];
+                let mut rest = b.clone();
+                rest.terms.remove(sym);
+                let Some(r) = rest.eval(&model) else {
+                    continue 'strategy;
+                };
+                // a·sym + r <= 0.
+                if a > 0 {
+                    let ub = floor_div(-r, a);
+                    hi = Some(hi.map_or(ub, |h: i128| h.min(ub)));
+                } else {
+                    let lb = ceil_div(r, -a);
+                    lo = Some(lo.map_or(lb, |l: i128| l.max(lb)));
+                }
+            }
+            if let (Some(l), Some(h)) = (lo, hi) {
+                if l > h {
+                    // Integer-empty interval that FM's rational pass let
+                    // through: not a proof of UNSAT for the whole system
+                    // under our ordering, so give up on the model only.
+                    continue 'strategy;
+                }
+            }
+            let v = match strategy {
+                0 => 0i128.clamp(lo.unwrap_or(0), hi.unwrap_or(0).max(lo.unwrap_or(0))),
+                1 => lo.or(hi).unwrap_or(0),
+                2 => hi.or(lo).unwrap_or(0),
+                _ => lo.map(|l| l + 1).or(hi).unwrap_or(1),
+            };
+            let v = match (lo, hi) {
+                (Some(l), Some(h)) => v.clamp(l, h),
+                (Some(l), None) => v.max(l),
+                (None, Some(h)) => v.min(h),
+                (None, None) => v,
+            };
+            model.insert(*sym, v);
+        }
+        for s in &all_syms {
+            model.entry(*s).or_insert(match strategy {
+                3 => 1,
+                _ => 0,
+            });
+        }
+        // Resolve the substituted symbols (reverse order: later
+        // substitutions may reference earlier-solved symbols).
+        for (sym, expr) in solved.iter().rev() {
+            let Some(v) = expr.eval(&model) else {
+                continue 'strategy;
+            };
+            model.insert(*sym, v);
+        }
+        if verify(constraints, &model) {
+            return SolveResult::Sat(Some(model));
+        }
+    }
+    SolveResult::Sat(None)
+}
+
+/// Checks `model` against every constraint.
+pub fn verify(constraints: &[Constraint], model: &BTreeMap<SymId, i128>) -> bool {
+    constraints.iter().all(|c| match c {
+        Constraint::Eq(e) => e.eval(model) == Some(0),
+        Constraint::Le(e) => matches!(e.eval(model), Some(v) if v <= 0),
+        Constraint::Ne(e) => matches!(e.eval(model), Some(v) if v != 0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: SymId) -> LinExpr {
+        LinExpr::sym(s)
+    }
+
+    #[test]
+    fn equality_substitution_refutes_correlated_guards() {
+        // x == y  &&  x - y >= 1  — the planted-FP shape.
+        let x_minus_y = sym(0).sub(&sym(1)).unwrap();
+        let cs = vec![
+            Constraint::Eq(x_minus_y.clone()),
+            // x - y >= 1  <=>  1 - (x - y) <= 0.
+            Constraint::Le(LinExpr::constant(1).sub(&x_minus_y).unwrap()),
+        ];
+        assert_eq!(solve(&cs), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_system_produces_verifying_model() {
+        // x >= 3, y == x + 2, y <= 10, y != 5.
+        let cs = vec![
+            Constraint::Le(LinExpr::constant(3).sub(&sym(0)).unwrap()),
+            Constraint::Eq(
+                sym(1)
+                    .sub(&sym(0).add(&LinExpr::constant(2)).unwrap())
+                    .unwrap(),
+            ),
+            Constraint::Le(sym(1).sub(&LinExpr::constant(10)).unwrap()),
+            Constraint::Ne(sym(1).sub(&LinExpr::constant(5)).unwrap()),
+        ];
+        match solve(&cs) {
+            SolveResult::Sat(Some(m)) => assert!(verify(&cs, &m), "model {m:?}"),
+            other => panic!("expected model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gcd_test_refutes_integer_infeasible_equality() {
+        // 2x == 1.
+        let e = sym(0)
+            .mul_const(2)
+            .unwrap()
+            .sub(&LinExpr::constant(1))
+            .unwrap();
+        assert_eq!(solve(&[Constraint::Eq(e)]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn constant_contradictions() {
+        assert_eq!(
+            solve(&[Constraint::Eq(LinExpr::constant(3))]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            solve(&[Constraint::Le(LinExpr::constant(1))]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            solve(&[Constraint::Ne(LinExpr::constant(0))]),
+            SolveResult::Unsat
+        );
+        assert!(matches!(solve(&[]), SolveResult::Sat(Some(_))));
+    }
+
+    #[test]
+    fn fm_chain_refutes_transitive_bounds() {
+        // x <= y, y <= z, z <= x - 1 (strict cycle).
+        let cs = vec![
+            Constraint::Le(sym(0).sub(&sym(1)).unwrap()),
+            Constraint::Le(sym(1).sub(&sym(2)).unwrap()),
+            Constraint::Le(
+                sym(2)
+                    .sub(&sym(0).sub(&LinExpr::constant(1)).unwrap())
+                    .unwrap(),
+            ),
+        ];
+        assert_eq!(solve(&cs), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn bounded_box_with_disequalities_finds_model() {
+        // 0 <= x <= 2, x != 0, x != 2: only x == 1 works.
+        let cs = vec![
+            Constraint::Le(LinExpr::constant(0).sub(&sym(0)).unwrap()),
+            Constraint::Le(sym(0).sub(&LinExpr::constant(2)).unwrap()),
+            Constraint::Ne(sym(0)),
+            Constraint::Ne(sym(0).sub(&LinExpr::constant(2)).unwrap()),
+        ];
+        match solve(&cs) {
+            SolveResult::Sat(Some(m)) => assert_eq!(m[&0], 1),
+            other => panic!("expected x=1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_systems_are_unknown_not_refuted() {
+        let cs: Vec<Constraint> = (0..MAX_CONSTRAINTS as u32 + 1)
+            .map(|i| Constraint::Le(sym(i % 4).sub(&LinExpr::constant(i as i128)).unwrap()))
+            .collect();
+        assert_eq!(solve(&cs), SolveResult::Unknown);
+    }
+}

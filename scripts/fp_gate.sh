@@ -5,8 +5,9 @@
 #
 #   * bug recall drops below the baseline (a checker stopped finding a
 #     planted bug — never acceptable), or
-#   * the false-positive count at either rung (pruned, pruned+interproc)
-#     rises above the baseline (an analysis got noisier).
+#   * a false-positive count at any rung (pruned, pruned+interproc,
+#     pruned+interproc+refute) rises above the baseline (an analysis got
+#     noisier).
 #
 # Finding *fewer* false positives than the baseline is reported but does
 # not fail: update the baseline in the same change to ratchet it down.
@@ -22,8 +23,8 @@ if [ ! -x "$FP_DELTA" ]; then
 fi
 
 baseline=scripts/fp_baseline.txt
-read -r base_bugs base_fp_pruned base_fp_interproc < <(
-    sed -n 's/^gate: bugs=\([0-9]*\) fp_pruned=\([0-9]*\) fp_interproc=\([0-9]*\)$/\1 \2 \3/p' \
+read -r base_bugs base_fp_pruned base_fp_interproc base_fp_refute < <(
+    sed -n 's/^gate: bugs=\([0-9]*\) fp_pruned=\([0-9]*\) fp_interproc=\([0-9]*\) fp_refute=\([0-9]*\)$/\1 \2 \3 \4/p' \
         "$baseline"
 )
 if [ -z "${base_bugs:-}" ]; then
@@ -33,8 +34,8 @@ fi
 
 out=$("$FP_DELTA")
 echo "$out"
-read -r bugs fp_pruned fp_interproc < <(
-    sed -n 's/^gate: bugs=\([0-9]*\) fp_pruned=\([0-9]*\) fp_interproc=\([0-9]*\)$/\1 \2 \3/p' \
+read -r bugs fp_pruned fp_interproc fp_refute < <(
+    sed -n 's/^gate: bugs=\([0-9]*\) fp_pruned=\([0-9]*\) fp_interproc=\([0-9]*\) fp_refute=\([0-9]*\)$/\1 \2 \3 \4/p' \
         <<<"$out"
 )
 if [ -z "${bugs:-}" ]; then
@@ -77,9 +78,14 @@ if [ "$fp_interproc" -gt "$base_fp_interproc" ]; then
     name_fp_delta interproc
     status=1
 fi
+if [ "$fp_refute" -gt "$base_fp_refute" ]; then
+    echo "FAIL: refute false positives rose: $fp_refute > baseline $base_fp_refute" >&2
+    name_fp_delta refute
+    status=1
+fi
 if [ "$status" -eq 0 ]; then
-    echo "fp-gate ok: bugs=$bugs (>= $base_bugs), fp_pruned=$fp_pruned (<= $base_fp_pruned), fp_interproc=$fp_interproc (<= $base_fp_interproc)"
-    if [ "$fp_pruned" -lt "$base_fp_pruned" ] || [ "$fp_interproc" -lt "$base_fp_interproc" ]; then
+    echo "fp-gate ok: bugs=$bugs (>= $base_bugs), fp_pruned=$fp_pruned (<= $base_fp_pruned), fp_interproc=$fp_interproc (<= $base_fp_interproc), fp_refute=$fp_refute (<= $base_fp_refute)"
+    if [ "$fp_pruned" -lt "$base_fp_pruned" ] || [ "$fp_interproc" -lt "$base_fp_interproc" ] || [ "$fp_refute" -lt "$base_fp_refute" ]; then
         echo "note: false positives dropped below baseline — ratchet scripts/fp_baseline.txt down"
     fi
 fi

@@ -146,14 +146,17 @@ checkers are 1–2 orders of magnitude smaller than the code they check —
 holds. (The paper's "No-float 7" row is folded into our `exec_restrict`;
 its slot lists the §11 refcount check.)
 
-## Path-feasibility pruning — false-positive delta
+## The false-positive ladder — pruning, summaries, refutation
 
 The tables above reproduce the paper's xg++, which explored paths with no
 feasibility reasoning and treated every call as opaque; `mcheck` adds an
 intraprocedural feasibility domain (DESIGN.md §9) that refutes
-correlated-branch paths (**on by default**), and a bottom-up function
+correlated-branch paths (**on by default**), a bottom-up function
 summary engine (DESIGN.md §11) that resolves call sites (`--interproc`,
-opt-in). The same suite run all three ways:
+opt-in), and a post-pass symbolic refuter (DESIGN.md §14) that slices
+each surviving report's witness and solves its path condition over
+linear integer constraints (`--refute`, the CLI default). The same
+suite run all four ways:
 
 EOF
 echo '```'
@@ -166,17 +169,26 @@ buffer-management pairs and the 2 coma message-length FPs, which the
 paper's manual triage had to discard by hand); call-site resolution then
 removes the 16 helper-hidden ones (the 14 un-annotated directory
 write-back subroutines of §9.1 plus the two demonstration sites),
-leaving 31 — below the paper's 45 — while every one of the 46
-planted-bug reports survives both analyses. Pinned by
+leaving 31 — below the paper's 45. The symbolic refuter then demotes
+the 25 residual witnesses that ride an infeasible multi-variable
+credit/debit guard — all 17 remaining directory FPs (the NAK-path
+back-outs and address-computation sites of §9.1) and all 8 send-wait
+FPs, three of them correlated through a same-file helper the executor
+inlines — leaving **6**, while every one of the 46 planted-bug reports
+survives all three analyses. Pinned by
 `pruning_cuts_false_positives_and_summaries_cut_them_further`,
-`pruning_never_drops_a_planted_bug`, and
-`interproc_never_drops_a_planted_bug` in `mc-corpus`, seed-independent
-via `proptest_seeds.rs`, and held in CI by `scripts/fp_gate.sh` against
-`scripts/fp_baseline.txt`. The confidence line shows the ranking the paper
-did by hand (§9.1's NAK and debug-print heuristics, automated in
-`mc-driver`): surviving reports are sorted most-likely-real first, and
-planted bugs rank a full confidence band above the surviving false
-positives.
+`pruning_never_drops_a_planted_bug`,
+`interproc_never_drops_a_planted_bug`,
+`refutation_matches_the_manifest_end_to_end`, and
+`interproc_witness_splice_refutes_through_the_helper` in `mc-corpus`,
+seed-independent via `proptest_seeds.rs`, and held in CI by
+`scripts/fp_gate.sh` against `scripts/fp_baseline.txt` (all three
+rungs, per-fingerprint) and `scripts/refute_equivalence.sh` (verdicts
+byte-identical across `--jobs 1/4/8` and warm-vs-cold cache). The
+confidence line shows the ranking the paper did by hand (§9.1's NAK and
+debug-print heuristics, automated in `mc-driver`): surviving reports
+are sorted most-likely-real first, and planted bugs rank a full
+confidence band above the surviving false positives.
 
 ## Figures
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Refutation equivalence gate: verdicts must be a pure function of the
+# sources, never of scheduling or cache state. Two invariants, checked
+# over the whole synthetic corpus:
+#
+#   1. Determinism across worker counts — `--jobs 1`, `--jobs 4`, and
+#      `--jobs 8` with `--refute` must produce byte-identical JSON
+#      (same reports, same verdicts, same solver models, same order).
+#   2. Cache stability — a warm `--cache-dir` run must be byte-identical
+#      to the cold run that populated it. Verdicts and models are part of
+#      the cached report payload, so a hit that recomputed (or dropped)
+#      them would diff here.
+#
+# Usage: scripts/refute_equivalence.sh [path-to-mcheck]
+# (defaults to target/release/mcheck; builds it if missing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MCHECK=${1:-target/release/mcheck}
+if [ ! -x "$MCHECK" ]; then
+    cargo build --release -p mc-cli --bin mcheck
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$MCHECK" --emit-corpus "$work/corpus" >/dev/null
+
+# mcheck exits 1 when it emits reports (the corpus has planted bugs, so it
+# always does); only >= 2 is a real failure. See "Exit codes" in README.md.
+run_mcheck() {
+    local out=$1 jobs=$2 pdir=$3 rc=0
+    shift 3
+    "$MCHECK" --builtin --spec "$pdir/spec.json" --format json --refute \
+        --interproc --jobs "$jobs" "$@" "$pdir"/*.c >"$out" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "FAIL: mcheck exited $rc on $pdir" >&2
+        exit "$rc"
+    fi
+}
+
+status=0
+for pdir in "$work"/corpus/*/; do
+    name=$(basename "$pdir")
+
+    # 1. Verdicts must not depend on the worker count.
+    run_mcheck "$work/$name-j1.json" 1 "$pdir"
+    run_mcheck "$work/$name-j4.json" 4 "$pdir"
+    run_mcheck "$work/$name-j8.json" 8 "$pdir"
+    for jobs in 4 8; do
+        if ! diff -u "$work/$name-j1.json" "$work/$name-j$jobs.json"; then
+            echo "FAIL: $name --jobs $jobs verdicts differ from --jobs 1" >&2
+            status=1
+        fi
+    done
+
+    # 2. Warm-cache verdicts must be byte-identical to the cold run.
+    cache="$work/cache-$name"
+    run_mcheck "$work/$name-cold.json" 2 "$pdir" --cache-dir "$cache"
+    run_mcheck "$work/$name-warm.json" 2 "$pdir" --cache-dir "$cache"
+    if ! diff -u "$work/$name-cold.json" "$work/$name-warm.json"; then
+        echo "FAIL: $name warm-cache verdicts differ from cold" >&2
+        status=1
+    fi
+
+    if [ "$status" -eq 0 ]; then
+        echo "refute-equivalence ok: $name"
+    fi
+done
+exit "$status"
