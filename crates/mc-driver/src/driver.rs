@@ -328,7 +328,11 @@ pub(crate) struct UnitLocal {
 /// v5: reports carry a refutation `verdict` and solver `model`, and the
 /// refute flag joined the suite key; v4 records would replay without
 /// verdicts and break warm/cold byte-identity under `--refute`.
-pub const CACHE_FORMAT_VERSION: u32 = 5;
+///
+/// v6: refutation became sound under ambiguous switch arms, wrapping `i64`
+/// arithmetic, and assigned SHOUTING-case globals; v5 records may carry
+/// verdicts the fixed engine would not produce.
+pub const CACHE_FORMAT_VERSION: u32 = 6;
 
 /// The analysis driver: a set of checkers plus traversal settings.
 pub struct Driver {

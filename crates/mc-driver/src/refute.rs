@@ -10,21 +10,121 @@
 //! [`Verdict::Unchecked`].
 
 use crate::report::{Report, Verdict};
-use mc_ast::{ExprKind, ExternalDecl, Function, Initializer, Item, TranslationUnit};
+use mc_ast::{
+    Expr, ExprKind, ExternalDecl, Function, Initializer, Item, Stmt, StmtKind, TranslationUnit,
+    UnaryOp,
+};
 use mc_symx::World;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A [`World`] over one translation unit: callee bodies by definition,
 /// constants from enum variants and integer-initialized globals — the same
 /// view `mc-sim` builds for the interpreter, so the symbolic executor and
-/// concrete replay agree on what a manifest constant means.
+/// concrete replay agree on what a manifest constant means. A global that
+/// is *assigned* (or address-taken) anywhere in the unit is not a constant
+/// at all — substituting its initializer for reads after the write would
+/// refute feasible paths — so only write-free globals register.
 pub(crate) struct UnitWorld<'a> {
     unit: &'a TranslationUnit,
     constants: HashMap<&'a str, i64>,
 }
 
+/// Records the written-to name behind an assignment target or `&` operand:
+/// a plain identifier, possibly under casts. Member/index/deref targets
+/// cannot name a scalar `int` global, so they are ignored here.
+fn mark_written(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Ident(n) => {
+            out.insert(n.clone());
+        }
+        ExprKind::Cast { expr, .. } => mark_written(expr, out),
+        _ => {}
+    }
+}
+
+/// Collects every identifier the expression writes (assignments, inc/dec)
+/// or lets escape (`&x`, through which a later store may write).
+fn scan_writes(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::Assign { lhs, .. } => mark_written(lhs, out),
+        ExprKind::Unary {
+            op: UnaryOp::PreInc | UnaryOp::PreDec | UnaryOp::AddrOf,
+            operand,
+        } => mark_written(operand, out),
+        ExprKind::Postfix { operand, .. } => mark_written(operand, out),
+        _ => {}
+    }
+    mc_symx::for_each_child(e, &mut |c| scan_writes(c, out));
+}
+
+fn scan_init(init: &Initializer, out: &mut HashSet<String>) {
+    match init {
+        Initializer::Expr(e) => scan_writes(e, out),
+        Initializer::List(items) => items.iter().for_each(|i| scan_init(i, out)),
+    }
+}
+
+fn scan_stmt(s: &Stmt, out: &mut HashSet<String>) {
+    match &s.kind {
+        StmtKind::Expr(e) => scan_writes(e, out),
+        StmtKind::Decl(d) => {
+            if let Some(init) = &d.init {
+                scan_init(init, out);
+            }
+        }
+        StmtKind::Block(body) => body.iter().for_each(|s| scan_stmt(s, out)),
+        StmtKind::If { cond, then, els } => {
+            scan_writes(cond, out);
+            scan_stmt(then, out);
+            if let Some(els) = els {
+                scan_stmt(els, out);
+            }
+        }
+        StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
+            scan_writes(cond, out);
+            scan_stmt(body, out);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(init) = init {
+                scan_stmt(init, out);
+            }
+            if let Some(cond) = cond {
+                scan_writes(cond, out);
+            }
+            if let Some(step) = step {
+                scan_writes(step, out);
+            }
+            scan_stmt(body, out);
+        }
+        StmtKind::Switch { scrutinee, cases } => {
+            scan_writes(scrutinee, out);
+            for c in cases {
+                c.body.iter().for_each(|s| scan_stmt(s, out));
+            }
+        }
+        StmtKind::Return(Some(e)) => scan_writes(e, out),
+        StmtKind::Label(_, inner) => scan_stmt(inner, out),
+        StmtKind::Empty
+        | StmtKind::Break
+        | StmtKind::Continue
+        | StmtKind::Return(None)
+        | StmtKind::Goto(_) => {}
+    }
+}
+
 impl<'a> UnitWorld<'a> {
     pub(crate) fn new(unit: &'a TranslationUnit) -> UnitWorld<'a> {
+        let mut assigned: HashSet<String> = HashSet::new();
+        for item in &unit.items {
+            if let Item::Function(f) = item {
+                f.body.iter().for_each(|s| scan_stmt(s, &mut assigned));
+            }
+        }
         let mut constants = HashMap::new();
         for item in &unit.items {
             match item {
@@ -41,7 +141,9 @@ impl<'a> UnitWorld<'a> {
                 Item::Decl(ExternalDecl::Var(d)) => {
                     if let Some(Initializer::Expr(e)) = &d.init {
                         if let ExprKind::IntLit(v, _) = e.kind {
-                            constants.insert(d.name.as_str(), v);
+                            if !assigned.contains(d.name.as_str()) {
+                                constants.insert(d.name.as_str(), v);
+                            }
                         }
                     }
                 }
@@ -131,5 +233,54 @@ mod tests {
         assert_eq!(w.constant("UNKNOWN"), None);
         assert!(w.function("helper").is_some());
         assert!(w.function("missing").is_none());
+    }
+
+    #[test]
+    fn assigned_globals_are_not_manifest_constants() {
+        let unit = parse_translation_unit(
+            "int G_SET = 9;\nint G_PTR = 7;\nint G_KEPT = 3;\n\
+             void f(void) {\n  G_SET = 5;\n  use(&G_PTR);\n}\n",
+            "w.c",
+        )
+        .unwrap();
+        let w = UnitWorld::new(&unit);
+        // Assigned or address-taken: the initializer is not the value at
+        // every read, so it must not register as a constant.
+        assert_eq!(w.constant("G_SET"), None);
+        assert_eq!(w.constant("G_PTR"), None);
+        assert_eq!(w.constant("G_KEPT"), Some(3));
+    }
+
+    #[test]
+    fn writes_to_shouting_globals_do_not_refute() {
+        use mc_cfg::{Cfg, PathStep, Terminator};
+        // `G_LIMIT = 5; if (G_LIMIT == 5)` is concretely feasible; with
+        // the initializer registered as a manifest constant the guard
+        // would read 9 and the path would be unsoundly refuted.
+        let unit = parse_translation_unit(
+            "int G_LIMIT = 9;\nvoid f(void) {\n  G_LIMIT = 5;\n  if (G_LIMIT == 5) {\n    G_LIMIT = 0;\n  }\n}\n",
+            "w.c",
+        )
+        .unwrap();
+        let w = UnitWorld::new(&unit);
+        let f = unit.function("f").unwrap();
+        // Build engine-faithful steps straight off the CFG: the entry
+        // statement, the taken branch, the then-block statement.
+        let cfg = Cfg::build(f);
+        let entry = &cfg.blocks[cfg.entry.0];
+        let Terminator::Branch { cond, then_to, .. } = &entry.term else {
+            panic!("expected branch terminator, got {:?}", entry.term);
+        };
+        let steps = vec![
+            PathStep::new(entry.nodes[0].stmt.span, "statement"),
+            PathStep::new(cond.span, "branch taken"),
+            PathStep::new(cfg.blocks[then_to.0].nodes[0].stmt.span, "statement"),
+        ];
+        let a = mc_symx::analyze_witness(f, &steps, &w);
+        assert!(
+            !matches!(a.verdict, mc_symx::Verdict::Refuted),
+            "feasible write-then-test path was refuted (stats: {:?})",
+            a.stats
+        );
     }
 }

@@ -19,6 +19,23 @@
 //! (parameters bound to argument values, locals renamed into a private
 //! frame) instead of havocked — this is how an interprocedural witness
 //! splices its callee's constraints into the path.
+//!
+//! **Wrapping semantics.** `mc-sim` executes with wrapping `i64`
+//! arithmetic, while the solver reasons over unbounded integers. Wrapping
+//! `+`/`-`/`*` is exact arithmetic modulo 2^64, so a chain of them always
+//! agrees with the unbounded linear form *modulo 2^64* — intermediate
+//! overflow is harmless, and the two agree outright whenever the final
+//! value lies in the `i64` range. Comparisons, however, observe the
+//! actual (possibly wrapped) `i64` value, so every constraint whose
+//! operand can leave the range (under any `i64` valuation of the
+//! symbols) carries that operand as a *range guard*, and [`Exec::decide`]
+//! refutes only when the path is infeasible with all guards in range
+//! *and* no guard can leave the range in the first place. A path
+//! feasible solely through wraparound (`gNak = gCredit + 1;` then a
+//! taken `gNak <= gCredit`, concretely satisfied at
+//! `gCredit == i64::MAX`) therefore stays undecided instead of being
+//! wrongly refuted. Non-congruent operators (`/`, `%`, `>>`, bitwise)
+//! only ever fold in-range constants, where wrapping cannot occur.
 
 use crate::path::PathOp;
 use crate::slice::{for_each_child, Scope};
@@ -70,7 +87,12 @@ struct Exec<'w> {
     bindings: BTreeMap<String, LinExpr>,
     syms: Vec<SymInfo>,
     const_syms: BTreeMap<String, SymId>,
-    constraints: Vec<Constraint>,
+    /// Each path constraint with its *range guards*: the operand values
+    /// whose conservative range can leave `i64`, so the constraint is only
+    /// exact when those values stay in range (see the module doc on
+    /// wrapping semantics). An empty guard list means the constraint is
+    /// exact for every execution.
+    constraints: Vec<(Constraint, Vec<LinExpr>)>,
     /// Set once a non-inlined call has run: later first-reads of globals
     /// observe a post-call value, not the initial one, and are therefore
     /// not replayable.
@@ -126,15 +148,23 @@ impl<'w> Exec<'w> {
     /// address-taking, so nothing else can name them.
     fn havoc_globals(&mut self) {
         self.call_seen = true;
+        // SHOUTING-named globals that are not true constants can be
+        // assigned by the callee too: forget the stable symbols so reads
+        // on either side of the call are unrelated. Constants the World
+        // knows by value never reach `const_syms` and keep their value.
+        self.const_syms.clear();
         let scope = self.scope;
         self.bindings
             .retain(|k, _| k.contains(FRAME_SEP) || !scope.is_globalish(k));
     }
 
     /// Forgets the whole store (a write through an unresolvable lvalue may
-    /// alias anything, including frame-private slots via pointers).
+    /// alias anything, including frame-private slots via pointers). A
+    /// write to a SHOUTING-named lvalue lands here via `key_of == None`,
+    /// so the stable constant symbols must be forgotten as well.
     fn havoc_all(&mut self) {
         self.call_seen = true;
+        self.const_syms.clear();
         self.bindings.clear();
     }
 
@@ -254,7 +284,44 @@ impl<'w> Exec<'w> {
         }
     }
 
+    /// Pushes a path constraint derived from comparing (or truth-testing)
+    /// the given operand values. Operands whose conservative range can
+    /// leave `i64` become range guards on the constraint: wrapping
+    /// arithmetic agrees with the unbounded linear form exactly when the
+    /// compared values are in range.
+    fn push_cmp(&mut self, c: Constraint, operands: &[&LinExpr]) {
+        let guards = operands
+            .iter()
+            .filter(|e| !fits_i64(e))
+            .map(|e| (*e).clone())
+            .collect();
+        self.constraints.push((c, guards));
+    }
+
+    /// Combines two linear values. `+`, `-`, `*` and `<<` build the exact
+    /// unbounded form — congruent to `mc-sim`'s wrapping result modulo
+    /// 2^64, so safe to compose (only *uses* need range guards). The
+    /// non-congruent operators fold only in-range constants, where
+    /// wrapping cannot occur.
     fn combine(&mut self, op: BinaryOp, l: &LinExpr, r: &LinExpr) -> Option<LinExpr> {
+        if matches!(
+            op,
+            BinaryOp::Div
+                | BinaryOp::Rem
+                | BinaryOp::Shr
+                | BinaryOp::BitAnd
+                | BinaryOp::BitOr
+                | BinaryOp::BitXor
+                | BinaryOp::Lt
+                | BinaryOp::Gt
+                | BinaryOp::Le
+                | BinaryOp::Ge
+                | BinaryOp::Eq
+                | BinaryOp::Ne
+        ) && !(fits_i64(l) && fits_i64(r))
+        {
+            return None;
+        }
         match op {
             BinaryOp::Add => l.add(r),
             BinaryOp::Sub => l.sub(r),
@@ -497,20 +564,142 @@ impl<'w> Exec<'w> {
                 let r = self.eval(rhs, frame);
                 if let (Some(l), Some(r)) = (l, r) {
                     if let Some(c) = cmp_constraint(*op, &l, &r, truth) {
-                        self.constraints.push(c);
+                        self.push_cmp(c, &[&l, &r]);
                     }
                 }
             }
             _ => {
                 if let Some(v) = self.eval(e, frame) {
-                    self.constraints.push(if truth {
-                        Constraint::Ne(v)
+                    let c = if truth {
+                        Constraint::Ne(v.clone())
                     } else {
-                        Constraint::Eq(v)
-                    });
+                        Constraint::Eq(v.clone())
+                    };
+                    self.push_cmp(c, &[&v]);
                 }
             }
         }
+    }
+
+    /// Decides the collected path condition under wrapping `i64`
+    /// semantics.
+    ///
+    /// With no range guards every constraint is exact, and the solver's
+    /// answer is the verdict. Otherwise three systems are consulted, each
+    /// over `i64`-bounded symbols (every symbol stands for a concrete
+    /// `i64` value):
+    ///
+    /// 1. *base* — only the guard-free constraints, valid for every
+    ///    execution whether anything wrapped or not. `UNSAT` refutes
+    ///    outright.
+    /// 2. *full* — every constraint plus every guard held in range: the
+    ///    no-wrap world. A model here is exact and therefore replayable;
+    ///    `UNKNOWN` blocks refutation.
+    /// 3. *wrap reachability* — `full` was `UNSAT`, so no in-range
+    ///    execution takes the path; it is refuted only if no guard can
+    ///    leave the range under the base facts (then every execution *is*
+    ///    in-range). Any guard that can wrap leaves the path undecided
+    ///    rather than wrongly refuted — e.g. `gNak = gCredit + 1;` then a
+    ///    taken `gNak <= gCredit`, concretely satisfied at
+    ///    `gCredit == i64::MAX`.
+    fn decide(&self) -> Verdict {
+        let exact: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .filter(|(_, g)| g.is_empty())
+            .map(|(c, _)| c.clone())
+            .collect();
+        let mut guards: Vec<LinExpr> = Vec::new();
+        for (_, gs) in &self.constraints {
+            for g in gs {
+                if !guards.contains(g) {
+                    guards.push(g.clone());
+                }
+            }
+        }
+        if guards.is_empty() {
+            return match solver::solve(&exact) {
+                SolveResult::Unsat => Verdict::Refuted,
+                SolveResult::Unknown => Verdict::Unknown,
+                SolveResult::Sat(model) => Verdict::Sat {
+                    model: model
+                        .as_ref()
+                        .map(|m| self.extract_model(m))
+                        .unwrap_or_default(),
+                },
+            };
+        }
+        let min = LinExpr::constant(i64::MIN as i128);
+        let max = LinExpr::constant(i64::MAX as i128);
+        let one = LinExpr::constant(1);
+        // e in [i64::MIN, i64::MAX], as two `Le` rows.
+        let in_range = |e: &LinExpr, out: &mut Vec<Constraint>| -> bool {
+            let (Some(hi), Some(lo)) = (e.sub(&max), min.sub(e)) else {
+                return false;
+            };
+            out.push(Constraint::Le(hi));
+            out.push(Constraint::Le(lo));
+            true
+        };
+        let mut syms: BTreeSet<SymId> = BTreeSet::new();
+        for (c, gs) in &self.constraints {
+            let (Constraint::Eq(e) | Constraint::Le(e) | Constraint::Ne(e)) = c;
+            syms.extend(e.terms.keys().copied());
+            for g in gs {
+                syms.extend(g.terms.keys().copied());
+            }
+        }
+        let mut base = exact;
+        for s in &syms {
+            if !in_range(&LinExpr::sym(*s), &mut base) {
+                return Verdict::Unknown;
+            }
+        }
+        if matches!(solver::solve(&base), SolveResult::Unsat) {
+            return Verdict::Refuted;
+        }
+        let mut full = base.clone();
+        for (c, gs) in &self.constraints {
+            if !gs.is_empty() {
+                full.push(c.clone());
+            }
+        }
+        for g in &guards {
+            if !in_range(g, &mut full) {
+                return Verdict::Unknown;
+            }
+        }
+        match solver::solve(&full) {
+            SolveResult::Sat(model) => {
+                return Verdict::Sat {
+                    model: model
+                        .as_ref()
+                        .map(|m| self.extract_model(m))
+                        .unwrap_or_default(),
+                }
+            }
+            SolveResult::Unknown => return Verdict::Unknown,
+            SolveResult::Unsat => {}
+        }
+        for g in &guards {
+            let sides = [
+                // Wrapped high: g >= i64::MAX + 1.
+                max.add(&one).and_then(|m| m.sub(g)),
+                // Wrapped low: g <= i64::MIN - 1.
+                g.sub(&min).and_then(|d| d.add(&one)),
+            ];
+            for side in sides {
+                let Some(side) = side else {
+                    return Verdict::Unknown;
+                };
+                let mut sys = base.clone();
+                sys.push(Constraint::Le(side));
+                if !matches!(solver::solve(&sys), SolveResult::Unsat) {
+                    return Verdict::Unknown;
+                }
+            }
+        }
+        Verdict::Refuted
     }
 
     /// Replayable `(global, initial value)` pairs from a solver model.
@@ -528,6 +717,30 @@ impl<'w> Exec<'w> {
         out.sort();
         out
     }
+}
+
+/// Whether `e`'s value is guaranteed representable as `i64` when every
+/// symbol ranges over all of `i64` — the condition under which the exact
+/// linear form agrees with `mc-sim`'s wrapping `i64` arithmetic. (Every
+/// symbol stands for a concrete `i64`: an input global, a havoc, a call
+/// result, or an already-wrapped value.)
+fn fits_i64(e: &LinExpr) -> bool {
+    let (mut lo, mut hi) = (e.constant, e.constant);
+    for &c in e.terms.values() {
+        let (Some(a), Some(b)) = (
+            c.checked_mul(i64::MIN as i128),
+            c.checked_mul(i64::MAX as i128),
+        ) else {
+            return false;
+        };
+        let (term_lo, term_hi) = if c >= 0 { (a, b) } else { (b, a) };
+        let (Some(l), Some(h)) = (lo.checked_add(term_lo), hi.checked_add(term_hi)) else {
+            return false;
+        };
+        lo = l;
+        hi = h;
+    }
+    lo >= i64::MIN as i128 && hi <= i64::MAX as i128
 }
 
 /// Builds the normalized `e ⋈ 0` constraint for `lhs op rhs == truth`.
@@ -610,7 +823,7 @@ pub fn run(ops: &[PathOp], scope: &Scope, world: &dyn World) -> (Verdict, usize)
                         let av = ex.eval(a, &frame);
                         if let (Some(s), Some(av)) = (&s, av) {
                             if let Some(d) = s.sub(&av) {
-                                ex.constraints.push(Constraint::Eq(d));
+                                ex.push_cmp(Constraint::Eq(d), &[s, &av]);
                             }
                         }
                     }
@@ -619,7 +832,7 @@ pub fn run(ops: &[PathOp], scope: &Scope, world: &dyn World) -> (Verdict, usize)
                             let xv = ex.eval(x, &frame);
                             if let (Some(s), Some(xv)) = (&s, xv) {
                                 if let Some(d) = s.sub(&xv) {
-                                    ex.constraints.push(Constraint::Ne(d));
+                                    ex.push_cmp(Constraint::Ne(d), &[s, &xv]);
                                 }
                             }
                         }
@@ -630,15 +843,5 @@ pub fn run(ops: &[PathOp], scope: &Scope, world: &dyn World) -> (Verdict, usize)
         }
     }
     let n = ex.constraints.len();
-    match solver::solve(&ex.constraints) {
-        SolveResult::Unsat => (Verdict::Refuted, n),
-        SolveResult::Sat(Some(model)) => (
-            Verdict::Sat {
-                model: ex.extract_model(&model),
-            },
-            n,
-        ),
-        SolveResult::Sat(None) => (Verdict::Sat { model: Vec::new() }, n),
-        SolveResult::Unknown => (Verdict::Unknown, n),
-    }
+    (ex.decide(), n)
 }

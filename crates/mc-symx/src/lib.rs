@@ -32,7 +32,7 @@ pub mod slice;
 pub mod solver;
 
 pub use path::PathOp;
-pub use slice::{Scope, SliceStats};
+pub use slice::{for_each_child, Scope, SliceStats};
 
 use mc_ast::Function;
 use mc_cfg::{Cfg, PathStep};
@@ -281,6 +281,64 @@ mod tests {
         w.constants.clear();
         let a2 = analyze_witness(func_of(&w, "f"), &path, &w);
         assert!(matches!(a2.verdict, Verdict::Sat { .. }));
+    }
+
+    #[test]
+    fn multi_label_dispatch_does_not_refute_later_arm_guards() {
+        // Opcode dispatch through a multi-label arm: the witness that
+        // dispatched on `case 2` matches `case 1`'s step chain too, so no
+        // arm equality may be asserted — committing to `gOp == 1` would
+        // make the later taken `gOp == 2` guard UNSAT and unsoundly
+        // refute a feasible path.
+        let w = UnitWorld::parse(
+            "int gOp;\nint gErr;\nvoid f(void) {\n  switch (gOp) {\n  case 1:\n  case 2:\n    gErr = 1;\n    break;\n  }\n  if (gOp == 2) {\n    if (gErr > 0) {\n      gErr = 0;\n    }\n  }\n}\n",
+        );
+        let f = func_of(&w, "f");
+        // dirs: labeled arm index 1 (`case 2`), then both guards taken.
+        let a = analyze_witness(f, &witness(f, &[1, 1, 1]), &w);
+        assert!(
+            matches!(a.verdict, Verdict::Sat { .. }),
+            "got {:?}",
+            a.verdict
+        );
+        // A single-label arm still contributes its equality: dispatching
+        // on `case 1` of a switch whose arms differ contradicts a later
+        // taken `gOp == 2`.
+        let w2 = UnitWorld::parse(
+            "int gOp;\nint gErr;\nvoid f(void) {\n  switch (gOp) {\n  case 1:\n    gErr = 1;\n    break;\n  case 2:\n    gErr = 2;\n    break;\n  }\n  if (gOp == 2) {\n    if (gErr > 0) {\n      gErr = 0;\n    }\n  }\n}\n",
+        );
+        let f2 = func_of(&w2, "f");
+        let a2 = analyze_witness(f2, &witness(f2, &[0, 1, 1]), &w2);
+        assert_eq!(a2.verdict, Verdict::Refuted, "stats: {:?}", a2.stats);
+    }
+
+    #[test]
+    fn wraparound_feasible_paths_are_not_refuted() {
+        // `gNak = gCredit + 1` then a taken `gNak <= gCredit` is UNSAT
+        // over unbounded integers but concretely feasible at
+        // gCredit == i64::MAX, where mc-sim's wrapping add makes gNak
+        // negative. The wrap-aware decision must keep the report (it may
+        // be Unknown — the executor does not model the wrapped value —
+        // but never Refuted).
+        let w = UnitWorld::parse(
+            "int gCredit;\nint gNak;\nvoid f(void) {\n  gNak = gCredit + 1;\n  if (gNak <= gCredit) {\n    gNak = 0;\n  }\n}\n",
+        );
+        let f = func_of(&w, "f");
+        let a = analyze_witness(f, &witness(f, &[1]), &w);
+        assert!(
+            !matches!(a.verdict, Verdict::Refuted),
+            "wrap-only-feasible path was refuted (stats: {:?})",
+            a.stats
+        );
+        // The same arithmetic under a guard that pins the operands in
+        // range still refutes: gCredit == 0 forces gNak == 1, which
+        // cannot be negative.
+        let w2 = UnitWorld::parse(
+            "int gCredit;\nint gNak;\nvoid f(void) {\n  gNak = gCredit + 1;\n  if (gCredit == 0) {\n    if (gNak < 0) {\n      gNak = 0;\n    }\n  }\n}\n",
+        );
+        let f2 = func_of(&w2, "f");
+        let a2 = analyze_witness(f2, &witness(f2, &[1, 1]), &w2);
+        assert_eq!(a2.verdict, Verdict::Refuted, "stats: {:?}", a2.stats);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   condition's span, which makes the reconstruction deterministic;
 //! - `Switch` terminators emit `"switch case"` at the scrutinee's span
 //!   *without naming the arm* — the only nondeterminism, resolved by
-//!   backtracking over the labeled targets under a small budget;
+//!   backtracking over the labeled targets under a small budget; when
+//!   more than one labeled arm reconstructs (multi-label fall-through),
+//!   the dispatching value is ambiguous and recorded without an arm
+//!   equality;
 //! - `Jump` terminators emit nothing and are followed silently.
 //!
 //! Anything that does not reconstruct exactly — foreign-file steps from an
@@ -46,11 +49,17 @@ pub enum PathOp {
     Case {
         /// The switched expression.
         scrutinee: Expr,
-        /// `Some(v)` for `case v:` (implies `scrutinee == v`); `None` for
-        /// the default/fallthrough edge.
+        /// `Some(v)` when exactly one labeled arm reconstructs the rest of
+        /// the witness (implies `scrutinee == v`). `None` either for the
+        /// default/fallthrough edge (see `excluded`) or when *several*
+        /// labeled arms reconstruct — multi-label fall-through like
+        /// `case 1: case 2: body;` chains the arms to the same block, so
+        /// the step chain cannot say which value dispatched and no arm
+        /// equality may be asserted.
         arm: Option<Expr>,
         /// For the default edge: the labeled values that did *not* match
-        /// (each implies `scrutinee != v`).
+        /// (each implies `scrutinee != v`). Empty for labeled arms,
+        /// ambiguous or not.
         excluded: Vec<Expr>,
     },
     /// The function returned.
@@ -189,23 +198,37 @@ impl Recon<'_> {
             } => match self.evs.get(pos) {
                 Some(Ev::Case(span)) if *span == scrutinee.span => {
                     // The arm is not recorded in the step: try each labeled
-                    // target until one reconstructs.
-                    let mut hit = false;
+                    // target. If exactly one reconstructs, the arm equality
+                    // holds; if several do (multi-label fall-through arms
+                    // chain to the same block, so their step chains are
+                    // identical), the dispatching value is ambiguous and no
+                    // equality may be asserted — committing to the first
+                    // match could refute a path that actually dispatched on
+                    // a later label.
+                    let mut matched: Vec<(Expr, Vec<PathOp>)> = Vec::new();
                     for (value, target) in targets {
                         let Some(value) = value else { continue };
-                        let arm_mark = ops.len();
-                        ops.push(PathOp::Case {
-                            scrutinee: scrutinee.clone(),
-                            arm: Some(value.clone()),
-                            excluded: Vec::new(),
-                        });
-                        if self.walk(*target, pos + 1, ops) {
-                            hit = true;
-                            break;
+                        let mut arm_ops = Vec::new();
+                        if self.walk(*target, pos + 1, &mut arm_ops) {
+                            matched.push((value.clone(), arm_ops));
+                            if matched.len() > 1 {
+                                break;
+                            }
                         }
-                        ops.truncate(arm_mark);
                     }
-                    hit
+                    match matched.len() {
+                        0 => false,
+                        n => {
+                            let (value, arm_ops) = matched.swap_remove(0);
+                            ops.push(PathOp::Case {
+                                scrutinee: scrutinee.clone(),
+                                arm: (n == 1).then_some(value),
+                                excluded: Vec::new(),
+                            });
+                            ops.extend(arm_ops);
+                            true
+                        }
+                    }
                 }
                 Some(Ev::CaseDefault(span)) if *span == scrutinee.span => {
                     let target = targets
@@ -363,6 +386,25 @@ mod tests {
                 ..
             } => assert_eq!(excluded.len(), 2),
             other => panic!("expected default case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_label_fallthrough_arms_are_ambiguous() {
+        // `case 1:` has an empty body chained by Jump into `case 2:`'s, so
+        // both arms reconstruct the same step chain — the dispatching
+        // value cannot be recovered and no arm equality may be asserted.
+        let src = "void f(int m) {\n  switch (m) {\n  case 1:\n  case 2:\n    m = 20;\n    break;\n  }\n}\n";
+        let cfg = cfg_of(src, "f");
+        let ops = reconstruct(&cfg, &steps(&[(2, 11, "switch case"), (5, 5, "statement")]))
+            .expect("fall-through arms");
+        match &ops[0] {
+            PathOp::Case {
+                arm: None,
+                excluded,
+                ..
+            } => assert!(excluded.is_empty(), "ambiguous case excludes nothing"),
+            other => panic!("expected ambiguous case, got {other:?}"),
         }
     }
 

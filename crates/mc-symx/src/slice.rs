@@ -135,7 +135,7 @@ fn collect_expr(e: &Expr, scope: &mut Scope) {
 }
 
 /// Visits every direct subexpression of `e`.
-pub(crate) fn for_each_child(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+pub fn for_each_child(e: &Expr, f: &mut dyn FnMut(&Expr)) {
     match &e.kind {
         ExprKind::IntLit(..)
         | ExprKind::FloatLit(..)
@@ -188,9 +188,11 @@ struct DefUse {
 fn scan_expr(e: &Expr, du: &mut DefUse) {
     match &e.kind {
         ExprKind::Ident(name) => {
-            if key_of(e).is_some() {
-                du.uses.insert(name.clone());
-            }
+            // Manifest-constant names (`key_of == None`) count as uses
+            // too: a SHOUTING-named global may still be written, and the
+            // havocking store/call must survive the slice for reads on
+            // either side of it to be decided soundly.
+            du.uses.insert(name.clone());
         }
         ExprKind::Member { base, .. } => {
             if let Some(k) = key_of(e) {
