@@ -27,7 +27,9 @@ use crate::ast::{
     Declaration, Expr, ExprKind, ExternalDecl, Function, Initializer, Item, Stmt, StmtKind,
     SwitchCase, TranslationUnit,
 };
-use crate::printer::print_translation_unit;
+use crate::printer::{
+    print_external_decl_text, print_function_signature, print_function_text, print_translation_unit,
+};
 use crate::token::Span;
 
 /// The FNV-1a 64-bit offset basis.
@@ -121,6 +123,60 @@ impl Fingerprint {
             ast: Fingerprint::of_unit(unit),
         }
     }
+
+    /// Both hashes of one function definition (see [`FnFingerprint`]).
+    pub fn of_function(f: &Function) -> FnFingerprint {
+        let sig = {
+            let mut h = Fnv1a::new();
+            h.write_str(&print_function_signature(f));
+            h.finish()
+        };
+        let body = {
+            let mut h = Fnv1a::new();
+            h.write_u64(sig);
+            h.write_str(&print_function_text(f));
+            fold_function(&mut h, f);
+            h.finish()
+        };
+        FnFingerprint { body, sig }
+    }
+
+    /// Hash of a unit's *environment*: everything that can influence a
+    /// function's checks other than function bodies themselves —
+    /// preprocessor lines and every non-function item (globals with their
+    /// initializers, prototypes, struct/enum/typedef definitions), printed
+    /// and span-folded. Two units with equal environment hashes present
+    /// identical surroundings to any one function body.
+    pub fn of_unit_env(unit: &TranslationUnit) -> u64 {
+        let mut h = Fnv1a::new();
+        for line in &unit.preprocessor_lines {
+            h.write_str(line);
+        }
+        for item in &unit.items {
+            match item {
+                Item::Function(_) => {}
+                Item::Decl(d) => {
+                    h.write_str(&print_external_decl_text(d));
+                    fold_external(&mut h, d);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// The two content hashes of one function definition, the unit of
+/// red/green invalidation in the incremental engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FnFingerprint {
+    /// FNV-1a over the signature hash plus the whole printed definition
+    /// plus every node span. Any edit that could change this function's
+    /// own reports — including pure position shifts — changes this hash.
+    pub body: u64,
+    /// FNV-1a over the printed interface only (storage class, return type,
+    /// name, parameters). Body-only edits leave it unchanged, which is
+    /// what lets dependents stay green across them.
+    pub sig: u64,
 }
 
 fn fold_span(h: &mut Fnv1a, span: Span) {
@@ -345,6 +401,62 @@ mod tests {
         let fp = Fingerprint::new(src, &unit);
         assert_eq!(fp.source, Fingerprint::of_source(src));
         assert_eq!(fp.ast, Fingerprint::of_unit(&unit));
+    }
+
+    fn fn_fp(src: &str) -> FnFingerprint {
+        let unit = parse_translation_unit(src, "t.c").unwrap();
+        let f = unit.functions().next().unwrap();
+        Fingerprint::of_function(f)
+    }
+
+    #[test]
+    fn body_only_edits_keep_the_signature_hash() {
+        let a = fn_fp("void f(int n) { g(); }");
+        let b = fn_fp("void f(int n) { h(); }");
+        assert_ne!(a.body, b.body);
+        assert_eq!(a.sig, b.sig);
+    }
+
+    #[test]
+    fn signature_edits_change_both_hashes() {
+        let a = fn_fp("void f(int n) { g(); }");
+        let b = fn_fp("void f(int m) { g(); }");
+        assert_ne!(a.sig, b.sig);
+        assert_ne!(a.body, b.body);
+        let c = fn_fp("int f(int n) { g(); }");
+        assert_ne!(a.sig, c.sig);
+    }
+
+    #[test]
+    fn function_body_hash_covers_spans() {
+        // The same tokens at displaced positions must miss: cached reports
+        // carry line/col.
+        let a = fn_fp("void f(void) { g(); }");
+        let b = fn_fp("\nvoid f(void) { g(); }");
+        assert_eq!(a.sig, b.sig);
+        assert_ne!(a.body, b.body);
+    }
+
+    fn env_fp(src: &str) -> u64 {
+        Fingerprint::of_unit_env(&parse_translation_unit(src, "t.c").unwrap())
+    }
+
+    #[test]
+    fn unit_env_hash_ignores_function_bodies() {
+        assert_eq!(
+            env_fp("int gLen = 4;\nvoid f(void) { g(); }"),
+            env_fp("int gLen = 4;\nvoid f(void) { h(); i(); }")
+        );
+    }
+
+    #[test]
+    fn unit_env_hash_sees_globals_and_preprocessor_lines() {
+        let base = env_fp("int gLen = 4;\nvoid f(void) { g(); }");
+        assert_ne!(base, env_fp("int gLen = 5;\nvoid f(void) { g(); }"));
+        assert_ne!(
+            base,
+            env_fp("#define LIMIT 8\nint gLen = 4;\nvoid f(void) { g(); }")
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use ast::{
     BinaryOp, Declaration, Expr, ExprKind, ExternalDecl, Function, Initializer, Item, Param, Stmt,
     StmtKind, StorageClass, StructDef, SwitchCase, TranslationUnit, Type, UnaryOp,
 };
-pub use fingerprint::{fnv1a, Fingerprint, Fnv1a};
+pub use fingerprint::{fnv1a, Fingerprint, FnFingerprint, Fnv1a};
 pub use lexer::{LexError, Lexer};
 pub use parser::{parse_expr, parse_stmt, parse_translation_unit, ParseError, Parser};
 pub use printer::{print_expr, print_stmt, print_translation_unit};

@@ -41,8 +41,18 @@ pub fn print_expr(expr: &Expr) -> String {
     out
 }
 
-fn print_function(out: &mut String, f: &Function) {
-    write_storage(out, &f.storage);
+/// Prints one function definition (signature and body) as C source.
+pub fn print_function_text(f: &Function) -> String {
+    let mut out = String::new();
+    print_function(&mut out, f);
+    out
+}
+
+/// Prints a function's interface only: storage class, return type, name,
+/// and parameter list — everything a caller binds to, nothing of the body.
+pub fn print_function_signature(f: &Function) -> String {
+    let mut out = String::new();
+    write_storage(&mut out, &f.storage);
     let _ = write!(out, "{} {}(", type_prefix(&f.return_type), f.name);
     if f.params.is_empty() {
         out.push_str("void");
@@ -51,10 +61,23 @@ fn print_function(out: &mut String, f: &Function) {
             if i > 0 {
                 out.push_str(", ");
             }
-            write_decl_type(out, &p.ty, &p.name);
+            write_decl_type(&mut out, &p.ty, &p.name);
         }
     }
-    out.push_str(")\n{\n");
+    out.push(')');
+    out
+}
+
+/// Prints one non-function external declaration as C source.
+pub fn print_external_decl_text(d: &ExternalDecl) -> String {
+    let mut out = String::new();
+    print_external_decl(&mut out, d);
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    out.push_str(&print_function_signature(f));
+    out.push_str("\n{\n");
     for s in &f.body {
         write_stmt(out, s, 1);
     }

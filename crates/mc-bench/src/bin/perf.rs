@@ -335,6 +335,18 @@ struct IncPhase {
     phase: &'static str,
     wall_ms: f64,
     reports: usize,
+    /// Red functions: full per-function re-checks this phase ran.
+    functions_rechecked: usize,
+    /// Call-graph components whose program passes re-ran.
+    components_rechecked: usize,
+}
+
+/// Aggregated engine counters over every protocol of one corpus pass.
+#[derive(Default, Clone, Copy)]
+struct EngineRun {
+    reports: usize,
+    functions_rechecked: usize,
+    components_rechecked: usize,
 }
 
 fn build_drivers(specs: &[mc_checkers::flash::FlashSpec]) -> Vec<Driver> {
@@ -362,15 +374,29 @@ fn check_engines(
     engines: &mut [CheckEngine],
     drivers: &[Driver],
     sources: &[Vec<(String, String)>],
-) -> usize {
-    engines
-        .iter_mut()
-        .zip(drivers)
-        .zip(sources)
-        .map(|((e, d), s)| e.check_sources(d, s).expect("corpus parses").0.len())
-        .collect::<Vec<_>>()
-        .iter()
-        .sum()
+) -> EngineRun {
+    let mut run = EngineRun::default();
+    for ((e, d), s) in engines.iter_mut().zip(drivers).zip(sources) {
+        let (reports, stats) = e.check_sources(d, s).expect("corpus parses");
+        run.reports += reports.len();
+        run.functions_rechecked += stats.functions_rechecked;
+        run.components_rechecked += stats.components_rechecked;
+    }
+    run
+}
+
+/// The bench corpus with a hook-compliant probe function appended to the
+/// first protocol's first file, its body `stmts` statements long. Varying
+/// `stmts` between runs is a *body-only edit of one existing function in
+/// one file* — the editor-save scenario the red/green engine targets.
+fn with_probe_body(sources: &[Vec<(String, String)>], stmts: usize) -> Vec<Vec<(String, String)>> {
+    let mut out = sources.to_vec();
+    let first = out[0].first_mut().expect("protocol has files");
+    let body = "PROC_DEFS(); ".to_string() + &"PROC_PROLOGUE(); ".repeat(stmts);
+    first
+        .0
+        .push_str(&format!("\nvoid __bench_probe(void) {{ {body}}}\n"));
+    out
 }
 
 /// Measures cold / warm / warm-from-disk / one-file-dirty engine runs.
@@ -381,90 +407,93 @@ fn bench_incremental(
 ) -> Vec<IncPhase> {
     let drivers = build_drivers(specs);
     let root = std::env::temp_dir().join(format!("mc-bench-cache-{}", std::process::id()));
+    // Every phase runs the probed corpus, so the dirty phase measures a
+    // body edit of a function that already exists, not a new definition.
+    let base = with_probe_body(sources, 1);
 
     // Cold: fresh engine, empty cache directory (recreated every rep so
     // repetitions stay cold).
     let mut cold_best = f64::INFINITY;
-    let mut cold_reports = 0;
+    let mut cold = EngineRun::default();
     let mut engines = Vec::new();
     for _ in 0..reps {
         let _ = std::fs::remove_dir_all(&root);
-        engines = disk_engines(&root, sources.len());
+        engines = disk_engines(&root, base.len());
         let start = Instant::now();
-        cold_reports = check_engines(&mut engines, &drivers, sources);
+        cold = check_engines(&mut engines, &drivers, &base);
         cold_best = cold_best.min(start.elapsed().as_secs_f64() * 1e3);
     }
 
     // Warm: same engine, nothing changed — answered from the in-memory
     // program-level memo.
     let mut warm_best = f64::INFINITY;
-    let mut warm_reports = 0;
+    let mut warm = EngineRun::default();
     for _ in 0..reps {
         let start = Instant::now();
-        warm_reports = check_engines(&mut engines, &drivers, sources);
+        warm = check_engines(&mut engines, &drivers, &base);
         warm_best = warm_best.min(start.elapsed().as_secs_f64() * 1e3);
     }
 
     // Warm from disk: a fresh process (new engine) over the populated
     // cache directory.
     let mut disk_best = f64::INFINITY;
-    let mut disk_reports = 0;
+    let mut disk = EngineRun::default();
     for _ in 0..reps {
-        let mut fresh = disk_engines(&root, sources.len());
+        let mut fresh = disk_engines(&root, base.len());
         let start = Instant::now();
-        disk_reports = check_engines(&mut fresh, &drivers, sources);
+        disk = check_engines(&mut fresh, &drivers, &base);
         disk_best = disk_best.min(start.elapsed().as_secs_f64() * 1e3);
     }
 
-    // One file dirty: append a hook-compliant no-op function to each
-    // protocol's first file; only that unit re-checks, everything else
-    // replays. The probe name varies per rep so every rep measures a real
+    // One file dirty: the editor-save scenario — a body-only edit to one
+    // function in one file of the whole corpus. The function-granular
+    // engine re-checks just the edited probe and replays everything else
+    // green; the untouched protocols answer from their program-level
+    // memos. The probe body varies per rep so every rep measures a real
     // clean-to-dirty transition instead of hitting the previous rep's
     // memoized dirty result.
     let mut dirty_best = f64::INFINITY;
-    let mut dirty_reports = 0;
+    let mut dirty = EngineRun::default();
     for rep in 0..reps {
-        let mut dirty_sources = sources.to_vec();
-        for srcs in &mut dirty_sources {
-            if let Some(first) = srcs.first_mut() {
-                first.0.push_str(&format!(
-                    "\nvoid __bench_probe{rep}(void) {{ PROC_DEFS(); PROC_PROLOGUE(); }}\n"
-                ));
-            }
-        }
+        let dirty_sources = with_probe_body(sources, rep + 2);
         // Re-prime with the clean corpus so every rep starts from the same
         // warm state (cheap: program-level memo hit).
-        check_engines(&mut engines, &drivers, sources);
+        check_engines(&mut engines, &drivers, &base);
         let start = Instant::now();
-        dirty_reports = check_engines(&mut engines, &drivers, &dirty_sources);
+        dirty = check_engines(&mut engines, &drivers, &dirty_sources);
         dirty_best = dirty_best.min(start.elapsed().as_secs_f64() * 1e3);
     }
 
-    assert_eq!(warm_reports, cold_reports, "warm run changed the reports");
-    assert_eq!(disk_reports, cold_reports, "disk-warm run changed reports");
+    assert_eq!(warm.reports, cold.reports, "warm run changed the reports");
+    assert_eq!(disk.reports, cold.reports, "disk-warm run changed reports");
+
+    // The replay must be byte-identical, not merely count-identical: one
+    // more dirty transition, diffed report-by-report against the batch
+    // driver on the same edited sources.
+    check_engines(&mut engines, &drivers, &base);
+    let final_sources = with_probe_body(sources, reps + 2);
+    for ((e, d), s) in engines.iter_mut().zip(&drivers).zip(&final_sources) {
+        let (replayed, _) = e.check_sources(d, s).expect("corpus parses");
+        let batch = d.check_sources(s).expect("corpus parses");
+        assert_eq!(
+            replayed, batch,
+            "function-granular replay diverged from the batch driver"
+        );
+    }
     let _ = std::fs::remove_dir_all(&root);
 
+    let phase = |phase: &'static str, wall_ms: f64, run: EngineRun| IncPhase {
+        phase,
+        wall_ms,
+        reports: run.reports,
+        functions_rechecked: run.functions_rechecked,
+        components_rechecked: run.components_rechecked,
+    };
     vec![
-        IncPhase {
-            phase: "cold",
-            wall_ms: cold_best,
-            reports: cold_reports,
-        },
-        IncPhase {
-            phase: "warm",
-            wall_ms: warm_best,
-            reports: warm_reports,
-        },
-        IncPhase {
-            phase: "warm_disk",
-            wall_ms: disk_best,
-            reports: disk_reports,
-        },
-        IncPhase {
-            phase: "one_dirty",
-            wall_ms: dirty_best,
-            reports: dirty_reports,
-        },
+        phase("cold", cold_best, cold),
+        phase("warm", warm_best, warm),
+        phase("warm_disk", disk_best, disk),
+        phase("one_dirty", dirty_best, dirty),
     ]
 }
 
@@ -569,11 +598,14 @@ fn main() {
     let cold_ms = inc[0].wall_ms;
     for p in &inc {
         println!(
-            "incremental {:<9} wall={:8.2} ms  {:6.1}x vs cold  {} reports",
+            "incremental {:<9} wall={:8.2} ms  {:6.1}x vs cold  {} reports  \
+             ({} functions re-checked, {} components)",
             p.phase,
             p.wall_ms,
             cold_ms / p.wall_ms,
-            p.reports
+            p.reports,
+            p.functions_rechecked,
+            p.components_rechecked
         );
     }
     let warm_speedup = cold_ms / inc[1].wall_ms;
@@ -581,6 +613,17 @@ fn main() {
     assert!(
         warm_speedup >= 5.0,
         "warm re-check is only {warm_speedup:.1}x faster than cold (expected >= 5x)"
+    );
+    assert!(
+        one_dirty_speedup >= 10.0,
+        "one-dirty re-check is only {one_dirty_speedup:.1}x faster than cold \
+         (expected >= 10x with function-granular invalidation)"
+    );
+    assert!(
+        inc[3].functions_rechecked * 10 < functions,
+        "a body-only edit re-checked {} of {functions} corpus functions \
+         (expected < 10% on the per-function path)",
+        inc[3].functions_rechecked
     );
 
     let ip_jobs = jobs_list.iter().copied().max().unwrap_or(1);
@@ -666,6 +709,14 @@ fn main() {
                                         Json::Float((p.wall_ms * 1e3).round() / 1e3),
                                     ),
                                     ("reports".into(), Json::Int(p.reports as i64)),
+                                    (
+                                        "functions_rechecked".into(),
+                                        Json::Int(p.functions_rechecked as i64),
+                                    ),
+                                    (
+                                        "components_rechecked".into(),
+                                        Json::Int(p.components_rechecked as i64),
+                                    ),
                                 ])
                             })
                             .collect(),

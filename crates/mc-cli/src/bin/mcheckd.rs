@@ -1,0 +1,16 @@
+//! `mcheckd`: the persistent mcheck daemon and its client subcommands.
+//!
+//! See `mc_cli::daemon` for the JSON-RPC protocol. Unix only — the
+//! transport is a unix domain socket.
+
+#[cfg(unix)]
+fn main() {
+    let code = mc_cli::daemon::cli_main(std::env::args().skip(1));
+    std::process::exit(i32::from(code));
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("mcheckd: unix domain sockets are required; this platform has none");
+    std::process::exit(2);
+}

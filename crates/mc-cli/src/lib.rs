@@ -21,16 +21,20 @@
 
 use mc_checkers::flash::FlashSpec;
 use mc_driver::cache::DiskCache;
-use mc_driver::{CheckEngine, Driver, MetalEngine, Report, Severity, Verdict};
+use mc_driver::{
+    CheckEngine, Driver, Invalidation, MetalEngine, Report, RunStats, Severity, Verdict,
+};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
 mod baseline;
+#[cfg(unix)]
+pub mod daemon;
 mod render;
 
 pub use baseline::{apply_baseline, Baseline, BaselineEntry, BaselineOutcome};
-pub use render::{partition_refuted, partition_suppressed, render, Format};
+pub use render::{json_envelope, partition_refuted, partition_suppressed, render, Format};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +88,11 @@ pub struct Options {
     /// Bound the on-disk cache to this many bytes; the oldest record files
     /// are evicted when a store pushes the total over (`None`: unbounded).
     pub cache_cap_bytes: Option<u64>,
+    /// Granularity at which a dirty file's previous results are reused
+    /// (`--invalidate function|component`). Function is the default;
+    /// component keeps the coarser pre-function-index behavior as a
+    /// differential oracle. Reports are byte-identical either way.
+    pub invalidate: Invalidation,
     /// Keep running: poll the input files (mtime + content hash) and
     /// re-check on every change.
     pub watch: bool,
@@ -92,6 +101,11 @@ pub struct Options {
     /// Stop watching after this many check cycles (`None`: run until
     /// killed). Mainly for scripting and tests.
     pub watch_iterations: Option<usize>,
+    /// Drive `--watch` through an `mcheckd` daemon on this unix socket
+    /// instead of an in-process engine: the watch loop becomes a thin
+    /// client that connects to a running daemon (or spawns one) and sends
+    /// a `check` request per settled edit burst. Unix only.
+    pub daemon_socket: Option<PathBuf>,
     /// C sources to check.
     pub files: Vec<PathBuf>,
 }
@@ -118,9 +132,11 @@ impl Default for Options {
             cache_dir: None,
             no_cache: false,
             cache_cap_bytes: None,
+            invalidate: Invalidation::default(),
             watch: false,
             watch_interval_ms: 500,
             watch_iterations: None,
+            daemon_socket: None,
             files: Vec::new(),
         }
     }
@@ -186,10 +202,22 @@ usage: mcheck [OPTIONS] <file.c>...
   --cache-cap-bytes <n>    bound the on-disk cache: evict the oldest
                            record files when a store pushes the total
                            size over n bytes (default unbounded)
+  --invalidate <function|component>
+                           granularity of cached-result reuse inside a
+                           dirty file (default function: red/green per
+                           function; component re-checks the whole file,
+                           kept as a differential oracle — reports are
+                           byte-identical either way)
   --watch                  keep running: poll the input files (mtime +
-                           content hash) and re-check on every change
+                           content hash) and re-check on every change;
+                           bursts of edits inside one poll interval
+                           coalesce into a single re-check
   --watch-interval <ms>    watch poll interval (default 500)
   --watch-iterations <n>   exit after n check cycles (for scripting/tests)
+  --daemon-socket <path>   drive --watch through an mcheckd daemon on this
+                           unix socket: connect to a running daemon (or
+                           spawn one) and send a check request per edit
+                           instead of checking in-process (unix only)
   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
   --seed <n>               corpus seed (default 0xF1A5)
   --help                   show this message
@@ -286,6 +314,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                     }
                 }
             }
+            "--invalidate" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--invalidate needs a value".into()))?;
+                opts.invalidate = match v.as_str() {
+                    "function" => Invalidation::Function,
+                    "component" => Invalidation::Component,
+                    other => {
+                        return Err(CliError(format!(
+                            "unknown invalidation granularity `{other}` (function | component)"
+                        )))
+                    }
+                };
+            }
             "--watch" => opts.watch = true,
             "--watch-interval" => {
                 let v = it
@@ -307,6 +349,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                         )))
                     }
                 }
+            }
+            "--daemon-socket" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--daemon-socket needs a path".into()))?;
+                opts.daemon_socket = Some(PathBuf::from(v));
             }
             "--emit-corpus" => {
                 let v = it
@@ -411,15 +459,45 @@ fn read_sources(files: &[PathBuf]) -> Result<Vec<(String, String)>, CliError> {
 ///
 /// Returns [`CliError`] if the cache directory cannot be created.
 pub fn engine_for(opts: &Options) -> Result<CheckEngine, CliError> {
-    match &opts.cache_dir {
+    let mut engine = match &opts.cache_dir {
         Some(dir) if !opts.no_cache => {
             let mut disk =
                 DiskCache::open(dir).map_err(|e| CliError(format!("{}: {e}", dir.display())))?;
             disk.set_cap_bytes(opts.cache_cap_bytes);
-            Ok(CheckEngine::with_disk(disk))
+            CheckEngine::with_disk(disk)
         }
-        _ => Ok(CheckEngine::in_memory()),
+        _ => CheckEngine::in_memory(),
+    };
+    engine.set_invalidation(opts.invalidate);
+    Ok(engine)
+}
+
+/// One engine-backed check of `sources` with the same post-processing as
+/// [`run`]: metal load diagnostics folded in, confirmed-verdict promotion,
+/// confidence ordering, then the refuted and suppressed partitions.
+/// Returns the reports to show plus the suppressed count, the refuted
+/// count, and the engine's [`RunStats`]. Shared by the watch loop and the
+/// `mcheckd` daemon so every client surface agrees byte-for-byte with a
+/// batch run.
+pub fn checked_reports(
+    driver: &Driver,
+    engine: &mut CheckEngine,
+    opts: &Options,
+    sources: &[(String, String)],
+) -> Result<(Vec<Report>, usize, usize, RunStats), CliError> {
+    let (mut reports, stats) = engine
+        .check_sources(driver, sources)
+        .map_err(|e| CliError(e.to_string()))?;
+    reports.extend(driver.metal_load_diagnostics());
+    if opts.refute {
+        promote_confirmed(&mut reports, sources);
     }
+    Report::sort_by_confidence(&mut reports);
+    let (reports, refuted) = partition_refuted(reports);
+    let mut supp_sources = sources.to_vec();
+    supp_sources.extend(read_sources(&opts.checkers)?);
+    let (reports, suppressed) = partition_suppressed(reports, &supp_sources);
+    Ok((reports, suppressed, refuted, stats))
 }
 
 /// Executes the parsed options. Returns the reports (empty for
@@ -547,6 +625,10 @@ fn poll_changed(files: &[PathBuf], snaps: &mut [FileSnap]) -> bool {
 /// Returns [`CliError`] only for setup failures: unreadable spec/checker
 /// files or an unusable cache directory.
 pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    #[cfg(unix)]
+    if let Some(socket) = &opts.daemon_socket {
+        return daemon::run_watch_client(opts, socket, out);
+    }
     let driver = build_driver(opts)?;
     let mut engine = engine_for(opts)?;
     let interval = std::time::Duration::from_millis(opts.watch_interval_ms.max(1));
@@ -600,11 +682,30 @@ pub fn run_watch(opts: &Options, out: &mut dyn std::io::Write) -> Result<(), Cli
         if opts.watch_iterations.is_some_and(|n| cycles >= n) {
             return Ok(());
         }
-        loop {
-            std::thread::sleep(interval);
-            if poll_changed(&opts.files, &mut snaps) {
-                break;
-            }
+        wait_for_settled_change(&opts.files, &mut snaps, interval);
+    }
+}
+
+/// Blocks until the watched files change *and then stop changing*: after
+/// the first detected change, polling continues until one full interval
+/// passes with no further change, so a burst of rapid edits (an editor
+/// save immediately followed by a formatter rewrite) coalesces into a
+/// single re-check of the final content instead of one per write.
+fn wait_for_settled_change(
+    files: &[PathBuf],
+    snaps: &mut [FileSnap],
+    interval: std::time::Duration,
+) {
+    loop {
+        std::thread::sleep(interval);
+        if poll_changed(files, snaps) {
+            break;
+        }
+    }
+    loop {
+        std::thread::sleep(interval);
+        if !poll_changed(files, snaps) {
+            return;
         }
     }
 }
@@ -986,6 +1087,40 @@ mod cache_tests {
     }
 
     #[test]
+    fn invalidate_flag_parses() {
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert_eq!(
+            o.invalidate,
+            Invalidation::Function,
+            "function granularity is the default"
+        );
+        let o = args(&["--builtin", "--invalidate", "component", "a.c"]).unwrap();
+        assert_eq!(o.invalidate, Invalidation::Component);
+        let o = args(&["--builtin", "--invalidate", "function", "a.c"]).unwrap();
+        assert_eq!(o.invalidate, Invalidation::Function);
+        assert!(args(&["--builtin", "--invalidate", "file", "a.c"]).is_err());
+        assert!(args(&["--builtin", "--invalidate"]).is_err());
+        assert!(USAGE.contains("--invalidate"));
+    }
+
+    #[test]
+    fn daemon_socket_flag_parses() {
+        let o = args(&[
+            "--builtin",
+            "--watch",
+            "--daemon-socket",
+            "/tmp/mcheckd.sock",
+            "a.c",
+        ])
+        .unwrap();
+        assert_eq!(o.daemon_socket, Some(PathBuf::from("/tmp/mcheckd.sock")));
+        let o = args(&["--builtin", "a.c"]).unwrap();
+        assert_eq!(o.daemon_socket, None);
+        assert!(args(&["--builtin", "--daemon-socket"]).is_err());
+        assert!(USAGE.contains("--daemon-socket"));
+    }
+
+    #[test]
     fn exit_codes_zero_one() {
         assert_eq!(exit_code(&[]), 0);
         let r = Report::warning("c", "f.c", "g", mc_ast::Span::new(1, 1), "m");
@@ -1054,6 +1189,43 @@ mod cache_tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("[watch] checked 1 file(s)"), "{text}");
         assert!(text.contains("wait_for_db"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Regression (debounce): an editor save immediately followed by a
+    // formatter rewrite must coalesce into ONE re-check that sees the
+    // final content — not one re-check per write.
+    #[test]
+    fn watch_coalesces_rapid_edit_bursts() {
+        let dir = temp_dir("debounce");
+        let src = dir.join("d.c");
+        std::fs::write(&src, "void d(void) { a(); }").unwrap();
+        let mut opts = args(&["--builtin", "--watch", src.to_str().unwrap()]).unwrap();
+        opts.watch_interval_ms = 50;
+        opts.watch_iterations = Some(2);
+        let src2 = src.clone();
+        let writer = std::thread::spawn(move || {
+            // The save...
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            std::fs::write(&src2, "void d(void) { b(); }").unwrap();
+            // ...and the formatter rewrite, well inside the next poll
+            // interval.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            std::fs::write(&src2, "void d(void) { MISCBUS_READ_DB(a, b); }").unwrap();
+        });
+        let mut out = Vec::new();
+        run_watch(&opts, &mut out).unwrap();
+        writer.join().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.matches("[watch] checked").count(),
+            2,
+            "initial check + one coalesced re-check: {text}"
+        );
+        assert!(
+            text.contains("wait_for_db"),
+            "the re-check saw the burst's final content: {text}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

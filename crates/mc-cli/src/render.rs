@@ -220,8 +220,11 @@ fn write_excerpt(text: &str, line: u32, col: u32, out: &mut dyn Write) {
     let _ = writeln!(out, "      | {pad}^");
 }
 
-/// Builds the documented JSON envelope.
-fn json_envelope(reports: &[Report], suppressed: usize, refuted: usize) -> Json {
+/// Builds the documented `mcheck-reports` JSON envelope (the module docs'
+/// schema): the same value `--format json` pretty-prints, also reused
+/// verbatim by the `mcheckd` daemon for check responses and push-style
+/// diagnostics.
+pub fn json_envelope(reports: &[Report], suppressed: usize, refuted: usize) -> Json {
     let reports_json: Vec<Json> = reports
         .iter()
         .map(|r| {
@@ -554,7 +557,7 @@ mod tests {
     #[test]
     fn json_envelope_carries_schema_and_fingerprints() {
         let r = sample_report();
-        let v = json_envelope(&[r.clone()], 1, 4);
+        let v = json_envelope(std::slice::from_ref(&r), 1, 4);
         assert_eq!(
             v.get("schema").and_then(Json::as_str),
             Some("mcheck-reports")

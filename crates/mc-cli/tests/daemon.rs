@@ -1,0 +1,281 @@
+//! End-to-end tests for the `mcheckd` daemon: real binaries, a real unix
+//! socket, and the contract that every transport — daemon `check`,
+//! `--watch --daemon-socket`, and batch `mcheck` — reports the same
+//! thing byte for byte.
+#![cfg(unix)]
+
+use mc_json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const MCHECKD: &str = env!("CARGO_BIN_EXE_mcheckd");
+const MCHECK: &str = env!("CARGO_BIN_EXE_mcheck");
+
+/// A fresh scratch directory plus a socket path short enough for
+/// `sockaddr_un` (the temp dir keeps paths well under the limit).
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("mcheckd_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("d.sock");
+    (dir, socket)
+}
+
+/// The planted-bug source every test checks: one raw read, one double
+/// free.
+fn write_buggy_source(dir: &std::path::Path) -> PathBuf {
+    let src = dir.join("h.c");
+    std::fs::write(
+        &src,
+        "void h(void) { MISCBUS_READ_DB(a, b); DB_FREE(); DB_FREE(); }\n",
+    )
+    .unwrap();
+    src.canonicalize().unwrap()
+}
+
+fn connect_with_retry(socket: &std::path::Path) -> UnixStream {
+    for _ in 0..100 {
+        if let Ok(s) = UnixStream::connect(socket) {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("daemon never came up on {}", socket.display());
+}
+
+fn shutdown(socket: &std::path::Path) {
+    let _ = Command::new(MCHECKD)
+        .args(["shutdown", "--socket"])
+        .arg(socket)
+        .output();
+}
+
+/// `mcheckd check` with no daemon running: the client spawns one
+/// (fall-back path), and the envelope it prints is byte-identical to
+/// batch `mcheck --format json` over the same file.
+#[test]
+fn daemon_check_spawns_and_matches_batch_output() {
+    let (dir, socket) = scratch("spawn");
+    let src = write_buggy_source(&dir);
+
+    let daemon_out = Command::new(MCHECKD)
+        .args(["check", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .output()
+        .unwrap();
+    shutdown(&socket);
+    assert_eq!(
+        daemon_out.status.code(),
+        Some(1),
+        "reports were emitted: {}",
+        String::from_utf8_lossy(&daemon_out.stderr)
+    );
+
+    let batch_out = Command::new(MCHECK)
+        .args(["--builtin", "--format", "json"])
+        .arg(&src)
+        .output()
+        .unwrap();
+    assert_eq!(batch_out.status.code(), Some(1));
+
+    let daemon_env = Json::parse(std::str::from_utf8(&daemon_out.stdout).unwrap()).unwrap();
+    let batch_env = Json::parse(std::str::from_utf8(&batch_out.stdout).unwrap()).unwrap();
+    assert_eq!(
+        daemon_env.get("schema").and_then(Json::as_str),
+        Some("mcheck-reports")
+    );
+    assert_eq!(
+        daemon_env, batch_env,
+        "daemon transport changed the reports"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A second `serve` on a live socket is refused; a stale socket file
+/// (its daemon long dead) is reaped and rebound.
+#[test]
+fn serve_refuses_live_socket_and_reaps_stale_one() {
+    let (dir, socket) = scratch("stale");
+    let src = write_buggy_source(&dir);
+
+    // Plant a stale socket file: bind and immediately drop the listener.
+    // The file stays behind, but nothing accepts on it.
+    drop(UnixListener::bind(&socket).unwrap());
+    assert!(socket.exists(), "stale socket file planted");
+
+    let mut daemon = Command::new(MCHECKD)
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    drop(connect_with_retry(&socket)); // reaped + rebound
+
+    let second = Command::new(MCHECKD)
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .output()
+        .unwrap();
+    assert_eq!(second.status.code(), Some(2), "double-bind must be refused");
+    assert!(
+        String::from_utf8_lossy(&second.stderr).contains("already listening"),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+
+    shutdown(&socket);
+    let _ = daemon.wait();
+    assert!(!socket.exists(), "shutdown removes the socket file");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `subscribe` connections receive a push `diagnostics` notification —
+/// the same mcheck-reports envelope — whenever any other client checks.
+#[test]
+fn subscribers_get_push_diagnostics() {
+    let (dir, socket) = scratch("subscribe");
+    let src = write_buggy_source(&dir);
+
+    let mut daemon = Command::new(MCHECKD)
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut sub = connect_with_retry(&socket);
+    writeln!(sub, r#"{{"id": 7, "method": "subscribe"}}"#).unwrap();
+    let mut reader = BufReader::new(sub.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(line.trim()).unwrap();
+    assert_eq!(resp.get("id").and_then(Json::as_i64), Some(7));
+    assert_eq!(
+        resp.get("result")
+            .and_then(|r| r.get("ok"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // Another client triggers a check; the subscriber gets the push.
+    let check = Command::new(MCHECKD)
+        .args(["check", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .output()
+        .unwrap();
+    assert_eq!(check.status.code(), Some(1));
+    let mut push = String::new();
+    reader.read_line(&mut push).unwrap();
+    let note = Json::parse(push.trim()).unwrap();
+    assert_eq!(
+        note.get("method").and_then(Json::as_str),
+        Some("diagnostics")
+    );
+    let envelope = note.get("params").unwrap();
+    assert_eq!(
+        envelope.get("schema").and_then(Json::as_str),
+        Some("mcheck-reports")
+    );
+    assert!(
+        !envelope
+            .get("reports")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty(),
+        "the planted bugs ride the push"
+    );
+
+    shutdown(&socket);
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `invalidate` drops the memo tables (observable only as a still-correct
+/// next check), and `shutdown` against a dead socket exits 0.
+#[test]
+fn invalidate_then_recheck_and_idempotent_shutdown() {
+    let (dir, socket) = scratch("invalidate");
+    let src = write_buggy_source(&dir);
+
+    let first = Command::new(MCHECKD)
+        .args(["check", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .output()
+        .unwrap();
+    assert_eq!(first.status.code(), Some(1));
+
+    let inv = Command::new(MCHECKD)
+        .args(["invalidate", "--socket"])
+        .arg(&socket)
+        .output()
+        .unwrap();
+    assert_eq!(inv.status.code(), Some(0), "{:?}", inv);
+
+    let second = Command::new(MCHECKD)
+        .args(["check", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .output()
+        .unwrap();
+    assert_eq!(second.status.code(), Some(1));
+    assert_eq!(
+        Json::parse(std::str::from_utf8(&first.stdout).unwrap()).unwrap(),
+        Json::parse(std::str::from_utf8(&second.stdout).unwrap()).unwrap(),
+        "invalidation must not change the reports"
+    );
+
+    shutdown(&socket);
+    // Second shutdown: nothing is listening; still exit 0.
+    let again = Command::new(MCHECKD)
+        .args(["shutdown", "--socket"])
+        .arg(&socket)
+        .output()
+        .unwrap();
+    assert_eq!(again.status.code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `mcheck --watch --daemon-socket` is a thin client: it spawns the
+/// daemon (via `MCHECKD_BIN`), sends a check request, and prints the
+/// daemon's envelope.
+#[test]
+fn watch_through_daemon_socket_prints_daemon_reports() {
+    let (dir, socket) = scratch("watch");
+    let src = write_buggy_source(&dir);
+
+    let out = Command::new(MCHECK)
+        .env("MCHECKD_BIN", MCHECKD)
+        .args(["--builtin", "--watch", "--watch-iterations", "1"])
+        .arg("--daemon-socket")
+        .arg(&socket)
+        .arg(&src)
+        .output()
+        .unwrap();
+    shutdown(&socket);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("[watch] daemon checked 1 file(s)"),
+        "{text}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("mcheck-reports"), "{text}");
+    assert!(text.contains("wait_for_db"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

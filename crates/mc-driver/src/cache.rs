@@ -247,6 +247,194 @@ impl FromJson for SummaryRecord {
     }
 }
 
+/// Stable content hash of one function summary — the *interface hash* a
+/// dependent function records when its reports consult this summary.
+///
+/// Hashing the serialized summary (rather than the inputs that produced
+/// it) is what lets a callee body edit that leaves the summary unchanged
+/// green-light every dependent.
+pub fn summary_content_hash(s: &FnSummary) -> u64 {
+    mc_ast::fnv1a(mc_json::to_string(&summary_to_json(s)).as_bytes())
+}
+
+/// One function's cached check results plus the reads they depended on,
+/// as recorded by the function-granular red/green engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FnEntry {
+    /// Function name.
+    pub name: String,
+    /// Span-folded body fingerprint ([`mc_ast::FnFingerprint::body`]).
+    pub body_fp: u64,
+    /// Signature/interface fingerprint ([`mc_ast::FnFingerprint::sig`]).
+    pub sig_fp: u64,
+    /// This function's local diagnostics, in checker order, exactly the
+    /// slice a cold run contributes for it.
+    pub reports: Vec<Report>,
+    /// Program-pass facts emitted per native checker (registration
+    /// order). Facts are opaque and never cached; the *counts* let the
+    /// engine skip fact regeneration entirely for functions that emit
+    /// none.
+    pub fact_counts: Vec<u64>,
+    /// Recorded same-unit reads: every function in this unit transitively
+    /// reachable from this one through call edges, with its body
+    /// fingerprint at check time. Witness refutation inlines same-file
+    /// callee bodies, so a change to any of these can change this
+    /// function's verdicts.
+    pub local_deps: Vec<(String, u64)>,
+    /// Recorded summary reads: every callee name this function's checks
+    /// could resolve through the summary store, with the callee's summary
+    /// content hash at check time ([`summary_content_hash`]), or `None`
+    /// if the name had no summary (so a *newly appearing* summary also
+    /// turns this function red).
+    pub summary_deps: Vec<(String, Option<u64>)>,
+}
+
+fn dep_to_json(name: &str, hash: Option<u64>) -> Json {
+    object(vec![
+        ("name", Json::Str(name.into())),
+        ("hash", Json::Str(hash.map(key_hex).unwrap_or_default())),
+    ])
+}
+
+fn dep_from_json(v: &Json) -> Result<(String, Option<u64>), JsonError> {
+    let name: String = field(v, "name")?;
+    let s: String = field(v, "hash")?;
+    if s.is_empty() {
+        return Ok((name, None));
+    }
+    if s.len() != 16 {
+        return Err(JsonError::expected("16-digit hex key"));
+    }
+    let h = u64::from_str_radix(&s, 16).map_err(|_| JsonError::expected("hex key"))?;
+    Ok((name, Some(h)))
+}
+
+fn fn_entry_to_json(e: &FnEntry) -> Json {
+    object(vec![
+        ("name", Json::Str(e.name.clone())),
+        ("body_fp", Json::Str(key_hex(e.body_fp))),
+        ("sig_fp", Json::Str(key_hex(e.sig_fp))),
+        ("reports", e.reports.to_json()),
+        ("fact_counts", e.fact_counts.to_json()),
+        (
+            "local_deps",
+            Json::Array(
+                e.local_deps
+                    .iter()
+                    .map(|(n, fp)| dep_to_json(n, Some(*fp)))
+                    .collect(),
+            ),
+        ),
+        (
+            "summary_deps",
+            Json::Array(
+                e.summary_deps
+                    .iter()
+                    .map(|(n, h)| dep_to_json(n, *h))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn fn_entry_from_json(v: &Json) -> Result<FnEntry, JsonError> {
+    let deps = |name: &str| -> Result<Vec<(String, Option<u64>)>, JsonError> {
+        v.get(name)
+            .and_then(|d| d.as_array())
+            .ok_or_else(|| JsonError::expected("dep array"))?
+            .iter()
+            .map(dep_from_json)
+            .collect()
+    };
+    let local_deps = deps("local_deps")?
+        .into_iter()
+        .map(|(n, h)| {
+            h.map(|h| (n, h))
+                .ok_or_else(|| JsonError::expected("body fp"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FnEntry {
+        name: field(v, "name")?,
+        body_fp: key_from_json(v, "body_fp")?,
+        sig_fp: key_from_json(v, "sig_fp")?,
+        reports: field(v, "reports")?,
+        fact_counts: field(v, "fact_counts")?,
+        local_deps,
+        summary_deps: deps("summary_deps")?,
+    })
+}
+
+/// The per-function dependency index of one source file — the red/green
+/// baseline a dirty file is diffed against.
+///
+/// Unlike the other records, which are immutable values at
+/// content-addressed keys, this one lives at a *file-addressed* slot
+/// (`H(suite, file name)`) and is overwritten whenever the file's checked
+/// state moves: it always describes the latest snapshot the engine
+/// produced for that file under that suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnIndexRecord {
+    /// Key folding the suite key and the file name.
+    pub key: u64,
+    /// The unit's source key at snapshot time, for freshness checks
+    /// without a parse.
+    pub src_key: u64,
+    /// The unit's environment hash at snapshot time
+    /// ([`mc_ast::Fingerprint::of_unit_env`] plus the unit's written-global
+    /// set).
+    pub env_fp: u64,
+    /// Per-function entries in definition order.
+    pub functions: Vec<FnEntry>,
+}
+
+impl ToJson for FnIndexRecord {
+    fn to_json(&self) -> Json {
+        object(vec![
+            ("kind", Json::Str("fnindex".into())),
+            ("version", CACHE_FORMAT_VERSION.to_json()),
+            ("key", Json::Str(key_hex(self.key))),
+            ("src_key", Json::Str(key_hex(self.src_key))),
+            ("env_fp", Json::Str(key_hex(self.env_fp))),
+            (
+                "functions",
+                Json::Array(self.functions.iter().map(fn_entry_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for FnIndexRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        check_tag(v, "fnindex")?;
+        let functions = v
+            .get("functions")
+            .and_then(|f| f.as_array())
+            .ok_or_else(|| JsonError::expected("functions array"))?
+            .iter()
+            .map(fn_entry_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FnIndexRecord {
+            key: key_from_json(v, "key")?,
+            src_key: key_from_json(v, "src_key")?,
+            env_fp: key_from_json(v, "env_fp")?,
+            functions,
+        })
+    }
+}
+
+/// The result of a function-index load: a corrupt record is still a miss
+/// (any doubt ⇒ miss, never a panic), but the engine counts it loudly in
+/// [`RunStats::fn_index_corrupt`](crate::RunStats::fn_index_corrupt).
+#[derive(Debug)]
+pub enum FnIndexLoad {
+    /// A validated record.
+    Hit(FnIndexRecord),
+    /// No record stored under this key.
+    Miss,
+    /// A record file exists but fails to parse or validate.
+    Corrupt,
+}
+
 /// The cached final report vector of one whole program run.
 ///
 /// A hit short-circuits everything: when no source changed (and the suite
@@ -423,6 +611,24 @@ impl DiskCache {
         self.store(self.path("sumy", rec.key), &mc_json::to_string(rec));
     }
 
+    /// Looks up a file's per-function dependency index, distinguishing a
+    /// missing record from a corrupt one so the engine can surface the
+    /// latter as a stat.
+    pub fn load_fn_index(&self, key: u64) -> FnIndexLoad {
+        let Ok(text) = std::fs::read_to_string(self.path("fnidx", key)) else {
+            return FnIndexLoad::Miss;
+        };
+        match mc_json::from_str::<FnIndexRecord>(&text) {
+            Ok(rec) if rec.key == key => FnIndexLoad::Hit(rec),
+            _ => FnIndexLoad::Corrupt,
+        }
+    }
+
+    /// Stores (overwriting) a file's per-function dependency index.
+    pub fn store_fn_index(&self, rec: &FnIndexRecord) {
+        self.store(self.path("fnidx", rec.key), &mc_json::to_string(rec));
+    }
+
     /// Looks up a whole run's final reports.
     pub fn load_program(&self, key: u64) -> Option<ProgramRecord> {
         let rec: ProgramRecord = self.load("prog", key)?;
@@ -542,6 +748,82 @@ mod tests {
             .sum();
         assert!(total <= cap, "{total}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sample_fn_index() -> FnIndexRecord {
+        FnIndexRecord {
+            key: 0xabcd_ef01_2345_6789,
+            src_key: 0x1111_2222_3333_4444,
+            env_fp: 0x5555_6666_7777_8888,
+            functions: vec![FnEntry {
+                name: "NILocalGet".into(),
+                body_fp: 0x9999_aaaa_bbbb_cccc,
+                sig_fp: 0xdddd_eeee_ffff_0000,
+                reports: vec![Report::error(
+                    "buffer_mgmt",
+                    "p.c",
+                    "NILocalGet",
+                    Span::new(9, 3),
+                    "buffer used after free",
+                )],
+                fact_counts: vec![0, 2, 0],
+                local_deps: vec![("helper".into(), 0x0123_4567_89ab_cdef)],
+                summary_deps: vec![
+                    ("NI_SEND".into(), None),
+                    ("helper".into(), Some(0xfedc_ba98_7654_3210)),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn fn_index_roundtrip_exact() {
+        let rec = sample_fn_index();
+        let text = mc_json::to_string(&rec);
+        let back: FnIndexRecord = mc_json::from_str(&text).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn fn_index_corrupt_record_is_a_loud_miss_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("mc-cache-fnidx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open(&dir).unwrap();
+        let rec = sample_fn_index();
+        assert!(matches!(cache.load_fn_index(rec.key), FnIndexLoad::Miss));
+        cache.store_fn_index(&rec);
+        match cache.load_fn_index(rec.key) {
+            FnIndexLoad::Hit(back) => assert_eq!(back, rec),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Truncated JSON, wrong embedded key, wrong version: all corrupt.
+        let path = dir.join(format!("fnidx-{}.json", key_hex(rec.key)));
+        std::fs::write(&path, "{\"kind\":\"fnindex\",garbage").unwrap();
+        assert!(matches!(cache.load_fn_index(rec.key), FnIndexLoad::Corrupt));
+        let mut other = rec.clone();
+        other.key += 1;
+        std::fs::write(&path, mc_json::to_string(&other)).unwrap();
+        assert!(matches!(cache.load_fn_index(rec.key), FnIndexLoad::Corrupt));
+        let bumped = mc_json::to_string(&rec).replace(
+            &format!("\"version\":{CACHE_FORMAT_VERSION}"),
+            "\"version\":999",
+        );
+        std::fs::write(&path, bumped).unwrap();
+        assert!(matches!(cache.load_fn_index(rec.key), FnIndexLoad::Corrupt));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_content_hash_tracks_summary_content_only() {
+        let mut a = FnSummary {
+            function: "helper".into(),
+            file: "p.c".into(),
+            ..FnSummary::default()
+        };
+        let b = a.clone();
+        assert_eq!(summary_content_hash(&a), summary_content_hash(&b));
+        a.counters.insert("lane2".into(), 1);
+        assert_ne!(summary_content_hash(&a), summary_content_hash(&b));
     }
 
     #[test]

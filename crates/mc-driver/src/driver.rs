@@ -82,18 +82,68 @@ pub struct CheckedUnit {
     pub unit: TranslationUnit,
     /// One CFG per function definition, in `unit.functions()` order.
     pub cfgs: Vec<Cfg>,
+    /// Lazily-computed per-function fingerprints, in definition order.
+    /// Only the incremental engine touches these; batch runs pay nothing.
+    fn_fps: OnceLock<Vec<mc_ast::FnFingerprint>>,
+    /// Lazily-computed per-function callee-name lists, in definition
+    /// order (what [`mc_cfg::collect_calls`] returns for each function).
+    fn_calls: OnceLock<Vec<Vec<String>>>,
+    /// Lazily-computed unit environment hash: non-function items plus the
+    /// unit's written-global set (see [`CheckedUnit::env_fp`]).
+    env_fp: OnceLock<u64>,
 }
 
 impl CheckedUnit {
     /// Builds the CFG of every function in `unit`.
     pub fn new(unit: TranslationUnit) -> CheckedUnit {
         let cfgs = unit.functions().map(Cfg::build).collect();
-        CheckedUnit { unit, cfgs }
+        CheckedUnit {
+            unit,
+            cfgs,
+            fn_fps: OnceLock::new(),
+            fn_calls: OnceLock::new(),
+            env_fp: OnceLock::new(),
+        }
     }
 
     /// Iterates `(function, cfg)` pairs in definition order.
     pub fn functions(&self) -> impl Iterator<Item = (&Function, &Cfg)> {
         self.unit.functions().zip(self.cfgs.iter())
+    }
+
+    /// Per-function fingerprints, in definition order (computed once per
+    /// parse and shared for the unit's memo lifetime).
+    pub fn fn_fingerprints(&self) -> &[mc_ast::FnFingerprint] {
+        self.fn_fps.get_or_init(|| {
+            self.unit
+                .functions()
+                .map(mc_ast::Fingerprint::of_function)
+                .collect()
+        })
+    }
+
+    /// Per-function callee-name lists, in definition order.
+    pub fn fn_call_names(&self) -> &[Vec<String>] {
+        self.fn_calls
+            .get_or_init(|| self.unit.functions().map(mc_cfg::collect_calls).collect())
+    }
+
+    /// The unit's *environment* hash: everything outside function bodies
+    /// that can influence a single function's checks — preprocessor lines
+    /// and non-function items ([`mc_ast::Fingerprint::of_unit_env`]) plus
+    /// the unit-wide set of identifiers assigned or address-taken in any
+    /// body (witness refutation treats written globals as non-constants,
+    /// so one function starting to write a global can flip verdicts in
+    /// every other function of the unit).
+    pub fn env_fp(&self) -> u64 {
+        *self.env_fp.get_or_init(|| {
+            let mut h = Fnv1a::new();
+            h.write_u64(mc_ast::Fingerprint::of_unit_env(&self.unit));
+            for name in crate::refute::written_globals(&self.unit) {
+                h.write_str(&name);
+            }
+            h.finish()
+        })
     }
 }
 
@@ -274,6 +324,21 @@ pub trait Checker: Send + Sync {
         false
     }
 
+    /// Whether this checker's per-function output can depend on parts of
+    /// the translation unit that the function-granular invalidation engine
+    /// does not fingerprint — in practice, reading other functions' bodies
+    /// through [`FunctionContext::unit`] outside the recorded dependency
+    /// edges (same-unit callee bodies under refutation, callee summaries
+    /// under interprocedural resolution).
+    ///
+    /// Defaults to `false`; none of the built-in checkers read the unit at
+    /// all. A custom checker that does must return `true`, which makes the
+    /// engine fall back to whole-unit invalidation — correctness over
+    /// granularity.
+    fn unit_sensitive(&self) -> bool {
+        false
+    }
+
     /// Contributes this checker's knowledge about one function to the
     /// function's summary.
     ///
@@ -332,7 +397,13 @@ pub(crate) struct UnitLocal {
 /// v6: refutation became sound under ambiguous switch arms, wrapping `i64`
 /// arithmetic, and assigned SHOUTING-case globals; v5 records may carry
 /// verdicts the fixed engine would not produce.
-pub const CACHE_FORMAT_VERSION: u32 = 6;
+///
+/// v7: function-granular red/green invalidation added the per-file
+/// `fnindex` record (per-function fingerprints, report slices, fact
+/// counts, and recorded dependency edges); unit records are unchanged in
+/// shape but are now assembled from per-function slices, so mixing them
+/// with v6 records could replay stale per-function state.
+pub const CACHE_FORMAT_VERSION: u32 = 7;
 
 /// The analysis driver: a set of checkers plus traversal settings.
 pub struct Driver {
@@ -679,6 +750,13 @@ impl Driver {
         self.native.len()
     }
 
+    /// Whether any registered checker declares itself
+    /// [`unit_sensitive`](Checker::unit_sensitive); the function-granular
+    /// invalidation tier disables itself when one does.
+    pub(crate) fn has_unit_sensitive_checkers(&self) -> bool {
+        self.native.iter().any(|c| c.unit_sensitive())
+    }
+
     /// Number of registered checkers (metal + native).
     pub fn checker_count(&self) -> usize {
         self.metal.len() + self.native.len()
@@ -885,37 +963,39 @@ impl Driver {
         locals
     }
 
-    /// Re-runs only the fact-emitting function passes of one unit.
+    /// Re-runs only the fact-emitting passes of one function.
     ///
     /// [`Fact`]s are opaque `Any` values and cannot be cached, so when the
-    /// incremental engine replays a unit's *reports* from cache but one of
-    /// its call-graph neighbours changed, the unit's facts are regenerated
-    /// with this cheaper pass: metal machines and purely-local native
-    /// checkers are skipped, and all diagnostics are discarded.
-    pub(crate) fn collect_program_facts(
+    /// incremental engine replays a function's *reports* from cache but
+    /// its program pass still needs the function's facts, they are
+    /// regenerated with this cheaper pass: metal machines and purely-local
+    /// native checkers are skipped, and all diagnostics are discarded. The
+    /// engine only calls it for functions whose cached fact counts are
+    /// non-zero.
+    pub(crate) fn collect_function_facts(
         &self,
         unit: &CheckedUnit,
+        function: &Function,
+        cfg: &Cfg,
         summaries: Option<&Summaries>,
     ) -> Vec<Vec<Fact>> {
         let traversal = self.traversal();
+        let ctx = FunctionContext {
+            file: &unit.unit.file,
+            unit: &unit.unit,
+            function,
+            cfg,
+            traversal,
+            summaries,
+        };
         let mut facts: Vec<Vec<Fact>> = self.native.iter().map(|_| Vec::new()).collect();
-        for (function, cfg) in unit.functions() {
-            let ctx = FunctionContext {
-                file: &unit.unit.file,
-                unit: &unit.unit,
-                function,
-                cfg,
-                traversal,
-                summaries,
-            };
-            for (i, checker) in self.native.iter().enumerate() {
-                if !checker.has_program_pass() {
-                    continue;
-                }
-                let mut sink = CheckSink::new();
-                checker.check_function(&ctx, &mut sink);
-                facts[i].extend(sink.facts);
+        for (i, checker) in self.native.iter().enumerate() {
+            if !checker.has_program_pass() {
+                continue;
             }
+            let mut sink = CheckSink::new();
+            checker.check_function(&ctx, &mut sink);
+            facts[i].extend(sink.facts);
         }
         facts
     }

@@ -61,6 +61,6 @@ pub use driver::{
     Fact, FunctionContext, ProgramContext, CACHE_FORMAT_VERSION,
 };
 pub use mc_metal::MetalEngine;
-pub use query::{CheckEngine, Query, RunStats};
+pub use query::{CheckEngine, Invalidation, Query, RunStats};
 pub use report::{Report, Severity, Verdict};
 pub use summaries::{Summaries, SummaryStats};

@@ -117,6 +117,24 @@ fn scan_stmt(s: &Stmt, out: &mut HashSet<String>) {
     }
 }
 
+/// The sorted set of identifiers assigned or address-taken anywhere in
+/// the unit's function bodies — the exact write set [`UnitWorld`] uses to
+/// disqualify globals from constant registration. The red/green engine
+/// folds it into the unit environment hash: an edit that starts (or
+/// stops) writing a global can change the refutation verdicts of *every*
+/// function in the unit, not just the edited one.
+pub(crate) fn written_globals(unit: &TranslationUnit) -> Vec<String> {
+    let mut assigned: HashSet<String> = HashSet::new();
+    for item in &unit.items {
+        if let Item::Function(f) = item {
+            f.body.iter().for_each(|s| scan_stmt(s, &mut assigned));
+        }
+    }
+    let mut names: Vec<String> = assigned.into_iter().collect();
+    names.sort_unstable();
+    names
+}
+
 impl<'a> UnitWorld<'a> {
     pub(crate) fn new(unit: &'a TranslationUnit) -> UnitWorld<'a> {
         let mut assigned: HashSet<String> = HashSet::new();

@@ -123,6 +123,280 @@ fn one_dirty_warm_run_equals_fresh_cold_run() {
     assert_eq!(rendered(&incremental), rendered(&batch));
 }
 
+/// One edit step of the invalidation matrix: a probe callee/caller pair
+/// appended to the first corpus file, each field independently editable so
+/// a step can change exactly one invalidation-relevant dimension.
+#[derive(Clone, Copy)]
+struct ProbeEdit {
+    /// Body of `mtx_callee` — editing it changes the callee's summary.
+    callee_body: &'static str,
+    /// Full signature of the caller — editing it flips the signature hash.
+    caller_sig: &'static str,
+    /// Body of `mtx_caller` after the `mtx_callee()` call site.
+    caller_body: &'static str,
+    /// Trailing whitespace after everything: a layout-only edit that
+    /// displaces no token.
+    trailing_pad: &'static str,
+}
+
+const PROBE_BASE: ProbeEdit = ProbeEdit {
+    callee_body: "PROC_DEFS();",
+    caller_sig: "void mtx_caller(void)",
+    caller_body: "PROC_DEFS();",
+    trailing_pad: "",
+};
+
+/// The matrix: each step differs from its predecessor in exactly one
+/// dimension, and the final step reverts to the primed base.
+const MATRIX: [(&str, ProbeEdit); 5] = [
+    (
+        "body-only",
+        ProbeEdit {
+            caller_body: "PROC_DEFS(); PROC_PROLOGUE();",
+            ..PROBE_BASE
+        },
+    ),
+    (
+        "signature",
+        ProbeEdit {
+            caller_sig: "void mtx_caller(int pad)",
+            caller_body: "PROC_DEFS(); PROC_PROLOGUE();",
+            ..PROBE_BASE
+        },
+    ),
+    (
+        "layout-only",
+        ProbeEdit {
+            caller_sig: "void mtx_caller(int pad)",
+            caller_body: "PROC_DEFS(); PROC_PROLOGUE();",
+            trailing_pad: "   \n",
+            ..PROBE_BASE
+        },
+    ),
+    (
+        "callee-summary",
+        ProbeEdit {
+            callee_body: "PROC_DEFS(); DB_FREE();",
+            caller_sig: "void mtx_caller(int pad)",
+            caller_body: "PROC_DEFS(); PROC_PROLOGUE();",
+            trailing_pad: "   \n",
+        },
+    ),
+    ("revert", PROBE_BASE),
+];
+
+fn with_probes(sources: &[(String, String)], e: &ProbeEdit) -> Vec<(String, String)> {
+    let mut out = sources.to_vec();
+    out[0].0.push_str(&format!(
+        "\nvoid mtx_callee(void) {{ {} }}\n{} {{ mtx_callee(); {} }}\n{}",
+        e.callee_body, e.caller_sig, e.caller_body, e.trailing_pad
+    ));
+    out
+}
+
+fn interproc_driver(spec: &flash_mc::checkers::flash::FlashSpec, jobs: usize) -> Driver {
+    let mut driver = driver_for(spec, jobs);
+    driver.interproc(true);
+    driver
+}
+
+/// The full invalidation matrix, at every worker count: every step's
+/// incremental output is byte-identical to a from-scratch batch run on the
+/// same sources, and the per-step stats show the intended tier answered —
+/// function replay for a body edit, the AST key for a layout edit, a
+/// red caller for a callee-summary change, a program replay for a revert.
+#[test]
+fn invalidation_matrix_byte_identical_across_jobs() {
+    let (sources, spec) = corpus_sources(0);
+
+    // Batch output is jobs-independent by contract, so one jobs=1 baseline
+    // per step also pins cross-job byte identity for the engines below.
+    let baseline_driver = interproc_driver(&spec, 1);
+    let base_sources = with_probes(&sources, &PROBE_BASE);
+    let prime_baseline = baseline_driver
+        .check_sources(&base_sources)
+        .expect("probes parse");
+    let baselines: Vec<Vec<Report>> = MATRIX
+        .iter()
+        .map(|(_, e)| {
+            baseline_driver
+                .check_sources(&with_probes(&sources, e))
+                .expect("probes parse")
+        })
+        .collect();
+
+    for jobs in [1usize, 4, 8] {
+        let driver = interproc_driver(&spec, jobs);
+        let mut engine = CheckEngine::in_memory();
+        let (prime, _) = engine
+            .check_sources(&driver, &base_sources)
+            .expect("parses");
+        assert_eq!(prime, prime_baseline, "jobs={jobs} prime diverged");
+
+        for ((label, edit), baseline) in MATRIX.iter().zip(&baselines) {
+            let step = with_probes(&sources, edit);
+            let (got, stats) = engine.check_sources(&driver, &step).expect("parses");
+            assert_eq!(got, *baseline, "jobs={jobs} step={label} diverged");
+            assert_eq!(
+                rendered(&got),
+                rendered(baseline),
+                "jobs={jobs} step={label} rendering diverged"
+            );
+            match *label {
+                "body-only" => {
+                    // Under interproc the edited unit's whole component is
+                    // demoted (its callee summaries changed), so the unit
+                    // counters reflect the component — the function tier is
+                    // where the edit stays small.
+                    assert!(
+                        stats.functions_replayed >= 10,
+                        "{label}: the unchanged functions of the dirty \
+                         component should replay green, got {stats:?}"
+                    );
+                    assert!(
+                        stats.functions_rechecked >= 1 && stats.functions_rechecked <= 4,
+                        "{label}: only the edited caller (and its red \
+                         neighbourhood) should re-check, got {stats:?}"
+                    );
+                    assert!(
+                        stats.functions_rechecked * 10 < stats.functions_replayed,
+                        "{label}: a body-only edit must re-check under 10% \
+                         of the replayed functions, got {stats:?}"
+                    );
+                }
+                "signature" => {
+                    assert!(
+                        stats.functions_rechecked >= 1,
+                        "{label}: a signature edit must redden the function, \
+                         got {stats:?}"
+                    );
+                }
+                "layout-only" => {
+                    assert_eq!(stats.ast_hits, 1, "{label}: {stats:?}");
+                    assert_eq!(stats.units_checked, 0, "{label}: {stats:?}");
+                }
+                "callee-summary" => {
+                    assert!(
+                        stats.functions_rechecked >= 2,
+                        "{label}: the callee AND its summary-dependent \
+                         caller must both re-check, got {stats:?}"
+                    );
+                }
+                "revert" => {
+                    assert!(
+                        stats.program_hit,
+                        "{label}: the primed program record should replay, \
+                         got {stats:?}"
+                    );
+                    assert_eq!(
+                        got, prime,
+                        "{label}: revert must restore the primed reports"
+                    );
+                }
+                other => unreachable!("unknown matrix step {other}"),
+            }
+        }
+    }
+}
+
+/// The component-replay oracle (`--invalidate component`) walks the same
+/// matrix and must agree with function-granular invalidation step for
+/// step — the differential contract that keeps the fast path honest.
+#[test]
+fn component_oracle_matches_function_invalidation_step_for_step() {
+    use flash_mc::driver::Invalidation;
+
+    let (sources, spec) = corpus_sources(0);
+    let driver = interproc_driver(&spec, 4);
+    let base_sources = with_probes(&sources, &PROBE_BASE);
+
+    let mut fine = CheckEngine::in_memory();
+    let mut oracle = CheckEngine::in_memory();
+    oracle.set_invalidation(Invalidation::Component);
+
+    let (a, _) = fine.check_sources(&driver, &base_sources).expect("parses");
+    let (b, _) = oracle
+        .check_sources(&driver, &base_sources)
+        .expect("parses");
+    assert_eq!(a, b, "prime diverged between invalidation modes");
+
+    for (label, edit) in &MATRIX {
+        let step = with_probes(&sources, edit);
+        let (fine_reports, fine_stats) = fine.check_sources(&driver, &step).expect("parses");
+        let (oracle_reports, _) = oracle.check_sources(&driver, &step).expect("parses");
+        assert_eq!(
+            fine_reports, oracle_reports,
+            "step={label}: function-granular and component invalidation \
+             disagreed ({fine_stats:?})"
+        );
+        assert_eq!(rendered(&fine_reports), rendered(&oracle_reports));
+    }
+}
+
+/// Changing a metal program is a suite change: every cached artifact is
+/// scoped out, and the next run matches a from-scratch run under the new
+/// program.
+#[test]
+fn metal_program_change_invalidates_and_matches_cold() {
+    const SM_V1: &str = r#"
+        sm wait_for_db {
+            decl { scalar } addr, buf;
+            start:
+                { WAIT_FOR_DB_FULL(addr); } ==> stop
+              | { MISCBUS_READ_DB(addr, buf); } ==> { err("Buffer not synchronized"); }
+            ;
+        }
+    "#;
+    // Same machine, different diagnostic text: a one-token program edit.
+    const SM_V2: &str = r#"
+        sm wait_for_db {
+            decl { scalar } addr, buf;
+            start:
+                { WAIT_FOR_DB_FULL(addr); } ==> stop
+              | { MISCBUS_READ_DB(addr, buf); } ==> { err("Raw read of unsynchronized buffer"); }
+            ;
+        }
+    "#;
+
+    let srcs: Vec<(String, String)> = vec![
+        (
+            "void raw(void) { MISCBUS_READ_DB(x, y); }".into(),
+            "raw.c".into(),
+        ),
+        (
+            "void synced(void) { WAIT_FOR_DB_FULL(x); MISCBUS_READ_DB(x, y); }".into(),
+            "synced.c".into(),
+        ),
+    ];
+
+    let mut d1 = Driver::new();
+    d1.add_metal_source(SM_V1).expect("v1 compiles");
+    let mut d2 = Driver::new();
+    d2.add_metal_source(SM_V2).expect("v2 compiles");
+    assert_ne!(
+        d1.suite_key(),
+        d2.suite_key(),
+        "a metal edit must change the suite key"
+    );
+
+    let mut engine = CheckEngine::in_memory();
+    engine.check_sources(&d1, &srcs).expect("parses");
+
+    let (under_v2, stats) = engine.check_sources(&d2, &srcs).expect("parses");
+    assert!(!stats.program_hit, "old metal program must not replay");
+    assert_eq!(stats.units_checked, srcs.len(), "{stats:?}");
+    assert_eq!(
+        under_v2,
+        d2.check_sources(&srcs).expect("parses"),
+        "post-edit engine output diverged from cold"
+    );
+    assert!(
+        rendered(&under_v2).contains("Raw read of unsynchronized buffer"),
+        "the new diagnostic text should surface: {}",
+        rendered(&under_v2)
+    );
+}
+
 #[test]
 fn reverting_an_edit_restores_the_original_reports_from_cache() {
     let (sources, spec) = corpus_sources(2);
