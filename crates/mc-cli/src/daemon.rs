@@ -16,9 +16,12 @@
 //! or `{"id": 1, "error": "message"}` on failure. Methods:
 //!
 //! * `check` — check the given files (absolute paths; defaults to the
-//!   files the daemon was started with). The result carries the
-//!   `mcheck-reports` envelope under `"reports"`, engine counters under
-//!   `"stats"`, and the batch exit code under `"exit"`.
+//!   files the daemon was started with). An optional `"jobs"` hint sets
+//!   the worker count for this request only (the daemon's configured
+//!   count otherwise); the effective value is echoed back in the stats.
+//!   Worker count never affects report bytes, only latency. The result
+//!   carries the `mcheck-reports` envelope under `"reports"`, engine
+//!   counters under `"stats"`, and the batch exit code under `"exit"`.
 //! * `invalidate` — drop the engine's in-memory memo tables (the disk
 //!   cache, if any, is untouched); the next check revalidates everything.
 //! * `subscribe` — register this connection for push diagnostics: after
@@ -64,9 +67,11 @@ usage: mcheckd <serve|check|invalidate|shutdown> --socket <path> [OPTIONS] [file
 exit codes: 0 ran clean, 1 reports were emitted, 2 usage or I/O error";
 
 /// Shared server state: one driver + engine pair (the analysis identity
-/// of this daemon, fixed at `serve` time) and the subscriber list.
+/// of this daemon, fixed at `serve` time) and the subscriber list. The
+/// driver sits behind a mutex only so per-request `jobs` hints can be
+/// applied; nothing about its checker suite ever changes.
 struct State {
-    driver: Driver,
+    driver: Mutex<Driver>,
     engine: Mutex<CheckEngine>,
     opts: Options,
     socket: PathBuf,
@@ -106,7 +111,7 @@ fn bind_socket(socket: &Path) -> Result<UnixListener, CliError> {
 pub fn serve(opts: &Options, socket: &Path) -> Result<(), CliError> {
     let listener = bind_socket(socket)?;
     let state = Arc::new(State {
-        driver: build_driver(opts)?,
+        driver: Mutex::new(build_driver(opts)?),
         engine: Mutex::new(engine_for(opts)?),
         opts: opts.clone(),
         socket: socket.to_path_buf(),
@@ -207,12 +212,28 @@ fn do_check(state: &Arc<State>, params: Option<&Json>) -> Result<Json, String> {
     if files.is_empty() {
         return Err("no files to check".into());
     }
+    // An optional per-request worker-count hint; the daemon's configured
+    // count (its serve-time --jobs, or the parallelism default) applies
+    // when absent. Invalid hints are request errors, not silently ignored.
+    let jobs_hint = match params.and_then(|p| p.get("jobs")) {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_i64() {
+            Some(n) if n >= 1 => Some(n as usize),
+            _ => return Err("params.jobs must be a positive integer".into()),
+        },
+    };
     let mut opts = state.opts.clone();
     opts.files = files;
-    let sources = crate::read_sources(&opts.files).map_err(|e| e.to_string())?;
-    let (reports, suppressed, refuted, stats) = {
+    let (reports, suppressed, refuted, stats, effective_jobs) = {
+        // Lock order: driver, then engine — both are held for the whole
+        // check so a concurrent request cannot swap the jobs hint mid-run.
+        let mut driver = state.driver.lock().unwrap();
+        driver.set_jobs(jobs_hint.or(state.opts.jobs));
+        let sources = crate::read_sources(&opts.files).map_err(|e| e.to_string())?;
         let mut engine = state.engine.lock().unwrap();
-        checked_reports(&state.driver, &mut engine, &opts, &sources).map_err(|e| e.to_string())?
+        let out =
+            checked_reports(&driver, &mut engine, &opts, &sources).map_err(|e| e.to_string())?;
+        (out.0, out.1, out.2, out.3, driver.effective_jobs())
     };
     let envelope = json_envelope(&reports, suppressed, refuted);
     push_diagnostics(state, &envelope);
@@ -231,6 +252,7 @@ fn do_check(state: &Arc<State>, params: Option<&Json>) -> Result<Json, String> {
                     "functions_replayed",
                     Json::Int(stats.functions_replayed as i64),
                 ),
+                ("jobs", Json::Int(effective_jobs as i64)),
             ]),
         ),
         ("exit".into(), Json::Int(i64::from(!reports.is_empty()))),
@@ -445,6 +467,18 @@ fn config_args(opts: &Options) -> Vec<std::ffi::OsString> {
     args
 }
 
+/// Builds a `check` request's params: the absolutized files plus the
+/// client's `--jobs` as a per-request worker-count hint when set, so a
+/// client's parallelism preference survives the hop into a daemon that
+/// was started with different (or no) `--jobs`.
+fn check_params(opts: &Options, files: Vec<Json>) -> Json {
+    let mut fields = vec![("files".to_string(), Json::Array(files))];
+    if let Some(jobs) = opts.jobs {
+        fields.push(("jobs".to_string(), Json::Int(jobs as i64)));
+    }
+    Json::Object(fields)
+}
+
 /// Absolutizes the client's file paths so the daemon (whose working
 /// directory is its own) reads the same files.
 fn absolute_files(files: &[PathBuf]) -> Result<Vec<Json>, CliError> {
@@ -479,12 +513,9 @@ pub fn run_watch_client(
     let mut cycles = 0usize;
     let mut snaps: Vec<crate::FileSnap> = opts.files.iter().map(|f| crate::snap_of(f)).collect();
     loop {
-        match absolute_files(&opts.files).and_then(|files| {
-            client.request(
-                "check",
-                Json::Object(vec![("files".into(), Json::Array(files))]),
-            )
-        }) {
+        match absolute_files(&opts.files)
+            .and_then(|files| client.request("check", check_params(opts, files)))
+        {
             Ok(result) => {
                 let stats = result.get("stats");
                 let count = |k: &str| {
@@ -558,10 +589,7 @@ fn cli_run<I: IntoIterator<Item = String>>(args: I) -> Result<u8, CliError> {
             let opts = crate::parse_args(rest)?;
             let mut client = Client::connect_or_spawn(&socket, &opts)?;
             let files = absolute_files(&opts.files)?;
-            let result = client.request(
-                "check",
-                Json::Object(vec![("files".into(), Json::Array(files))]),
-            )?;
+            let result = client.request("check", check_params(&opts, files))?;
             if let Some(envelope) = result.get("reports") {
                 println!("{}", envelope.to_pretty());
             }

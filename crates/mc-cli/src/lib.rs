@@ -106,6 +106,24 @@ pub struct Options {
     /// client that connects to a running daemon (or spawns one) and sends
     /// a `check` request per settled edit burst. Unix only.
     pub daemon_socket: Option<PathBuf>,
+    /// Check only this shard's slice of the dirty units (`--shard i/N`,
+    /// 0-based `i` of `N`): units are partitioned by content fingerprint,
+    /// results land in the shared `--cache-dir`, and a `shard-i-of-N.json`
+    /// manifest records the run so the `merge` subcommand can fold the
+    /// shards into one report. A shard run prints a summary instead of
+    /// rendering reports (its report set is partial by design).
+    pub shard: Option<(u32, u32)>,
+    /// Merge mode (the `merge` subcommand): validate every shard manifest
+    /// in `--cache-dir` against this invocation's checker suite, then run
+    /// the full check over the warm shared cache. The output is
+    /// byte-identical to a single-process run of the same options.
+    pub merge: bool,
+    /// Corpus scale factor for `--emit-corpus` (`--scale N`): emit `N`
+    /// protocol families. Family 0 is the stock seed corpus byte-for-byte;
+    /// each extra family re-derives the five protocols from a distinct
+    /// seed and adds deeper call chains, calibrated against the paper's
+    /// Table 1 code sizes.
+    pub scale: usize,
     /// C sources to check.
     pub files: Vec<PathBuf>,
 }
@@ -137,6 +155,9 @@ impl Default for Options {
             watch_interval_ms: 500,
             watch_iterations: None,
             daemon_socket: None,
+            shard: None,
+            merge: false,
+            scale: 1,
             files: Vec::new(),
         }
     }
@@ -157,6 +178,7 @@ impl std::error::Error for CliError {}
 /// Usage text printed on `--help` or bad arguments.
 pub const USAGE: &str = "\
 usage: mcheck [OPTIONS] <file.c>...
+       mcheck merge [OPTIONS] <file.c>...
   --checker <file.metal>   add a metal checker (repeatable)
   --builtin                add the built-in FLASH checker suite
   --spec <spec.json>       FlashSpec tables (handler classes, lane quotas,
@@ -218,8 +240,20 @@ usage: mcheck [OPTIONS] <file.c>...
                            unix socket: connect to a running daemon (or
                            spawn one) and send a check request per edit
                            instead of checking in-process (unix only)
+  --shard <i/N>            check only this shard's slice of the dirty
+                           units (0-based i of N, partitioned by content
+                           fingerprint); results and a shard manifest go
+                           into the shared --cache-dir, and no report is
+                           rendered. Run the `merge` subcommand afterwards
+                           to fold the shards into the full report —
+                           byte-identical to a single-process run
   --emit-corpus <dir>      write the synthetic FLASH corpus and exit
   --seed <n>               corpus seed (default 0xF1A5)
+  --scale <n>              with --emit-corpus: emit n protocol families
+                           (default 1, the stock corpus; family 0 is
+                           always byte-identical to it, extra families
+                           add reseeded protocols with deeper call
+                           chains)
   --help                   show this message
 
 exit codes: 0 ran clean (no reports), 1 ran and emitted reports,
@@ -233,7 +267,12 @@ exit codes: 0 ran clean (no reports), 1 ran and emitted reports,
 /// would do nothing.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, CliError> {
     let mut opts = Options::default();
-    let mut it = args.into_iter();
+    let mut it = args.into_iter().peekable();
+    // `merge` is a leading subcommand, not a flag: `mcheck merge ...`.
+    if it.peek().is_some_and(|a| a == "merge") {
+        it.next();
+        opts.merge = true;
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--checker" => {
@@ -367,6 +406,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
                 opts.seed =
                     parse_seed(&v).ok_or_else(|| CliError(format!("invalid seed `{v}`")))?;
             }
+            "--scale" => {
+                let v = it.next().ok_or(CliError("--scale needs a number".into()))?;
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => opts.scale = n,
+                    _ => {
+                        return Err(CliError(format!(
+                            "--scale expects a positive integer, got `{v}`"
+                        )))
+                    }
+                }
+            }
+            "--shard" => {
+                let v = it.next().ok_or(CliError("--shard needs i/N".into()))?;
+                opts.shard = Some(parse_shard(&v).ok_or_else(|| {
+                    CliError(format!("--shard expects `i/N` with 0 <= i < N, got `{v}`"))
+                })?);
+            }
             "--help" | "-h" => return Err(CliError(USAGE.to_string())),
             other if other.starts_with('-') => {
                 return Err(CliError(format!("unknown option `{other}`\n{USAGE}")))
@@ -384,7 +440,34 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Cl
             ));
         }
     }
+    if opts.shard.is_some() || opts.merge {
+        if opts.shard.is_some() && opts.merge {
+            return Err(CliError(
+                "the `merge` subcommand and --shard are mutually exclusive".into(),
+            ));
+        }
+        if opts.cache_dir.is_none() || opts.no_cache {
+            return Err(CliError(
+                "--shard and `merge` need the shared shard cache: pass --cache-dir \
+                 (without --no-cache)"
+                    .into(),
+            ));
+        }
+        if opts.watch {
+            return Err(CliError(
+                "--watch cannot be combined with --shard or `merge`".into(),
+            ));
+        }
+    }
     Ok(opts)
+}
+
+/// Parses `i/N` shard syntax; `None` unless `0 <= i < N` and `N >= 1`.
+fn parse_shard(s: &str) -> Option<(u32, u32)> {
+    let (i, n) = s.split_once('/')?;
+    let i: u32 = i.parse().ok()?;
+    let n: u32 = n.parse().ok()?;
+    (n >= 1 && i < n).then_some((i, n))
 }
 
 fn parse_seed(s: &str) -> Option<u64> {
@@ -511,7 +594,7 @@ pub fn checked_reports(
 /// Returns [`CliError`] for I/O, parse, or metal errors.
 pub fn run(opts: &Options) -> Result<Vec<Report>, CliError> {
     if let Some(dir) = &opts.emit_corpus {
-        emit_corpus(dir, opts.seed)?;
+        emit_corpus(dir, opts.seed, opts.scale)?;
         return Ok(Vec::new());
     }
 
@@ -728,9 +811,17 @@ pub fn run_full(
     err: &mut dyn std::io::Write,
 ) -> Result<u8, CliError> {
     if let Some(dir) = &opts.emit_corpus {
-        emit_corpus(dir, opts.seed)?;
+        emit_corpus(dir, opts.seed, opts.scale)?;
         let _ = writeln!(out, "corpus written");
         return Ok(0);
+    }
+    if let Some((si, sn)) = opts.shard {
+        return run_shard(opts, si, sn, err);
+    }
+    if opts.merge {
+        let driver = build_driver(opts)?;
+        let shards = validate_shard_manifests(opts, &driver)?;
+        let _ = writeln!(err, "merge: folding {shards} shard manifest(s)");
     }
     let reports = run(opts)?;
     let sources = read_sources(&opts.files)?;
@@ -793,11 +884,118 @@ fn mc_cfg_mode_exhaustive() -> mc_cfg::Mode {
     }
 }
 
-/// Writes the six generated protocols (sources, spec JSON, and manifest)
-/// under `dir`.
-fn emit_corpus(dir: &std::path::Path, seed: u64) -> Result<(), CliError> {
+/// One `--shard i/N` run: check only the dirty units this shard owns,
+/// populating the shared `--cache-dir`, then record a
+/// `shard-<i>-of-<N>.json` manifest (shard coordinates, suite key, unit
+/// counts) so `mcheck merge` can validate that every shard ran the same
+/// checker suite. Prints a one-line summary to `err` and exits 0 — a
+/// shard's report set is partial by design, so nothing is rendered.
+fn run_shard(
+    opts: &Options,
+    si: u32,
+    sn: u32,
+    err: &mut dyn std::io::Write,
+) -> Result<u8, CliError> {
+    let driver = build_driver(opts)?;
+    let sources = read_sources(&opts.files)?;
+    let mut engine = engine_for(opts)?;
+    engine.set_shard(Some((si, sn)));
+    let (_, stats) = engine
+        .check_sources(&driver, &sources)
+        .map_err(|e| CliError(e.to_string()))?;
+    let dir = opts
+        .cache_dir
+        .as_ref()
+        .expect("parse_args requires --cache-dir with --shard");
+    let manifest = mc_json::object(vec![
+        ("shard", mc_json::Json::Int(i64::from(si))),
+        ("shards", mc_json::Json::Int(i64::from(sn))),
+        (
+            "suite_key",
+            mc_json::Json::Str(format!("{:016x}", driver.suite_key())),
+        ),
+        ("units", mc_json::Json::Int(stats.units as i64)),
+        (
+            "units_checked",
+            mc_json::Json::Int(stats.units_checked as i64),
+        ),
+        (
+            "units_deferred",
+            mc_json::Json::Int(stats.units_deferred as i64),
+        ),
+    ]);
+    let path = dir.join(format!("shard-{si}-of-{sn}.json"));
+    std::fs::write(&path, manifest.to_pretty())
+        .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    let _ = writeln!(
+        err,
+        "shard {si}/{sn}: {} unit(s) checked, {} owned elsewhere; run `mcheck merge` to fold",
+        stats.units_checked, stats.units_deferred
+    );
+    Ok(0)
+}
+
+/// Validates every `shard-*.json` manifest in the cache directory against
+/// this invocation's suite key, returning how many were found.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when no manifest exists (nothing to merge) or any
+/// manifest records a different suite key — merging shards checked under a
+/// different checker suite would silently mix incompatible cached results.
+fn validate_shard_manifests(opts: &Options, driver: &Driver) -> Result<usize, CliError> {
+    let dir = opts
+        .cache_dir
+        .as_ref()
+        .expect("parse_args requires --cache-dir with merge");
+    let want = format!("{:016x}", driver.suite_key());
+    let no_manifests = || {
+        CliError(format!(
+            "merge: no shard manifests in {}; run `mcheck --shard i/N` first",
+            dir.display()
+        ))
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(no_manifests()),
+        Err(e) => return Err(CliError(format!("{}: {e}", dir.display()))),
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("shard-") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(no_manifests());
+    }
+    for name in &names {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        let json = mc_json::Json::parse(&text)
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        let got = json
+            .get("suite_key")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| CliError(format!("{}: missing suite_key", path.display())))?;
+        if got != want {
+            return Err(CliError(format!(
+                "merge: {name} was produced by a different checker suite \
+                 (suite key {got}, this run is {want}); re-run the shards \
+                 with the same options"
+            )));
+        }
+    }
+    Ok(names.len())
+}
+
+/// Writes the generated protocols (sources, spec JSON, and manifest)
+/// under `dir`: the six stock protocols at `scale` 1, `scale` reseeded
+/// families of them otherwise (see [`mc_corpus::generate_fleet`]).
+fn emit_corpus(dir: &std::path::Path, seed: u64, scale: usize) -> Result<(), CliError> {
     let io = |e: std::io::Error| CliError(e.to_string());
-    for proto in mc_corpus::generate_all(seed) {
+    for proto in mc_corpus::generate_fleet(seed, scale) {
         let pdir = dir.join(&proto.name);
         std::fs::create_dir_all(&pdir).map_err(io)?;
         for f in &proto.files {
@@ -897,6 +1095,110 @@ mod tests {
     #[test]
     fn jobs_documented_in_usage() {
         assert!(USAGE.contains("--jobs"));
+    }
+
+    #[test]
+    fn shard_parsing() {
+        let o = args(&[
+            "--builtin",
+            "--shard",
+            "1/4",
+            "--cache-dir",
+            "/tmp/c",
+            "a.c",
+        ])
+        .unwrap();
+        assert_eq!(o.shard, Some((1, 4)));
+        assert!(args(&[
+            "--builtin",
+            "--shard",
+            "4/4",
+            "--cache-dir",
+            "/tmp/c",
+            "a.c"
+        ])
+        .is_err());
+        assert!(args(&[
+            "--builtin",
+            "--shard",
+            "0/0",
+            "--cache-dir",
+            "/tmp/c",
+            "a.c"
+        ])
+        .is_err());
+        assert!(args(&[
+            "--builtin",
+            "--shard",
+            "zebra",
+            "--cache-dir",
+            "/tmp/c",
+            "a.c"
+        ])
+        .is_err());
+        assert!(args(&["--builtin", "--shard"]).is_err());
+        assert!(USAGE.contains("--shard"));
+    }
+
+    #[test]
+    fn shard_and_merge_need_a_shared_cache_dir() {
+        assert!(args(&["--builtin", "--shard", "0/2", "a.c"]).is_err());
+        assert!(args(&["merge", "--builtin", "a.c"]).is_err());
+        assert!(args(&[
+            "--builtin",
+            "--shard",
+            "0/2",
+            "--cache-dir",
+            "/tmp/c",
+            "--no-cache",
+            "a.c"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn merge_subcommand_parses_only_in_leading_position() {
+        let o = args(&["merge", "--builtin", "--cache-dir", "/tmp/c", "a.c"]).unwrap();
+        assert!(o.merge);
+        assert_eq!(o.files, vec![PathBuf::from("a.c")]);
+        // Anywhere else, `merge` is an ordinary file argument.
+        let o = args(&["--builtin", "merge"]).unwrap();
+        assert!(!o.merge);
+        assert_eq!(o.files, vec![PathBuf::from("merge")]);
+    }
+
+    #[test]
+    fn merge_excludes_shard_and_watch() {
+        assert!(args(&[
+            "merge",
+            "--builtin",
+            "--cache-dir",
+            "/tmp/c",
+            "--shard",
+            "0/2",
+            "a.c"
+        ])
+        .is_err());
+        assert!(args(&[
+            "--builtin",
+            "--cache-dir",
+            "/tmp/c",
+            "--shard",
+            "0/2",
+            "--watch",
+            "a.c"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn scale_parsing() {
+        let o = args(&["--emit-corpus", "/tmp/x", "--scale", "10"]).unwrap();
+        assert_eq!(o.scale, 10);
+        let o = args(&["--emit-corpus", "/tmp/x"]).unwrap();
+        assert_eq!(o.scale, 1, "stock corpus by default");
+        assert!(args(&["--emit-corpus", "/tmp/x", "--scale", "0"]).is_err());
+        assert!(USAGE.contains("--scale"));
     }
 
     #[test]

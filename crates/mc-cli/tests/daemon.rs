@@ -252,6 +252,79 @@ fn invalidate_then_recheck_and_idempotent_shutdown() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A `check` request may carry a per-request `jobs` hint: the daemon
+/// applies it for that run, echoes the effective count in the stats, and
+/// the reports stay byte-identical at every worker count — the hint
+/// trades latency, never output.
+#[test]
+fn check_jobs_hint_is_applied_and_echoed() {
+    let (dir, socket) = scratch("jobs");
+    let src = write_buggy_source(&dir);
+
+    let mut daemon = Command::new(MCHECKD)
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .arg("--builtin")
+        .arg(&src)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let conn = connect_with_retry(&socket);
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut conn = conn;
+    let mut ask = |id: i64, params: &str| -> Json {
+        writeln!(
+            conn,
+            r#"{{"id": {id}, "method": "check", "params": {params}}}"#
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("id").and_then(Json::as_i64), Some(id));
+        resp
+    };
+
+    let file = format!(r#"["{}"]"#, src.display());
+    let with_hint = ask(1, &format!(r#"{{"files": {file}, "jobs": 2}}"#));
+    let result = with_hint.get("result").expect("check succeeds");
+    assert_eq!(
+        result
+            .get("stats")
+            .and_then(|s| s.get("jobs"))
+            .and_then(Json::as_i64),
+        Some(2),
+        "the hint is echoed back: {with_hint:?}"
+    );
+
+    let without = ask(2, &format!(r#"{{"files": {file}}}"#));
+    let default_jobs = without
+        .get("result")
+        .and_then(|r| r.get("stats"))
+        .and_then(|s| s.get("jobs"))
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert!(default_jobs >= 1, "hint-less requests use the default");
+    assert_eq!(
+        with_hint.get("result").and_then(|r| r.get("reports")),
+        without.get("result").and_then(|r| r.get("reports")),
+        "the worker count must never change report bytes"
+    );
+
+    let bad = ask(3, &format!(r#"{{"files": {file}, "jobs": 0}}"#));
+    assert!(
+        bad.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("jobs")),
+        "a zero hint is a request error: {bad:?}"
+    );
+
+    shutdown(&socket);
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `mcheck --watch --daemon-socket` is a thin client: it spawns the
 /// daemon (via `MCHECKD_BIN`), sends a check request, and prints the
 /// daemon's envelope.

@@ -24,6 +24,69 @@ pub fn generate(plan: &ProtoPlan, seed: u64) -> Protocol {
     Gen::new(plan, seed).run()
 }
 
+/// Generates a fleet-scale corpus: `scale` families of all six protocols.
+///
+/// Family 0 is byte-identical to [`generate_all`] — the canonical seed
+/// corpus with its pinned Table 1–6 quotas and planted-defect ladder.
+/// Each additional family `k` regenerates every plan under a seed derived
+/// from `seed` and `k`, renames the protocol to `<name>_f<k>` (files keep
+/// their plan-based names; protocols are checked per directory), and
+/// appends one extra translation unit of deep call chains — hook-carrying
+/// procedures that call straight down `depth` levels — so the scaled
+/// call graphs are *deeper* than the seed corpus, not just wider. The
+/// chains are checker-inert: no sends, reads, frees, or directory
+/// operations, so every family reproduces its plan's planted-report
+/// ladder unchanged.
+///
+/// Wholly deterministic in `(seed, scale)`. `scale` is clamped to at
+/// least 1; `generate_fleet(seed, 1) == generate_all(seed)`.
+pub fn generate_fleet(seed: u64, scale: usize) -> Vec<Protocol> {
+    let mut out = generate_all(seed);
+    for k in 1..scale.max(1) {
+        let fam_seed = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for (i, plan) in PLANS.iter().enumerate() {
+            let mut p = generate(plan, fam_seed.wrapping_add(i as u64));
+            let fam_name = format!("{}_f{k}", plan.name);
+            p.files.push(depth_chains(&fam_name, plan.name, k));
+            p.name = fam_name;
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// One translation unit of deep, checker-inert call chains for family `k`.
+///
+/// Emits `CHAINS` independent chains; chain `c` is `depth` procedures
+/// where `<fam>_chain<c>_d<j>` calls `<fam>_chain<c>_d<j+1>`, bottoming
+/// out in a leaf. Depth varies with the family index (8–20 levels) so the
+/// fleet's depth distribution spreads the way Table 1's path lengths do.
+fn depth_chains(fam_name: &str, plan_name: &str, k: usize) -> SourceFile {
+    const CHAINS: usize = 6;
+    let depth = 8 + (k % 5) * 3;
+    let mut src = String::new();
+    src.push_str("#include \"flash.h\"\n");
+    src.push_str(&format!("#include \"{plan_name}.h\"\n\n"));
+    for c in 0..CHAINS {
+        for d in (0..depth).rev() {
+            let name = format!("{fam_name}_chain{c}_d{d}");
+            let mut f = FuncBuf::new(&name, FnKind::Procedure);
+            f.decl("v0", &format!("{}", (c * 31 + d) % 61));
+            f.line(format!("v0 = (v0 * {}) & 2047;", 3 + (c + d) % 7));
+            f.line("gScratch = gScratch ^ v0;");
+            if d + 1 < depth {
+                f.line(format!("{fam_name}_chain{c}_d{}();", d + 1));
+            }
+            src.push_str(&f.render());
+            src.push('\n');
+        }
+    }
+    SourceFile {
+        name: format!("{fam_name}_depth.c"),
+        source: src,
+    }
+}
+
 /// Short camel-case protocol tag used in function names.
 fn tag(name: &str) -> &'static str {
     match name {
@@ -1549,6 +1612,58 @@ mod tests {
                 plan.paths
             );
         }
+    }
+
+    #[test]
+    fn fleet_scale_one_is_the_seed_corpus() {
+        let base = generate_all(DEFAULT_SEED);
+        let fleet = generate_fleet(DEFAULT_SEED, 1);
+        assert_eq!(base.len(), fleet.len());
+        for (a, b) in base.iter().zip(&fleet) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.files.len(), b.files.len());
+            for (x, y) in a.files.iter().zip(&b.files) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.source, y.source);
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic_and_parses() {
+        let a = generate_fleet(DEFAULT_SEED, 3);
+        let b = generate_fleet(DEFAULT_SEED, 3);
+        assert_eq!(a.len(), 18);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            for (fx, fy) in x.files.iter().zip(&y.files) {
+                assert_eq!(fx.source, fy.source);
+            }
+        }
+        // Scaled families must still parse, depth file included.
+        let fam = &a[6]; // first family-1 protocol
+        assert!(fam.name.ends_with("_f1"));
+        for f in &fam.files {
+            mc_ast::parse_translation_unit(&f.source, &f.name)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        }
+    }
+
+    #[test]
+    fn fleet_scale_ten_reaches_ten_thousand_functions() {
+        let fleet = generate_fleet(DEFAULT_SEED, 10);
+        assert_eq!(fleet.len(), 60);
+        let mut functions = 0usize;
+        for p in &fleet {
+            for f in &p.files {
+                let tu = mc_ast::parse_translation_unit(&f.source, &f.name).unwrap();
+                functions += tu.functions().count();
+            }
+        }
+        assert!(
+            functions >= 10_000,
+            "scale-10 fleet has {functions} functions, want >= 10000"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod plan;
 pub mod rng;
 
 pub use builder::{FnKind, FuncBuf};
-pub use generate::{generate, generate_all, DEFAULT_SEED};
+pub use generate::{generate, generate_all, generate_fleet, DEFAULT_SEED};
 
 use mc_checkers::flash::FlashSpec;
 

@@ -470,11 +470,24 @@ impl FromJson for ProgramRecord {
     }
 }
 
+/// How long a claim file marks its record as in-flight. A claim older
+/// than this belongs to a dead writer and may be taken over or evicted.
+const CLAIM_TTL: std::time::Duration = std::time::Duration::from_secs(600);
+
 /// A directory of cache record files.
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
     cap_bytes: Option<u64>,
+    /// When this handle was opened. Eviction never removes files modified
+    /// at or after this stamp **unless this handle wrote them**, so
+    /// concurrent writers sharing the directory (the shard farm) cannot
+    /// evict each other's fresh records out from under a merge, while a
+    /// single capped run still trims its own output to the bound.
+    run_start: std::time::SystemTime,
+    /// Record paths this handle wrote, shared across clones so a cloned
+    /// handle keeps the same eviction identity.
+    own: std::sync::Arc<std::sync::Mutex<std::collections::HashSet<PathBuf>>>,
 }
 
 impl DiskCache {
@@ -492,6 +505,8 @@ impl DiskCache {
         Ok(DiskCache {
             dir,
             cap_bytes: None,
+            run_start: std::time::SystemTime::now(),
+            own: std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashSet::new())),
         })
     }
 
@@ -517,6 +532,22 @@ impl DiskCache {
     }
 
     /// Evicts record files oldest-first until the directory fits the cap.
+    ///
+    /// Two classes of file are never evicted, so concurrent writers on a
+    /// shared cache directory cannot starve each other:
+    ///
+    /// * files modified at or after this handle's `run_start` that this
+    ///   handle did *not* write itself — a fresh record another shard
+    ///   just stored may be read back momentarily (this handle's own
+    ///   writes stay evictable, so a single capped run still honors the
+    ///   bound);
+    /// * records whose key is covered by a live claim file (see
+    ///   [`DiskCache::claim`]) — the claiming writer is still working on
+    ///   or relying on them. Claims older than [`CLAIM_TTL`] are dead and
+    ///   protect nothing.
+    ///
+    /// The directory may therefore exceed the cap transiently during a
+    /// concurrent run; the next store after the writers finish trims it.
     fn enforce_cap(&self) {
         let Some(cap) = self.cap_bytes else {
             return;
@@ -524,27 +555,87 @@ impl DiskCache {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
-        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
-            .flatten()
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .filter_map(|e| {
-                let meta = e.metadata().ok()?;
-                let mtime = meta.modified().ok()?;
-                Some((mtime, e.path(), meta.len()))
-            })
-            .collect();
+        let now = std::time::SystemTime::now();
+        let mut claimed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for e in entries.flatten() {
+            let path = e.path();
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let Ok(meta) = e.metadata() else { continue };
+            let Ok(mtime) = meta.modified() else { continue };
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if let Some(key) = stem.strip_prefix("clm-") {
+                    let fresh = now
+                        .duration_since(mtime)
+                        .map(|age| age < CLAIM_TTL)
+                        .unwrap_or(true);
+                    if fresh {
+                        claimed.insert(key.to_string());
+                    }
+                }
+            }
+            files.push((mtime, path, meta.len()));
+        }
         let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
         if total <= cap {
             return;
         }
         files.sort();
-        for (_, path, len) in files {
+        let own = self.own.lock().expect("own-writes lock");
+        for (mtime, path, len) in files {
             if total <= cap {
                 break;
+            }
+            if mtime >= self.run_start && !own.contains(&path) {
+                continue;
+            }
+            let protected = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|stem| stem.rsplit('-').next())
+                .is_some_and(|key| claimed.contains(key));
+            if protected {
+                continue;
             }
             if std::fs::remove_file(&path).is_ok() {
                 total -= len;
             }
+        }
+    }
+
+    /// Claims `key` for this writer: returns `true` when the caller now
+    /// holds the claim and should compute (and store) the record, `false`
+    /// when another live writer already holds it.
+    ///
+    /// The claim is a `clm-<key>.json` file created with `create_new`, so
+    /// exactly one concurrent writer wins a fresh key. A claim whose
+    /// mtime is older than [`CLAIM_TTL`] belongs to a dead writer and is
+    /// taken over. Claims are purely an optimization plus an eviction
+    /// guard — never a correctness dependency: records are
+    /// content-addressed and stored via tmp+rename, so two writers
+    /// computing the same key merely duplicate work, and the last rename
+    /// wins with identical bytes.
+    pub fn claim(&self, key: u64) -> bool {
+        let path = self.dir.join(format!("clm-{}.json", key_hex(key)));
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(_) => true,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let stale = std::fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mt| std::time::SystemTime::now().duration_since(mt).ok())
+                    .is_some_and(|age| age >= CLAIM_TTL);
+                // Taking over a stale claim can race another taker; the
+                // worst case is duplicated work, which is harmless.
+                stale && std::fs::write(&path, b"").is_ok()
+            }
+            Err(_) => false,
         }
     }
 
@@ -563,8 +654,12 @@ impl DiskCache {
     /// only cost future hits.
     fn store(&self, path: PathBuf, text: &str) {
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        if std::fs::write(&tmp, text).is_ok() {
+            if std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            } else {
+                self.own.lock().expect("own-writes lock").insert(path);
+            }
         }
         self.enforce_cap();
     }
@@ -726,15 +821,18 @@ mod tests {
     fn cap_evicts_oldest_record_files_first() {
         let dir = std::env::temp_dir().join(format!("mc-cache-cap-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let mut cache = DiskCache::open(&dir).unwrap();
         let mut rec = sample_unit();
-        cache.store_unit(&rec);
+        // First run: store the soon-to-be-old pair.
+        DiskCache::open(&dir).unwrap().store_unit(&rec);
         let one = mc_json::to_string(&rec).len() as u64;
         // Each store writes two files (usrc + uast); a cap below three
         // files' worth forces the older pair out when the new one lands.
         let cap = one * 3 - 1;
-        cache.set_cap_bytes(Some(cap));
+        // Second run (fresh handle, later run_start): files from the
+        // first run are older than this run and evictable.
         std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut cache = DiskCache::open(&dir).unwrap();
+        cache.set_cap_bytes(Some(cap));
         rec.src_key += 1;
         rec.ast_key += 1;
         cache.store_unit(&rec);
@@ -747,6 +845,83 @@ mod tests {
             .map(|e| e.metadata().unwrap().len())
             .sum();
         assert!(total <= cap, "{total}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cap_never_evicts_a_concurrent_writers_fresh_records() {
+        // Two concurrent writers share a directory; writer `a` has a cap
+        // far below what the pair stores. `a` may trim its *own* records
+        // to honor the cap, but must never remove `b`'s fresh files — a
+        // concurrent shard's record has to survive until the merge can
+        // read it.
+        let dir = std::env::temp_dir().join(format!("mc-cache-live-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut a = DiskCache::open(&dir).unwrap();
+        a.set_cap_bytes(Some(1));
+        let b = DiskCache::open(&dir).unwrap();
+        let base = sample_unit();
+        for i in 0..3u64 {
+            let mut rec = base.clone();
+            rec.src_key = base.src_key + i;
+            rec.ast_key = base.ast_key + i;
+            b.store_unit(&rec);
+        }
+        // `a`'s store triggers its eviction pass; `b`'s records are newer
+        // than `a.run_start` and not `a`'s own, so all three survive.
+        let mut own = base.clone();
+        own.src_key = base.src_key + 100;
+        own.ast_key = base.ast_key + 100;
+        a.store_unit(&own);
+        for i in 0..3u64 {
+            assert!(
+                b.load_unit_by_source(base.src_key + i).is_some(),
+                "record {i} of a concurrent writer was evicted"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cap_never_evicts_claimed_records() {
+        let dir = std::env::temp_dir().join(format!("mc-cache-clm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Run 1: store two records; claim the first one (a live writer
+        // still depends on it).
+        let old = DiskCache::open(&dir).unwrap();
+        let kept = sample_unit();
+        let mut gone = sample_unit();
+        gone.src_key += 100;
+        gone.ast_key += 100;
+        old.store_unit(&kept);
+        old.store_unit(&gone);
+        assert!(old.claim(kept.src_key));
+        // Run 2: a tiny cap forces eviction of run-1 files — but the
+        // claimed record (and the claim itself) must survive.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut cache = DiskCache::open(&dir).unwrap();
+        cache.set_cap_bytes(Some(1));
+        let mut fresh = sample_unit();
+        fresh.src_key += 200;
+        fresh.ast_key += 200;
+        cache.store_unit(&fresh);
+        assert!(
+            cache.load_unit_by_source(kept.src_key).is_some(),
+            "claimed record was evicted"
+        );
+        assert!(cache.load_unit_by_source(gone.src_key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_is_exclusive_per_key() {
+        let dir = std::env::temp_dir().join(format!("mc-cache-claimx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = DiskCache::open(&dir).unwrap();
+        let b = DiskCache::open(&dir).unwrap();
+        assert!(a.claim(42));
+        assert!(!b.claim(42), "second writer must lose a fresh claim");
+        assert!(b.claim(43));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -12,6 +12,7 @@
 //! way keeps cold and warm reports byte-identical.
 
 use crate::report::Report;
+use crate::sched::{SchedMode, SchedStats};
 use crate::summaries::Summaries;
 use mc_ast::{parse_translation_unit, Fnv1a, Function, ParseError, TranslationUnit};
 use mc_cfg::{
@@ -24,7 +25,7 @@ use mc_metal::{
 use std::any::Any;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// An error from driving a check run.
 #[derive(Debug)]
@@ -421,6 +422,11 @@ pub struct Driver {
     interproc: bool,
     refute: bool,
     jobs: Option<usize>,
+    sched: SchedMode,
+    /// Scheduler counters accumulated across fan-outs; drained with
+    /// [`Driver::take_sched_stats`]. Interior mutability because checking
+    /// runs through `&self`.
+    sched_stats: Mutex<SchedStats>,
     /// Running hash of the registered checker suite, folded at registration
     /// time; part of [`Driver::suite_key`].
     suite: Fnv1a,
@@ -443,6 +449,7 @@ impl fmt::Debug for Driver {
             .field("interproc", &self.interproc)
             .field("refute", &self.refute)
             .field("jobs", &self.jobs)
+            .field("sched", &self.sched)
             .finish()
     }
 }
@@ -468,6 +475,8 @@ impl Driver {
             interproc: false,
             refute: false,
             jobs: None,
+            sched: SchedMode::default(),
+            sched_stats: Mutex::new(SchedStats::default()),
             suite: Fnv1a::new(),
             config_epoch: 0,
         }
@@ -551,6 +560,16 @@ impl Driver {
         self
     }
 
+    /// Sets or clears the worker-pool size: `None` restores the
+    /// available-parallelism default. Long-lived hosts (the `mcheckd`
+    /// daemon) use this to apply a per-request `jobs` hint without
+    /// rebuilding the driver — safe because the worker count is not part
+    /// of [`Driver::suite_key`] and never affects output.
+    pub fn set_jobs(&mut self, jobs: Option<usize>) -> &mut Self {
+        self.jobs = jobs.map(|n| n.max(1));
+        self
+    }
+
     /// The worker count the next check run will use.
     pub fn effective_jobs(&self) -> usize {
         self.jobs.unwrap_or_else(|| {
@@ -558,6 +577,29 @@ impl Driver {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+    }
+
+    /// Selects how the worker pool hands out task indices (default:
+    /// [`SchedMode::Stealing`]).
+    ///
+    /// The mode never affects output — results are merged in index order
+    /// either way — so, like `--jobs`, it is not part of
+    /// [`Driver::suite_key`]. [`SchedMode::Fixed`] is kept for A/B
+    /// benchmarking against the shared-counter pool.
+    pub fn scheduler(&mut self, mode: SchedMode) -> &mut Self {
+        self.sched = mode;
+        self
+    }
+
+    /// The scheduling mode the next check run will use.
+    pub fn scheduler_mode(&self) -> SchedMode {
+        self.sched
+    }
+
+    /// Drains the scheduler counters accumulated since construction (or
+    /// since the previous call), resetting them to zero.
+    pub fn take_sched_stats(&self) -> SchedStats {
+        std::mem::take(&mut self.sched_stats.lock().expect("sched stats lock"))
     }
 
     /// Registers a metal checker, lowering it to a decision program.
@@ -800,21 +842,53 @@ impl Driver {
     {
         let workers = self.effective_jobs().min(n);
         if workers <= 1 {
+            if n > 0 {
+                let log = crate::sched::WorkerLog {
+                    executed: n as u64,
+                    ..Default::default()
+                };
+                self.sched_stats
+                    .lock()
+                    .expect("sched stats lock")
+                    .absorb(&[log]);
+            }
             return (0..n).map(f).collect();
         }
         let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+        let logs = match self.sched {
+            SchedMode::Stealing => crate::sched::run_stealing(n, workers, |i| {
+                let _ = slots[i].set(f(i));
+            }),
+            SchedMode::Fixed => {
+                let next = AtomicUsize::new(0);
+                let worker_logs: Vec<OnceLock<crate::sched::WorkerLog>> =
+                    (0..workers).map(|_| OnceLock::new()).collect();
+                std::thread::scope(|scope| {
+                    for slot in &worker_logs {
+                        scope.spawn(|| {
+                            let mut log = crate::sched::WorkerLog::default();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let _ = slots[i].set(f(i));
+                                log.executed += 1;
+                            }
+                            let _ = slot.set(log);
+                        });
                     }
-                    let _ = slots[i].set(f(i));
                 });
+                worker_logs
+                    .into_iter()
+                    .map(|s| s.into_inner().unwrap_or_default())
+                    .collect()
             }
-        });
+        };
+        self.sched_stats
+            .lock()
+            .expect("sched stats lock")
+            .absorb(&logs);
         slots
             .into_iter()
             .map(|s| s.into_inner().expect("every work item completed"))

@@ -54,6 +54,7 @@ mod driver;
 mod query;
 mod refute;
 mod report;
+mod sched;
 pub mod summaries;
 
 pub use driver::{
@@ -63,4 +64,5 @@ pub use driver::{
 pub use mc_metal::MetalEngine;
 pub use query::{CheckEngine, Invalidation, Query, RunStats};
 pub use report::{Report, Severity, Verdict};
+pub use sched::{SchedMode, SchedStats};
 pub use summaries::{Summaries, SummaryStats};

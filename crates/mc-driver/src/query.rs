@@ -160,6 +160,9 @@ pub struct RunStats {
     /// a non-zero value on a healthy cache points at concurrent-writer or
     /// disk trouble.
     pub fn_index_corrupt: usize,
+    /// Dirty units this shard left for other shards (or for writers that
+    /// already claimed them). Always zero outside shard mode.
+    pub units_deferred: usize,
 }
 
 /// The incremental check engine: an in-memory memo table over every query,
@@ -178,6 +181,14 @@ pub struct CheckEngine {
     disk: Option<DiskCache>,
     /// Invalidation granularity for dirty units.
     invalidation: Invalidation,
+    /// When `Some((i, n))`, this engine is shard `i` of `n`: it runs local
+    /// checks only for dirty units it owns (unit-fingerprint hash mod
+    /// `n`), skips whole-program passes, and never writes a program
+    /// record. See [`CheckEngine::set_shard`].
+    shard: Option<(u32, u32)>,
+    /// Record keys this engine claimed via [`DiskCache::claim`], so its
+    /// own later runs treat them as held-by-self rather than contested.
+    claimed: HashSet<u64>,
     /// Parse/CFG memo, keyed by `(file, source hash)` — suite-independent.
     checked: HashMap<u64, ParsedUnit>,
     /// Unit records, each indexed under both its source key and AST key.
@@ -231,6 +242,40 @@ impl CheckEngine {
     /// The configured invalidation granularity.
     pub fn invalidation(&self) -> Invalidation {
         self.invalidation
+    }
+
+    /// Puts the engine in shard mode (`Some((i, n))`, `i < n`) or back to
+    /// full mode (`None`).
+    ///
+    /// A shard partitions *work*, not correctness: it parses and
+    /// fingerprints every input (cheap, and required so component keys
+    /// match across shards), but runs the expensive local pass only for
+    /// dirty units whose content key hashes to `i` mod `n`, claiming each
+    /// through [`DiskCache::claim`] first so overlapping writers split
+    /// instead of duplicating. Shards skip whole-program passes and never
+    /// store a program record — their reports are *partial* by design.
+    /// The shared cache accumulates every unit/fn-index/summary record;
+    /// a subsequent full run over the same cache (`mcheck merge`) finds
+    /// all of them warm and produces output byte-identical to a
+    /// single-process run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `i >= n`.
+    pub fn set_shard(&mut self, shard: Option<(u32, u32)>) -> &mut Self {
+        if let Some((i, n)) = shard {
+            assert!(
+                n > 0 && i < n,
+                "shard index {i} out of range for {n} shards"
+            );
+        }
+        self.shard = shard;
+        self
+    }
+
+    /// The configured shard, if any.
+    pub fn shard(&self) -> Option<(u32, u32)> {
+        self.shard
     }
 
     /// Loads a file's function index: memo first, then disk. A corrupt
@@ -441,11 +486,15 @@ impl CheckEngine {
             h.finish()
         };
 
-        // Tier 1: nothing changed at all.
-        if let Some(rec) = self.lookup_program(prog_key) {
-            stats.program_hit = true;
-            stats.source_hits = n;
-            return Ok((rec.reports.clone(), stats));
+        // Tier 1: nothing changed at all. Shards skip this tier — their
+        // contract is partial output plus cache population, not a full
+        // report set.
+        if self.shard.is_none() {
+            if let Some(rec) = self.lookup_program(prog_key) {
+                stats.program_hit = true;
+                stats.source_hits = n;
+                return Ok((rec.reports.clone(), stats));
+            }
         }
 
         // Tier 2: per-unit lookup by source text.
@@ -557,6 +606,33 @@ impl CheckEngine {
             }
         }
 
+        // Shard filter: once the dirty list is final (source misses, AST
+        // fallback, interproc demotion all applied), a shard keeps only
+        // the dirty units it owns — partitioned by the suite-independent
+        // unit-fingerprint hash, so every shard of the same input agrees
+        // on ownership — and claims each one so a concurrent writer
+        // racing on the same key backs off. Unowned dirty units stay
+        // unchecked (`recs[i]` remains `None`); the merge run computes or
+        // finds them later.
+        if let Some((si, sn)) = self.shard {
+            let before = dirty.len();
+            let mut kept: Vec<usize> = Vec::with_capacity(dirty.len());
+            for &i in &dirty {
+                if content_keys[i] % u64::from(sn) != u64::from(si) {
+                    continue;
+                }
+                let key = src_keys[i];
+                let mine =
+                    self.claimed.contains(&key) || self.disk.as_ref().is_none_or(|d| d.claim(key));
+                if mine {
+                    self.claimed.insert(key);
+                    kept.push(i);
+                }
+            }
+            dirty = kept;
+            stats.units_deferred = before - dirty.len();
+        }
+
         // Build (or replay) the summary store of every component that will
         // run local checks, parsing any still-clean members it needs.
         let dirty_set: HashSet<usize> = dirty.iter().copied().collect();
@@ -643,7 +719,10 @@ impl CheckEngine {
             reports.extend(rec.reports.iter().cloned());
         }
 
-        if driver.has_program_checkers() {
+        // Whole-program passes need every member's facts, which a shard by
+        // definition does not have; they run once, at merge time (or in
+        // any full-mode run), over the complete unit set.
+        if driver.has_program_checkers() && self.shard.is_none() {
             // Decide per component: replay or re-run.
             let mut rerun: Vec<usize> = Vec::new();
             let mut comp_reports: Vec<Option<Arc<ComponentRecord>>> = vec![None; comps.len()];
@@ -807,13 +886,17 @@ impl CheckEngine {
         reports.sort();
         reports.dedup();
 
-        let prog = Arc::new(ProgramRecord {
-            key: prog_key,
-            reports: reports.clone(),
-        });
-        self.programs.insert(prog_key, prog.clone());
-        if let Some(d) = &self.disk {
-            d.store_program(&prog);
+        // A shard's report vector is partial; recording it under the
+        // program key would poison tier 1 for every full run.
+        if self.shard.is_none() {
+            let prog = Arc::new(ProgramRecord {
+                key: prog_key,
+                reports: reports.clone(),
+            });
+            self.programs.insert(prog_key, prog.clone());
+            if let Some(d) = &self.disk {
+                d.store_program(&prog);
+            }
         }
 
         // Bound memo growth across watch iterations: keep only the parse

@@ -128,20 +128,55 @@ impl Summaries {
             store.defined.insert(def.function.name.clone());
         }
 
-        for scc in tarjan_sccs(&adj) {
+        // Group SCCs into topological *waves*: an SCC's level is one more
+        // than the deepest level among its out-of-SCC callees, so no call
+        // edge ever connects two SCCs of the same level. Every definition
+        // in a wave can then be summarized concurrently over the worker
+        // pool — each sees exactly the store state a sequential bottom-up
+        // visit would have shown it (all lower waves published, its own
+        // SCC unpublished, so mutually-recursive functions still resolve
+        // as `Recursive`). Wave results are keyed by name into the
+        // `BTreeMap`, so store contents are independent of completion
+        // order.
+        let sccs: Vec<Vec<usize>> = tarjan_sccs(&adj).into_iter().collect();
+        let mut scc_of = vec![0usize; defs.len()];
+        for (si, scc) in sccs.iter().enumerate() {
+            for &m in scc {
+                scc_of[m] = si;
+            }
+        }
+        // `tarjan_sccs` yields callees before callers, so every callee
+        // SCC's level is final when its caller's is computed.
+        let mut level = vec![0usize; sccs.len()];
+        for (si, scc) in sccs.iter().enumerate() {
+            let mut lv = 0;
+            for &m in scc {
+                for &c in &adj[m] {
+                    if scc_of[c] != si {
+                        lv = lv.max(level[scc_of[c]] + 1);
+                    }
+                }
+            }
+            level[si] = lv;
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut waves: Vec<Vec<(usize, bool)>> = vec![Vec::new(); max_level + 1];
+        for (si, scc) in sccs.iter().enumerate() {
             // A lone node with a self-loop is still a cycle.
             let cyclic = scc.len() > 1 || adj[scc[0]].contains(&scc[0]);
-            // Sort members by name so the store contents never depend on
+            // Sort members by name so wave item order never depends on
             // unit order within a cycle.
-            let mut members = scc;
+            let mut members = scc.clone();
             members.sort_by(|&a, &b| defs[a].function.name.cmp(&defs[b].function.name));
-            // Compute the whole SCC before publishing any member, so
-            // mutually-recursive functions see each other as `Recursive`
-            // (absent from the map, present in `defined`).
-            let batch: Vec<FnSummary> = members
-                .iter()
-                .map(|&m| summarize_def(driver, &store, &defs[m], cyclic, with_transfers))
-                .collect();
+            for &m in &members {
+                waves[level[si]].push((m, cyclic));
+            }
+        }
+        for wave in &waves {
+            let batch = driver.pool_map(wave.len(), |i| {
+                let (m, cyclic) = wave[i];
+                summarize_def(driver, &store, &defs[m], cyclic, with_transfers)
+            });
             for summary in batch {
                 store.map.insert(summary.function.clone(), summary);
             }
@@ -256,7 +291,7 @@ struct Def<'a> {
     /// Index of the function within its unit, in definition order.
     fidx: usize,
     /// Shared name → definition-index map of the whole component.
-    index_of: std::rc::Rc<HashMap<String, usize>>,
+    index_of: std::sync::Arc<HashMap<String, usize>>,
 }
 
 impl Def<'_> {
@@ -278,7 +313,7 @@ fn collect_defs<'a>(units: &[&'a CheckedUnit]) -> (Vec<Def<'a>>, Vec<Vec<usize>>
                 function,
                 cfg,
                 fidx,
-                index_of: std::rc::Rc::new(HashMap::new()),
+                index_of: std::sync::Arc::new(HashMap::new()),
             };
             match index_of.entry(function.name.clone()) {
                 std::collections::hash_map::Entry::Occupied(e) => defs[*e.get()] = def,
@@ -289,7 +324,7 @@ fn collect_defs<'a>(units: &[&'a CheckedUnit]) -> (Vec<Def<'a>>, Vec<Vec<usize>>
             }
         }
     }
-    let index_of = std::rc::Rc::new(index_of);
+    let index_of = std::sync::Arc::new(index_of);
     for def in &mut defs {
         def.index_of = index_of.clone();
     }

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Shard equivalence gate: checking a corpus as one process must produce
+# byte-identical output to checking it as a farm of --shard i/N processes
+# folded with `mcheck merge`. Runs every protocol of the seed corpus and
+# a slice of the scale-10 fleet corpus, comparing the single-process
+# output against a 1-shard and a 4-shard farm (shards and merge share one
+# cache directory per cell; the single-process baseline is uncached).
+#
+# Usage: scripts/shard_equivalence.sh [path-to-mcheck]
+# (defaults to target/release/mcheck; builds it if missing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MCHECK=${1:-target/release/mcheck}
+if [ ! -x "$MCHECK" ]; then
+    cargo build --release -p mc-cli --bin mcheck
+fi
+export MCHECK
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$MCHECK" --emit-corpus "$work/seed" >/dev/null
+"$MCHECK" --emit-corpus "$work/fleet" --scale 10 >/dev/null
+
+# mcheck exits 1 when it emits reports (the corpus has planted bugs);
+# only >= 2 is a real failure. See "Exit codes" in README.md.
+tolerate() {
+    local rc=0
+    "$@" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "FAIL: exited $rc: $*" >&2
+        exit "$rc"
+    fi
+}
+
+status=0
+check_protocol() {
+    local pdir=$1 tag=$2
+    local args=(--builtin --spec "$pdir/spec.json" --format json "$pdir"/*.c)
+    tolerate "$MCHECK" "${args[@]}" >"$work/$tag-single.json"
+    for shards in 1 4; do
+        tolerate scripts/shard_check.sh "$shards" "$work/cache-$tag-$shards" \
+            "${args[@]}" >"$work/$tag-$shards.json" 2>/dev/null
+        if diff -u "$work/$tag-single.json" "$work/$tag-$shards.json"; then
+            echo "shard-equivalence ok: $tag ($shards shard(s))"
+        else
+            echo "FAIL: $tag $shards-shard merge differs from single-process" >&2
+            status=1
+        fi
+    done
+}
+
+for pdir in "$work"/seed/*/; do
+    check_protocol "$pdir" "seed-$(basename "$pdir")"
+done
+# The full scale-10 fleet is 60 protocols; two families are enough to
+# exercise sharding over fleet-sized units without a multi-minute gate.
+for pdir in "$work"/fleet/bitvector_f3/ "$work"/fleet/dyn_ptr_f7/; do
+    check_protocol "$pdir" "fleet-$(basename "$pdir")"
+done
+exit "$status"
